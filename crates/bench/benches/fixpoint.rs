@@ -1,0 +1,39 @@
+//! Theorem 6: loop-fixpoint behaviour over the combined lattice.
+//!
+//! Measures wall-clock time of the loop analysis on the Theorem 6 program
+//! family for the component domains and the logical product; the
+//! per-domain iteration counts (the quantity Theorem 6 actually bounds)
+//! are printed by `paper_eval thm6`.
+
+use cai_bench::thm6_family;
+use cai_core::LogicalProduct;
+use cai_interp::{herbrand_view, parse_program, Analyzer};
+use cai_linarith::AffineEq;
+use cai_term::parse::Vocab;
+use cai_uf::UfDomain;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fixpoint(c: &mut Criterion) {
+    let vocab = Vocab::standard();
+    let mut group = c.benchmark_group("fixpoint");
+    group.sample_size(10);
+    for &k in &[1usize, 2, 3] {
+        let p = parse_program(&vocab, &thm6_family(k)).expect("family parses");
+        group.bench_with_input(BenchmarkId::new("affine_eq", k), &k, |b, _| {
+            let d = AffineEq::new();
+            b.iter(|| Analyzer::new(&d).run(&p))
+        });
+        group.bench_with_input(BenchmarkId::new("uf", k), &k, |b, _| {
+            let d = UfDomain::new();
+            b.iter(|| Analyzer::new(&d).with_view(herbrand_view).run(&p))
+        });
+        group.bench_with_input(BenchmarkId::new("logical", k), &k, |b, _| {
+            let d = LogicalProduct::new(AffineEq::new(), UfDomain::new());
+            b.iter(|| Analyzer::new(&d).run(&p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixpoint);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! §4.4 of the paper: the cost of the combined join operator.
+//!
+//! The paper bounds `T_{J_{L1⋈L2}}(n)` by the component joins on inputs of
+//! size `n²` (the pair variables) plus one combined quantification. This
+//! bench measures `J` for the component domains and for their logical
+//! product over the same randomly generated inputs, across input sizes, so
+//! the growth *shape* (combined ≈ components at quadratic size) can be
+//! compared against the claim.
+
+use cai_bench::ConjGen;
+use cai_core::{AbstractDomain, LogicalProduct, ReducedProduct};
+use cai_linarith::AffineEq;
+use cai_uf::UfDomain;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join");
+    for &n in &[2usize, 4, 6, 8] {
+        // Pure linear inputs for the component domain.
+        let mut gen = ConjGen::new(1000 + n as u64, n);
+        let (la_a, la_b) = gen.join_pair(n, 2, false);
+        let lin = AffineEq::new();
+        let (ea, eb) = (lin.from_conj(&la_a), lin.from_conj(&la_b));
+        group.bench_with_input(BenchmarkId::new("affine_eq", n), &n, |bch, _| {
+            bch.iter(|| lin.join(&ea, &eb))
+        });
+
+        // Mixed inputs for UF (arithmetic leaves become opaque) and both
+        // products.
+        let (mx_a, mx_b) = gen.join_pair(n, 2, true);
+        let uf = UfDomain::new();
+        let (ua, ub) = (
+            uf.from_conj(&strip_to_uf(&mx_a)),
+            uf.from_conj(&strip_to_uf(&mx_b)),
+        );
+        group.bench_with_input(BenchmarkId::new("uf", n), &n, |bch, _| {
+            bch.iter(|| uf.join(&ua, &ub))
+        });
+
+        let reduced = ReducedProduct::new(AffineEq::new(), UfDomain::new());
+        let (ra, rb) = (reduced.from_conj(&mx_a), reduced.from_conj(&mx_b));
+        group.bench_with_input(BenchmarkId::new("reduced_product", n), &n, |bch, _| {
+            bch.iter(|| reduced.join(&ra, &rb))
+        });
+
+        // The logical join runs the components on a quadratic pair-variable
+        // extension (§4.4), so its absolute cost grows fast with the number
+        // of alien subterms; keep the sweep modest.
+        if n <= 6 {
+            let logical = LogicalProduct::new(AffineEq::new(), UfDomain::new());
+            group.bench_with_input(BenchmarkId::new("logical_product", n), &n, |bch, _| {
+                bch.iter(|| logical.join(&mx_a, &mx_b))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Keeps only the atoms the UF signature fully owns (a fair standalone
+/// workload for the component domain).
+fn strip_to_uf(c: &cai_term::Conj) -> cai_term::Conj {
+    let sig = cai_term::Sig::single(cai_term::TheoryTag::UF);
+    c.iter().filter(|a| sig.owns_atom(a)).cloned().collect()
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_joins
+}
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! Workload generators and the paper's example programs, shared by the
+//! Criterion benchmarks and the `paper_eval` reproduction binary.
+
+use cai_term::parse::Vocab;
+use cai_term::{Atom, Conj, Term, Var};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// The Figure 1 program source (the paper's motivating example).
+pub const FIG1: &str = "
+    a1 := 0; a2 := 0;
+    b1 := 1; b2 := F(1);
+    c1 := 2; c2 := 2;
+    d1 := 3; d2 := F(4);
+    while (b1 < b2) {
+        a1 := a1 + 1; a2 := a2 + 2;
+        b1 := F(b1);  b2 := F(b2);
+        c1 := F(2*c1 - c2); c2 := F(c2);
+        d1 := F(1 + d1); d2 := F(d2 + 1);
+    }
+    assert(a2 = 2*a1);
+    assert(b2 = F(b1));
+    assert(c2 = c1);
+    assert(d2 = F(d1 + 1));
+";
+
+/// The Figure 4 program source (strict vs. plain logical product).
+pub const FIG4: &str = "
+    if (a < b) {
+        x := F(a + 1);
+        y := a;
+    } else {
+        x := F(b + 1);
+        y := b;
+    }
+    assert(x = F(y + 1));
+    assert(F(a) + F(b) = F(y) + F(a + b - y));
+";
+
+/// The Figure 8 program source (non-disjoint theories).
+pub const FIG8: &str = "
+    x := *;
+    assume(even(x));
+    assume(positive(x));
+    x := x - 1;
+    assert(odd(x));
+    assert(positive(x));
+";
+
+/// The Theorem 6 program family: `k` linear counters and `k` UF-updated
+/// variables inside one loop.
+pub fn thm6_family(k: usize) -> String {
+    let mut src = String::new();
+    for i in 0..k {
+        let _ = writeln!(src, "a{i} := {i}; u{i} := F(a{i} + {i});");
+    }
+    src.push_str("while (*) {\n");
+    for i in 0..k {
+        let _ = writeln!(src, "  a{i} := a{i} + {}; u{i} := F(u{i} + 1);", i + 1);
+    }
+    src.push_str("}\nassert(a0 = a0);\n");
+    src
+}
+
+/// A Figure 1-shaped program scaled to `k` groups of four variables, used
+/// by the product-comparison benchmarks. Every generated assertion is
+/// valid; group `i` exercises the same four phenomena as Figure 1.
+pub fn fig1_family(k: usize) -> String {
+    let mut init = String::new();
+    let mut body = String::new();
+    let mut asserts = String::new();
+    for i in 0..k {
+        let _ = writeln!(
+            init,
+            "a{i} := 0; s{i} := 0; b{i} := 1; t{i} := F({});",
+            1 + i
+        );
+        let _ = writeln!(
+            body,
+            "  a{i} := a{i} + 1; s{i} := s{i} + 2; b{i} := F(b{i} + {i}); t{i} := F(t{i} + {i});"
+        );
+        let _ = writeln!(asserts, "assert(s{i} = 2*a{i});");
+    }
+    format!("{init}while (*) {{\n{body}}}\n{asserts}")
+}
+
+/// Deterministic random mixed terms over `w0..w{n_vars-1}`.
+pub struct ConjGen {
+    vocab: Vocab,
+    rng: SmallRng,
+    n_vars: usize,
+}
+
+impl ConjGen {
+    /// Creates a generator with a fixed seed (reproducible workloads).
+    pub fn new(seed: u64, n_vars: usize) -> ConjGen {
+        let vocab = Vocab::standard();
+        // Pre-register the function symbols at fixed arities.
+        vocab.function("F", 1).expect("fresh vocab");
+        vocab.function("G", 2).expect("fresh vocab");
+        ConjGen { vocab, rng: SmallRng::seed_from_u64(seed), n_vars }
+    }
+
+    /// The vocabulary used for generated symbols.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    fn var(&mut self) -> Term {
+        let i = self.rng.gen_range(0..self.n_vars);
+        Term::var(Var::named(&format!("w{i}")))
+    }
+
+    /// A random term with the given depth budget. `mixed` permits both
+    /// arithmetic and UF constructors; otherwise only arithmetic.
+    pub fn term(&mut self, depth: usize, mixed: bool) -> Term {
+        if depth == 0 {
+            return if self.rng.gen_bool(0.7) {
+                self.var()
+            } else {
+                Term::int(self.rng.gen_range(-4..5))
+            };
+        }
+        let choice = self.rng.gen_range(0..if mixed { 4 } else { 2 });
+        match choice {
+            0 => Term::add(&self.term(depth - 1, mixed), &self.term(depth - 1, mixed)),
+            1 => Term::sub(&self.term(depth - 1, mixed), &self.term(depth - 1, mixed)),
+            2 => {
+                let f = self.vocab.function("F", 1).expect("registered");
+                Term::app(f, vec![self.term(depth - 1, mixed)])
+            }
+            _ => {
+                let g = self.vocab.function("G", 2).expect("registered");
+                Term::app(
+                    g,
+                    vec![self.term(depth - 1, mixed), self.term(depth - 1, mixed)],
+                )
+            }
+        }
+    }
+
+    /// A random conjunction of `n_atoms` equalities.
+    pub fn conj(&mut self, n_atoms: usize, depth: usize, mixed: bool) -> Conj {
+        (0..n_atoms)
+            .map(|_| Atom::eq(self.term(depth, mixed), self.term(depth, mixed)))
+            .collect()
+    }
+
+    /// A pair of *compatible* conjunctions for join benchmarks: both extend
+    /// a common base, so the join is non-trivial.
+    pub fn join_pair(&mut self, n_atoms: usize, depth: usize, mixed: bool) -> (Conj, Conj) {
+        let base = self.conj(n_atoms / 2 + 1, depth, mixed);
+        let mut a = base.clone();
+        a.extend_from(&self.conj(n_atoms / 2 + 1, depth, mixed));
+        let mut b = base;
+        b.extend_from(&self.conj(n_atoms / 2 + 1, depth, mixed));
+        (a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cai_interp::parse_program;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut g1 = ConjGen::new(7, 4);
+        let mut g2 = ConjGen::new(7, 4);
+        assert_eq!(g1.conj(3, 2, true), g2.conj(3, 2, true));
+    }
+
+    #[test]
+    fn families_parse() {
+        let vocab = Vocab::standard();
+        for k in 1..4 {
+            parse_program(&vocab, &thm6_family(k)).unwrap();
+            parse_program(&vocab, &fig1_family(k)).unwrap();
+        }
+        parse_program(&vocab, FIG1).unwrap();
+        parse_program(&vocab, FIG4).unwrap();
+        parse_program(&vocab, FIG8).unwrap();
+    }
+
+    #[test]
+    fn generated_conjs_are_wellformed() {
+        let mut g = ConjGen::new(42, 4);
+        for _ in 0..10 {
+            let c = g.conj(4, 3, true);
+            assert!(c.len() <= 4);
+            for atom in &c {
+                assert!(!atom.args().is_empty());
+            }
+        }
+    }
+}

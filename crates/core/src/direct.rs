@@ -1,0 +1,169 @@
+//! The direct product of abstract domains — the baseline "independent
+//! attribute" combination (Cousot & Cousot; paper §1).
+
+use crate::domain::{AbstractDomain, TheoryProps};
+use crate::partition::Partition;
+use cai_term::{purify, Atom, Conj, Sig, Term, Var, VarSet};
+use std::fmt;
+
+/// A pair element of a [`DirectProduct`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct Pair<E1, E2> {
+    /// The first component.
+    pub left: E1,
+    /// The second component.
+    pub right: E2,
+}
+
+impl<E1: fmt::Display, E2: fmt::Display> fmt::Display for Pair<E1, E2> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.left, self.right)
+    }
+}
+
+/// The direct product `L1 × L2`: all lattice operations are performed
+/// component-wise, with no information flowing between the components.
+///
+/// Mixed atomic facts are purified; the fresh variables naming alien terms
+/// are existentially quantified away *component-wise and without
+/// saturation*, so each component only retains what it can express about
+/// the pure fragment it saw — exactly the "performing the analyses one
+/// after another" behaviour the paper describes for direct products.
+#[derive(Clone, Debug)]
+pub struct DirectProduct<D1, D2> {
+    d1: D1,
+    d2: D2,
+}
+
+impl<D1: AbstractDomain, D2: AbstractDomain> DirectProduct<D1, D2> {
+    /// Combines two domains into their direct product.
+    pub fn new(d1: D1, d2: D2) -> DirectProduct<D1, D2> {
+        DirectProduct { d1, d2 }
+    }
+
+    /// The first component domain.
+    pub fn first(&self) -> &D1 {
+        &self.d1
+    }
+
+    /// The second component domain.
+    pub fn second(&self) -> &D2 {
+        &self.d2
+    }
+
+    /// Routes a (possibly mixed) atom into both components: pure parts are
+    /// met directly; alien-naming ghosts are eliminated component-wise.
+    fn meet_routed(
+        &self,
+        e: &Pair<D1::Elem, D2::Elem>,
+        atom: &Atom,
+    ) -> Pair<D1::Elem, D2::Elem> {
+        let s1 = self.d1.sig();
+        let s2 = self.d2.sig();
+        let p = purify(&Conj::of(atom.clone()), &s1, &s2);
+        let mut left = e.left.clone();
+        for a in &p.left {
+            left = self.d1.meet_atom(&left, a);
+        }
+        let mut right = e.right.clone();
+        for a in &p.right {
+            right = self.d2.meet_atom(&right, a);
+        }
+        if !p.fresh.is_empty() {
+            let ghosts: VarSet = p.fresh.iter().copied().collect();
+            left = self.d1.exists(&left, &ghosts);
+            right = self.d2.exists(&right, &ghosts);
+        }
+        Pair { left, right }
+    }
+}
+
+impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for DirectProduct<D1, D2> {
+    type Elem = Pair<D1::Elem, D2::Elem>;
+
+    fn sig(&self) -> Sig {
+        self.d1.sig().union(&self.d2.sig())
+    }
+
+    fn props(&self) -> TheoryProps {
+        let (p1, p2) = (self.d1.props(), self.d2.props());
+        TheoryProps {
+            convex: p1.convex && p2.convex,
+            stably_infinite: p1.stably_infinite && p2.stably_infinite,
+        }
+    }
+
+    fn top(&self) -> Self::Elem {
+        Pair { left: self.d1.top(), right: self.d2.top() }
+    }
+
+    fn bottom(&self) -> Self::Elem {
+        Pair { left: self.d1.bottom(), right: self.d2.bottom() }
+    }
+
+    fn is_bottom(&self, e: &Self::Elem) -> bool {
+        self.d1.is_bottom(&e.left) || self.d2.is_bottom(&e.right)
+    }
+
+    fn meet_atom(&self, e: &Self::Elem, atom: &Atom) -> Self::Elem {
+        self.meet_routed(e, atom)
+    }
+
+    fn implies_atom(&self, e: &Self::Elem, atom: &Atom) -> bool {
+        if self.is_bottom(e) {
+            return true;
+        }
+        // Componentwise: no cooperation between the parts.
+        (self.d1.sig().owns_atom(atom) && self.d1.implies_atom(&e.left, atom))
+            || (self.d2.sig().owns_atom(atom) && self.d2.implies_atom(&e.right, atom))
+    }
+
+    fn join(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        if self.is_bottom(a) {
+            return b.clone();
+        }
+        if self.is_bottom(b) {
+            return a.clone();
+        }
+        Pair {
+            left: self.d1.join(&a.left, &b.left),
+            right: self.d2.join(&a.right, &b.right),
+        }
+    }
+
+    fn exists(&self, e: &Self::Elem, vars: &VarSet) -> Self::Elem {
+        Pair {
+            left: self.d1.exists(&e.left, vars),
+            right: self.d2.exists(&e.right, vars),
+        }
+    }
+
+    fn var_equalities(&self, e: &Self::Elem) -> Partition {
+        let mut p = self.d1.var_equalities(&e.left);
+        p.merge(&self.d2.var_equalities(&e.right));
+        p
+    }
+
+    fn alternate(&self, e: &Self::Elem, y: Var, avoid: &VarSet) -> Option<Term> {
+        self.d1
+            .alternate(&e.left, y, avoid)
+            .or_else(|| self.d2.alternate(&e.right, y, avoid))
+    }
+
+    fn widen(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        if self.is_bottom(a) {
+            return b.clone();
+        }
+        if self.is_bottom(b) {
+            return a.clone();
+        }
+        Pair {
+            left: self.d1.widen(&a.left, &b.left),
+            right: self.d2.widen(&a.right, &b.right),
+        }
+    }
+
+    fn to_conj(&self, e: &Self::Elem) -> Conj {
+        self.d1.to_conj(&e.left).and(&self.d2.to_conj(&e.right))
+    }
+}

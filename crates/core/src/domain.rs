@@ -1,0 +1,198 @@
+//! The abstract-domain interface that the combination algorithms consume.
+
+use cai_term::{Atom, Conj, Sig, Term, Var, VarSet};
+use std::fmt;
+
+use crate::partition::Partition;
+
+/// Semantic properties of the theory underlying a logical lattice.
+///
+/// The paper's completeness theorems (Theorems 3 and 5) require both
+/// component theories to be *convex* and *stably infinite*, and their
+/// signatures to be disjoint. Domains report the first two here; signature
+/// disjointness is checked from [`AbstractDomain::sig`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TheoryProps {
+    /// `φ ⇒ ⋁ xᵢ = yᵢ` implies `φ ⇒ xⱼ = yⱼ` for some `j`.
+    pub convex: bool,
+    /// Every satisfiable quantifier-free formula is satisfiable in an
+    /// infinite model.
+    pub stably_infinite: bool,
+}
+
+impl TheoryProps {
+    /// Both properties hold (the common case for the paper's theories).
+    pub fn nelson_oppen() -> TheoryProps {
+        TheoryProps { convex: true, stably_infinite: true }
+    }
+}
+
+impl Default for TheoryProps {
+    fn default() -> TheoryProps {
+        TheoryProps::nelson_oppen()
+    }
+}
+
+/// An abstract interpreter's domain-level operations over a logical lattice
+/// (Definitions 1, 3, 4 of the paper).
+///
+/// Elements are abstractions of finite conjunctions of atomic facts over the
+/// domain's signature. The trait bundles exactly the operators the paper's
+/// combination methodology consumes:
+///
+/// | paper            | trait method                        |
+/// |------------------|-------------------------------------|
+/// | `J_L`            | [`join`](AbstractDomain::join)      |
+/// | `Q_L`            | [`exists`](AbstractDomain::exists)  |
+/// | `M_L`            | [`meet_atom`](AbstractDomain::meet_atom) |
+/// | `⇒` (decision)   | [`implies_atom`](AbstractDomain::implies_atom) |
+/// | `VE_T`           | [`var_equalities`](AbstractDomain::var_equalities) |
+/// | `Alternate_T`    | [`alternate`](AbstractDomain::alternate) |
+/// | widening `∇`     | [`widen`](AbstractDomain::widen)    |
+///
+/// The products in this crate implement `AbstractDomain` themselves, so
+/// combinations nest: `(L1 ⋈ L2) ⋈ L3` is just another domain.
+pub trait AbstractDomain {
+    /// The lattice element type.
+    type Elem: Clone + PartialEq + fmt::Debug + fmt::Display;
+
+    /// The signature of symbols the domain understands.
+    fn sig(&self) -> Sig;
+
+    /// Semantic properties of the underlying theory.
+    fn props(&self) -> TheoryProps {
+        TheoryProps::nelson_oppen()
+    }
+
+    /// The top element (`true`).
+    fn top(&self) -> Self::Elem;
+
+    /// The bottom element (`false`).
+    fn bottom(&self) -> Self::Elem;
+
+    /// Returns `true` if the element is unsatisfiable.
+    fn is_bottom(&self, e: &Self::Elem) -> bool;
+
+    /// The meet `e ∧ atom` with one atomic fact over the domain's
+    /// signature.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `atom` mentions symbols outside
+    /// [`sig`](AbstractDomain::sig); callers route atoms via the signature
+    /// first.
+    fn meet_atom(&self, e: &Self::Elem, atom: &Atom) -> Self::Elem;
+
+    /// Decides `e ⇒ atom` for an atomic fact over the domain's signature.
+    fn implies_atom(&self, e: &Self::Elem, atom: &Atom) -> bool;
+
+    /// The join (least upper bound) `J_L`.
+    fn join(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+
+    /// The existential-quantification operator `Q_L`: the strongest element
+    /// implied by `e` that mentions no variable of `vars`.
+    fn exists(&self, e: &Self::Elem, vars: &VarSet) -> Self::Elem;
+
+    /// `VE_T`: the partition of variables into classes of provably equal
+    /// variables. Unsatisfiable elements may return anything (callers check
+    /// [`is_bottom`](AbstractDomain::is_bottom) first).
+    fn var_equalities(&self, e: &Self::Elem) -> Partition;
+
+    /// `Alternate_T(e, y, avoid)`: a term `t` with `e ⇒ y = t` and
+    /// `Vars(t) ∩ (avoid ∪ {y}) = ∅`, or `None` if no such term is found.
+    fn alternate(&self, e: &Self::Elem, y: Var, avoid: &VarSet) -> Option<Term>;
+
+    /// Batched `Alternate_T`: definitions for every variable of `targets`
+    /// for which one exists, all avoiding `avoid` (`targets ⊆ avoid`).
+    /// Domains whose per-call `alternate` rebuilds expensive state (e.g. a
+    /// congruence closure) override this with a single-pass version.
+    fn alternates(
+        &self,
+        e: &Self::Elem,
+        targets: &VarSet,
+        avoid: &VarSet,
+    ) -> std::collections::BTreeMap<Var, Term> {
+        targets
+            .iter()
+            .filter_map(|&y| self.alternate(e, y, avoid).map(|t| (y, t)))
+            .collect()
+    }
+
+    /// Widening. Defaults to [`join`](AbstractDomain::join), which is a
+    /// correct widening for finite-height domains.
+    fn widen(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        self.join(a, b)
+    }
+
+    /// Renders the element as a conjunction of atomic facts over the
+    /// domain's signature (its concretization's syntactic presentation).
+    fn to_conj(&self, e: &Self::Elem) -> Conj;
+
+    /// Builds the element abstracting a pure conjunction: the meet of `top`
+    /// with every atom (batched, see
+    /// [`meet_all`](AbstractDomain::meet_all)).
+    fn from_conj(&self, c: &Conj) -> Self::Elem {
+        self.meet_all(&self.top(), c.atoms())
+    }
+
+    /// Meets a batch of atoms at once. Equivalent to folding
+    /// [`meet_atom`](AbstractDomain::meet_atom), but domains with an
+    /// expensive per-meet normalization (e.g. congruence-closure
+    /// re-canonicalization) override this to normalize once.
+    fn meet_all(&self, e: &Self::Elem, atoms: &[Atom]) -> Self::Elem {
+        let mut out = e.clone();
+        for a in atoms {
+            out = self.meet_atom(&out, a);
+        }
+        out
+    }
+
+    /// The lattice partial order: `a ⊑ b` (i.e. `a` implies `b`). The
+    /// default decides each atom of `b`'s presentation against `a`.
+    fn le(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        if self.is_bottom(a) {
+            return true;
+        }
+        self.to_conj(b).iter().all(|atom| self.implies_atom(a, atom))
+    }
+
+    /// Semantic element equality (mutual implication). Structural
+    /// `PartialEq` may be finer than this; fixpoint detection uses this
+    /// method.
+    fn equal_elems(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        self.le(a, b) && self.le(b, a)
+    }
+}
+
+/// How precise a product combination is, given the component theories'
+/// properties (paper §4, Theorems 3 and 5, and Figure 8).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Precision {
+    /// The components are convex, stably infinite, and signature-disjoint:
+    /// the combination operators are the most precise ones for the logical
+    /// product lattice.
+    Complete,
+    /// The signatures share symbols (like parity and sign, Figure 8): the
+    /// combination is a sound heuristic, no longer complete.
+    HeuristicNonDisjoint,
+    /// A component theory is non-convex or not stably infinite: the
+    /// Nelson–Oppen exchange of variable equalities may be incomplete.
+    HeuristicNonConvex,
+}
+
+/// Classifies the precision guarantee for combining two domains.
+pub fn combination_precision<D1, D2>(d1: &D1, d2: &D2) -> Precision
+where
+    D1: AbstractDomain,
+    D2: AbstractDomain,
+{
+    let p1 = d1.props();
+    let p2 = d2.props();
+    if !(p1.convex && p1.stably_infinite && p2.convex && p2.stably_infinite) {
+        Precision::HeuristicNonConvex
+    } else if !d1.sig().disjoint_symbols(&d2.sig()) {
+        Precision::HeuristicNonDisjoint
+    } else {
+        Precision::Complete
+    }
+}

@@ -1,0 +1,408 @@
+//! The **logical product** `L1 ⋈ L2` — the paper's primary contribution
+//! (Definition 2, Figures 6 and 7).
+//!
+//! Elements are finite conjunctions of *mixed* atomic facts over the union
+//! of the component theories. The lattice operations are constructed
+//! automatically from the component domains:
+//!
+//! - the join (Figure 6) purifies and NO-saturates both inputs, introduces
+//!   a quadratic set of pair variables `⟨x, y⟩`, joins component-wise, and
+//!   eliminates the pair variables with the combined quantification
+//!   operator — recovering mixed facts such as `u = F(v + 1)`;
+//! - existential quantification (Figure 7) purifies, NO-saturates, runs
+//!   `QSaturation` to find definitions for eliminable variables via the
+//!   theory-specific `Alternate` operators, quantifies component-wise, and
+//!   substitutes the definitions back — again producing mixed facts.
+//!
+//! When the component theories are convex, stably infinite, and disjoint,
+//! these operators are the most precise ones for the logical product
+//! lattice (Theorems 3 and 5). Otherwise they remain sound and act as the
+//! paper's "efficient heuristic" (see [`LogicalProduct::precision`]).
+
+use crate::domain::{combination_precision, AbstractDomain, Precision, TheoryProps};
+use crate::partition::Partition;
+use crate::saturate::{no_saturate, Saturated};
+use cai_term::{
+    purify, Atom, AtomSide, Conj, Purified, Purifier, Sig, Term, Var, VarSet,
+};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Returns `true` when `CAI_TRACE` is set: the logical product then prints
+/// per-phase timings of its join and quantification pipelines to stderr.
+fn tracing() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("CAI_TRACE").is_some())
+}
+
+macro_rules! trace_phase {
+    ($label:expr, $body:expr) => {{
+        if tracing() {
+            let start = Instant::now();
+            let out = $body;
+            eprintln!("[cai-trace] {}: {:?}", $label, start.elapsed());
+            out
+        } else {
+            $body
+        }
+    }};
+}
+
+/// The logical product of two abstract domains.
+///
+/// ```
+/// # fn main() {}
+/// // let product = LogicalProduct::new(AffineEq::new(), UfDomain::new());
+/// // Elements are `Conj` — conjunctions of mixed atomic facts.
+/// ```
+#[derive(Clone, Debug)]
+pub struct LogicalProduct<D1, D2> {
+    d1: D1,
+    d2: D2,
+}
+
+impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
+    /// Combines two domains into their logical product.
+    pub fn new(d1: D1, d2: D2) -> LogicalProduct<D1, D2> {
+        LogicalProduct { d1, d2 }
+    }
+
+    /// The first component domain.
+    pub fn first(&self) -> &D1 {
+        &self.d1
+    }
+
+    /// The second component domain.
+    pub fn second(&self) -> &D2 {
+        &self.d2
+    }
+
+    /// The precision guarantee for this combination (Theorems 3 and 5
+    /// versus the Figure 8 caveat).
+    pub fn precision(&self) -> Precision {
+        combination_precision(&self.d1, &self.d2)
+    }
+
+    /// Membership in `Terms_{T1,T2}(E)` (Definition 2): `t` occurs
+    /// *semantically* in `E`, i.e. `E ⇒ t = t'` for some variable or alien
+    /// term `t'` of `E`.
+    pub fn in_terms(&self, e: &Conj, t: &Term) -> bool {
+        let candidates: Vec<Term> = e
+            .vars()
+            .into_iter()
+            .map(Term::var)
+            .chain(cai_term::alien_terms(e, &self.d1.sig(), &self.d2.sig()))
+            .collect();
+        candidates
+            .iter()
+            .any(|c| self.implies_atom(e, &Atom::eq(t.clone(), c.clone())))
+    }
+
+    /// The partial order of Definition 2: implication *plus* the side
+    /// condition `AlienTerms(b) ⊆ Terms(a)`, which is what turns the
+    /// implication semi-lattice into a lattice (Theorem 1).
+    ///
+    /// [`AbstractDomain::le`] checks only implication; elements produced
+    /// by this product's own operators satisfy the side condition by
+    /// construction, but externally constructed pairs may not — use this
+    /// method when Definition 2 is meant literally.
+    pub fn le_defn2(&self, a: &Conj, b: &Conj) -> bool {
+        if !self.le(a, b) {
+            return false;
+        }
+        cai_term::alien_terms(b, &self.d1.sig(), &self.d2.sig())
+            .iter()
+            .all(|t| self.in_terms(a, t))
+    }
+
+    /// Lines 1–2 / 3–4 of Figure 6: purify a mixed conjunction into the
+    /// component domains and NO-saturate.
+    fn split(&self, e: &Conj) -> (Purified, Saturated<D1::Elem, D2::Elem>) {
+        let p = purify(e, &self.d1.sig(), &self.d2.sig());
+        let e1 = self.d1.from_conj(&p.left);
+        let e2 = self.d2.from_conj(&p.right);
+        let s = no_saturate(&self.d1, e1, &self.d2, e2);
+        (p, s)
+    }
+
+    /// `QSaturation` (Figure 7, lines 1–10 of the right-hand algorithm):
+    /// repeatedly finds definitions `y = t` for variables awaiting
+    /// elimination, via either component's `Alternate` operator.
+    fn q_saturation(
+        &self,
+        e1: &D1::Elem,
+        e2: &D2::Elem,
+        v1: &VarSet,
+    ) -> (VarSet, BTreeMap<Var, Term>) {
+        let mut v2 = v1.clone();
+        let mut defs: BTreeMap<Var, Term> = BTreeMap::new();
+        loop {
+            let mut changed = false;
+            // One batched Alternate pass per component per round; as
+            // variables leave V2, later rounds may find more definitions.
+            for round in [
+                self.d1.alternates(e1, &v2, &v2),
+                self.d2.alternates(e2, &v2, &v2),
+            ] {
+                for (y, t) in round {
+                    if !v2.contains(&y) {
+                        continue;
+                    }
+                    debug_assert!(
+                        !t.mentions_any(&v2) && t.as_var() != Some(y),
+                        "Alternate returned `{t}` for {y}, violating its contract"
+                    );
+                    defs.insert(y, t);
+                    v2.remove(&y);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return (v2, defs);
+            }
+        }
+    }
+
+    /// Applies a definition map to a conjunction until fixpoint. The
+    /// definitions discovered by `QSaturation` are acyclic (each avoids all
+    /// variables removed after it), so this terminates.
+    fn subst_defs(mut c: Conj, defs: &BTreeMap<Var, Term>) -> Conj {
+        if defs.is_empty() {
+            return c;
+        }
+        loop {
+            let next = c.subst(defs);
+            if next == c {
+                return c;
+            }
+            c = next;
+        }
+    }
+
+    /// The shared implementation of join and widening (the paper constructs
+    /// the widening operator "in exactly the same way" as the join).
+    fn join_impl(&self, el: &Conj, er: &Conj, widen: bool) -> Conj {
+        // Figure 6, lines 1–4.
+        let (pl, sl) = trace_phase!("join/split-left", self.split(el));
+        if sl.bottom {
+            return er.clone();
+        }
+        let (pr, sr) = trace_phase!("join/split-right", self.split(er));
+        if sr.bottom {
+            return el.clone();
+        }
+        // Line 5: V := {⟨x, y⟩ | x ∈ Vℓ ∪ Vars(Eℓ), y ∈ Vr ∪ Vars(Er)}.
+        // Two pair variables whose components are provably equal on their
+        // respective sides are interchangeable, so one pair per
+        // (left-class, right-class) suffices — an exactness-preserving
+        // reduction of the quadratic set.
+        let mut lvars: VarSet = el.vars();
+        lvars.extend(pl.fresh.iter().copied());
+        let mut rvars: VarSet = er.vars();
+        rvars.extend(pr.fresh.iter().copied());
+
+        let mut pair_vars = VarSet::new();
+        let mut seen: std::collections::BTreeSet<(Var, Var)> =
+            std::collections::BTreeSet::new();
+        let mut atoms_l: Vec<Atom> = Vec::new();
+        let mut atoms_r: Vec<Atom> = Vec::new();
+        for &x in &lvars {
+            for &y in &rvars {
+                let key = (sl.equalities.find(x), sr.equalities.find(y));
+                if !seen.insert(key) {
+                    continue;
+                }
+                let v = Var::fresh(&format!("<{},{}>", x.name(), y.name()));
+                pair_vars.insert(v);
+                // Lines 6–7: Eℓ2 := ⋀ x = ⟨x,y⟩ and Er2 := ⋀ y = ⟨x,y⟩,
+                // met into both components of the respective side.
+                atoms_l.push(Atom::var_eq(x, v));
+                atoms_r.push(Atom::var_eq(y, v));
+            }
+        }
+        let e1l = trace_phase!("join/meet-pairs-1l", self.d1.meet_all(&sl.left, &atoms_l));
+        let e2l = trace_phase!("join/meet-pairs-2l", self.d2.meet_all(&sl.right, &atoms_l));
+        let e1r = trace_phase!("join/meet-pairs-1r", self.d1.meet_all(&sr.left, &atoms_r));
+        let e2r = trace_phase!("join/meet-pairs-2r", self.d2.meet_all(&sr.right, &atoms_r));
+        // Lines 8–9: component joins (or widenings).
+        let (j1, j2) = if widen {
+            (
+                trace_phase!("join/widen-1", self.d1.widen(&e1l, &e1r)),
+                trace_phase!("join/widen-2", self.d2.widen(&e2l, &e2r)),
+            )
+        } else {
+            (
+                trace_phase!("join/join-1", self.d1.join(&e1l, &e1r)),
+                trace_phase!("join/join-2", self.d2.join(&e2l, &e2r)),
+            )
+        };
+        // Line 10: E := Q_{L1⋈L2}(E1 ∧ E2, V).
+        let mixed = self.d1.to_conj(&j1).and(&self.d2.to_conj(&j2));
+        if tracing() {
+            eprintln!(
+                "[cai-trace] join/sizes: pairs={} mixed_atoms={}",
+                pair_vars.len(),
+                mixed.len()
+            );
+        }
+        trace_phase!("join/exists", self.exists(&mixed, &pair_vars))
+    }
+}
+
+impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for LogicalProduct<D1, D2> {
+    /// Elements are conjunctions of mixed atomic facts, exactly as in
+    /// Definition 2. Unsatisfiability is represented by any conjunction the
+    /// saturation refutes (the canonical bottom is `0 = 1`).
+    type Elem = Conj;
+
+    fn sig(&self) -> Sig {
+        self.d1.sig().union(&self.d2.sig())
+    }
+
+    fn props(&self) -> TheoryProps {
+        let (p1, p2) = (self.d1.props(), self.d2.props());
+        TheoryProps {
+            convex: p1.convex && p2.convex,
+            stably_infinite: p1.stably_infinite && p2.stably_infinite,
+        }
+    }
+
+    fn top(&self) -> Conj {
+        Conj::new()
+    }
+
+    fn bottom(&self) -> Conj {
+        Conj::of(Atom::eq(Term::int(0), Term::int(1)))
+    }
+
+    fn is_bottom(&self, e: &Conj) -> bool {
+        self.split(e).1.bottom
+    }
+
+    fn meet_atom(&self, e: &Conj, atom: &Atom) -> Conj {
+        // The meet operator for L1 ⋈ L2 is simply conjunction (§4).
+        let mut out = e.clone();
+        out.push(atom.clone());
+        out
+    }
+
+    fn implies_atom(&self, e: &Conj, atom: &Atom) -> bool {
+        // Purify the element and the query with a shared purifier so that
+        // common alien terms receive common names, NO-saturate, then decide
+        // on the hosting component (Property 1).
+        let mut purifier = Purifier::new(&self.d1.sig(), &self.d2.sig());
+        purifier.add_conj(e);
+        let (side, pure) = purifier.purify_atom(atom);
+        let p = purifier.finish();
+        let e1 = self.d1.from_conj(&p.left);
+        let e2 = self.d2.from_conj(&p.right);
+        let s = no_saturate(&self.d1, e1, &self.d2, e2);
+        if s.bottom {
+            return true;
+        }
+        match side {
+            AtomSide::Left => self.d1.implies_atom(&s.left, &pure),
+            AtomSide::Right => self.d2.implies_atom(&s.right, &pure),
+            AtomSide::Both => {
+                self.d1.implies_atom(&s.left, &pure)
+                    || self.d2.implies_atom(&s.right, &pure)
+            }
+        }
+    }
+
+    fn join(&self, a: &Conj, b: &Conj) -> Conj {
+        self.join_impl(a, b, false)
+    }
+
+    fn exists(&self, e: &Conj, vars: &VarSet) -> Conj {
+        // Figure 7, left-hand algorithm.
+        let (p, s) = trace_phase!("exists/split", self.split(e));
+        if s.bottom {
+            return self.bottom();
+        }
+        // Line 3: V1 := V0 ∪ V.
+        let mut v1: VarSet = vars.clone();
+        v1.extend(p.fresh.iter().copied());
+        if v1.is_empty() {
+            return e.clone();
+        }
+        // Line 4: QSaturation.
+        let (v2, defs) = trace_phase!("exists/qsat", self.q_saturation(&s.left, &s.right, &v1));
+        // Lines 5–6: component quantification of the variables with no
+        // definitions.
+        let e12 = trace_phase!("exists/q1", self.d1.exists(&s.left, &v2));
+        let e22 = trace_phase!("exists/q2", self.d2.exists(&s.right, &v2));
+        // Lines 7–8: substitute the definitions back, producing mixed facts.
+        let mixed = self.d1.to_conj(&e12).and(&self.d2.to_conj(&e22));
+        trace_phase!("exists/subst-defs", Self::subst_defs(mixed, &defs))
+    }
+
+    /// Batched implication: purify and saturate `a` once, then decide every
+    /// atom of `b` against the shared saturated split.
+    fn le(&self, a: &Conj, b: &Conj) -> bool {
+        let mut purifier = Purifier::new(&self.d1.sig(), &self.d2.sig());
+        purifier.add_conj(a);
+        let queries: Vec<(AtomSide, Atom)> =
+            b.iter().map(|atom| purifier.purify_atom(atom)).collect();
+        let p = purifier.finish();
+        let e1 = self.d1.from_conj(&p.left);
+        let e2 = self.d2.from_conj(&p.right);
+        let s = no_saturate(&self.d1, e1, &self.d2, e2);
+        if s.bottom {
+            return true;
+        }
+        queries.into_iter().all(|(side, pure)| match side {
+            AtomSide::Left => self.d1.implies_atom(&s.left, &pure),
+            AtomSide::Right => self.d2.implies_atom(&s.right, &pure),
+            AtomSide::Both => {
+                self.d1.implies_atom(&s.left, &pure)
+                    || self.d2.implies_atom(&s.right, &pure)
+            }
+        })
+    }
+
+    fn var_equalities(&self, e: &Conj) -> Partition {
+        let s = self.split(e).1;
+        if s.bottom {
+            return Partition::new();
+        }
+        s.equalities.restrict(&e.vars())
+    }
+
+    fn alternate(&self, e: &Conj, y: Var, avoid: &VarSet) -> Option<Term> {
+        // Reduce to the combined quantification operator: name `y` with a
+        // fresh variable `z`, eliminate `avoid ∪ {y}`, and look for a
+        // definition of `z` in the result.
+        let z = Var::fresh("alt");
+        let mut ez = e.clone();
+        ez.push(Atom::var_eq(z, y));
+        let mut elim = avoid.clone();
+        elim.insert(y);
+        elim.remove(&z);
+        let r = self.exists(&ez, &elim);
+        let zt = Term::var(z);
+        for atom in &r {
+            if let Atom::Eq(s, t) = atom {
+                if s == &zt && !t.vars().contains(&z) {
+                    return Some(t.clone());
+                }
+                if t == &zt && !s.vars().contains(&z) {
+                    return Some(s.clone());
+                }
+            }
+        }
+        None
+    }
+
+    fn widen(&self, a: &Conj, b: &Conj) -> Conj {
+        self.join_impl(a, b, true)
+    }
+
+    fn to_conj(&self, e: &Conj) -> Conj {
+        e.clone()
+    }
+
+    fn from_conj(&self, c: &Conj) -> Conj {
+        c.clone()
+    }
+}

@@ -1,0 +1,237 @@
+//! Partitions of variables into provably-equal classes (`VE_T` results).
+
+use cai_term::{Var, VarSet};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A partition of a finite set of variables, produced by the `VE_T`
+/// operator and consumed by Nelson–Oppen saturation.
+///
+/// Variables not mentioned are implicitly in singleton classes, so the
+/// empty partition is the identity (no equalities known).
+///
+/// ```
+/// use cai_core::Partition;
+/// use cai_term::Var;
+/// let (x, y, z) = (Var::named("x"), Var::named("y"), Var::named("z"));
+/// let mut p = Partition::new();
+/// p.union(x, y);
+/// assert!(p.same(x, y));
+/// assert!(!p.same(x, z));
+/// ```
+#[derive(Clone, Default)]
+pub struct Partition {
+    parent: BTreeMap<Var, Var>,
+}
+
+impl Partition {
+    /// The identity partition.
+    pub fn new() -> Partition {
+        Partition::default()
+    }
+
+    /// The representative of `v`'s class.
+    pub fn find(&self, v: Var) -> Var {
+        let mut cur = v;
+        while let Some(&p) = self.parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            cur = p;
+        }
+        cur
+    }
+
+    /// Merges the classes of `a` and `b`. Returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: Var, b: Var) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        // Keep the smaller representative for determinism.
+        let (root, child) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent.insert(child, root);
+        self.parent.entry(root).or_insert(root);
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same class.
+    pub fn same(&self, a: Var, b: Var) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Returns `true` if no two distinct variables are equated.
+    pub fn is_identity(&self) -> bool {
+        self.parent.iter().all(|(v, p)| v == p || self.find(*v) == *v)
+    }
+
+    /// The non-singleton classes, each sorted, in sorted order.
+    pub fn classes(&self) -> Vec<Vec<Var>> {
+        let mut by_root: BTreeMap<Var, Vec<Var>> = BTreeMap::new();
+        for &v in self.parent.keys() {
+            by_root.entry(self.find(v)).or_default().push(v);
+        }
+        by_root
+            .into_values()
+            .filter(|c| c.len() > 1)
+            .collect()
+    }
+
+    /// The equalities `(v, root)` for every variable that is not its own
+    /// representative — a minimal generating set of the partition.
+    pub fn pairs(&self) -> Vec<(Var, Var)> {
+        let mut out = Vec::new();
+        for &v in self.parent.keys() {
+            let r = self.find(v);
+            if r != v {
+                out.push((v, r));
+            }
+        }
+        out
+    }
+
+    /// Merges another partition into this one. Returns `true` if anything
+    /// changed.
+    pub fn merge(&mut self, other: &Partition) -> bool {
+        let mut changed = false;
+        for (a, b) in other.pairs() {
+            changed |= self.union(a, b);
+        }
+        changed
+    }
+
+    /// Returns `true` if every equality of `other` already holds here.
+    pub fn refines(&self, other: &Partition) -> bool {
+        other.pairs().iter().all(|&(a, b)| self.same(a, b))
+    }
+
+    /// The partition restricted to `vars` (equalities among them only).
+    pub fn restrict(&self, vars: &VarSet) -> Partition {
+        let mut out = Partition::new();
+        let mut by_root: BTreeMap<Var, Var> = BTreeMap::new();
+        for &v in self.parent.keys() {
+            if !vars.contains(&v) {
+                continue;
+            }
+            let r = self.find(v);
+            match by_root.get(&r) {
+                Some(&first) => {
+                    out.union(first, v);
+                }
+                None => {
+                    by_root.insert(r, v);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl PartialEq for Partition {
+    fn eq(&self, other: &Partition) -> bool {
+        self.refines(other) && other.refines(self)
+    }
+}
+
+impl Eq for Partition {}
+
+impl fmt::Debug for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let classes = self.classes();
+        if classes.is_empty() {
+            return f.write_str("{identity}");
+        }
+        for (i, c) in classes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            f.write_str("{")?;
+            for (j, v) in c.iter().enumerate() {
+                if j > 0 {
+                    f.write_str(" = ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            f.write_str("}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Var {
+        Var::named(n)
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut p = Partition::new();
+        assert!(p.union(v("a"), v("b")));
+        assert!(!p.union(v("a"), v("b")));
+        assert!(p.union(v("b"), v("c")));
+        assert!(p.same(v("a"), v("c")));
+        assert!(!p.same(v("a"), v("d")));
+    }
+
+    #[test]
+    fn identity_checks() {
+        let mut p = Partition::new();
+        assert!(p.is_identity());
+        p.union(v("a"), v("a"));
+        assert!(p.is_identity());
+        p.union(v("a"), v("b"));
+        assert!(!p.is_identity());
+    }
+
+    #[test]
+    fn merge_and_refines() {
+        let mut p = Partition::new();
+        p.union(v("a"), v("b"));
+        let mut q = Partition::new();
+        q.union(v("b"), v("c"));
+        assert!(!p.refines(&q));
+        p.merge(&q);
+        assert!(p.refines(&q));
+        assert!(p.same(v("a"), v("c")));
+        assert_ne!(p, q);
+    }
+
+    #[test]
+    fn restrict_drops_outsiders() {
+        let mut p = Partition::new();
+        p.union(v("a"), v("b"));
+        p.union(v("b"), v("c"));
+        let keep: VarSet = [v("a"), v("c")].into_iter().collect();
+        let r = p.restrict(&keep);
+        assert!(r.same(v("a"), v("c")));
+        assert!(!r.pairs().iter().any(|&(x, y)| x == v("b") || y == v("b")));
+    }
+
+    #[test]
+    fn classes_sorted_nonsingleton() {
+        let mut p = Partition::new();
+        p.union(v("q"), v("p"));
+        p.union(v("r"), v("q"));
+        let classes = p.classes();
+        assert_eq!(classes.len(), 1);
+        let mut names: Vec<&str> = classes[0].iter().map(|v| v.name()).collect();
+        names.sort();
+        assert_eq!(names, ["p", "q", "r"]);
+    }
+
+    #[test]
+    fn partition_equality_is_semantic() {
+        let mut p = Partition::new();
+        p.union(v("a"), v("b"));
+        p.union(v("b"), v("c"));
+        let mut q = Partition::new();
+        q.union(v("c"), v("a"));
+        q.union(v("a"), v("b"));
+        assert_eq!(p, q);
+    }
+}

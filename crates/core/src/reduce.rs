@@ -1,0 +1,209 @@
+//! Domain reductions (§5 of the paper): encoding commutative functions and
+//! multi-arity uninterpreted functions into a *single unary* uninterpreted
+//! function combined with linear arithmetic.
+//!
+//! Both encodings are injective and equivalence-preserving term mappings
+//! (Claim 2), so an analysis for the logical product of the unary-UF
+//! lattice and the linear-arithmetic lattice yields an analysis for the
+//! source lattice.
+
+use cai_term::{Atom, Conj, FnSym, Term, TermKind};
+use std::collections::BTreeMap;
+
+/// Which §5 encoding to apply.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EncodeMode {
+    /// §5.1: binary commutative functions `Gᵢ(t₁, t₂) ↦ F(i + M t₁ + M t₂)`.
+    /// The symmetric sum bakes commutativity into the image.
+    Commutative,
+    /// §5.2: arbitrary-arity uninterpreted functions
+    /// `Gᵢ(t₁, …, tₐ) ↦ F(i + 2¹·M t₁ + … + 2ᵃ·M tₐ)`.
+    MultiArity,
+}
+
+/// The term transformer `M` of §5.
+///
+/// Function symbols are assigned distinct indices on first encounter; the
+/// same encoder instance must be used for all terms of one analysis so that
+/// indices are consistent.
+///
+/// ```
+/// use cai_core::reduce::{EncodeMode, UnaryEncoder};
+/// use cai_term::parse::Vocab;
+///
+/// let vocab = Vocab::standard();
+/// let mut enc = UnaryEncoder::new(EncodeMode::Commutative);
+/// let ab = enc.encode_term(&vocab.parse_term("G(a, b)")?);
+/// let ba = enc.encode_term(&vocab.parse_term("G(b, a)")?);
+/// assert_eq!(ab, ba); // commutativity is free in the image
+/// # Ok::<(), cai_term::parse::ParseError>(())
+/// ```
+#[derive(Debug)]
+pub struct UnaryEncoder {
+    mode: EncodeMode,
+    f: FnSym,
+    indices: BTreeMap<FnSym, i64>,
+    next_index: i64,
+}
+
+impl UnaryEncoder {
+    /// Creates an encoder targeting the canonical unary symbol `F#`.
+    pub fn new(mode: EncodeMode) -> UnaryEncoder {
+        UnaryEncoder::with_symbol(mode, FnSym::uf("F#", 1))
+    }
+
+    /// Creates an encoder targeting a caller-chosen unary symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not unary.
+    pub fn with_symbol(mode: EncodeMode, f: FnSym) -> UnaryEncoder {
+        assert_eq!(f.arity(), 1, "the target symbol must be unary");
+        UnaryEncoder { mode, f, indices: BTreeMap::new(), next_index: 1 }
+    }
+
+    /// The unary symbol all functions are encoded into.
+    pub fn target(&self) -> FnSym {
+        self.f
+    }
+
+    /// The index assigned to `g` (assigning a fresh one if unseen).
+    pub fn index_of(&mut self, g: FnSym) -> i64 {
+        if let Some(&i) = self.indices.get(&g) {
+            return i;
+        }
+        let i = self.next_index;
+        self.next_index += 1;
+        self.indices.insert(g, i);
+        i
+    }
+
+    /// Applies the mapping `M` to a term.
+    ///
+    /// # Panics
+    ///
+    /// In [`EncodeMode::Commutative`], panics if a function of arity other
+    /// than 2 is encountered (the §5.1 language is binary).
+    pub fn encode_term(&mut self, t: &Term) -> Term {
+        match t.kind() {
+            TermKind::Var(_) => t.clone(),
+            TermKind::Lin(e) => {
+                // Arithmetic structure is already in the target theory;
+                // recurse into the atoms.
+                let mut acc = cai_term::LinExpr::constant(e.constant_part().clone());
+                for (atom, coeff) in e.iter() {
+                    let m = self.encode_term(atom);
+                    acc = acc.add(&m.to_lin().scale(coeff));
+                }
+                Term::lin(acc)
+            }
+            TermKind::App(g, args) => {
+                if *g == self.f {
+                    // Already in the image.
+                    let inner = self.encode_term(&args[0]);
+                    return Term::app(self.f, vec![inner]);
+                }
+                let i = self.index_of(*g);
+                let mut sum = Term::int(i);
+                match self.mode {
+                    EncodeMode::Commutative => {
+                        assert_eq!(
+                            args.len(),
+                            2,
+                            "commutative encoding requires binary functions, got {:?}",
+                            g
+                        );
+                        for a in args {
+                            sum = Term::add(&sum, &self.encode_term(a));
+                        }
+                    }
+                    EncodeMode::MultiArity => {
+                        for (j, a) in args.iter().enumerate() {
+                            let weight = cai_num::Rat::from(
+                                cai_num::Int::from(2).pow(j as u32 + 1),
+                            );
+                            sum = Term::add(
+                                &sum,
+                                &Term::scale(&weight, &self.encode_term(a)),
+                            );
+                        }
+                    }
+                }
+                Term::app(self.f, vec![sum])
+            }
+        }
+    }
+
+    /// Applies `M` to every term of an atom.
+    pub fn encode_atom(&mut self, atom: &Atom) -> Atom {
+        let args = atom.args().into_iter().cloned().collect::<Vec<_>>();
+        atom.with_args(args.iter().map(|t| self.encode_term(t)).collect())
+    }
+
+    /// Applies `M` to every atom of a conjunction.
+    pub fn encode_conj(&mut self, c: &Conj) -> Conj {
+        c.iter().map(|a| self.encode_atom(a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cai_term::parse::Vocab;
+
+    #[test]
+    fn commutative_images_coincide() {
+        let vocab = Vocab::standard();
+        let mut enc = UnaryEncoder::new(EncodeMode::Commutative);
+        let a = enc.encode_term(&vocab.parse_term("G(G(x, y), z)").unwrap());
+        let b = enc.encode_term(&vocab.parse_term("G(z, G(y, x))").unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn commutative_distinct_functions_stay_distinct() {
+        let vocab = Vocab::standard();
+        let mut enc = UnaryEncoder::new(EncodeMode::Commutative);
+        let a = enc.encode_term(&vocab.parse_term("Ga(x, y)").unwrap());
+        let b = enc.encode_term(&vocab.parse_term("Gb(x, y)").unwrap());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn multi_arity_argument_order_matters() {
+        let vocab = Vocab::standard();
+        let mut enc = UnaryEncoder::new(EncodeMode::MultiArity);
+        let a = enc.encode_term(&vocab.parse_term("H(x, y)").unwrap());
+        let b = enc.encode_term(&vocab.parse_term("H(y, x)").unwrap());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn multi_arity_shape() {
+        let vocab = Vocab::standard();
+        let mut enc = UnaryEncoder::new(EncodeMode::MultiArity);
+        let t = enc.encode_term(&vocab.parse_term("K(x, y, z)").unwrap());
+        assert_eq!(t.to_string(), "F#(2*x + 4*y + 8*z + 1)");
+    }
+
+    #[test]
+    fn indices_are_stable_per_encoder() {
+        let vocab = Vocab::standard();
+        let mut enc = UnaryEncoder::new(EncodeMode::MultiArity);
+        let a = enc.encode_term(&vocab.parse_term("P(x)").unwrap());
+        let b = enc.encode_term(&vocab.parse_term("P(x)").unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn encode_atom_and_conj() {
+        let vocab = Vocab::standard();
+        let mut enc = UnaryEncoder::new(EncodeMode::MultiArity);
+        let c = vocab.parse_conj("u = Q(x) & v <= Q(x) + 1").unwrap();
+        let out = enc.encode_conj(&c);
+        assert_eq!(out.len(), 2);
+        let shown = out.to_string();
+        assert!(shown.contains("F#("), "{shown}");
+        assert!(!shown.contains("Q("), "{shown}");
+    }
+}

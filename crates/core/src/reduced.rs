@@ -1,0 +1,188 @@
+//! The reduced product of abstract domains.
+//!
+//! The paper (§4) observes that its combination algorithms degrade to the
+//! *reduced product* when the Figure 6 pair variables are omitted and when
+//! `QSaturation` is skipped (`V2 := V1` in Figure 7). This module
+//! implements exactly that degradation: elements are Nelson–Oppen-saturated
+//! pairs of pure elements; the components exchange implied variable
+//! equalities (the "reduction"), but no mixed facts are ever created.
+
+use crate::direct::Pair;
+use crate::domain::{AbstractDomain, TheoryProps};
+use crate::partition::Partition;
+use crate::saturate::no_saturate;
+use cai_term::{Atom, AtomSide, Conj, Purifier, Sig, Term, Var, VarSet};
+
+/// The reduced product `L1 ⊓ L2`: component-wise elements kept mutually
+/// saturated with shared variable equalities.
+///
+/// More precise than [`DirectProduct`](crate::DirectProduct) (the
+/// components cooperate through equality exchange) but strictly less
+/// precise than [`LogicalProduct`](crate::LogicalProduct) (no mixed facts
+/// such as `d2 = F(d1 + 1)` can be represented).
+#[derive(Clone, Debug)]
+pub struct ReducedProduct<D1, D2> {
+    d1: D1,
+    d2: D2,
+}
+
+impl<D1: AbstractDomain, D2: AbstractDomain> ReducedProduct<D1, D2> {
+    /// Combines two domains into their reduced product.
+    pub fn new(d1: D1, d2: D2) -> ReducedProduct<D1, D2> {
+        ReducedProduct { d1, d2 }
+    }
+
+    /// The first component domain.
+    pub fn first(&self) -> &D1 {
+        &self.d1
+    }
+
+    /// The second component domain.
+    pub fn second(&self) -> &D2 {
+        &self.d2
+    }
+
+    /// Re-establishes the saturation invariant (the reduction operator ρ).
+    fn reduce(&self, e: Pair<D1::Elem, D2::Elem>) -> Pair<D1::Elem, D2::Elem> {
+        let s = no_saturate(&self.d1, e.left, &self.d2, e.right);
+        Pair { left: s.left, right: s.right }
+    }
+}
+
+impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for ReducedProduct<D1, D2> {
+    type Elem = Pair<D1::Elem, D2::Elem>;
+
+    fn sig(&self) -> Sig {
+        self.d1.sig().union(&self.d2.sig())
+    }
+
+    fn props(&self) -> TheoryProps {
+        let (p1, p2) = (self.d1.props(), self.d2.props());
+        TheoryProps {
+            convex: p1.convex && p2.convex,
+            stably_infinite: p1.stably_infinite && p2.stably_infinite,
+        }
+    }
+
+    fn top(&self) -> Self::Elem {
+        Pair { left: self.d1.top(), right: self.d2.top() }
+    }
+
+    fn bottom(&self) -> Self::Elem {
+        Pair { left: self.d1.bottom(), right: self.d2.bottom() }
+    }
+
+    fn is_bottom(&self, e: &Self::Elem) -> bool {
+        self.d1.is_bottom(&e.left) || self.d2.is_bottom(&e.right)
+    }
+
+    fn meet_atom(&self, e: &Self::Elem, atom: &Atom) -> Self::Elem {
+        // Purify the (possibly mixed) atom, meet the pure parts, saturate so
+        // the ghost variables' constraints propagate, then eliminate the
+        // ghosts component-wise — the reduced product cannot retain them.
+        let p = cai_term::purify(&Conj::of(atom.clone()), &self.d1.sig(), &self.d2.sig());
+        let mut left = e.left.clone();
+        for a in &p.left {
+            left = self.d1.meet_atom(&left, a);
+        }
+        let mut right = e.right.clone();
+        for a in &p.right {
+            right = self.d2.meet_atom(&right, a);
+        }
+        let reduced = self.reduce(Pair { left, right });
+        if p.fresh.is_empty() {
+            return reduced;
+        }
+        let ghosts: VarSet = p.fresh.iter().copied().collect();
+        self.reduce(Pair {
+            left: self.d1.exists(&reduced.left, &ghosts),
+            right: self.d2.exists(&reduced.right, &ghosts),
+        })
+    }
+
+    fn implies_atom(&self, e: &Self::Elem, atom: &Atom) -> bool {
+        if self.is_bottom(e) {
+            return true;
+        }
+        // Purify the query atom against the element (sharing alien names is
+        // irrelevant here since the element is already pure, but the ghost
+        // definitions must be conjoined before deciding).
+        let mut purifier = Purifier::new(&self.d1.sig(), &self.d2.sig());
+        let (side, pure) = purifier.purify_atom(atom);
+        let defs = purifier.finish();
+        let mut left = e.left.clone();
+        for a in &defs.left {
+            left = self.d1.meet_atom(&left, a);
+        }
+        let mut right = e.right.clone();
+        for a in &defs.right {
+            right = self.d2.meet_atom(&right, a);
+        }
+        let s = no_saturate(&self.d1, left, &self.d2, right);
+        if s.bottom {
+            return true;
+        }
+        match side {
+            AtomSide::Left => self.d1.implies_atom(&s.left, &pure),
+            AtomSide::Right => self.d2.implies_atom(&s.right, &pure),
+            AtomSide::Both => {
+                self.d1.implies_atom(&s.left, &pure) || self.d2.implies_atom(&s.right, &pure)
+            }
+        }
+    }
+
+    fn join(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        if self.is_bottom(a) {
+            return b.clone();
+        }
+        if self.is_bottom(b) {
+            return a.clone();
+        }
+        // Inputs hold the saturation invariant; join component-wise and
+        // re-reduce the result.
+        self.reduce(Pair {
+            left: self.d1.join(&a.left, &b.left),
+            right: self.d2.join(&a.right, &b.right),
+        })
+    }
+
+    fn exists(&self, e: &Self::Elem, vars: &VarSet) -> Self::Elem {
+        // Figure 7 with `V2 := V1`: component-wise quantification, no
+        // definition recovery.
+        self.reduce(Pair {
+            left: self.d1.exists(&e.left, vars),
+            right: self.d2.exists(&e.right, vars),
+        })
+    }
+
+    fn var_equalities(&self, e: &Self::Elem) -> Partition {
+        let mut p = self.d1.var_equalities(&e.left);
+        p.merge(&self.d2.var_equalities(&e.right));
+        p
+    }
+
+    fn alternate(&self, e: &Self::Elem, y: Var, avoid: &VarSet) -> Option<Term> {
+        self.d1
+            .alternate(&e.left, y, avoid)
+            .or_else(|| self.d2.alternate(&e.right, y, avoid))
+    }
+
+    fn widen(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        if self.is_bottom(a) {
+            return b.clone();
+        }
+        if self.is_bottom(b) {
+            return a.clone();
+        }
+        // No reduction after widening: re-strengthening could defeat the
+        // termination guarantee.
+        Pair {
+            left: self.d1.widen(&a.left, &b.left),
+            right: self.d2.widen(&a.right, &b.right),
+        }
+    }
+
+    fn to_conj(&self, e: &Self::Elem) -> Conj {
+        self.d1.to_conj(&e.left).and(&self.d2.to_conj(&e.right))
+    }
+}

@@ -1,0 +1,70 @@
+//! `NOSaturation` — the Nelson–Oppen exchange of implied variable
+//! equalities (§2, Property 1 of the paper).
+
+use crate::domain::AbstractDomain;
+use crate::partition::Partition;
+use cai_term::Atom;
+
+/// The result of saturating a purified pair of elements.
+#[derive(Clone, Debug)]
+pub struct Saturated<E1, E2> {
+    /// The first element, strengthened with all shared equalities.
+    pub left: E1,
+    /// The second element, strengthened with all shared equalities.
+    pub right: E2,
+    /// The variable partition jointly implied by the conjunction.
+    pub equalities: Partition,
+    /// Whether the conjunction is unsatisfiable (both elements are bottom).
+    pub bottom: bool,
+}
+
+/// `NOSaturation(E1, E2)`: repeatedly propagates the variable equalities
+/// implied by either element into the other until a fixpoint is reached.
+///
+/// For convex, stably infinite, disjoint theories, Property 1 of the paper
+/// guarantees that afterwards each element *individually* implies every
+/// pure fact of its theory that the conjunction `E1 ∧ E2` implies.
+///
+/// If either side becomes unsatisfiable, bottom is propagated to both.
+///
+/// The loop terminates because the joint partition only ever coarsens and
+/// is bounded by the number of variables.
+pub fn no_saturate<D1, D2>(
+    d1: &D1,
+    mut e1: D1::Elem,
+    d2: &D2,
+    mut e2: D2::Elem,
+) -> Saturated<D1::Elem, D2::Elem>
+where
+    D1: AbstractDomain,
+    D2: AbstractDomain,
+{
+    let mut joint = Partition::new();
+    loop {
+        if d1.is_bottom(&e1) || d2.is_bottom(&e2) {
+            return Saturated {
+                left: d1.bottom(),
+                right: d2.bottom(),
+                equalities: joint,
+                bottom: true,
+            };
+        }
+        let p1 = d1.var_equalities(&e1);
+        let p2 = d2.var_equalities(&e2);
+        let mut changed = joint.merge(&p1);
+        changed |= joint.merge(&p2);
+        if !changed {
+            return Saturated { left: e1, right: e2, equalities: joint, bottom: false };
+        }
+        // Assert every joint equality into both sides (meet is idempotent,
+        // so re-asserting known equalities is harmless).
+        for (x, y) in joint.pairs() {
+            if !p1.same(x, y) {
+                e1 = d1.meet_atom(&e1, &Atom::var_eq(x, y));
+            }
+            if !p2.same(x, y) {
+                e2 = d2.meet_atom(&e2, &Atom::var_eq(x, y));
+            }
+        }
+    }
+}

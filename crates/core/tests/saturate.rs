@@ -1,0 +1,123 @@
+//! Unit tests for `NOSaturation` (Property 1) and the direct/reduced
+//! product plumbing over the real domains.
+
+use cai_core::{no_saturate, AbstractDomain, DirectProduct, ReducedProduct};
+use cai_linarith::AffineEq;
+use cai_term::parse::Vocab;
+use cai_term::{Var, VarSet};
+use cai_uf::UfDomain;
+
+fn vocab() -> Vocab {
+    Vocab::standard()
+}
+
+#[test]
+fn saturation_exchanges_equalities_both_ways() {
+    let v = vocab();
+    let lin = AffineEq::new();
+    let uf = UfDomain::new();
+    // LA knows a = b; UF knows x = F(a), y = F(b). After saturation UF
+    // must know x = y; that equality then flows back into LA.
+    let e1 = lin.from_conj(&v.parse_conj("a = b").unwrap());
+    let e2 = uf.from_conj(&v.parse_conj("x = F(a) & y = F(b)").unwrap());
+    let s = no_saturate(&lin, e1, &uf, e2);
+    assert!(!s.bottom);
+    assert!(s.equalities.same(Var::named("a"), Var::named("b")));
+    assert!(s.equalities.same(Var::named("x"), Var::named("y")));
+    assert!(lin.implies_atom(&s.left, &v.parse_atom("x = y").unwrap()));
+    assert!(uf.implies_atom(&s.right, &v.parse_atom("x = y").unwrap()));
+}
+
+#[test]
+fn saturation_chains_through_multiple_rounds() {
+    let v = vocab();
+    let lin = AffineEq::new();
+    let uf = UfDomain::new();
+    // Round 1: LA derives p = q (from p = q + 0). UF then derives
+    // F(p) = F(q), i.e. r = s; LA then derives t = u from r = s.
+    let e1 = lin
+        .from_conj(&v.parse_conj("p = q & t = r + 1 & u = s + 1").unwrap());
+    let e2 = uf.from_conj(&v.parse_conj("r = F(p) & s = F(q)").unwrap());
+    let s = no_saturate(&lin, e1, &uf, e2);
+    assert!(s.equalities.same(Var::named("r"), Var::named("s")));
+    assert!(s.equalities.same(Var::named("t"), Var::named("u")));
+}
+
+#[test]
+fn saturation_propagates_bottom() {
+    let v = vocab();
+    let lin = AffineEq::new();
+    let uf = UfDomain::new();
+    // UF forces a = b; LA has a = b + 1: contradiction.
+    let e1 = lin.from_conj(&v.parse_conj("a = b + 1").unwrap());
+    let e2 = uf.from_conj(&v.parse_conj("a = F(x) & b = F(y) & x = y").unwrap());
+    let s = no_saturate(&lin, e1, &uf, e2);
+    assert!(s.bottom);
+    assert!(lin.is_bottom(&s.left));
+    assert!(uf.is_bottom(&s.right));
+}
+
+#[test]
+fn saturation_is_idempotent() {
+    let v = vocab();
+    let lin = AffineEq::new();
+    let uf = UfDomain::new();
+    let e1 = lin.from_conj(&v.parse_conj("a = b").unwrap());
+    let e2 = uf.from_conj(&v.parse_conj("x = F(a) & y = F(b)").unwrap());
+    let s1 = no_saturate(&lin, e1, &uf, e2);
+    let s2 = no_saturate(&lin, s1.left.clone(), &uf, s1.right.clone());
+    assert!(lin.equal_elems(&s1.left, &s2.left));
+    assert!(uf.equal_elems(&s1.right, &s2.right));
+}
+
+#[test]
+fn direct_product_routes_and_projects_ghosts() {
+    let v = vocab();
+    let d = DirectProduct::new(AffineEq::new(), UfDomain::new());
+    // Pure facts route to their side.
+    let e = d.from_conj(&v.parse_conj("a = b + 1 & x = F(y)").unwrap());
+    assert!(d.implies_atom(&e, &v.parse_atom("a = b + 1").unwrap()));
+    assert!(d.implies_atom(&e, &v.parse_atom("x = F(y)").unwrap()));
+    // A mixed fact decays: ghosts are eliminated component-wise.
+    let e2 = d.meet_atom(&e, &v.parse_atom("z = F(a + b)").unwrap());
+    assert!(!d.implies_atom(&e2, &v.parse_atom("z = F(a + b)").unwrap()));
+    // The pure facts survive.
+    assert!(d.implies_atom(&e2, &v.parse_atom("a = b + 1").unwrap()));
+}
+
+#[test]
+fn direct_product_exists_and_join() {
+    let v = vocab();
+    let d = DirectProduct::new(AffineEq::new(), UfDomain::new());
+    let a = d.from_conj(&v.parse_conj("p = 1 & x = F(p)").unwrap());
+    let b = d.from_conj(&v.parse_conj("p = 1 & x = F(p) & q = 2").unwrap());
+    let j = d.join(&a, &b);
+    assert!(d.implies_atom(&j, &v.parse_atom("p = 1").unwrap()));
+    assert!(d.implies_atom(&j, &v.parse_atom("x = F(p)").unwrap()));
+    assert!(!d.implies_atom(&j, &v.parse_atom("q = 2").unwrap()));
+    let elim: VarSet = [Var::named("p")].into_iter().collect();
+    let q = d.exists(&j, &elim);
+    assert!(!d.implies_atom(&q, &v.parse_atom("p = 1").unwrap()));
+}
+
+#[test]
+fn reduced_product_le_and_bottom() {
+    let v = vocab();
+    let d = ReducedProduct::new(AffineEq::new(), UfDomain::new());
+    let a = d.from_conj(&v.parse_conj("a = 1 & x = F(a)").unwrap());
+    let b = d.from_conj(&v.parse_conj("x = F(a)").unwrap());
+    assert!(d.le(&a, &b));
+    assert!(!d.le(&b, &a));
+    assert!(d.le(&d.bottom(), &a));
+    assert!(d.is_bottom(&d.from_conj(&v.parse_conj("a = 1 & a = 2").unwrap())));
+}
+
+#[test]
+fn reduced_product_var_equalities_merge_components() {
+    let v = vocab();
+    let d = ReducedProduct::new(AffineEq::new(), UfDomain::new());
+    let e = d.from_conj(&v.parse_conj("a = b & x = F(a) & y = F(b)").unwrap());
+    let p = d.var_equalities(&e);
+    assert!(p.same(Var::named("a"), Var::named("b")));
+    assert!(p.same(Var::named("x"), Var::named("y")));
+}

@@ -1,0 +1,293 @@
+//! The abstract-interpretation engine: forward analysis over the
+//! flowchart nodes of the paper's Figure 5, with loop fixpoints and
+//! widening (§4.3).
+
+use crate::ast::{Cond, Program, Stmt};
+use cai_core::AbstractDomain;
+use cai_term::{Atom, Conj, Term, Var, VarSet};
+use std::collections::BTreeMap;
+
+/// The verdict for one `assert` statement, in program order.
+#[derive(Clone, Debug)]
+pub struct AssertionOutcome {
+    /// The asserted atomic fact.
+    pub atom: Atom,
+    /// Whether the inferred invariant implies it.
+    pub verified: bool,
+}
+
+/// Aggregate operation counters (used by the complexity experiments).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpStats {
+    /// Join operations performed.
+    pub joins: usize,
+    /// Widening operations performed.
+    pub widens: usize,
+    /// Existential quantifications performed.
+    pub exists: usize,
+    /// Atom meets performed.
+    pub meets: usize,
+}
+
+/// The result of analyzing a program.
+#[derive(Clone, Debug)]
+pub struct Analysis<E> {
+    /// Assertion verdicts, in program order.
+    pub assertions: Vec<AssertionOutcome>,
+    /// The abstract state at program exit.
+    pub exit: E,
+    /// Fixpoint iteration counts, one per `while` loop in program order
+    /// (the Theorem 6 measurement).
+    pub loop_iterations: Vec<usize>,
+    /// Whether any loop hit the iteration cap without stabilizing.
+    pub diverged: bool,
+    /// Operation counters.
+    pub stats: OpStats,
+}
+
+impl<E> Analysis<E> {
+    /// The number of verified assertions.
+    pub fn verified_count(&self) -> usize {
+        self.assertions.iter().filter(|a| a.verified).count()
+    }
+}
+
+/// A forward abstract interpreter over any [`AbstractDomain`].
+///
+/// The transfer functions are the paper's:
+///
+/// - join nodes use `J_L`,
+/// - the assignment `x := e` renames `x` to a fresh `x₀`, meets with
+///   `x = e[x₀/x]` when the domain's signature understands `e` (otherwise
+///   havocs), and existentially quantifies `x₀` with `Q_L`,
+/// - conditional nodes meet with the branch atom (or its atomic negation)
+///   when expressible, and
+/// - loops iterate join to a fixpoint, switching to the widening operator
+///   after [`Analyzer::widen_delay`] rounds.
+///
+/// An optional *expression view* rewrites every program term before it
+/// reaches the domain — used to give a standalone UF analysis the
+/// Herbrand (all-operators-uninterpreted) view of the program, as in the
+/// paper's description of running the component analyses separately.
+pub struct Analyzer<'d, D: AbstractDomain> {
+    domain: &'d D,
+    view: Option<Box<dyn Fn(&Term) -> Term + 'd>>,
+    widen_delay: usize,
+    max_iterations: usize,
+}
+
+impl<'d, D: AbstractDomain> Analyzer<'d, D> {
+    /// Creates an analyzer over `domain` with default settings
+    /// (widening after 4 rounds, iteration cap 60).
+    pub fn new(domain: &'d D) -> Analyzer<'d, D> {
+        Analyzer { domain, view: None, widen_delay: 4, max_iterations: 60 }
+    }
+
+    /// Installs an expression view applied to every term before transfer.
+    pub fn with_view(mut self, view: impl Fn(&Term) -> Term + 'd) -> Self {
+        self.view = Some(Box::new(view));
+        self
+    }
+
+    /// Sets the number of plain-join rounds before widening kicks in.
+    pub fn widen_delay(mut self, rounds: usize) -> Self {
+        self.widen_delay = rounds;
+        self
+    }
+
+    /// Sets the hard cap on fixpoint iterations per loop.
+    pub fn max_iterations(mut self, cap: usize) -> Self {
+        self.max_iterations = cap;
+        self
+    }
+
+    /// Analyzes a program starting from `top`.
+    pub fn run(&self, program: &Program) -> Analysis<D::Elem> {
+        self.run_from(program, self.domain.top())
+    }
+
+    /// Analyzes a program starting from a given entry element.
+    pub fn run_from(&self, program: &Program, entry: D::Elem) -> Analysis<D::Elem> {
+        let mut ctx = Ctx {
+            analyzer: self,
+            assertions: Vec::new(),
+            loop_iterations: Vec::new(),
+            diverged: false,
+            stats: OpStats::default(),
+        };
+        let exit = ctx.exec_seq(&program.stmts, entry, true);
+        Analysis {
+            assertions: ctx.assertions,
+            exit,
+            loop_iterations: ctx.loop_iterations,
+            diverged: ctx.diverged,
+            stats: ctx.stats,
+        }
+    }
+
+    fn apply_view(&self, t: &Term) -> Term {
+        match &self.view {
+            Some(f) => f(t),
+            None => t.clone(),
+        }
+    }
+
+    fn view_atom(&self, atom: &Atom) -> Atom {
+        if self.view.is_none() {
+            return atom.clone();
+        }
+        let args: Vec<Term> =
+            atom.args().into_iter().map(|t| self.apply_view(t)).collect();
+        atom.with_args(args)
+    }
+}
+
+struct Ctx<'a, 'd, D: AbstractDomain> {
+    analyzer: &'a Analyzer<'d, D>,
+    assertions: Vec<AssertionOutcome>,
+    loop_iterations: Vec<usize>,
+    diverged: bool,
+    stats: OpStats,
+}
+
+impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
+    fn domain(&self) -> &'d D {
+        self.analyzer.domain
+    }
+
+    /// Renames `x` to `x0` by round-tripping through the conjunction
+    /// presentation (exact for logical lattices).
+    fn rename(&mut self, e: &D::Elem, x: Var, x0: Var) -> D::Elem {
+        let d = self.domain();
+        if d.is_bottom(e) {
+            return d.bottom();
+        }
+        let c = d.to_conj(e);
+        if !c.vars().contains(&x) {
+            return e.clone();
+        }
+        let mut map = BTreeMap::new();
+        map.insert(x, Term::var(x0));
+        d.from_conj(&c.subst(&map))
+    }
+
+    fn meet_if_owned(&mut self, e: D::Elem, atom: &Atom) -> D::Elem {
+        let d = self.domain();
+        if d.sig().owns_atom(atom) {
+            self.stats.meets += 1;
+            d.meet_atom(&e, atom)
+        } else {
+            e
+        }
+    }
+
+    fn assume_cond(&mut self, e: D::Elem, cond: &Cond, branch: bool) -> D::Elem {
+        match cond {
+            Cond::Nondet => e,
+            Cond::Atom(a) => {
+                let a = self.analyzer.view_atom(a);
+                if branch {
+                    self.meet_if_owned(e, &a)
+                } else {
+                    match a.negate() {
+                        Some(n) => self.meet_if_owned(e, &n),
+                        None => e,
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec_seq(&mut self, stmts: &[Stmt], mut e: D::Elem, record: bool) -> D::Elem {
+        for s in stmts {
+            e = self.exec(s, e, record);
+        }
+        e
+    }
+
+    fn exec(&mut self, stmt: &Stmt, e: D::Elem, record: bool) -> D::Elem {
+        let d = self.domain();
+        match stmt {
+            Stmt::Assign(x, rhs) => {
+                let x0 = Var::fresh(&format!("{}0", x.name()));
+                let renamed = self.rename(&e, *x, x0);
+                let rhs = self.analyzer.apply_view(rhs);
+                let mut map = BTreeMap::new();
+                map.insert(*x, Term::var(x0));
+                let atom = Atom::eq(Term::var(*x), rhs.subst(&map));
+                let met = self.meet_if_owned(renamed, &atom);
+                self.stats.exists += 1;
+                let elim: VarSet = [x0].into_iter().collect();
+                d.exists(&met, &elim)
+            }
+            Stmt::Havoc(x) => {
+                self.stats.exists += 1;
+                let elim: VarSet = [*x].into_iter().collect();
+                d.exists(&e, &elim)
+            }
+            Stmt::Assume(a) => {
+                let a = self.analyzer.view_atom(a);
+                self.meet_if_owned(e, &a)
+            }
+            Stmt::Assert(a) => {
+                if record {
+                    let viewed = self.analyzer.view_atom(a);
+                    let verified = d.sig().owns_atom(&viewed)
+                        && d.implies_atom(&e, &viewed);
+                    self.assertions.push(AssertionOutcome {
+                        atom: a.clone(),
+                        verified,
+                    });
+                }
+                e
+            }
+            Stmt::If(c, then, els) => {
+                let et = self.assume_cond(e.clone(), c, true);
+                let ef = self.assume_cond(e, c, false);
+                let rt = self.exec_seq(then, et, record);
+                let rf = self.exec_seq(els, ef, record);
+                self.stats.joins += 1;
+                d.join(&rt, &rf)
+            }
+            Stmt::While(c, body) => {
+                // Fixpoint iteration (paper §4.3): silent rounds first.
+                let mut inv = e;
+                let mut iterations = 0usize;
+                loop {
+                    iterations += 1;
+                    let enter = self.assume_cond(inv.clone(), c, true);
+                    let after = self.exec_seq(body, enter, false);
+                    let next = if iterations <= self.analyzer.widen_delay {
+                        self.stats.joins += 1;
+                        d.join(&inv, &after)
+                    } else {
+                        self.stats.widens += 1;
+                        d.widen(&inv, &after)
+                    };
+                    if d.le(&next, &inv) {
+                        break;
+                    }
+                    inv = next;
+                    if iterations >= self.analyzer.max_iterations {
+                        self.diverged = true;
+                        break;
+                    }
+                }
+                self.loop_iterations.push(iterations);
+                if record {
+                    // One recording pass through the body under the stable
+                    // invariant.
+                    let enter = self.assume_cond(inv.clone(), c, true);
+                    let _ = self.exec_seq(body, enter, true);
+                }
+                self.assume_cond(inv, c, false)
+            }
+        }
+    }
+}
+
+/// Checks a conjunction against a domain element (convenience for tests
+/// and examples): every atom owned by the signature must be implied.
+pub fn implies_all<D: AbstractDomain>(d: &D, e: &D::Elem, c: &Conj) -> bool {
+    c.iter().all(|a| d.sig().owns_atom(a) && d.implies_atom(e, a))
+}

@@ -1,0 +1,183 @@
+//! The structured imperative program representation (the flowchart
+//! language of the paper's Figure 5).
+
+use cai_term::{Atom, Term, Var};
+use std::fmt;
+
+/// A branch or loop condition.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Cond {
+    /// A concrete condition; the abstract interpreter assumes the atom on
+    /// the true branch and its atomic negation (if one exists, see
+    /// [`Atom::negate`]) on the false branch.
+    Atom(Atom),
+    /// A non-deterministic condition (`*`): nothing is assumed on either
+    /// branch. The paper abstracts unmodellable conditionals this way.
+    Nondet,
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Atom(a) => write!(f, "{a}"),
+            Cond::Nondet => f.write_str("*"),
+        }
+    }
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `x := e` — the paper's assignment node (Figure 5(b)).
+    Assign(Var, Term),
+    /// `x := *` — havoc: `x` becomes unconstrained.
+    Havoc(Var),
+    /// `assume(p)` — meet the current fact with `p`.
+    Assume(Atom),
+    /// `assert(p)` — check whether the current fact implies `p`.
+    Assert(Atom),
+    /// `if (c) { … } else { … }` — conditional node + join node
+    /// (Figure 5(c) and 5(a)).
+    If(Cond, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { … }` — loop: fixpoint over the paper's join/widen
+    /// iteration (§4.3).
+    While(Cond, Vec<Stmt>),
+}
+
+impl Stmt {
+    /// Convenience constructor for assignments.
+    pub fn assign(x: &str, rhs: Term) -> Stmt {
+        Stmt::Assign(Var::named(x), rhs)
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        match self {
+            Stmt::Assign(x, e) => writeln!(f, "{pad}{x} := {e};"),
+            Stmt::Havoc(x) => writeln!(f, "{pad}{x} := *;"),
+            Stmt::Assume(a) => writeln!(f, "{pad}assume({a});"),
+            Stmt::Assert(a) => writeln!(f, "{pad}assert({a});"),
+            Stmt::If(c, t, e) => {
+                writeln!(f, "{pad}if ({c}) {{")?;
+                for s in t {
+                    s.fmt_indented(f, depth + 1)?;
+                }
+                if e.is_empty() {
+                    writeln!(f, "{pad}}}")
+                } else {
+                    writeln!(f, "{pad}}} else {{")?;
+                    for s in e {
+                        s.fmt_indented(f, depth + 1)?;
+                    }
+                    writeln!(f, "{pad}}}")
+                }
+            }
+            Stmt::While(c, body) => {
+                writeln!(f, "{pad}while ({c}) {{")?;
+                for s in body {
+                    s.fmt_indented(f, depth + 1)?;
+                }
+                writeln!(f, "{pad}}}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+/// A whole program: a statement sequence.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Program {
+    /// The top-level statements.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// The number of `assert` statements, recursively.
+    pub fn assertion_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Assert(_) => 1,
+                    Stmt::If(_, t, e) => count(t) + count(e),
+                    Stmt::While(_, b) => count(b),
+                    _ => 0,
+                })
+                .sum()
+        }
+        count(&self.stmts)
+    }
+
+    /// Rewrites every term of the program through `f` (conditions,
+    /// assignment right-hand sides, assume/assert atoms). Used by the §5
+    /// reductions to encode a program into a different theory.
+    pub fn map_terms(&self, f: &mut dyn FnMut(&Term) -> Term) -> Program {
+        fn map_atom(a: &Atom, f: &mut dyn FnMut(&Term) -> Term) -> Atom {
+            let args: Vec<Term> = a.args().into_iter().map(|t| f(t)).collect();
+            a.with_args(args)
+        }
+        fn map_cond(c: &Cond, f: &mut dyn FnMut(&Term) -> Term) -> Cond {
+            match c {
+                Cond::Atom(a) => Cond::Atom(map_atom(a, f)),
+                Cond::Nondet => Cond::Nondet,
+            }
+        }
+        fn walk(stmts: &[Stmt], f: &mut dyn FnMut(&Term) -> Term) -> Vec<Stmt> {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Assign(x, e) => Stmt::Assign(*x, f(e)),
+                    Stmt::Havoc(x) => Stmt::Havoc(*x),
+                    Stmt::Assume(a) => Stmt::Assume(map_atom(a, f)),
+                    Stmt::Assert(a) => Stmt::Assert(map_atom(a, f)),
+                    Stmt::If(c, t, e) => {
+                        Stmt::If(map_cond(c, f), walk(t, f), walk(e, f))
+                    }
+                    Stmt::While(c, b) => Stmt::While(map_cond(c, f), walk(b, f)),
+                })
+                .collect()
+        }
+        Program { stmts: walk(&self.stmts, f) }
+    }
+
+    /// All variables assigned or havoced anywhere in the program.
+    pub fn assigned_vars(&self) -> cai_term::VarSet {
+        fn walk(stmts: &[Stmt], out: &mut cai_term::VarSet) {
+            for s in stmts {
+                match s {
+                    Stmt::Assign(x, _) | Stmt::Havoc(x) => {
+                        out.insert(*x);
+                    }
+                    Stmt::If(_, t, e) => {
+                        walk(t, out);
+                        walk(e, out);
+                    }
+                    Stmt::While(_, b) => walk(b, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut out = cai_term::VarSet::new();
+        walk(&self.stmts, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.stmts {
+            s.fmt_indented(f, 0)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,90 @@
+//! The Herbrand (fully uninterpreted) expression view.
+//!
+//! A standalone global-value-numbering analysis ([12] in the paper) treats
+//! *every* operator — including `+`, `-`, and numerals — as uninterpreted.
+//! This module provides that view as a term rewriting: arithmetic
+//! structure is encoded injectively into fresh uninterpreted symbols, so
+//! the UF domain can absorb arbitrary program expressions.
+//!
+//! This is how "analysis over the uninterpreted-functions lattice" is run
+//! on Figure 1, and how the component analyses of a *direct product* see
+//! the program.
+
+use cai_term::{FnSym, Term, TermKind, TheoryTag};
+
+/// Rewrites a term so that all arithmetic structure becomes uninterpreted.
+///
+/// A linear expression `c₀ + Σ cᵢ·aᵢ` (atoms in canonical order) becomes
+/// `lin#c₀#c₁#…#cₖ(a₁', …, aₖ')`, a `k`-ary uninterpreted symbol whose
+/// name embeds the coefficient vector; the encoding is injective on
+/// canonical linear expressions, so two program expressions are equated by
+/// the UF domain exactly when their *normalized syntax* coincides.
+///
+/// ```
+/// use cai_interp::herbrand_view;
+/// use cai_term::parse::Vocab;
+///
+/// let v = Vocab::standard();
+/// let a = herbrand_view(&v.parse_term("x + x + 1")?);
+/// let b = herbrand_view(&v.parse_term("2*x + 1")?);
+/// assert_eq!(a, b); // same canonical linear expression
+/// let c = herbrand_view(&v.parse_term("x + 2")?);
+/// assert_ne!(a, c);
+/// # Ok::<(), cai_term::parse::ParseError>(())
+/// ```
+pub fn herbrand_view(t: &Term) -> Term {
+    match t.kind() {
+        TermKind::Var(_) => t.clone(),
+        TermKind::App(f, args) => {
+            Term::app(*f, args.iter().map(herbrand_view).collect())
+        }
+        TermKind::Lin(e) => {
+            let mut name = format!("lin#{}", e.constant_part());
+            let mut children = Vec::with_capacity(e.num_atoms());
+            for (atom, coeff) in e.iter() {
+                name.push('#');
+                name.push_str(&coeff.to_string());
+                children.push(herbrand_view(atom));
+            }
+            let f = FnSym::new(&name, children.len(), TheoryTag::UF);
+            Term::app(f, children)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cai_term::parse::Vocab;
+
+    fn view(src: &str) -> Term {
+        herbrand_view(&Vocab::standard().parse_term(src).unwrap())
+    }
+
+    #[test]
+    fn variables_untouched() {
+        assert_eq!(view("x").to_string(), "x");
+    }
+
+    #[test]
+    fn constants_become_nullary_symbols() {
+        let one = view("1");
+        assert_eq!(one.to_string(), "lin#1()");
+        assert_eq!(one, view("1"));
+        assert_ne!(one, view("2"));
+    }
+
+    #[test]
+    fn nested_apps_encoded_recursively() {
+        let t = view("F(2*c1 - c2)");
+        // F applied to the encoded linear expression.
+        assert!(t.to_string().starts_with("F(lin#0#"), "{t}");
+    }
+
+    #[test]
+    fn injective_on_distinct_expressions() {
+        assert_ne!(view("x + y"), view("x - y"));
+        assert_ne!(view("x + 1"), view("x"));
+        assert_eq!(view("x + y"), view("y + x")); // canonical ordering
+    }
+}

@@ -1,0 +1,37 @@
+//! An imperative program IR, parser, and abstract-interpretation engine.
+//!
+//! This crate provides the program-analysis substrate of *Combining
+//! Abstract Interpreters*: the flowchart language of the paper's Figure 5
+//! ([`Stmt`], [`Program`]), a small text syntax ([`parse_program`]), and a
+//! forward [`Analyzer`] that runs any [`cai_core::AbstractDomain`] over a
+//! program — computing loop invariants by fixpoint iteration (with
+//! widening, §4.3) and checking `assert` statements.
+//!
+//! # Examples
+//!
+//! ```
+//! use cai_interp::{parse_program, Analyzer};
+//! use cai_linarith::AffineEq;
+//! use cai_term::parse::Vocab;
+//!
+//! let vocab = Vocab::standard();
+//! let program = parse_program(&vocab, "
+//!     x := 0; y := 0;
+//!     while (*) { x := x + 1; y := y + 2; }
+//!     assert(y = 2*x);
+//! ")?;
+//! let domain = AffineEq::new();
+//! let analysis = Analyzer::new(&domain).run(&program);
+//! assert!(analysis.assertions[0].verified);
+//! # Ok::<(), cai_interp::ProgramParseError>(())
+//! ```
+
+mod analyze;
+mod ast;
+mod herbrand;
+mod parse;
+
+pub use analyze::{implies_all, Analysis, Analyzer, AssertionOutcome, OpStats};
+pub use ast::{Cond, Program, Stmt};
+pub use herbrand::herbrand_view;
+pub use parse::{parse_program, ProgramParseError};

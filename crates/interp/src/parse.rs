@@ -1,0 +1,335 @@
+//! Parser for the small imperative language.
+//!
+//! Grammar (expressions and atoms use [`cai_term::parse`]):
+//!
+//! ```text
+//! program := stmt*
+//! stmt    := ident ':=' expr ';'
+//!          | ident ':=' '*' ';'                 -- havoc
+//!          | 'assume' '(' atom ')' ';'
+//!          | 'assert' '(' atom ')' ';'
+//!          | 'if' '(' cond ')' block ('else' block)?
+//!          | 'while' '(' cond ')' block
+//! block   := '{' stmt* '}'
+//! cond    := '*' | atom
+//! ```
+//!
+//! Line comments start with `//`.
+
+use crate::ast::{Cond, Program, Stmt};
+use cai_term::parse::Vocab;
+use cai_term::Var;
+use std::fmt;
+
+/// A program-parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramParseError {
+    msg: String,
+    line: usize,
+}
+
+impl ProgramParseError {
+    fn new(msg: impl Into<String>, line: usize) -> ProgramParseError {
+        ProgramParseError { msg: msg.into(), line }
+    }
+}
+
+impl fmt::Display for ProgramParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ProgramParseError {}
+
+/// Parses a program, resolving function symbols through `vocab`.
+///
+/// # Errors
+///
+/// Returns [`ProgramParseError`] on malformed input; the embedded term
+/// grammar reports through the same error type.
+pub fn parse_program(vocab: &Vocab, src: &str) -> Result<Program, ProgramParseError> {
+    let mut p = ProgParser { vocab, src: &strip_comments(src), pos: 0 };
+    let stmts = p.stmts(true)?;
+    Ok(Program { stmts })
+}
+
+fn strip_comments(src: &str) -> String {
+    src.lines()
+        .map(|l| match l.find("//") {
+            Some(i) => &l[..i],
+            None => l,
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+struct ProgParser<'a> {
+    vocab: &'a Vocab,
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> ProgParser<'a> {
+    fn line(&self) -> usize {
+        self.src[..self.pos].bytes().filter(|&b| b == b'\n').count() + 1
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ProgramParseError {
+        ProgramParseError::new(msg, self.line())
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len()
+            && self.src.as_bytes()[self.pos].is_ascii_whitespace()
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.src.len()
+    }
+
+    fn peek_byte(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.as_bytes().get(self.pos).copied()
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ProgramParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{token}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ProgramParseError> {
+        self.skip_ws();
+        let bytes = self.src.as_bytes();
+        let start = self.pos;
+        while self.pos < bytes.len()
+            && (bytes[self.pos].is_ascii_alphanumeric()
+                || bytes[self.pos] == b'_'
+                || bytes[self.pos] == b'\'')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected an identifier"));
+        }
+        Ok(self.src[start..self.pos].to_owned())
+    }
+
+    /// Consumes until `stop`, tracking parenthesis depth; returns the
+    /// consumed slice (without the stop byte, which is consumed).
+    fn until(&mut self, stop: u8) -> Result<&'a str, ProgramParseError> {
+        self.skip_ws();
+        let bytes = self.src.as_bytes();
+        let start = self.pos;
+        let mut depth = 0usize;
+        while self.pos < bytes.len() {
+            let b = bytes[self.pos];
+            if b == b'(' {
+                depth += 1;
+            } else if b == b')' {
+                if depth == 0 && stop == b')' {
+                    let out = &self.src[start..self.pos];
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                depth = depth.saturating_sub(1);
+            } else if b == stop && depth == 0 {
+                let out = &self.src[start..self.pos];
+                self.pos += 1;
+                return Ok(out);
+            }
+            self.pos += 1;
+        }
+        Err(self.err(format!("missing `{}`", stop as char)))
+    }
+
+    fn stmts(&mut self, top: bool) -> Result<Vec<Stmt>, ProgramParseError> {
+        let mut out = Vec::new();
+        loop {
+            if self.at_end() {
+                if top {
+                    return Ok(out);
+                }
+                return Err(self.err("missing `}`"));
+            }
+            if !top && self.peek_byte() == Some(b'}') {
+                return Ok(out);
+            }
+            out.push(self.stmt()?);
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ProgramParseError> {
+        self.expect("{")?;
+        let body = self.stmts(false)?;
+        self.expect("}")?;
+        Ok(body)
+    }
+
+    fn cond(&mut self) -> Result<Cond, ProgramParseError> {
+        let inner = self.until(b')')?.trim().to_owned();
+        if inner == "*" {
+            return Ok(Cond::Nondet);
+        }
+        let atom = self
+            .vocab
+            .parse_atom(&inner)
+            .map_err(|e| self.err(format!("in condition `{inner}`: {e}")))?;
+        Ok(Cond::Atom(atom))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ProgramParseError> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if rest.starts_with("if") && !ident_continues(rest, 2) {
+            self.pos += 2;
+            self.expect("(")?;
+            let c = self.cond()?;
+            let then = self.block()?;
+            let els = if self.eat("else") { self.block()? } else { Vec::new() };
+            return Ok(Stmt::If(c, then, els));
+        }
+        if rest.starts_with("while") && !ident_continues(rest, 5) {
+            self.pos += 5;
+            self.expect("(")?;
+            let c = self.cond()?;
+            let body = self.block()?;
+            return Ok(Stmt::While(c, body));
+        }
+        if rest.starts_with("assume") && !ident_continues(rest, 6) {
+            self.pos += 6;
+            self.expect("(")?;
+            let inner = self.until(b')')?.trim().to_owned();
+            let atom = self
+                .vocab
+                .parse_atom(&inner)
+                .map_err(|e| self.err(format!("in assume `{inner}`: {e}")))?;
+            self.expect(";")?;
+            return Ok(Stmt::Assume(atom));
+        }
+        if rest.starts_with("assert") && !ident_continues(rest, 6) {
+            self.pos += 6;
+            self.expect("(")?;
+            let inner = self.until(b')')?.trim().to_owned();
+            let atom = self
+                .vocab
+                .parse_atom(&inner)
+                .map_err(|e| self.err(format!("in assert `{inner}`: {e}")))?;
+            self.expect(";")?;
+            return Ok(Stmt::Assert(atom));
+        }
+        // Assignment or havoc.
+        let name = self.ident()?;
+        self.expect(":=")?;
+        self.skip_ws();
+        if self.peek_byte() == Some(b'*') {
+            // `*` only counts as havoc when directly followed by `;`
+            // (otherwise it would be a malformed expression anyway).
+            self.pos += 1;
+            self.expect(";")?;
+            return Ok(Stmt::Havoc(Var::named(&name)));
+        }
+        let rhs_src = self.until(b';')?.trim().to_owned();
+        let rhs = self
+            .vocab
+            .parse_term(&rhs_src)
+            .map_err(|e| self.err(format!("in `{name} := {rhs_src}`: {e}")))?;
+        Ok(Stmt::Assign(Var::named(&name), rhs))
+    }
+}
+
+fn ident_continues(s: &str, at: usize) -> bool {
+    s.as_bytes()
+        .get(at)
+        .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Program {
+        parse_program(&Vocab::standard(), src).unwrap()
+    }
+
+    #[test]
+    fn straight_line() {
+        let p = parse("x := 1; y := x + 2; assert(y = 3);");
+        assert_eq!(p.stmts.len(), 3);
+        assert_eq!(p.assertion_count(), 1);
+    }
+
+    #[test]
+    fn havoc_and_assume() {
+        let p = parse("x := *; assume(x >= 0); assert(0 <= x);");
+        assert!(matches!(p.stmts[0], Stmt::Havoc(_)));
+        assert!(matches!(p.stmts[1], Stmt::Assume(_)));
+    }
+
+    #[test]
+    fn nested_control_flow() {
+        let p = parse(
+            "while (*) {
+               if (x < 10) { x := x + 1; } else { x := 0; }
+             }
+             assert(x = x);",
+        );
+        assert_eq!(p.stmts.len(), 2);
+        let Stmt::While(Cond::Nondet, body) = &p.stmts[0] else {
+            panic!("expected while")
+        };
+        assert!(matches!(body[0], Stmt::If(..)));
+    }
+
+    #[test]
+    fn function_calls_in_expressions() {
+        let p = parse("b2 := F(b2); c1 := F(2*c1 - c2);");
+        assert_eq!(p.stmts.len(), 2);
+        let Stmt::Assign(_, rhs) = &p.stmts[1] else { panic!() };
+        assert_eq!(rhs.to_string(), "F(2*c1 - c2)");
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let p = parse("// setup\nx := 1; // one\nassert(x = 1);");
+        assert_eq!(p.stmts.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = parse_program(&Vocab::standard(), "x := 1;\ny := ;").unwrap_err();
+        assert_eq!(e.to_string().contains("line 2"), true, "{e}");
+        assert!(parse_program(&Vocab::standard(), "if (x = 1) { x := 2;").is_err());
+        assert!(parse_program(&Vocab::standard(), "assert(x + y);").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let src = "x := 1;
+while (x < 10) {
+  x := x + 1;
+}
+assert(x = 10);
+";
+        let p = parse(src);
+        let p2 = parse(&p.to_string());
+        assert_eq!(p, p2);
+    }
+}

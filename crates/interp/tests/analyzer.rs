@@ -1,0 +1,209 @@
+//! Integration tests of the abstract-interpretation engine across the
+//! base domains: transfer-function behaviour, conditionals, widening, and
+//! assertion checking.
+
+use cai_core::{AbstractDomain, LogicalProduct};
+use cai_interp::{parse_program, Analyzer};
+use cai_linarith::{AffineEq, Polyhedra};
+use cai_numeric::ParityDomain;
+use cai_term::parse::Vocab;
+use cai_uf::UfDomain;
+
+fn verified(src: &str, run: impl Fn(&cai_interp::Program) -> Vec<bool>) -> Vec<bool> {
+    let vocab = Vocab::standard();
+    let p = parse_program(&vocab, src).expect("program parses");
+    run(&p)
+}
+
+fn with_affine(src: &str) -> Vec<bool> {
+    verified(src, |p| {
+        let d = AffineEq::new();
+        let analysis = Analyzer::new(&d).run(p);
+        analysis.assertions.iter().map(|a| a.verified).collect()
+    })
+}
+
+fn with_poly(src: &str) -> Vec<bool> {
+    verified(src, |p| {
+        let d = Polyhedra::new();
+        let analysis = Analyzer::new(&d).run(p);
+        assert!(!analysis.diverged, "polyhedra analysis diverged");
+        analysis.assertions.iter().map(|a| a.verified).collect()
+    })
+}
+
+#[test]
+fn straight_line_arithmetic() {
+    assert_eq!(
+        with_affine("x := 3; y := 2*x + 1; z := y - x; assert(z = 4); assert(y = 7);"),
+        [true, true]
+    );
+}
+
+#[test]
+fn assignment_uses_pre_state() {
+    // x on the right-hand side refers to the old value.
+    assert_eq!(
+        with_affine("x := 1; x := x + 1; x := x + x; assert(x = 4);"),
+        [true]
+    );
+}
+
+#[test]
+fn self_referential_swap() {
+    assert_eq!(
+        with_affine(
+            "a := 5; b := 7;
+             t := a; a := b; b := t;
+             assert(a = 7); assert(b = 5);"
+        ),
+        [true, true]
+    );
+}
+
+#[test]
+fn conditional_join_loses_branch_but_keeps_common() {
+    assert_eq!(
+        with_affine(
+            "if (*) { x := 1; y := 2; } else { x := 3; y := 6; }
+             assert(y = 2*x);
+             assert(x = 1);"
+        ),
+        [true, false]
+    );
+}
+
+#[test]
+fn condition_atoms_are_assumed() {
+    assert_eq!(
+        with_poly(
+            "x := *;
+             if (x >= 5) { assert(x >= 5); assert(x >= 6); }
+             else { assert(x <= 4); }"
+        ),
+        // Inside then: x >= 5 holds, x >= 6 does not; else: integer-style
+        // negation gives x + 1 <= 5.
+        [true, false, true]
+    );
+}
+
+#[test]
+fn widening_terminates_unbounded_counter() {
+    // The polyhedra domain has infinite ascending chains; without
+    // widening this loop would never stabilize.
+    let vocab = Vocab::standard();
+    let p = parse_program(
+        &vocab,
+        "x := 0;
+         while (x < 100) { x := x + 1; }
+         assert(x >= 100);
+         assert(0 <= x);
+         assert(x <= 100);",
+    )
+    .unwrap();
+    let d = Polyhedra::new();
+    let analysis = Analyzer::new(&d).run(&p);
+    assert!(!analysis.diverged, "widening failed to terminate the loop");
+    let got: Vec<bool> = analysis.assertions.iter().map(|a| a.verified).collect();
+    // Exit knows ¬(x < 100) i.e. x >= 100, and the stable lower bound; the
+    // upper bound x <= 100 requires narrowing, which the engine does not
+    // do (standard widening-only behaviour).
+    assert_eq!(got, [true, true, false]);
+}
+
+#[test]
+fn havoc_forgets() {
+    assert_eq!(
+        with_affine("x := 1; y := x; x := *; assert(y = 1); assert(x = 1);"),
+        [true, false]
+    );
+}
+
+#[test]
+fn assume_strengthens() {
+    assert_eq!(
+        with_affine("x := *; assume(x = 7); y := x + 1; assert(y = 8);"),
+        [true]
+    );
+}
+
+#[test]
+fn unreachable_code_verifies_everything() {
+    assert_eq!(
+        with_affine("x := 1; assume(x = 2); assert(x = 99);"),
+        [true]
+    );
+}
+
+#[test]
+fn parity_through_a_loop() {
+    let vocab = Vocab::standard();
+    let p = parse_program(
+        &vocab,
+        "x := 0;
+         while (*) { x := x + 2; }
+         assert(even(x));
+         assert(odd(x + 1));",
+    )
+    .unwrap();
+    let d = ParityDomain::new();
+    let analysis = Analyzer::new(&d).run(&p);
+    let got: Vec<bool> = analysis.assertions.iter().map(|a| a.verified).collect();
+    assert_eq!(got, [true, true]);
+}
+
+#[test]
+fn op_stats_are_recorded() {
+    let vocab = Vocab::standard();
+    let p = parse_program(
+        &vocab,
+        "x := 0; while (*) { x := x + 1; } if (*) { x := 0; } else { x := 1; }",
+    )
+    .unwrap();
+    let d = AffineEq::new();
+    let analysis = Analyzer::new(&d).run(&p);
+    assert!(analysis.stats.joins >= 2);
+    assert!(analysis.stats.exists >= 3);
+    assert!(analysis.stats.meets >= 3);
+}
+
+#[test]
+fn logical_product_keeps_mixed_invariants_through_branches() {
+    let vocab = Vocab::standard();
+    let p = parse_program(
+        &vocab,
+        "if (*) { k := 1; } else { k := 2; }
+         r := F(k + 3);
+         assert(r = F(k + 3));
+         assert(r = F(4));",
+    )
+    .unwrap();
+    let d = LogicalProduct::new(AffineEq::new(), UfDomain::new());
+    let analysis = Analyzer::new(&d).run(&p);
+    let got: Vec<bool> = analysis.assertions.iter().map(|a| a.verified).collect();
+    assert_eq!(got, [true, false]);
+}
+
+#[test]
+fn entry_element_is_respected() {
+    let vocab = Vocab::standard();
+    let p = parse_program(&vocab, "y := x + 1; assert(y = 11);").unwrap();
+    let d = AffineEq::new();
+    let entry = d.from_conj(&vocab.parse_conj("x = 10").unwrap());
+    let analysis = Analyzer::new(&d).run_from(&p, entry);
+    assert!(analysis.assertions[0].verified);
+}
+
+#[test]
+fn iteration_cap_reports_divergence() {
+    // A pathological setup: widening disabled (huge delay) on an
+    // infinite-height domain; the engine must hit the cap and say so.
+    let vocab = Vocab::standard();
+    let p = parse_program(&vocab, "x := 0; while (*) { x := x + 1; }").unwrap();
+    let d = Polyhedra::new();
+    let analysis = Analyzer::new(&d)
+        .widen_delay(1000)
+        .max_iterations(5)
+        .run(&p);
+    assert!(analysis.diverged);
+}

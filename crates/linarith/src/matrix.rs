@@ -1,0 +1,127 @@
+//! Dense exact-rational matrices: reduced row-echelon form and null spaces.
+//!
+//! Used by the affine-equalities domain to convert between the constraint
+//! representation (rows of the RREF) and the generator representation
+//! (particular solution + basis) when computing affine hulls (Karr's join).
+
+use cai_num::Rat;
+
+/// A dense matrix of rationals (row major).
+pub type Matrix = Vec<Vec<Rat>>;
+
+/// Brings `m` into reduced row-echelon form in place and returns the pivot
+/// column of each (nonzero) row, in order. Zero rows are removed.
+pub fn rref(m: &mut Matrix) -> Vec<usize> {
+    let rows = m.len();
+    if rows == 0 {
+        return Vec::new();
+    }
+    let cols = m[0].len();
+    let mut pivots = Vec::new();
+    let mut r = 0;
+    for c in 0..cols {
+        // Find a row at or below r with a nonzero entry in column c.
+        let Some(sel) = (r..rows).find(|&i| !m[i][c].is_zero()) else {
+            continue;
+        };
+        m.swap(r, sel);
+        let inv = m[r][c].recip();
+        for x in &mut m[r] {
+            *x = &*x * &inv;
+        }
+        for i in 0..rows {
+            if i != r && !m[i][c].is_zero() {
+                let f = m[i][c].clone();
+                for j in 0..cols {
+                    let delta = &m[r][j] * &f;
+                    m[i][j] = &m[i][j] - &delta;
+                }
+            }
+        }
+        pivots.push(c);
+        r += 1;
+        if r == rows {
+            break;
+        }
+    }
+    m.truncate(r);
+    pivots
+}
+
+/// A basis of the null space `{x | m·x = 0}` for a matrix with `cols`
+/// columns. Each returned vector has length `cols`.
+pub fn null_space(m: &Matrix, cols: usize) -> Vec<Vec<Rat>> {
+    let mut a = m.clone();
+    let pivots = rref(&mut a);
+    let free: Vec<usize> = (0..cols).filter(|c| !pivots.contains(c)).collect();
+    let mut basis = Vec::with_capacity(free.len());
+    for &f in &free {
+        let mut v = vec![Rat::zero(); cols];
+        v[f] = Rat::one();
+        for (row, &p) in a.iter().zip(&pivots) {
+            // pivot value = -coefficient of the free column in this row.
+            v[p] = -row[f].clone();
+        }
+        basis.push(v);
+    }
+    basis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rat {
+        Rat::from(v)
+    }
+
+    fn mat(rows: &[&[i64]]) -> Matrix {
+        rows.iter().map(|row| row.iter().map(|&x| r(x)).collect()).collect()
+    }
+
+    #[test]
+    fn rref_identifies_rank() {
+        let mut m = mat(&[&[1, 2, 3], &[2, 4, 6], &[1, 0, 1]]);
+        let pivots = rref(&mut m);
+        assert_eq!(pivots, vec![0, 1]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn rref_of_identity_is_identity() {
+        let mut m = mat(&[&[0, 1], &[1, 0]]);
+        let pivots = rref(&mut m);
+        assert_eq!(pivots, vec![0, 1]);
+        assert_eq!(m, mat(&[&[1, 0], &[0, 1]]));
+    }
+
+    #[test]
+    fn null_space_solves() {
+        // x + y - z = 0, y + z = 0  →  basis for one free variable.
+        let m = mat(&[&[1, 1, -1], &[0, 1, 1]]);
+        let basis = null_space(&m, 3);
+        assert_eq!(basis.len(), 1);
+        for b in &basis {
+            for row in &m {
+                let dot = row
+                    .iter()
+                    .zip(b)
+                    .fold(Rat::zero(), |acc, (a, x)| &acc + &(a * x));
+                assert!(dot.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn null_space_of_zero_matrix_is_full() {
+        let m: Matrix = vec![vec![Rat::zero(); 4]];
+        let basis = null_space(&m, 4);
+        assert_eq!(basis.len(), 4);
+    }
+
+    #[test]
+    fn null_space_of_full_rank_is_empty() {
+        let m = mat(&[&[1, 0], &[0, 1]]);
+        assert!(null_space(&m, 2).is_empty());
+    }
+}

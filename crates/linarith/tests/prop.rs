@@ -1,0 +1,219 @@
+//! Property-based tests for the linear-arithmetic domains, cross-checked
+//! against concrete rational valuations.
+
+use cai_core::AbstractDomain;
+use cai_linarith::{AffExpr, AffineEq, Polyhedra};
+use cai_num::Rat;
+use cai_term::{Atom, Conj, Term, Var, VarSet};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const NVARS: usize = 4;
+
+fn var(i: usize) -> Var {
+    Var::named(&format!("q{i}"))
+}
+
+/// A random affine expression with small integer coefficients.
+fn aff() -> impl Strategy<Value = Vec<i64>> {
+    // coefficients for q0..q3 plus a constant
+    proptest::collection::vec(-3i64..4, NVARS + 1)
+}
+
+fn to_expr(coeffs: &[i64]) -> AffExpr {
+    let mut e = AffExpr::constant(Rat::from(coeffs[NVARS]));
+    for (i, &c) in coeffs.iter().take(NVARS).enumerate() {
+        e.add_var(var(i), &Rat::from(c));
+    }
+    e
+}
+
+fn to_eq_atom(coeffs: &[i64]) -> Atom {
+    Atom::eq(to_expr(coeffs).to_term(), Term::int(0))
+}
+
+fn to_le_atom(coeffs: &[i64]) -> Atom {
+    Atom::le(to_expr(coeffs).to_term(), Term::int(0))
+}
+
+/// Evaluates an affine expression under an integer valuation.
+fn eval(coeffs: &[i64], point: &[i64]) -> i64 {
+    coeffs
+        .iter()
+        .take(NVARS)
+        .zip(point)
+        .map(|(c, p)| c * p)
+        .sum::<i64>()
+        + coeffs[NVARS]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any valuation satisfying both affine systems satisfies their hull.
+    #[test]
+    fn affine_join_is_sound(
+        rows_a in proptest::collection::vec(aff(), 1..4),
+        rows_b in proptest::collection::vec(aff(), 1..4),
+        point in proptest::collection::vec(-5i64..6, NVARS),
+    ) {
+        let d = AffineEq::new();
+        let ea = d.from_conj(&rows_a.iter().map(|r| to_eq_atom(r)).collect());
+        let eb = d.from_conj(&rows_b.iter().map(|r| to_eq_atom(r)).collect());
+        let j = d.join(&ea, &eb);
+        // If the point satisfies side A, it must satisfy the join.
+        if rows_a.iter().all(|r| eval(r, &point) == 0) && !ea.is_bottom() {
+            for atom in &d.to_conj(&j) {
+                prop_assert!(holds_eq(atom, &point), "join atom {atom} fails at {point:?}");
+            }
+        }
+    }
+
+    /// The element implies exactly the row consequences: reduce-to-zero is
+    /// validated against satisfying valuations.
+    #[test]
+    fn affine_implication_respects_models(
+        rows in proptest::collection::vec(aff(), 1..4),
+        query in aff(),
+        point in proptest::collection::vec(-5i64..6, NVARS),
+    ) {
+        let d = AffineEq::new();
+        let e = d.from_conj(&rows.iter().map(|r| to_eq_atom(r)).collect());
+        if e.is_bottom() {
+            return Ok(());
+        }
+        // soundness: if implied, every satisfying point satisfies it.
+        if d.implies_atom(&e, &to_eq_atom(&query))
+            && rows.iter().all(|r| eval(r, &point) == 0)
+        {
+            prop_assert_eq!(eval(&query, &point), 0);
+        }
+    }
+
+    /// Projection never mentions the projected variable and is implied.
+    #[test]
+    fn affine_projection_sound(
+        rows in proptest::collection::vec(aff(), 1..4),
+        which in 0usize..NVARS,
+    ) {
+        let d = AffineEq::new();
+        let e = d.from_conj(&rows.iter().map(|r| to_eq_atom(r)).collect());
+        let vs: VarSet = [var(which)].into_iter().collect();
+        let p = d.exists(&e, &vs);
+        prop_assert!(!p.vars().contains(&var(which)));
+        if !e.is_bottom() {
+            for atom in &d.to_conj(&p) {
+                prop_assert!(d.implies_atom(&e, atom));
+            }
+        }
+    }
+
+    /// Polyhedra: meet/implication agree with concrete valuations.
+    #[test]
+    fn poly_implication_respects_models(
+        rows in proptest::collection::vec(aff(), 1..4),
+        query in aff(),
+        point in proptest::collection::vec(-5i64..6, NVARS),
+    ) {
+        let d = Polyhedra::new();
+        let e = d.from_conj(&rows.iter().map(|r| to_le_atom(r)).collect());
+        if d.implies_atom(&e, &to_le_atom(&query))
+            && rows.iter().all(|r| eval(r, &point) <= 0)
+        {
+            prop_assert!(
+                eval(&query, &point) <= 0,
+                "claimed implied but fails at {point:?}"
+            );
+        }
+    }
+
+    /// Polyhedra hull: a point in either polyhedron satisfies the join.
+    #[test]
+    fn poly_join_is_sound(
+        rows_a in proptest::collection::vec(aff(), 1..3),
+        rows_b in proptest::collection::vec(aff(), 1..3),
+        point in proptest::collection::vec(-5i64..6, NVARS),
+    ) {
+        let d = Polyhedra::new();
+        let ea = d.from_conj(&rows_a.iter().map(|r| to_le_atom(r)).collect());
+        let eb = d.from_conj(&rows_b.iter().map(|r| to_le_atom(r)).collect());
+        let j = d.join(&ea, &eb);
+        let in_a = rows_a.iter().all(|r| eval(r, &point) <= 0);
+        let in_b = rows_b.iter().all(|r| eval(r, &point) <= 0);
+        if in_a || in_b {
+            for atom in &d.to_conj(&j) {
+                prop_assert!(
+                    holds_le(atom, &point),
+                    "join atom {atom} fails at {point:?} (in_a={in_a} in_b={in_b})"
+                );
+            }
+        }
+    }
+
+    /// Polyhedra widening is an upper bound of both arguments.
+    #[test]
+    fn poly_widen_is_upper_bound(
+        rows_a in proptest::collection::vec(aff(), 1..3),
+        rows_b in proptest::collection::vec(aff(), 1..3),
+    ) {
+        let d = Polyhedra::new();
+        let ea = d.from_conj(&rows_a.iter().map(|r| to_le_atom(r)).collect());
+        let eb = d.from_conj(&rows_b.iter().map(|r| to_le_atom(r)).collect());
+        let j = d.join(&ea, &eb);
+        let w = d.widen(&ea, &j);
+        prop_assert!(d.le(&ea, &w));
+        prop_assert!(d.le(&j, &w));
+    }
+}
+
+/// Evaluates an equality atom at an integer point.
+fn holds_eq(atom: &Atom, point: &[i64]) -> bool {
+    let Atom::Eq(s, t) = atom else { return true };
+    eval_term(s, point) == eval_term(t, point)
+}
+
+/// Evaluates a `<=` or `=` atom at an integer point.
+fn holds_le(atom: &Atom, point: &[i64]) -> bool {
+    match atom {
+        Atom::Eq(s, t) => eval_term(s, point) == eval_term(t, point),
+        Atom::Le(s, t) => eval_term(s, point) <= eval_term(t, point),
+        Atom::Pred(..) => true,
+    }
+}
+
+fn eval_term(t: &Term, point: &[i64]) -> Rat {
+    let map: BTreeMap<Var, Rat> =
+        (0..NVARS).map(|i| (var(i), Rat::from(point[i]))).collect();
+    eval_with(t, &map)
+}
+
+fn eval_with(t: &Term, env: &BTreeMap<Var, Rat>) -> Rat {
+    match t.kind() {
+        cai_term::TermKind::Var(v) => env.get(v).cloned().unwrap_or_else(Rat::zero),
+        cai_term::TermKind::Lin(e) => {
+            let mut acc = e.constant_part().clone();
+            for (atom, c) in e.iter() {
+                acc = &acc + &(c * &eval_with(atom, env));
+            }
+            acc
+        }
+        cai_term::TermKind::App(..) => panic!("pure linear expected"),
+    }
+}
+
+/// The `Conj` produced by mapping rows must build without panicking even
+/// for degenerate all-zero rows (regression guard).
+#[test]
+fn degenerate_rows_do_not_panic() {
+    let d = AffineEq::new();
+    let zero = vec![0i64; NVARS + 1];
+    let e = d.from_conj(&Conj::of(to_eq_atom(&zero)));
+    assert!(!e.is_bottom());
+    let contradictory = {
+        let mut c = vec![0i64; NVARS + 1];
+        c[NVARS] = 1;
+        c
+    };
+    let e2 = d.from_conj(&Conj::of(to_eq_atom(&contradictory)));
+    assert!(e2.is_bottom());
+}

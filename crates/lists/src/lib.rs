@@ -1,0 +1,410 @@
+//! The lists abstract domain: the logical lattice over the theory of
+//! `cons`/`car`/`cdr` (one of the paper's §2 example theories).
+//!
+//! Implemented as congruence closure (reusing the [`cai_uf`] e-graph)
+//! saturated with the selector axioms
+//!
+//! ```text
+//! car(cons(a, b)) = a        cdr(cons(a, b)) = b
+//! ```
+//!
+//! The theory of lists is convex, stably infinite, and disjoint from both
+//! linear arithmetic and uninterpreted functions, so its logical products
+//! with those domains enjoy the paper's completeness guarantees.
+
+use cai_core::{AbstractDomain, Partition, TheoryProps};
+use cai_term::{Atom, Conj, FnSym, Sig, Term, TheoryTag, Var, VarSet};
+use cai_uf::{EGraph, NodeKey};
+use std::fmt;
+
+/// An element of the lists domain: a canonical conjunction of equalities
+/// between list terms, or an explicit bottom (which, as for uninterpreted
+/// functions, only arises by propagation).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ListElem {
+    eqs: Option<Vec<(Term, Term)>>,
+}
+
+impl ListElem {
+    /// The top element.
+    pub fn top() -> ListElem {
+        ListElem { eqs: Some(Vec::new()) }
+    }
+
+    /// The bottom element.
+    pub fn bottom() -> ListElem {
+        ListElem { eqs: None }
+    }
+
+    /// Returns `true` if this is bottom.
+    pub fn is_bottom(&self) -> bool {
+        self.eqs.is_none()
+    }
+
+    /// The canonical equalities.
+    pub fn equalities(&self) -> &[(Term, Term)] {
+        self.eqs.as_deref().unwrap_or(&[])
+    }
+
+    /// The variables mentioned.
+    pub fn vars(&self) -> VarSet {
+        let mut out = VarSet::new();
+        for (s, t) in self.equalities() {
+            s.collect_vars(&mut out);
+            t.collect_vars(&mut out);
+        }
+        out
+    }
+
+    /// The list-axiom-saturated congruence closure of the element,
+    /// enriched with the selector terms of every constructor: for each
+    /// `cons(a, b)` node, `car`/`cdr` applications are materialized (and
+    /// immediately merged with `a`/`b` by the axioms). The enrichment is
+    /// what makes quantification complete — erasing `b` from
+    /// `l = cons(a, b)` must still yield `car(l) = a`.
+    pub fn closure(&self) -> EGraph {
+        let mut g = EGraph::new();
+        for (s, t) in self.equalities() {
+            g.assert_eq(s, t);
+        }
+        saturate_list_axioms(&mut g);
+        let cons_nodes: Vec<usize> = g
+            .node_ids()
+            .filter(|&id| matches!(g.key(id), NodeKey::App(f, _) if *f == FnSym::cons()))
+            .collect();
+        for id in cons_nodes {
+            g.add_app(FnSym::car(), vec![id]);
+            g.add_app(FnSym::cdr(), vec![id]);
+        }
+        saturate_list_axioms(&mut g);
+        g
+    }
+
+    fn from_pairs(pairs: Vec<(Term, Term)>, max_size: usize) -> ListElem {
+        let mut g = EGraph::new();
+        for (s, t) in &pairs {
+            g.assert_eq(s, t);
+        }
+        saturate_list_axioms(&mut g);
+        let all = |_: Var| true;
+        let eqs = g
+            .emit_equalities(&all, max_size)
+            .into_iter()
+            .filter(|(s, t)| !is_list_tautology(s, t))
+            .collect();
+        ListElem { eqs: Some(eqs) }
+    }
+}
+
+/// Returns `true` if `s = t` already follows from the list axioms alone
+/// (e.g. `car(cons(a, b)) = a`) — such equalities carry no information and
+/// are filtered from element presentations.
+fn is_list_tautology(s: &Term, t: &Term) -> bool {
+    let mut g = EGraph::new();
+    let a = g.add(s);
+    let b = g.add(t);
+    saturate_list_axioms(&mut g);
+    g.find(a) == g.find(b)
+}
+
+impl fmt::Display for ListElem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.eqs {
+            None => f.write_str("false"),
+            Some(eqs) if eqs.is_empty() => f.write_str("true"),
+            Some(eqs) => {
+                for (i, (s, t)) in eqs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" & ")?;
+                    }
+                    write!(f, "{s} = {t}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Saturates a closure with the selector axioms: whenever a `car`/`cdr`
+/// node's argument class contains a `cons`, the selector node is merged
+/// with the corresponding component.
+pub fn saturate_list_axioms(g: &mut EGraph) {
+    let car = FnSym::car();
+    let cdr = FnSym::cdr();
+    let cons = FnSym::cons();
+    loop {
+        let mut merges: Vec<(usize, usize)> = Vec::new();
+        for id in g.node_ids() {
+            let NodeKey::App(f, args) = g.key(id).clone() else {
+                continue;
+            };
+            if f != car && f != cdr {
+                continue;
+            }
+            let arg_root = g.find(args[0]);
+            // Find a cons in the argument's class.
+            for m in g.node_ids() {
+                if g.find(m) != arg_root {
+                    continue;
+                }
+                let NodeKey::App(mf, margs) = g.key(m).clone() else {
+                    continue;
+                };
+                if mf != cons {
+                    continue;
+                }
+                let target = if f == car { margs[0] } else { margs[1] };
+                if g.find(id) != g.find(target) {
+                    merges.push((id, target));
+                }
+                break;
+            }
+        }
+        if merges.is_empty() {
+            return;
+        }
+        for (a, b) in merges {
+            g.merge(a, b);
+        }
+    }
+}
+
+/// The lists abstract domain.
+///
+/// ```
+/// use cai_core::AbstractDomain;
+/// use cai_lists::ListDomain;
+/// use cai_term::parse::Vocab;
+///
+/// let vocab = Vocab::standard();
+/// let d = ListDomain::new();
+/// let e = d.from_conj(&vocab.parse_conj("l = cons(a, b)")?);
+/// assert!(d.implies_atom(&e, &vocab.parse_atom("car(l) = a")?));
+/// # Ok::<(), cai_term::parse::ParseError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ListDomain {
+    max_term_size: usize,
+}
+
+impl ListDomain {
+    /// Creates the domain with the default term-size bound.
+    pub fn new() -> ListDomain {
+        ListDomain { max_term_size: 64 }
+    }
+}
+
+impl Default for ListDomain {
+    fn default() -> ListDomain {
+        ListDomain::new()
+    }
+}
+
+impl AbstractDomain for ListDomain {
+    type Elem = ListElem;
+
+    fn sig(&self) -> Sig {
+        Sig::single(TheoryTag::LIST)
+    }
+
+    fn props(&self) -> TheoryProps {
+        TheoryProps::nelson_oppen()
+    }
+
+    fn top(&self) -> ListElem {
+        ListElem::top()
+    }
+
+    fn bottom(&self) -> ListElem {
+        ListElem::bottom()
+    }
+
+    fn is_bottom(&self, e: &ListElem) -> bool {
+        e.is_bottom()
+    }
+
+    fn meet_atom(&self, e: &ListElem, atom: &Atom) -> ListElem {
+        let Atom::Eq(s, t) = atom else {
+            panic!("atom `{atom}` is outside the lists signature")
+        };
+        if e.is_bottom() {
+            return ListElem::bottom();
+        }
+        let mut pairs = e.equalities().to_vec();
+        pairs.push((s.clone(), t.clone()));
+        ListElem::from_pairs(pairs, self.max_term_size)
+    }
+
+    fn meet_all(&self, e: &ListElem, atoms: &[Atom]) -> ListElem {
+        if e.is_bottom() {
+            return ListElem::bottom();
+        }
+        let mut pairs = e.equalities().to_vec();
+        for atom in atoms {
+            let Atom::Eq(s, t) = atom else {
+                panic!("atom `{atom}` is outside the lists signature")
+            };
+            pairs.push((s.clone(), t.clone()));
+        }
+        ListElem::from_pairs(pairs, self.max_term_size)
+    }
+
+    fn implies_atom(&self, e: &ListElem, atom: &Atom) -> bool {
+        let Atom::Eq(s, t) = atom else {
+            panic!("atom `{atom}` is outside the lists signature")
+        };
+        if e.is_bottom() {
+            return true;
+        }
+        let mut g = e.closure();
+        let a = g.add(s);
+        let b = g.add(t);
+        saturate_list_axioms(&mut g);
+        g.find(a) == g.find(b)
+    }
+
+    fn join(&self, a: &ListElem, b: &ListElem) -> ListElem {
+        if a.is_bottom() {
+            return b.clone();
+        }
+        if b.is_bottom() {
+            return a.clone();
+        }
+        let mut g1 = a.closure();
+        let mut g2 = b.closure();
+        let mut vars = a.vars();
+        vars.extend(b.vars());
+        let eqs = cai_uf::join_equalities(&mut g1, &mut g2, &vars, self.max_term_size);
+        ListElem::from_pairs(eqs, self.max_term_size)
+    }
+
+    fn exists(&self, e: &ListElem, vars: &VarSet) -> ListElem {
+        if e.is_bottom() {
+            return ListElem::bottom();
+        }
+        let g = e.closure();
+        let anchor = |v: Var| !vars.contains(&v);
+        let eqs = g
+            .emit_equalities(&anchor, self.max_term_size)
+            .into_iter()
+            .filter(|(s, t)| !is_list_tautology(s, t))
+            .collect();
+        ListElem { eqs: Some(eqs) }
+    }
+
+    fn var_equalities(&self, e: &ListElem) -> Partition {
+        let mut p = Partition::new();
+        if e.is_bottom() {
+            return p;
+        }
+        let g = e.closure();
+        let mut by_root: std::collections::BTreeMap<usize, Var> =
+            std::collections::BTreeMap::new();
+        for (v, id) in g.vars() {
+            let root = g.find(id);
+            match by_root.get(&root) {
+                Some(&first) => {
+                    p.union(first, v);
+                }
+                None => {
+                    by_root.insert(root, v);
+                }
+            }
+        }
+        p
+    }
+
+    fn alternate(&self, e: &ListElem, y: Var, avoid: &VarSet) -> Option<Term> {
+        if e.is_bottom() {
+            return None;
+        }
+        let mut g = e.closure();
+        let yid = g.add(&Term::var(y));
+        let root = g.find(yid);
+        let anchor = |v: Var| v != y && !avoid.contains(&v);
+        g.representatives(&anchor, self.max_term_size).get(&root).cloned()
+    }
+
+    fn to_conj(&self, e: &ListElem) -> Conj {
+        if e.is_bottom() {
+            return Conj::of(Atom::eq(Term::int(0), Term::int(1)));
+        }
+        e.equalities()
+            .iter()
+            .map(|(s, t)| Atom::eq(s.clone(), t.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cai_term::parse::Vocab;
+
+    fn d() -> ListDomain {
+        ListDomain::new()
+    }
+
+    fn elem(src: &str) -> ListElem {
+        let v = Vocab::standard();
+        d().from_conj(&v.parse_conj(src).unwrap())
+    }
+
+    fn atom(src: &str) -> Atom {
+        Vocab::standard().parse_atom(src).unwrap()
+    }
+
+    #[test]
+    fn selector_axioms_fire() {
+        let e = elem("l = cons(a, b)");
+        assert!(d().implies_atom(&e, &atom("car(l) = a")));
+        assert!(d().implies_atom(&e, &atom("cdr(l) = b")));
+        assert!(!d().implies_atom(&e, &atom("car(l) = b")));
+    }
+
+    #[test]
+    fn congruence_over_cons() {
+        let e = elem("a = b & l = cons(a, t)");
+        assert!(d().implies_atom(&e, &atom("l = cons(b, t)")));
+    }
+
+    #[test]
+    fn nested_selectors() {
+        let e = elem("l = cons(a, cons(b, t))");
+        assert!(d().implies_atom(&e, &atom("car(cdr(l)) = b")));
+        assert!(d().implies_atom(&e, &atom("cdr(cdr(l)) = t")));
+    }
+
+    #[test]
+    fn join_keeps_common() {
+        let a = elem("l = cons(x, t) & m = t");
+        let b = elem("l = cons(x, u) & m = u");
+        let j = d().join(&a, &b);
+        // Common: the relation l = cons(x, m).
+        assert!(d().implies_atom(&j, &atom("l = cons(x, m)")), "join = {j}");
+        assert!(d().implies_atom(&j, &atom("car(l) = x")), "join = {j}");
+    }
+
+    #[test]
+    fn exists_erases() {
+        let e = elem("l = cons(a, t) & h = a");
+        let vs: VarSet = [Var::named("a")].into_iter().collect();
+        let q = d().exists(&e, &vs);
+        assert!(d().implies_atom(&q, &atom("l = cons(h, t)")), "q = {q}");
+        assert!(!q.vars().contains(&Var::named("a")));
+    }
+
+    #[test]
+    fn var_equalities_via_selectors() {
+        let e = elem("l = cons(a, b) & x = car(l) & y = a");
+        let p = d().var_equalities(&e);
+        assert!(p.same(Var::named("x"), Var::named("y")));
+    }
+
+    #[test]
+    fn alternate_uses_selectors() {
+        let e = elem("y = car(l)");
+        let t = d().alternate(&e, Var::named("y"), &VarSet::new()).unwrap();
+        assert_eq!(t.to_string(), "car(l)");
+    }
+}

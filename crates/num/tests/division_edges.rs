@@ -1,0 +1,91 @@
+//! Exhaustive edge-pattern tests for multi-limb division.
+//!
+//! Knuth algorithm D has a rarely taken "add back" branch (the trial
+//! quotient digit overestimates by one) that random testing essentially
+//! never reaches. Limb patterns built from boundary values are the classic
+//! way to force it; every 96-bit / 64-bit combination of such patterns is
+//! checked against `u128` ground truth.
+
+use cai_num::Int;
+
+const PATTERNS: [u32; 6] = [0, 1, 0x7fff_ffff, 0x8000_0000, 0x8000_0001, 0xffff_ffff];
+
+fn int_from_limbs_u128(limbs: &[u32]) -> (Int, u128) {
+    let mut value: u128 = 0;
+    for &l in limbs.iter().rev() {
+        value = (value << 32) | l as u128;
+    }
+    let int: Int = value.to_string().parse().expect("decimal parses");
+    (int, value)
+}
+
+#[test]
+fn boundary_patterns_divide_exactly_like_u128() {
+    let mut checked = 0u64;
+    for &a0 in &PATTERNS {
+        for &a1 in &PATTERNS {
+            for &a2 in &PATTERNS {
+                for &b0 in &PATTERNS {
+                    for &b1 in &PATTERNS {
+                        let (a, av) = int_from_limbs_u128(&[a0, a1, a2]);
+                        let (b, bv) = int_from_limbs_u128(&[b0, b1]);
+                        if bv == 0 {
+                            continue;
+                        }
+                        let (q, r) = a.div_rem(&b);
+                        assert_eq!(
+                            q.to_string(),
+                            (av / bv).to_string(),
+                            "quotient mismatch for {av} / {bv}"
+                        );
+                        assert_eq!(
+                            r.to_string(),
+                            (av % bv).to_string(),
+                            "remainder mismatch for {av} % {bv}"
+                        );
+                        checked += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(checked > 5_000, "expected thousands of cases, got {checked}");
+}
+
+#[test]
+fn four_limb_by_three_limb_patterns() {
+    // 128-bit by 96-bit, still within u128 ground truth.
+    let picks: [u32; 3] = [1, 0x8000_0000, 0xffff_ffff];
+    for &a0 in &picks {
+        for &a1 in &picks {
+            for &a2 in &picks {
+                for &a3 in &picks {
+                    for &b0 in &picks {
+                        for &b1 in &picks {
+                            for &b2 in &picks {
+                                let (a, av) = int_from_limbs_u128(&[a0, a1, a2, a3]);
+                                let (b, bv) = int_from_limbs_u128(&[b0, b1, b2]);
+                                let (q, r) = a.div_rem(&b);
+                                assert_eq!(q.to_string(), (av / bv).to_string());
+                                assert_eq!(r.to_string(), (av % bv).to_string());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn division_by_one_and_self() {
+    for s in ["1", "4294967296", "18446744073709551616", "340282366920938463463374607431768211455"] {
+        let n: Int = s.parse().unwrap();
+        let (q, r) = n.div_rem(&Int::one());
+        assert_eq!(q, n);
+        assert!(r.is_zero());
+        let (q, r) = n.div_rem(&n);
+        assert!(q.is_one());
+        assert!(r.is_zero());
+    }
+}

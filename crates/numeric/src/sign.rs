@@ -1,0 +1,515 @@
+//! The sign domain: `positive`/`negative` facts over rational variables.
+
+use cai_core::{AbstractDomain, Partition, TheoryProps};
+use cai_linarith::AffExpr;
+use cai_num::Rat;
+use cai_term::{Atom, Conj, PredSym, Sig, Term, TheoryTag, Var, VarSet};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An abstract sign: a non-empty subset of `{negative, zero, positive}`.
+///
+/// The empty set is not representable — elements collapse to bottom
+/// instead.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SignVal(u8);
+
+const NEG: u8 = 0b001;
+const ZERO: u8 = 0b010;
+const POS: u8 = 0b100;
+
+impl SignVal {
+    /// Strictly negative.
+    pub const NEGATIVE: SignVal = SignVal(NEG);
+    /// Exactly zero.
+    pub const IS_ZERO: SignVal = SignVal(ZERO);
+    /// Strictly positive.
+    pub const POSITIVE: SignVal = SignVal(POS);
+    /// Unknown.
+    pub const TOP: SignVal = SignVal(NEG | ZERO | POS);
+
+    fn of_rat(r: &Rat) -> SignVal {
+        match r.signum() {
+            s if s < 0 => SignVal::NEGATIVE,
+            0 => SignVal::IS_ZERO,
+            _ => SignVal::POSITIVE,
+        }
+    }
+
+    /// Set union (join).
+    pub fn join(self, other: SignVal) -> SignVal {
+        SignVal(self.0 | other.0)
+    }
+
+    /// Set intersection; `None` when empty (contradiction).
+    pub fn meet(self, other: SignVal) -> Option<SignVal> {
+        let m = self.0 & other.0;
+        if m == 0 {
+            None
+        } else {
+            Some(SignVal(m))
+        }
+    }
+
+    /// Subset test.
+    pub fn subset_of(self, other: SignVal) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    fn neg(self) -> SignVal {
+        let mut out = 0;
+        if self.0 & NEG != 0 {
+            out |= POS;
+        }
+        if self.0 & POS != 0 {
+            out |= NEG;
+        }
+        if self.0 & ZERO != 0 {
+            out |= ZERO;
+        }
+        SignVal(out)
+    }
+
+    /// Abstract addition.
+    fn add(self, other: SignVal) -> SignVal {
+        let mut out = 0u8;
+        for a in [NEG, ZERO, POS] {
+            if self.0 & a == 0 {
+                continue;
+            }
+            for b in [NEG, ZERO, POS] {
+                if other.0 & b == 0 {
+                    continue;
+                }
+                out |= match (a, b) {
+                    (NEG, NEG) => NEG,
+                    (NEG, ZERO) | (ZERO, NEG) => NEG,
+                    (ZERO, ZERO) => ZERO,
+                    (POS, POS) => POS,
+                    (POS, ZERO) | (ZERO, POS) => POS,
+                    _ => NEG | ZERO | POS, // pos + neg
+                };
+            }
+        }
+        SignVal(out)
+    }
+
+    fn scale(self, c: &Rat) -> SignVal {
+        match c.signum() {
+            0 => SignVal::IS_ZERO,
+            s if s > 0 => self,
+            _ => self.neg(),
+        }
+    }
+}
+
+impl fmt::Display for SignVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self.0 {
+            NEG => "-",
+            ZERO => "0",
+            POS => "+",
+            0b011 => "<=0",
+            0b110 => ">=0",
+            0b101 => "!=0",
+            _ => "?",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A sign constraint: `sign(expr) ⊆ required`.
+#[derive(Clone, PartialEq, Debug)]
+struct Constraint {
+    expr: AffExpr,
+    required: SignVal,
+}
+
+/// An element of the sign domain, or bottom.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SignElem {
+    state: Option<State>,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+struct State {
+    map: BTreeMap<Var, SignVal>,
+    constraints: Vec<Constraint>,
+}
+
+impl SignElem {
+    /// The top element.
+    pub fn top() -> SignElem {
+        SignElem { state: Some(State { map: BTreeMap::new(), constraints: Vec::new() }) }
+    }
+
+    /// The bottom element.
+    pub fn bottom() -> SignElem {
+        SignElem { state: None }
+    }
+
+    /// Returns `true` if this is bottom.
+    pub fn is_bottom(&self) -> bool {
+        self.state.is_none()
+    }
+
+    /// The sign recorded for `v`.
+    pub fn sign_of(&self, v: Var) -> SignVal {
+        self.state
+            .as_ref()
+            .and_then(|s| s.map.get(&v).copied())
+            .unwrap_or(SignVal::TOP)
+    }
+
+    fn eval(map: &BTreeMap<Var, SignVal>, e: &AffExpr) -> SignVal {
+        let mut acc = SignVal::of_rat(e.constant_part());
+        for (v, c) in e.iter() {
+            let vs = map.get(v).copied().unwrap_or(SignVal::TOP);
+            acc = acc.add(vs.scale(c));
+        }
+        acc
+    }
+
+    fn refine(s: &mut State) -> bool {
+        loop {
+            let mut changed = false;
+            for ci in 0..s.constraints.len() {
+                let c = s.constraints[ci].clone();
+                let cur = Self::eval(&s.map, &c.expr);
+                if cur.meet(c.required).is_none() {
+                    return false;
+                }
+                // Narrow each variable: keep only the sign alternatives
+                // compatible with the constraint given the others.
+                for (v, k) in c.expr.clone().iter() {
+                    let vs = s.map.get(v).copied().unwrap_or(SignVal::TOP);
+                    let mut rest = c.expr.clone();
+                    rest.add_var(*v, &-k.clone());
+                    let rest_s = Self::eval(&s.map, &rest);
+                    let mut keep = 0u8;
+                    for bit in [NEG, ZERO, POS] {
+                        if vs.0 & bit == 0 {
+                            continue;
+                        }
+                        let contrib = SignVal(bit).scale(k);
+                        if contrib.add(rest_s).meet(c.required).is_some() {
+                            keep |= bit;
+                        }
+                    }
+                    if keep == 0 {
+                        return false;
+                    }
+                    if keep != vs.0 {
+                        s.map.insert(*v, SignVal(keep));
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    fn with_constraint(&self, c: Constraint) -> SignElem {
+        let Some(s) = &self.state else {
+            return SignElem::bottom();
+        };
+        let mut s = s.clone();
+        if !s.constraints.contains(&c) {
+            s.constraints.push(c);
+        }
+        if Self::refine(&mut s) {
+            SignElem { state: Some(s) }
+        } else {
+            SignElem::bottom()
+        }
+    }
+}
+
+impl fmt::Display for SignElem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.state {
+            None => f.write_str("false"),
+            Some(s) if s.map.is_empty() => f.write_str("true"),
+            Some(s) => {
+                for (i, (v, sv)) in s.map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" & ")?;
+                    }
+                    write!(f, "sign({v}) in {sv}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The sign abstract domain over the theory
+/// `{=, positive, negative, +, -, 0, 1}` — like parity, deliberately not
+/// signature-disjoint from linear arithmetic (Figure 8).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SignDomain;
+
+impl SignDomain {
+    /// Creates the domain.
+    pub fn new() -> SignDomain {
+        SignDomain
+    }
+}
+
+fn atom_constraint(atom: &Atom) -> Option<Constraint> {
+    match atom {
+        Atom::Eq(s, t) => {
+            let e = AffExpr::difference(s, t).ok()?;
+            Some(Constraint { expr: e, required: SignVal::IS_ZERO })
+        }
+        Atom::Pred(PredSym::Positive, t) => {
+            let e = AffExpr::try_from_term(t).ok()?;
+            Some(Constraint { expr: e, required: SignVal::POSITIVE })
+        }
+        Atom::Pred(PredSym::Negative, t) => {
+            let e = AffExpr::try_from_term(t).ok()?;
+            Some(Constraint { expr: e, required: SignVal::NEGATIVE })
+        }
+        _ => None,
+    }
+}
+
+impl AbstractDomain for SignDomain {
+    type Elem = SignElem;
+
+    fn sig(&self) -> Sig {
+        Sig::single(TheoryTag::SIGN)
+    }
+
+    fn props(&self) -> TheoryProps {
+        TheoryProps::nelson_oppen()
+    }
+
+    fn top(&self) -> SignElem {
+        SignElem::top()
+    }
+
+    fn bottom(&self) -> SignElem {
+        SignElem::bottom()
+    }
+
+    fn is_bottom(&self, e: &SignElem) -> bool {
+        e.is_bottom()
+    }
+
+    fn meet_atom(&self, e: &SignElem, atom: &Atom) -> SignElem {
+        match atom_constraint(atom) {
+            Some(c) => e.with_constraint(c),
+            None => panic!("atom `{atom}` is outside the sign signature"),
+        }
+    }
+
+    fn implies_atom(&self, e: &SignElem, atom: &Atom) -> bool {
+        if e.is_bottom() || atom.is_trivial() {
+            return true;
+        }
+        let Some(c) = atom_constraint(atom) else {
+            panic!("atom `{atom}` is outside the sign signature")
+        };
+        let s = e.state.as_ref().expect("not bottom");
+        let by_eval = match atom {
+            // Sign facts only prove an equality if the difference is
+            // forced to zero, which sign analysis cannot do for nontrivial
+            // differences.
+            Atom::Eq(..) => SignElem::eval(&s.map, &c.expr) == SignVal::IS_ZERO,
+            _ => SignElem::eval(&s.map, &c.expr).subset_of(c.required),
+        };
+        // Fall back to the met constraints (a stronger or equal required
+        // set on the same expression suffices; negating the expression
+        // mirrors the sign).
+        by_eval
+            || s.constraints.iter().any(|k| {
+                (k.expr == c.expr && k.required.subset_of(c.required))
+                    || (k.expr == c.expr.scale(&-Rat::one())
+                        && k.required.neg().subset_of(c.required))
+            })
+    }
+
+    fn join(&self, a: &SignElem, b: &SignElem) -> SignElem {
+        let (Some(sa), Some(sb)) = (&a.state, &b.state) else {
+            return if a.is_bottom() { b.clone() } else { a.clone() };
+        };
+        let mut map = BTreeMap::new();
+        for (v, p) in &sa.map {
+            if let Some(q) = sb.map.get(v) {
+                let j = p.join(*q);
+                if j != SignVal::TOP {
+                    map.insert(*v, j);
+                }
+            }
+        }
+        let constraints: Vec<Constraint> = sa
+            .constraints
+            .iter()
+            .filter(|c| sb.constraints.contains(c))
+            .cloned()
+            .collect();
+        SignElem { state: Some(State { map, constraints }) }
+    }
+
+    fn exists(&self, e: &SignElem, vars: &VarSet) -> SignElem {
+        let Some(s) = &e.state else {
+            return SignElem::bottom();
+        };
+        let mut s = s.clone();
+        s.map.retain(|v, _| !vars.contains(v));
+        s.constraints.retain(|c| c.expr.vars().is_disjoint(vars));
+        SignElem { state: Some(s) }
+    }
+
+    fn var_equalities(&self, _e: &SignElem) -> Partition {
+        Partition::new()
+    }
+
+    fn alternate(&self, _e: &SignElem, _y: Var, _avoid: &VarSet) -> Option<Term> {
+        None
+    }
+
+    fn to_conj(&self, e: &SignElem) -> Conj {
+        let Some(s) = &e.state else {
+            return Conj::of(Atom::eq(Term::int(0), Term::int(1)));
+        };
+        let mut c = Conj::new();
+        for (v, sv) in &s.map {
+            if *sv == SignVal::POSITIVE {
+                c.push(Atom::pred(PredSym::Positive, Term::var(*v)));
+            } else if *sv == SignVal::NEGATIVE {
+                c.push(Atom::pred(PredSym::Negative, Term::var(*v)));
+            } else if *sv == SignVal::IS_ZERO {
+                c.push(Atom::eq(Term::var(*v), Term::int(0)));
+            }
+        }
+        // Constraints not already entailed by the per-variable facts are
+        // part of the element's meaning (see the parity domain for the
+        // soundness argument); only atom-expressible requirements are
+        // presentable.
+        for k in &s.constraints {
+            if SignElem::eval(&s.map, &k.expr).subset_of(k.required) {
+                continue;
+            }
+            if k.required == SignVal::POSITIVE {
+                c.push(Atom::pred(PredSym::Positive, k.expr.to_term()));
+            } else if k.required == SignVal::NEGATIVE {
+                c.push(Atom::pred(PredSym::Negative, k.expr.to_term()));
+            } else if k.required == SignVal::IS_ZERO {
+                c.push(Atom::eq(k.expr.to_term(), Term::int(0)));
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cai_term::parse::Vocab;
+
+    fn d() -> SignDomain {
+        SignDomain::new()
+    }
+
+    fn elem(src: &str) -> SignElem {
+        let v = Vocab::standard();
+        d().from_conj(&v.parse_conj(src).unwrap())
+    }
+
+    fn atom(src: &str) -> Atom {
+        Vocab::standard().parse_atom(src).unwrap()
+    }
+
+    #[test]
+    fn basic_facts() {
+        let e = elem("positive(x) & negative(y)");
+        assert!(d().implies_atom(&e, &atom("positive(x)")));
+        assert!(d().implies_atom(&e, &atom("negative(y - x)")));
+        assert!(d().implies_atom(&e, &atom("positive(x - y)")));
+        assert!(!d().implies_atom(&e, &atom("positive(x + y)")));
+    }
+
+    #[test]
+    fn contradiction() {
+        assert!(elem("positive(x) & negative(x)").is_bottom());
+        assert!(elem("positive(x) & x = 0").is_bottom());
+    }
+
+    #[test]
+    fn refinement_through_equalities() {
+        // positive(x0) & x = x0 + 1  =>  positive(x).
+        let e = elem("positive(x0) & x = x0 + 1");
+        assert!(d().implies_atom(&e, &atom("positive(x)")));
+    }
+
+    #[test]
+    fn figure8_sign_side_is_top() {
+        // positive(x0) & x = x0 - 1: sign of x is unknown (pos + neg).
+        let e = elem("positive(x0) & x = x0 - 1");
+        assert!(!d().implies_atom(&e, &atom("positive(x)")));
+        assert!(!d().implies_atom(&e, &atom("negative(x)")));
+        // Q over {x0} gives nothing about x.
+        let vs: VarSet = [Var::named("x0")].into_iter().collect();
+        let q = d().exists(&e, &vs);
+        assert!(!d().implies_atom(&q, &atom("positive(x)")));
+    }
+
+    #[test]
+    fn join_pointwise() {
+        let a = elem("positive(x)");
+        let b = elem("x = 0");
+        let j = d().join(&a, &b);
+        // x is >= 0 (not representable as an atom, but meets with
+        // negative(x) must be bottom).
+        assert!(d().meet_atom(&j, &atom("negative(x)")).is_bottom());
+        assert!(!d().implies_atom(&j, &atom("positive(x)")));
+    }
+
+    #[test]
+    fn equality_gives_zero_sign() {
+        let e = elem("x = 0 & y = x");
+        assert!(d().implies_atom(&e, &atom("y = 0")));
+    }
+
+    #[test]
+    fn exists_drops() {
+        let e = elem("positive(x) & negative(y)");
+        let vs: VarSet = [Var::named("x")].into_iter().collect();
+        let q = d().exists(&e, &vs);
+        assert!(!d().implies_atom(&q, &atom("positive(x)")));
+        assert!(d().implies_atom(&q, &atom("negative(y)")));
+    }
+}
+
+#[cfg(test)]
+mod le_faithfulness_tests {
+    use super::*;
+    use cai_term::parse::Vocab;
+
+    /// Regression: multi-variable sign constraints must survive the
+    /// presentation so the default partial order stays sound.
+    #[test]
+    fn constraints_survive_presentation() {
+        let d = SignDomain::new();
+        let v = Vocab::standard();
+        let e = d.from_conj(&v.parse_conj("positive(x + y)").unwrap());
+        assert!(!d.to_conj(&e).is_empty());
+        assert!(!d.le(&d.top(), &e));
+        assert!(d.le(&e, &e));
+    }
+
+    #[test]
+    fn presentation_roundtrip() {
+        let d = SignDomain::new();
+        let v = Vocab::standard();
+        for src in ["positive(x + y)", "negative(a - b) & positive(c)", "x + y = 1"] {
+            let e = d.from_conj(&v.parse_conj(src).unwrap());
+            let e2 = d.from_conj(&d.to_conj(&e));
+            assert!(d.le(&e2, &e), "{src}: roundtrip weaker than allowed");
+        }
+    }
+}

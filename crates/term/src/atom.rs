@@ -1,0 +1,388 @@
+//! Atomic facts and finite conjunctions — the elements of logical lattices.
+
+use crate::sym::PredSym;
+use crate::term::Term;
+use crate::var::{Var, VarSet};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An atomic fact over the combined theory.
+///
+/// Equality and `<=` are structural; the remaining unary predicates
+/// (`even`, `odd`, `positive`, `negative`) are carried by [`PredSym`].
+///
+/// ```
+/// use cai_term::{Atom, Term};
+/// let a = Atom::le(Term::var_named("x"), Term::var_named("y"));
+/// assert_eq!(a.to_string(), "x <= y");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Atom {
+    /// `s = t`.
+    Eq(Term, Term),
+    /// `s <= t`.
+    Le(Term, Term),
+    /// `p(t)` for a unary theory predicate.
+    Pred(PredSym, Term),
+}
+
+impl Atom {
+    /// The equality `s = t`.
+    pub fn eq(s: Term, t: Term) -> Atom {
+        Atom::Eq(s, t)
+    }
+
+    /// The inequality `s <= t`.
+    pub fn le(s: Term, t: Term) -> Atom {
+        Atom::Le(s, t)
+    }
+
+    /// The strict inequality `s < t`, encoded for integer-valued programs as
+    /// `s + 1 <= t`.
+    ///
+    /// The base domains are rational relaxations, so this encoding is sound
+    /// (and standard) for programs whose variables range over the integers.
+    pub fn lt(s: Term, t: Term) -> Atom {
+        Atom::Le(Term::add(&s, &Term::int(1)), t)
+    }
+
+    /// The predicate application `p(t)`.
+    pub fn pred(p: PredSym, t: Term) -> Atom {
+        Atom::Pred(p, t)
+    }
+
+    /// The variable equality `x = y`.
+    pub fn var_eq(x: Var, y: Var) -> Atom {
+        Atom::Eq(Term::var(x), Term::var(y))
+    }
+
+    /// The negation of the atom, if it is itself expressible as an atom
+    /// (used for the `false` branch of conditionals, Figure 5(c)).
+    ///
+    /// - `¬(s <= t)` is `t + 1 <= s` (integer-valued programs),
+    /// - `¬even(t)` is `odd(t)` and vice versa,
+    /// - `¬(s = t)` and the sign predicates have no atomic negation and
+    ///   yield `None`.
+    pub fn negate(&self) -> Option<Atom> {
+        match self {
+            Atom::Eq(..) => None,
+            Atom::Le(s, t) => Some(Atom::lt(t.clone(), s.clone())),
+            Atom::Pred(PredSym::Even, t) => Some(Atom::Pred(PredSym::Odd, t.clone())),
+            Atom::Pred(PredSym::Odd, t) => Some(Atom::Pred(PredSym::Even, t.clone())),
+            Atom::Pred(_, _) => None,
+        }
+    }
+
+    /// The terms directly under the atom.
+    pub fn args(&self) -> Vec<&Term> {
+        match self {
+            Atom::Eq(s, t) | Atom::Le(s, t) => vec![s, t],
+            Atom::Pred(_, t) => vec![t],
+        }
+    }
+
+    /// Rebuilds the atom with new arguments (same shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args` has the wrong length for the atom's shape.
+    pub fn with_args(&self, mut args: Vec<Term>) -> Atom {
+        match self {
+            Atom::Eq(..) => {
+                assert_eq!(args.len(), 2, "Eq expects 2 arguments");
+                let t = args.pop().expect("len checked");
+                let s = args.pop().expect("len checked");
+                Atom::Eq(s, t)
+            }
+            Atom::Le(..) => {
+                assert_eq!(args.len(), 2, "Le expects 2 arguments");
+                let t = args.pop().expect("len checked");
+                let s = args.pop().expect("len checked");
+                Atom::Le(s, t)
+            }
+            Atom::Pred(p, _) => {
+                assert_eq!(args.len(), 1, "Pred expects 1 argument");
+                Atom::Pred(*p, args.pop().expect("len checked"))
+            }
+        }
+    }
+
+    /// Collects the variables of the atom into `out`.
+    pub fn collect_vars(&self, out: &mut VarSet) {
+        for t in self.args() {
+            t.collect_vars(out);
+        }
+    }
+
+    /// The set of variables of the atom.
+    pub fn vars(&self) -> VarSet {
+        let mut s = VarSet::new();
+        self.collect_vars(&mut s);
+        s
+    }
+
+    /// Returns `true` if any variable of `vars` occurs in the atom.
+    pub fn mentions_any(&self, vars: &VarSet) -> bool {
+        self.args().iter().any(|t| t.mentions_any(vars))
+    }
+
+    /// Simultaneous substitution of variables by terms.
+    pub fn subst(&self, map: &BTreeMap<Var, Term>) -> Atom {
+        self.with_args(self.args().into_iter().map(|t| t.subst(map)).collect())
+    }
+
+    /// Replaces every occurrence of `from` by `to` in the atom's arguments.
+    pub fn replace_term(&self, from: &Term, to: &Term) -> Atom {
+        self.with_args(
+            self.args().into_iter().map(|t| t.replace_term(from, to)).collect(),
+        )
+    }
+
+    /// A trivially true atom? Equality between identical terms is the only
+    /// syntactic tautology we recognize.
+    pub fn is_trivial(&self) -> bool {
+        match self {
+            Atom::Eq(s, t) => s == t,
+            Atom::Le(s, t) => {
+                s == t
+                    || match (s.as_constant(), t.as_constant()) {
+                        (Some(a), Some(b)) => a <= b,
+                        _ => false,
+                    }
+            }
+            Atom::Pred(..) => false,
+        }
+    }
+
+    /// The total number of term nodes in the atom (size metric).
+    pub fn size(&self) -> usize {
+        self.args().iter().map(|t| t.size()).sum()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Eq(s, t) => write!(f, "{s} = {t}"),
+            Atom::Le(s, t) => write!(f, "{s} <= {t}"),
+            Atom::Pred(p, t) => write!(f, "{p}({t})"),
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A finite conjunction of atomic facts — an element of a logical lattice
+/// (Definition 1 of the paper).
+///
+/// `Conj` keeps insertion order (for readable display and faithful traces)
+/// but deduplicates structurally equal atoms and drops syntactic
+/// tautologies.
+///
+/// ```
+/// use cai_term::{Atom, Conj, Term};
+/// let x = Term::var_named("x");
+/// let y = Term::var_named("y");
+/// let mut c = Conj::new();
+/// c.push(Atom::eq(x.clone(), y.clone()));
+/// c.push(Atom::eq(x.clone(), y.clone())); // deduplicated
+/// c.push(Atom::eq(x.clone(), x.clone())); // trivial, dropped
+/// assert_eq!(c.len(), 1);
+/// assert_eq!(c.to_string(), "x = y");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Conj {
+    atoms: Vec<Atom>,
+}
+
+impl Conj {
+    /// The empty conjunction (`true`).
+    pub fn new() -> Conj {
+        Conj::default()
+    }
+
+    /// A conjunction of one atom.
+    pub fn of(atom: Atom) -> Conj {
+        let mut c = Conj::new();
+        c.push(atom);
+        c
+    }
+
+    /// Returns `true` if the conjunction is empty (i.e. `true`).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Adds an atom, deduplicating and dropping tautologies. Returns `true`
+    /// if the conjunction changed.
+    pub fn push(&mut self, atom: Atom) -> bool {
+        if atom.is_trivial() || self.atoms.contains(&atom) {
+            return false;
+        }
+        self.atoms.push(atom);
+        true
+    }
+
+    /// Conjoins all atoms of `other` into `self`.
+    pub fn extend_from(&mut self, other: &Conj) {
+        for a in &other.atoms {
+            self.push(a.clone());
+        }
+    }
+
+    /// The conjunction `self ∧ other`.
+    pub fn and(&self, other: &Conj) -> Conj {
+        let mut out = self.clone();
+        out.extend_from(other);
+        out
+    }
+
+    /// Iterates over the atoms.
+    pub fn iter(&self) -> std::slice::Iter<'_, Atom> {
+        self.atoms.iter()
+    }
+
+    /// The atoms as a slice.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The set of variables occurring in the conjunction.
+    pub fn vars(&self) -> VarSet {
+        let mut s = VarSet::new();
+        for a in &self.atoms {
+            a.collect_vars(&mut s);
+        }
+        s
+    }
+
+    /// Applies a substitution to every atom.
+    pub fn subst(&self, map: &BTreeMap<Var, Term>) -> Conj {
+        self.atoms.iter().map(|a| a.subst(map)).collect()
+    }
+
+    /// The total size (term nodes) of the conjunction.
+    pub fn size(&self) -> usize {
+        self.atoms.iter().map(Atom::size).sum()
+    }
+}
+
+impl FromIterator<Atom> for Conj {
+    fn from_iter<I: IntoIterator<Item = Atom>>(iter: I) -> Conj {
+        let mut c = Conj::new();
+        for a in iter {
+            c.push(a);
+        }
+        c
+    }
+}
+
+impl Extend<Atom> for Conj {
+    fn extend<I: IntoIterator<Item = Atom>>(&mut self, iter: I) {
+        for a in iter {
+            self.push(a);
+        }
+    }
+}
+
+impl IntoIterator for Conj {
+    type Item = Atom;
+    type IntoIter = std::vec::IntoIter<Atom>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.atoms.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Conj {
+    type Item = &'a Atom;
+    type IntoIter = std::slice::Iter<'a, Atom>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.atoms.iter()
+    }
+}
+
+impl fmt::Display for Conj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return f.write_str("true");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" & ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Conj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Term {
+        Term::var_named(n)
+    }
+
+    #[test]
+    fn negate_le_is_integer_complement() {
+        let a = Atom::le(v("x"), v("y"));
+        assert_eq!(a.negate().unwrap().to_string(), "y + 1 <= x");
+    }
+
+    #[test]
+    fn negate_parity_flips() {
+        let a = Atom::pred(PredSym::Even, v("x"));
+        assert_eq!(a.negate().unwrap(), Atom::pred(PredSym::Odd, v("x")));
+        assert_eq!(a.negate().unwrap().negate().unwrap(), a);
+    }
+
+    #[test]
+    fn negate_eq_and_sign_have_no_atom() {
+        assert!(Atom::eq(v("x"), v("y")).negate().is_none());
+        assert!(Atom::pred(PredSym::Positive, v("x")).negate().is_none());
+    }
+
+    #[test]
+    fn trivial_atoms() {
+        assert!(Atom::eq(v("x"), v("x")).is_trivial());
+        assert!(Atom::le(Term::int(1), Term::int(2)).is_trivial());
+        assert!(!Atom::le(Term::int(2), Term::int(1)).is_trivial());
+        assert!(!Atom::eq(v("x"), v("y")).is_trivial());
+    }
+
+    #[test]
+    fn conj_subst() {
+        let mut c = Conj::new();
+        c.push(Atom::eq(v("x"), Term::add(&v("y"), &Term::int(1))));
+        let mut m = BTreeMap::new();
+        m.insert(Var::named("y"), Term::int(4));
+        assert_eq!(c.subst(&m).to_string(), "x = 5");
+    }
+
+    #[test]
+    fn conj_display_true() {
+        assert_eq!(Conj::new().to_string(), "true");
+    }
+
+    #[test]
+    fn lt_encoding() {
+        let a = Atom::lt(v("a"), v("b"));
+        assert_eq!(a.to_string(), "a + 1 <= b");
+    }
+}

@@ -1,0 +1,52 @@
+//! Terms, atomic facts, and the Nelson–Oppen purification substrate.
+//!
+//! This crate implements the syntactic layer of *Combining Abstract
+//! Interpreters* (Gulwani & Tiwari, PLDI 2006):
+//!
+//! - interned [`Var`]iables with fresh-name generation,
+//! - theory-tagged function and predicate symbols ([`FnSym`], [`PredSym`],
+//!   [`TheoryTag`]),
+//! - mixed-theory [`Term`]s with a *normalized* linear-arithmetic layer
+//!   ([`LinExpr`]), so `F(x) + F(x) - x` canonicalizes to `2·F(x) - x`,
+//! - atomic facts ([`Atom`]) and finite conjunctions ([`Conj`]) — the
+//!   elements of the paper's *logical lattices*,
+//! - signatures ([`Sig`]) and the two syntactic operators of the paper's
+//!   Section 2: [`alien_terms`] and [`purify`] (Figure 2), and
+//! - a small text parser ([`parse::Vocab`]) used by tests, examples and the
+//!   program front-end.
+//!
+//! # Examples
+//!
+//! Purifying the conjunction from the paper's Figure 2:
+//!
+//! ```
+//! use cai_term::parse::Vocab;
+//! use cai_term::{purify, Sig, TheoryTag};
+//!
+//! let vocab = Vocab::standard();
+//! let e = vocab.parse_conj(
+//!     "x3 <= F(2*x2 - x1) & x3 >= x1 & x1 = F(x1) & x2 = F(F(x1))",
+//! )?;
+//! let lin = Sig::single(TheoryTag::LINARITH);
+//! let uf = Sig::single(TheoryTag::UF);
+//! let p = purify(&e, &lin, &uf);
+//! assert_eq!(p.fresh.len(), 2); // t1 = 2*x2 - x1 and t2 = F(t1)
+//! # Ok::<(), cai_term::parse::ParseError>(())
+//! ```
+
+mod atom;
+mod lin;
+pub mod parse;
+mod purify;
+mod sig;
+mod sym;
+mod term;
+mod var;
+
+pub use atom::{Atom, Conj};
+pub use lin::LinExpr;
+pub use purify::{purify, purify_term, Purified, Purifier, Side};
+pub use sig::{alien_terms, classify_atom, term_root, AtomSide, Sig, TermRoot};
+pub use sym::{FnSym, PredSym, TheoryTag};
+pub use term::{Term, TermKind};
+pub use var::{Var, VarSet};

@@ -1,0 +1,337 @@
+//! The `Purify` operator of the Nelson–Oppen method (§2, Figure 2).
+
+use crate::atom::{Atom, Conj};
+use crate::sig::{classify_atom, AtomSide, Sig};
+use crate::term::{Term, TermKind};
+use crate::var::Var;
+use std::collections::BTreeMap;
+
+/// Which half of a two-signature split a term is being purified for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Side {
+    /// The first signature.
+    Left,
+    /// The second signature.
+    Right,
+}
+
+impl Side {
+    /// The other side.
+    pub fn flip(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+/// The result of purification: `⟨V, E1, E2⟩` in the paper's notation, plus
+/// the definition map for the fresh variables.
+#[derive(Clone, Debug, Default)]
+pub struct Purified {
+    /// The fresh variables `V` introduced for alien terms, in introduction
+    /// order.
+    pub fresh: Vec<Var>,
+    /// `E1`: the conjunction of atomic facts over the first signature.
+    pub left: Conj,
+    /// `E2`: the conjunction of atomic facts over the second signature.
+    pub right: Conj,
+    /// For each fresh variable, the (pure) term it names. Definitions may
+    /// mention later fresh variables' names transitively; use
+    /// [`Purified::expand`] to recover the original mixed term.
+    pub defs: BTreeMap<Var, Term>,
+}
+
+impl Purified {
+    /// `E1 ∧ E2` as a single conjunction (a conservative extension of the
+    /// purified input).
+    pub fn conjoined(&self) -> Conj {
+        self.left.and(&self.right)
+    }
+
+    /// Recovers the original mixed term denoted by `t` by expanding the
+    /// fresh-variable definitions to a fixpoint.
+    pub fn expand(&self, t: &Term) -> Term {
+        let mut cur = t.clone();
+        loop {
+            let next = cur.subst(&self.defs);
+            if next == cur {
+                return cur;
+            }
+            cur = next;
+        }
+    }
+}
+
+/// Incremental purifier. Useful when an element and a query atom must share
+/// the same alien-term naming (as in the combined implication check).
+#[derive(Clone, Debug)]
+pub struct Purifier {
+    sig1: Sig,
+    sig2: Sig,
+    cache: BTreeMap<Term, Var>,
+    out: Purified,
+}
+
+impl Purifier {
+    /// Creates a purifier for the split `(sig1, sig2)`.
+    pub fn new(sig1: &Sig, sig2: &Sig) -> Purifier {
+        Purifier {
+            sig1: sig1.clone(),
+            sig2: sig2.clone(),
+            cache: BTreeMap::new(),
+            out: Purified::default(),
+        }
+    }
+
+    fn sig(&self, side: Side) -> &Sig {
+        match side {
+            Side::Left => &self.sig1,
+            Side::Right => &self.sig2,
+        }
+    }
+
+    fn push_def(&mut self, side: Side, atom: Atom) {
+        match side {
+            Side::Left => self.out.left.push(atom),
+            Side::Right => self.out.right.push(atom),
+        };
+    }
+
+    /// Purifies `t` for use in a `host`-side context. Alien subterms are
+    /// replaced by fresh variables whose definitions are emitted on the
+    /// owning side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a subterm's root symbol is owned by neither signature.
+    pub fn purify_term(&mut self, t: &Term, host: Side) -> Term {
+        if matches!(t.kind(), TermKind::Var(_)) {
+            return t.clone();
+        }
+        if self.sig(host).owns_root(t) {
+            // Root is fine here; recurse into children.
+            return match t.kind() {
+                TermKind::Var(_) => unreachable!("handled above"),
+                TermKind::App(f, args) => Term::app(
+                    *f,
+                    args.iter().map(|a| self.purify_term(a, host)).collect(),
+                ),
+                TermKind::Lin(e) => {
+                    let mut acc =
+                        crate::lin::LinExpr::constant(e.constant_part().clone());
+                    for (atom, coeff) in e.iter() {
+                        let p = self.purify_term(atom, host);
+                        acc = acc.add(&p.to_lin().scale(coeff));
+                    }
+                    Term::lin(acc)
+                }
+            };
+        }
+        // Alien: abstract the whole subterm by a (cached) fresh variable.
+        if let Some(&v) = self.cache.get(t) {
+            return Term::var(v);
+        }
+        let owner = host.flip();
+        assert!(
+            self.sig(owner).owns_root(t),
+            "term `{t}` is owned by neither {} nor {}",
+            self.sig1,
+            self.sig2
+        );
+        let pure = self.purify_term(t, owner);
+        let v = Var::fresh("t");
+        self.cache.insert(t.clone(), v);
+        self.out.fresh.push(v);
+        self.out.defs.insert(v, pure.clone());
+        self.push_def(owner, Atom::eq(Term::var(v), pure));
+        Term::var(v)
+    }
+
+    /// Purifies one atomic fact, appending the result (and any definitions)
+    /// to the appropriate side(s).
+    pub fn add_atom(&mut self, atom: &Atom) {
+        match classify_atom(atom, &self.sig1, &self.sig2) {
+            AtomSide::Both => {
+                if self.sig1.owns_atom(atom) && self.sig2.owns_atom(atom) {
+                    self.out.left.push(atom.clone());
+                    self.out.right.push(atom.clone());
+                    return;
+                }
+                // Top-level shared but contains foreign symbols: host left.
+                self.host_atom(atom, Side::Left);
+            }
+            AtomSide::Left => self.host_atom(atom, Side::Left),
+            AtomSide::Right => self.host_atom(atom, Side::Right),
+        }
+    }
+
+    fn host_atom(&mut self, atom: &Atom, host: Side) {
+        let owned: Vec<Term> = atom.args().into_iter().cloned().collect();
+        let args = owned.iter().map(|t| self.purify_term(t, host)).collect();
+        let pure = atom.with_args(args);
+        self.push_def(host, pure);
+    }
+
+    /// Purifies an atom *without* adding it to either side — only the
+    /// definitions of its alien subterms are emitted. Returns the side that
+    /// hosts the atom together with its purified form.
+    ///
+    /// This is how a query atom is prepared for an implication check
+    /// against an already-purified element: alien terms shared with the
+    /// element reuse the element's fresh names (the purifier caches them),
+    /// which is what makes the Nelson–Oppen exchange complete.
+    pub fn purify_atom(&mut self, atom: &Atom) -> (crate::sig::AtomSide, Atom) {
+        let side = classify_atom(atom, &self.sig1, &self.sig2);
+        if side == AtomSide::Both && self.sig1.owns_atom(atom) && self.sig2.owns_atom(atom) {
+            return (AtomSide::Both, atom.clone());
+        }
+        let host = match side {
+            AtomSide::Right => Side::Right,
+            _ => Side::Left,
+        };
+        let owned: Vec<Term> = atom.args().into_iter().cloned().collect();
+        let args = owned.iter().map(|t| self.purify_term(t, host)).collect();
+        let pure = atom.with_args(args);
+        let out_side = match host {
+            Side::Left => AtomSide::Left,
+            Side::Right => AtomSide::Right,
+        };
+        (out_side, pure)
+    }
+
+    /// Purifies every atom of a conjunction.
+    pub fn add_conj(&mut self, e: &Conj) {
+        for atom in e {
+            self.add_atom(atom);
+        }
+    }
+
+    /// Finishes, returning the purified split.
+    pub fn finish(self) -> Purified {
+        self.out
+    }
+
+    /// Read access to the in-progress result.
+    pub fn current(&self) -> &Purified {
+        &self.out
+    }
+}
+
+/// `Purify(E)` for the split `(sig1, sig2)`: decomposes a conjunction of
+/// mixed atomic facts into pure conjunctions `E1` (over `sig1`) and `E2`
+/// (over `sig2`), introducing fresh variables for alien terms
+/// (§2, Figure 2 of the paper). `E1 ∧ E2` is a conservative extension
+/// of `E`.
+pub fn purify(e: &Conj, sig1: &Sig, sig2: &Sig) -> Purified {
+    let mut p = Purifier::new(sig1, sig2);
+    p.add_conj(e);
+    p.finish()
+}
+
+/// Purifies a single term for a `host`-side context, returning the pure
+/// term together with the split carrying the emitted definitions.
+pub fn purify_term(t: &Term, host_sig: &Sig, other_sig: &Sig) -> (Term, Purified) {
+    let mut p = Purifier::new(host_sig, other_sig);
+    let pure = p.purify_term(t, Side::Left);
+    (pure, p.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::Vocab;
+    use crate::sym::TheoryTag;
+
+    fn lin() -> Sig {
+        Sig::single(TheoryTag::LINARITH)
+    }
+
+    fn uf() -> Sig {
+        Sig::single(TheoryTag::UF)
+    }
+
+    #[test]
+    fn figure2_purification_shape() {
+        let vocab = Vocab::standard();
+        let e = vocab
+            .parse_conj("x3 <= F(2*x2 - x1) & x3 >= x1 & x1 = F(x1) & x2 = F(F(x1))")
+            .unwrap();
+        let p = purify(&e, &lin(), &uf());
+        // Two fresh variables: t1 = 2*x2 - x1 (left), t2 = F(t1) (right).
+        assert_eq!(p.fresh.len(), 2, "left: {} | right: {}", p.left, p.right);
+        let (t1, t2) = (p.fresh[0], p.fresh[1]);
+        assert_eq!(p.defs[&t1].to_string(), "2*x2 - x1");
+        assert_eq!(p.defs[&t2].to_string(), format!("F({t1})"));
+        // E1 mentions only linear structure, E2 only UF structure.
+        assert!(p.left.iter().all(|a| lin().owns_atom(a)), "E1 = {}", p.left);
+        assert!(p.right.iter().all(|a| uf().owns_atom(a)), "E2 = {}", p.right);
+        assert_eq!(p.left.len(), 3); // def + two inequalities
+        assert_eq!(p.right.len(), 3); // def + two equalities
+    }
+
+    #[test]
+    fn purification_is_conservative_syntactically() {
+        let vocab = Vocab::standard();
+        let e = vocab.parse_conj("x = F(y + 1) & y = x - 2").unwrap();
+        let p = purify(&e, &lin(), &uf());
+        // Expanding definitions in E1 ∧ E2 recovers facts over the original
+        // variables.
+        for atom in &p.conjoined() {
+            let args: Vec<Term> =
+                atom.args().into_iter().map(|t| p.expand(t)).collect();
+            let expanded = atom.with_args(args);
+            let evars = expanded.vars();
+            for v in &evars {
+                assert!(
+                    !p.fresh.contains(v),
+                    "expanded atom {expanded} still mentions fresh {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alien_cache_dedups() {
+        let vocab = Vocab::standard();
+        // F(y+1) occurs twice; only one fresh variable for y+1 and the
+        // definitions are shared.
+        let e = vocab.parse_conj("x = F(y + 1) & z = F(y + 1) + 2").unwrap();
+        let p = purify(&e, &lin(), &uf());
+        assert_eq!(p.fresh.len(), 2, "{:?}", p.defs);
+    }
+
+    #[test]
+    fn var_equality_goes_to_both_sides() {
+        let vocab = Vocab::standard();
+        let e = vocab.parse_conj("x = y").unwrap();
+        let p = purify(&e, &lin(), &uf());
+        assert_eq!(p.left.to_string(), "x = y");
+        assert_eq!(p.right.to_string(), "x = y");
+        assert!(p.fresh.is_empty());
+    }
+
+    #[test]
+    fn parity_sign_share_linear_facts() {
+        let parity = Sig::single(TheoryTag::PARITY);
+        let sign = Sig::single(TheoryTag::SIGN);
+        let vocab = Vocab::standard();
+        let e = vocab.parse_conj("even(x0) & positive(x0) & x = x0 - 1").unwrap();
+        let p = purify(&e, &parity, &sign);
+        // The linear fact is understood by both theories; predicates split.
+        assert_eq!(p.left.to_string(), "even(x0) & x = x0 - 1");
+        assert_eq!(p.right.to_string(), "positive(x0) & x = x0 - 1");
+    }
+
+    #[test]
+    fn deep_alternation() {
+        let vocab = Vocab::standard();
+        let e = vocab.parse_conj("x = F(1 + F(2 + F(y)))").unwrap();
+        let p = purify(&e, &lin(), &uf());
+        // F(y) -> v1 (rhs def), 2 + v1 -> v2 (lhs def), F(v2) -> v3, 1 + v3
+        // -> v4; atom x = F(v4) on UF side.
+        assert_eq!(p.fresh.len(), 4);
+        assert!(p.left.iter().all(|a| lin().owns_atom(a)));
+        assert!(p.right.iter().all(|a| uf().owns_atom(a)));
+    }
+}

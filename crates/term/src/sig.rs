@@ -1,0 +1,371 @@
+//! Signatures, symbol ownership, and the `AlienTerms` operator (§2).
+
+use crate::atom::{Atom, Conj};
+use crate::sym::TheoryTag;
+use crate::term::{Term, TermKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A signature: the set of theory tags whose symbols a lattice understands.
+///
+/// The paper's combination framework works with two signatures; products of
+/// lattices carry the union of their components' signatures, so nested
+/// products work out of the box.
+///
+/// Arithmetic structure (`+`, `-`, scalar multiples, constants) is owned by
+/// every theory whose signature includes those symbols: linear arithmetic,
+/// parity, and sign. This is what makes parity and sign *non-disjoint* with
+/// linear arithmetic, exactly as in the paper's Figure 8.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Sig {
+    tags: BTreeSet<TheoryTag>,
+}
+
+impl Sig {
+    /// The empty signature.
+    pub fn empty() -> Sig {
+        Sig::default()
+    }
+
+    /// A signature of a single theory.
+    pub fn single(tag: TheoryTag) -> Sig {
+        let mut tags = BTreeSet::new();
+        tags.insert(tag);
+        Sig { tags }
+    }
+
+    /// A signature from a collection of tags.
+    pub fn of(tags: impl IntoIterator<Item = TheoryTag>) -> Sig {
+        Sig { tags: tags.into_iter().collect() }
+    }
+
+    /// The union of two signatures.
+    pub fn union(&self, other: &Sig) -> Sig {
+        Sig { tags: self.tags.union(&other.tags).copied().collect() }
+    }
+
+    /// Returns `true` if the signature contains `tag`.
+    pub fn contains(&self, tag: TheoryTag) -> bool {
+        self.tags.contains(&tag)
+    }
+
+    /// The tags in the signature.
+    pub fn tags(&self) -> impl Iterator<Item = TheoryTag> + '_ {
+        self.tags.iter().copied()
+    }
+
+    /// Returns `true` if the signature owns the arithmetic structure
+    /// (`+`, `-`, rational constants).
+    pub fn owns_arith(&self) -> bool {
+        self.contains(TheoryTag::LINARITH)
+            || self.contains(TheoryTag::PARITY)
+            || self.contains(TheoryTag::SIGN)
+    }
+
+    /// Returns `true` if the signature owns the root symbol of `t`
+    /// (variables are owned by every signature).
+    pub fn owns_root(&self, t: &Term) -> bool {
+        match term_root(t) {
+            TermRoot::Var => true,
+            TermRoot::Arith => self.owns_arith(),
+            TermRoot::Tag(tag) => self.contains(tag),
+        }
+    }
+
+    /// Returns `true` if *every* symbol occurring in `t` is owned.
+    pub fn owns_term(&self, t: &Term) -> bool {
+        match t.kind() {
+            TermKind::Var(_) => true,
+            TermKind::App(f, args) => {
+                self.contains(f.theory()) && args.iter().all(|a| self.owns_term(a))
+            }
+            TermKind::Lin(e) => {
+                self.owns_arith() && e.iter().all(|(a, _)| self.owns_term(a))
+            }
+        }
+    }
+
+    /// Returns `true` if every symbol of the atom (predicate and terms) is
+    /// owned. Equality is shared by all theories.
+    pub fn owns_atom(&self, atom: &Atom) -> bool {
+        let pred_ok = match atom {
+            Atom::Eq(..) => true,
+            Atom::Le(..) => self.contains(TheoryTag::LINARITH),
+            Atom::Pred(p, _) => self.contains(p.theory()),
+        };
+        pred_ok && atom.args().iter().all(|t| self.owns_term(t))
+    }
+
+    /// Returns `true` if the two signatures share no theory tag.
+    ///
+    /// Note that this is the tag-level check; the *theories* of parity and
+    /// sign additionally share arithmetic symbols, which
+    /// [`Sig::disjoint_symbols`] accounts for.
+    pub fn disjoint_tags(&self, other: &Sig) -> bool {
+        self.tags.is_disjoint(&other.tags)
+    }
+
+    /// Returns `true` if the signatures are disjoint at the symbol level —
+    /// the hypothesis of the paper's completeness theorems (Theorems 3
+    /// and 5).
+    pub fn disjoint_symbols(&self, other: &Sig) -> bool {
+        self.disjoint_tags(other) && !(self.owns_arith() && other.owns_arith())
+    }
+}
+
+impl fmt::Display for Sig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, t) in self.tags.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl fmt::Debug for Sig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// The owner of a term's top-level symbol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TermRoot {
+    /// A bare variable — owned by every theory.
+    Var,
+    /// Arithmetic structure — owned by the theories that include `+`/`-`.
+    Arith,
+    /// A function symbol of the given theory.
+    Tag(TheoryTag),
+}
+
+/// The root classification of a term.
+pub fn term_root(t: &Term) -> TermRoot {
+    match t.kind() {
+        TermKind::Var(_) => TermRoot::Var,
+        TermKind::Lin(_) => TermRoot::Arith,
+        TermKind::App(f, _) => TermRoot::Tag(f.theory()),
+    }
+}
+
+/// Which side(s) of a two-signature split can host an atom's *top-level*
+/// predicate and root structure (not necessarily its subterms).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AtomSide {
+    /// Only the first signature.
+    Left,
+    /// Only the second signature.
+    Right,
+    /// Both signatures (e.g. a variable equality, or an arithmetic fact when
+    /// both theories include arithmetic).
+    Both,
+}
+
+/// Classifies where an atom's top-level structure can live when splitting
+/// over `(sig1, sig2)`.
+///
+/// For a mixed equality `s = t` whose sides root in different signatures,
+/// the atom is hosted where the *left* term roots (purification will
+/// abstract the foreign side with a fresh variable).
+///
+/// # Panics
+///
+/// Panics if neither signature can host the atom — a misconfigured product.
+pub fn classify_atom(atom: &Atom, sig1: &Sig, sig2: &Sig) -> AtomSide {
+    let side_of_root = |t: &Term| -> (bool, bool) {
+        (sig1.owns_root(t), sig2.owns_root(t))
+    };
+    let (l, r) = match atom {
+        Atom::Le(..) => (
+            sig1.contains(TheoryTag::LINARITH),
+            sig2.contains(TheoryTag::LINARITH),
+        ),
+        Atom::Pred(p, _) => (sig1.contains(p.theory()), sig2.contains(p.theory())),
+        Atom::Eq(s, t) => {
+            let (sl, sr) = side_of_root(s);
+            let (tl, tr) = side_of_root(t);
+            match (sl && tl, sr && tr) {
+                (true, true) => (true, true),
+                (true, false) => (true, false),
+                (false, true) => (false, true),
+                (false, false) => {
+                    // Mixed equality: host on the side of the left term's
+                    // root (or the right's if the left is hostable nowhere,
+                    // which cannot happen for well-formed products).
+                    if sl {
+                        (true, false)
+                    } else if sr {
+                        (false, true)
+                    } else if tl {
+                        (true, false)
+                    } else {
+                        (false, true)
+                    }
+                }
+            }
+        }
+    };
+    match (l, r) {
+        (true, true) => AtomSide::Both,
+        (true, false) => AtomSide::Left,
+        (false, true) => AtomSide::Right,
+        (false, false) => panic!(
+            "atom `{atom}` belongs to neither signature {sig1} nor {sig2}"
+        ),
+    }
+}
+
+/// `AlienTerms(E)` for the split `(sig1, sig2)` — the set of maximal and
+/// nested subterms of `E` whose root symbol belongs to one signature while
+/// occurring as an argument of a symbol of the other (§2 and Figure 2 of
+/// the paper).
+///
+/// Arguments of the (shared) equality predicate are not alien by
+/// themselves; arguments of `<=` count as occurring under linear
+/// arithmetic.
+pub fn alien_terms(e: &Conj, sig1: &Sig, sig2: &Sig) -> BTreeSet<Term> {
+    let mut out = BTreeSet::new();
+    for atom in e {
+        match atom {
+            Atom::Eq(s, t) => {
+                // Equality args are in their own context.
+                collect_aliens_under(s, owner_mask(s, sig1, sig2), sig1, sig2, &mut out);
+                collect_aliens_under(t, owner_mask(t, sig1, sig2), sig1, sig2, &mut out);
+            }
+            Atom::Le(s, t) => {
+                let arith = (
+                    sig1.contains(TheoryTag::LINARITH),
+                    sig2.contains(TheoryTag::LINARITH),
+                );
+                collect_aliens_under(s, arith, sig1, sig2, &mut out);
+                collect_aliens_under(t, arith, sig1, sig2, &mut out);
+            }
+            Atom::Pred(p, t) => {
+                let mask = (sig1.contains(p.theory()), sig2.contains(p.theory()));
+                collect_aliens_under(t, mask, sig1, sig2, &mut out);
+            }
+        }
+    }
+    out
+}
+
+fn owner_mask(t: &Term, sig1: &Sig, sig2: &Sig) -> (bool, bool) {
+    (sig1.owns_root(t), sig2.owns_root(t))
+}
+
+/// Walks `t` in a context owned by the signature sides in `ctx`; a non-var
+/// subterm whose owners do not intersect `ctx` is alien.
+fn collect_aliens_under(
+    t: &Term,
+    ctx: (bool, bool),
+    sig1: &Sig,
+    sig2: &Sig,
+    out: &mut BTreeSet<Term>,
+) {
+    let own = owner_mask(t, sig1, sig2);
+    let is_var = matches!(t.kind(), TermKind::Var(_));
+    let compatible = (own.0 && ctx.0) || (own.1 && ctx.1);
+    let new_ctx = if is_var || compatible {
+        ctx
+    } else {
+        out.insert(t.clone());
+        own
+    };
+    match t.kind() {
+        TermKind::Var(_) => {}
+        TermKind::App(_, args) => {
+            for a in args {
+                collect_aliens_under(a, new_ctx, sig1, sig2, out);
+            }
+        }
+        TermKind::Lin(e) => {
+            for (a, _) in e.iter() {
+                collect_aliens_under(a, new_ctx, sig1, sig2, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::Vocab;
+
+    fn lin() -> Sig {
+        Sig::single(TheoryTag::LINARITH)
+    }
+
+    fn uf() -> Sig {
+        Sig::single(TheoryTag::UF)
+    }
+
+    #[test]
+    fn figure2_alien_terms() {
+        let vocab = Vocab::standard();
+        let e = vocab
+            .parse_conj("x3 <= F(2*x2 - x1) & x3 >= x1 & x1 = F(x1) & x2 = F(F(x1))")
+            .unwrap();
+        let aliens = alien_terms(&e, &lin(), &uf());
+        let shown: Vec<String> = aliens.iter().map(|t| t.to_string()).collect();
+        // Exactly the two terms called out in Figure 2.
+        assert_eq!(shown.len(), 2, "got {shown:?}");
+        assert!(shown.contains(&"2*x2 - x1".to_owned()));
+        assert!(shown.contains(&"F(2*x2 - x1)".to_owned()));
+    }
+
+    #[test]
+    fn pure_conj_has_no_aliens() {
+        let vocab = Vocab::standard();
+        let e = vocab.parse_conj("x = F(y) & y = F(F(x))").unwrap();
+        assert!(alien_terms(&e, &lin(), &uf()).is_empty());
+        let e2 = vocab.parse_conj("x <= 2*y + 3 & y = x - 4").unwrap();
+        assert!(alien_terms(&e2, &lin(), &uf()).is_empty());
+    }
+
+    #[test]
+    fn nested_aliens_found_at_each_alternation() {
+        let vocab = Vocab::standard();
+        // F(1 + F(y)) = x : alien terms are 1 + F(y) (arith under F) and
+        // F(y) (UF under arith).
+        let e = vocab.parse_conj("F(1 + F(y)) = x").unwrap();
+        let aliens = alien_terms(&e, &lin(), &uf());
+        let shown: Vec<String> = aliens.iter().map(|t| t.to_string()).collect();
+        assert!(shown.contains(&"F(y) + 1".to_owned()), "got {shown:?}");
+        assert!(shown.contains(&"F(y)".to_owned()), "got {shown:?}");
+        assert_eq!(shown.len(), 2);
+    }
+
+    #[test]
+    fn classify_sides() {
+        let vocab = Vocab::standard();
+        let e = vocab.parse_conj("x <= y & F(x) = y & x = y").unwrap();
+        let atoms = e.atoms();
+        assert_eq!(classify_atom(&atoms[0], &lin(), &uf()), AtomSide::Left);
+        assert_eq!(classify_atom(&atoms[1], &lin(), &uf()), AtomSide::Right);
+        assert_eq!(classify_atom(&atoms[2], &lin(), &uf()), AtomSide::Both);
+    }
+
+    #[test]
+    fn parity_sign_not_disjoint() {
+        let parity = Sig::single(TheoryTag::PARITY);
+        let sign = Sig::single(TheoryTag::SIGN);
+        assert!(parity.disjoint_tags(&sign));
+        assert!(!parity.disjoint_symbols(&sign));
+        assert!(lin().disjoint_symbols(&uf()));
+        assert!(uf().disjoint_symbols(&Sig::single(TheoryTag::LIST)));
+    }
+
+    #[test]
+    fn sig_union_owns_everything() {
+        let u = lin().union(&uf());
+        let vocab = Vocab::standard();
+        let e = vocab.parse_conj("x = F(2*y + 1)").unwrap();
+        assert!(u.owns_atom(&e.atoms()[0]));
+        assert!(!lin().owns_atom(&e.atoms()[0]));
+        assert!(!uf().owns_atom(&e.atoms()[0]));
+    }
+}

@@ -1,0 +1,268 @@
+//! Theory tags and theory-tagged function / predicate symbols.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// Identifies the theory a symbol belongs to.
+///
+/// The paper's combination framework is parameterized by two disjoint
+/// signatures; we realize signatures as sets of `TheoryTag`s. The tags for
+/// the five theories used in the paper's examples are predefined; further
+/// tags can be interned with [`TheoryTag::named`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TheoryTag(u32);
+
+impl TheoryTag {
+    /// Linear arithmetic: `+`, `-`, scalar multiples, constants, `<=`.
+    pub const LINARITH: TheoryTag = TheoryTag(0);
+    /// Uninterpreted functions.
+    pub const UF: TheoryTag = TheoryTag(1);
+    /// Lists: `cons`, `car`, `cdr`.
+    pub const LIST: TheoryTag = TheoryTag(2);
+    /// Parity: `even`, `odd` (shares `+`, `-`, `0`, `1` with linarith —
+    /// deliberately *not* disjoint, as in the paper's Figure 8).
+    pub const PARITY: TheoryTag = TheoryTag(3);
+    /// Sign: `positive`, `negative` (also not disjoint from linarith).
+    pub const SIGN: TheoryTag = TheoryTag(4);
+
+    const BUILTIN: [&'static str; 5] = ["linarith", "uf", "list", "parity", "sign"];
+
+    /// Interns a theory tag by name. Built-in names return the predefined
+    /// constants.
+    pub fn named(name: &str) -> TheoryTag {
+        if let Some(i) = Self::BUILTIN.iter().position(|&b| b == name) {
+            return TheoryTag(i as u32);
+        }
+        let mut t = tag_interner().lock().expect("tag interner poisoned");
+        if let Some(&id) = t.by_name.get(name) {
+            return TheoryTag(id);
+        }
+        let id = (Self::BUILTIN.len() + t.names.len()) as u32;
+        t.names.push(name.to_owned());
+        t.by_name.insert(name.to_owned(), id);
+        TheoryTag(id)
+    }
+
+    /// The tag's name.
+    pub fn name(&self) -> String {
+        let i = self.0 as usize;
+        if i < Self::BUILTIN.len() {
+            return Self::BUILTIN[i].to_owned();
+        }
+        let t = tag_interner().lock().expect("tag interner poisoned");
+        t.names[i - Self::BUILTIN.len()].clone()
+    }
+}
+
+struct TagInterner {
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
+}
+
+fn tag_interner() -> &'static Mutex<TagInterner> {
+    static I: OnceLock<Mutex<TagInterner>> = OnceLock::new();
+    I.get_or_init(|| Mutex::new(TagInterner { names: Vec::new(), by_name: HashMap::new() }))
+}
+
+impl fmt::Display for TheoryTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl fmt::Debug for TheoryTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An interned function symbol with a fixed arity and owning theory.
+///
+/// ```
+/// use cai_term::{FnSym, TheoryTag};
+/// let f = FnSym::new("F", 1, TheoryTag::UF);
+/// assert_eq!(f.arity(), 1);
+/// assert_eq!(f.theory(), TheoryTag::UF);
+/// assert_eq!(f, FnSym::new("F", 1, TheoryTag::UF));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FnSym(u32);
+
+struct FnInfo {
+    name: String,
+    arity: usize,
+    theory: TheoryTag,
+}
+
+struct FnInterner {
+    infos: Vec<FnInfo>,
+    by_key: HashMap<(String, usize, TheoryTag), u32>,
+}
+
+fn fn_interner() -> &'static Mutex<FnInterner> {
+    static I: OnceLock<Mutex<FnInterner>> = OnceLock::new();
+    I.get_or_init(|| Mutex::new(FnInterner { infos: Vec::new(), by_key: HashMap::new() }))
+}
+
+impl FnSym {
+    /// Interns a function symbol.
+    pub fn new(name: &str, arity: usize, theory: TheoryTag) -> FnSym {
+        let mut i = fn_interner().lock().expect("fn interner poisoned");
+        let key = (name.to_owned(), arity, theory);
+        if let Some(&id) = i.by_key.get(&key) {
+            return FnSym(id);
+        }
+        let id = i.infos.len() as u32;
+        i.infos.push(FnInfo { name: name.to_owned(), arity, theory });
+        i.by_key.insert(key, id);
+        FnSym(id)
+    }
+
+    /// A unary uninterpreted function (convenience for tests and the §5
+    /// reductions).
+    pub fn uf(name: &str, arity: usize) -> FnSym {
+        FnSym::new(name, arity, TheoryTag::UF)
+    }
+
+    /// The list constructor `cons`.
+    pub fn cons() -> FnSym {
+        FnSym::new("cons", 2, TheoryTag::LIST)
+    }
+
+    /// The list selector `car`.
+    pub fn car() -> FnSym {
+        FnSym::new("car", 1, TheoryTag::LIST)
+    }
+
+    /// The list selector `cdr`.
+    pub fn cdr() -> FnSym {
+        FnSym::new("cdr", 1, TheoryTag::LIST)
+    }
+
+    fn info<R>(&self, f: impl FnOnce(&FnInfo) -> R) -> R {
+        let i = fn_interner().lock().expect("fn interner poisoned");
+        f(&i.infos[self.0 as usize])
+    }
+
+    /// The symbol's name.
+    pub fn name(&self) -> String {
+        self.info(|i| i.name.clone())
+    }
+
+    /// The symbol's arity.
+    pub fn arity(&self) -> usize {
+        self.info(|i| i.arity)
+    }
+
+    /// The theory the symbol belongs to.
+    pub fn theory(&self) -> TheoryTag {
+        self.info(|i| i.theory)
+    }
+}
+
+impl fmt::Display for FnSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl fmt::Debug for FnSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name(), self.arity())
+    }
+}
+
+/// A unary predicate symbol (other than equality and `<=`, which are
+/// structural in [`Atom`](crate::Atom)).
+///
+/// The paper's example theories contribute `even`, `odd` (parity) and
+/// `positive`, `negative` (sign).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PredSym {
+    /// `even(t)` — parity theory.
+    Even,
+    /// `odd(t)` — parity theory.
+    Odd,
+    /// `positive(t)` — sign theory.
+    Positive,
+    /// `negative(t)` — sign theory.
+    Negative,
+}
+
+impl PredSym {
+    /// The theory the predicate belongs to.
+    pub fn theory(&self) -> TheoryTag {
+        match self {
+            PredSym::Even | PredSym::Odd => TheoryTag::PARITY,
+            PredSym::Positive | PredSym::Negative => TheoryTag::SIGN,
+        }
+    }
+
+    /// The predicate's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PredSym::Even => "even",
+            PredSym::Odd => "odd",
+            PredSym::Positive => "positive",
+            PredSym::Negative => "negative",
+        }
+    }
+
+    /// Looks a predicate up by name.
+    pub fn from_name(name: &str) -> Option<PredSym> {
+        match name {
+            "even" => Some(PredSym::Even),
+            "odd" => Some(PredSym::Odd),
+            "positive" => Some(PredSym::Positive),
+            "negative" => Some(PredSym::Negative),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PredSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_interning() {
+        let f1 = FnSym::uf("F", 1);
+        let f2 = FnSym::uf("F", 1);
+        assert_eq!(f1, f2);
+        // Same name, different arity: different symbol.
+        let f3 = FnSym::uf("F", 2);
+        assert_ne!(f1, f3);
+        assert_eq!(f3.arity(), 2);
+    }
+
+    #[test]
+    fn builtin_tags() {
+        assert_eq!(TheoryTag::named("linarith"), TheoryTag::LINARITH);
+        assert_eq!(TheoryTag::named("uf"), TheoryTag::UF);
+        assert_eq!(TheoryTag::LINARITH.name(), "linarith");
+        let custom = TheoryTag::named("arrays");
+        assert_eq!(custom, TheoryTag::named("arrays"));
+        assert_ne!(custom, TheoryTag::UF);
+        assert_eq!(custom.name(), "arrays");
+    }
+
+    #[test]
+    fn list_symbols() {
+        assert_eq!(FnSym::cons().arity(), 2);
+        assert_eq!(FnSym::car().theory(), TheoryTag::LIST);
+    }
+
+    #[test]
+    fn pred_lookup() {
+        assert_eq!(PredSym::from_name("even"), Some(PredSym::Even));
+        assert_eq!(PredSym::from_name("bogus"), None);
+        assert_eq!(PredSym::Positive.theory(), TheoryTag::SIGN);
+    }
+}

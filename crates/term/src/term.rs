@@ -1,0 +1,371 @@
+//! Mixed-theory terms with a normalized linear layer.
+
+use crate::lin::LinExpr;
+use crate::sym::FnSym;
+use crate::var::{Var, VarSet};
+use cai_num::{Int, Rat};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The shape of a [`Term`].
+///
+/// Values of this enum are only created through `Term`'s smart
+/// constructors, which maintain the normalization invariants documented on
+/// [`Term`].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TermKind {
+    /// A variable.
+    Var(Var),
+    /// An application of a theory function symbol (uninterpreted functions,
+    /// list constructors/selectors, ...).
+    App(FnSym, Vec<Term>),
+    /// A normalized linear-arithmetic combination of non-arithmetic terms.
+    Lin(LinExpr),
+}
+
+/// An immutable, cheaply clonable term over the union of theories.
+///
+/// # Normalization invariants
+///
+/// - Arithmetic structure is flattened into [`LinExpr`]: nested sums,
+///   differences and scalar multiples are combined, so `x + x` and `2*x`
+///   are the *same* term.
+/// - A `Lin` node never wraps a bare atom (a `Lin` with zero constant and a
+///   single coefficient-1 atom is collapsed to the atom itself), and the
+///   atoms inside a `LinExpr` are never themselves `Lin` nodes.
+///
+/// Structural equality therefore coincides with equality modulo the
+/// arithmetic normalization, which is what the purification and
+/// alien-term machinery relies on.
+///
+/// ```
+/// use cai_term::{Term, Var, FnSym};
+/// let x = Term::var(Var::named("x"));
+/// let fx = Term::app(FnSym::uf("F", 1), vec![x.clone()]);
+/// let twice = Term::add(&fx, &fx);
+/// assert_eq!(twice, Term::scale(&"2".parse().unwrap(), &fx));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Term(Arc<TermKind>);
+
+impl Term {
+    /// A variable term.
+    pub fn var(v: Var) -> Term {
+        Term(Arc::new(TermKind::Var(v)))
+    }
+
+    /// A variable term, interning the name.
+    pub fn var_named(name: &str) -> Term {
+        Term::var(Var::named(name))
+    }
+
+    /// An integer constant.
+    pub fn int(v: i64) -> Term {
+        Term::constant(Rat::from(v))
+    }
+
+    /// A rational constant.
+    pub fn constant(c: Rat) -> Term {
+        Term(Arc::new(TermKind::Lin(LinExpr::constant(c))))
+    }
+
+    /// An application `f(args)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len()` differs from the symbol's arity.
+    pub fn app(f: FnSym, args: Vec<Term>) -> Term {
+        assert_eq!(
+            args.len(),
+            f.arity(),
+            "arity mismatch applying {:?} to {} arguments",
+            f,
+            args.len()
+        );
+        Term(Arc::new(TermKind::App(f, args)))
+    }
+
+    /// Builds a term from a linear expression, collapsing trivial wrappers.
+    pub fn lin(e: LinExpr) -> Term {
+        if let Some(atom) = e.as_single_atom() {
+            return atom.clone();
+        }
+        Term(Arc::new(TermKind::Lin(e)))
+    }
+
+    /// The term's shape.
+    pub fn kind(&self) -> &TermKind {
+        &self.0
+    }
+
+    /// Returns the variable if this term is one.
+    pub fn as_var(&self) -> Option<Var> {
+        match self.kind() {
+            TermKind::Var(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the constant value if this term is one.
+    pub fn as_constant(&self) -> Option<&Rat> {
+        match self.kind() {
+            TermKind::Lin(e) => e.as_constant(),
+            _ => None,
+        }
+    }
+
+    /// Views the term as a linear expression (a non-`Lin` term becomes a
+    /// single coefficient-1 atom).
+    pub fn to_lin(&self) -> LinExpr {
+        match self.kind() {
+            TermKind::Lin(e) => e.clone(),
+            _ => LinExpr::atom(self.clone()),
+        }
+    }
+
+    /// The sum of two terms.
+    pub fn add(a: &Term, b: &Term) -> Term {
+        Term::lin(a.to_lin().add(&b.to_lin()))
+    }
+
+    /// The difference of two terms.
+    pub fn sub(a: &Term, b: &Term) -> Term {
+        Term::lin(a.to_lin().sub(&b.to_lin()))
+    }
+
+    /// The negation of a term.
+    pub fn neg(a: &Term) -> Term {
+        Term::lin(a.to_lin().scale(&-Rat::one()))
+    }
+
+    /// A scalar multiple of a term.
+    pub fn scale(c: &Rat, a: &Term) -> Term {
+        Term::lin(a.to_lin().scale(c))
+    }
+
+    /// Collects the variables occurring in the term into `out`.
+    pub fn collect_vars(&self, out: &mut VarSet) {
+        match self.kind() {
+            TermKind::Var(v) => {
+                out.insert(*v);
+            }
+            TermKind::App(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+            TermKind::Lin(e) => {
+                for (atom, _) in e.iter() {
+                    atom.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// The set of variables occurring in the term.
+    pub fn vars(&self) -> VarSet {
+        let mut s = VarSet::new();
+        self.collect_vars(&mut s);
+        s
+    }
+
+    /// Returns `true` if any variable of `vars` occurs in the term.
+    pub fn mentions_any(&self, vars: &VarSet) -> bool {
+        match self.kind() {
+            TermKind::Var(v) => vars.contains(v),
+            TermKind::App(_, args) => args.iter().any(|a| a.mentions_any(vars)),
+            TermKind::Lin(e) => e.iter().any(|(a, _)| a.mentions_any(vars)),
+        }
+    }
+
+    /// Capture-free simultaneous substitution of variables by terms,
+    /// renormalizing the arithmetic layer.
+    pub fn subst(&self, map: &BTreeMap<Var, Term>) -> Term {
+        if map.is_empty() {
+            return self.clone();
+        }
+        match self.kind() {
+            TermKind::Var(v) => map.get(v).cloned().unwrap_or_else(|| self.clone()),
+            TermKind::App(f, args) => {
+                Term::app(*f, args.iter().map(|a| a.subst(map)).collect())
+            }
+            TermKind::Lin(e) => {
+                let mut acc = LinExpr::constant(e.constant_part().clone());
+                for (atom, coeff) in e.iter() {
+                    let replaced = atom.subst(map);
+                    acc = acc.add(&replaced.to_lin().scale(coeff));
+                }
+                Term::lin(acc)
+            }
+        }
+    }
+
+    /// Replaces every occurrence of the (whole) term `from` by `to`,
+    /// bottom-up, renormalizing arithmetic.
+    pub fn replace_term(&self, from: &Term, to: &Term) -> Term {
+        if self == from {
+            return to.clone();
+        }
+        match self.kind() {
+            TermKind::Var(_) => self.clone(),
+            TermKind::App(f, args) => {
+                let t = Term::app(*f, args.iter().map(|a| a.replace_term(from, to)).collect());
+                if &t == from {
+                    to.clone()
+                } else {
+                    t
+                }
+            }
+            TermKind::Lin(e) => {
+                let mut acc = LinExpr::constant(e.constant_part().clone());
+                for (atom, coeff) in e.iter() {
+                    let replaced = atom.replace_term(from, to);
+                    acc = acc.add(&replaced.to_lin().scale(coeff));
+                }
+                let t = Term::lin(acc);
+                if &t == from {
+                    to.clone()
+                } else {
+                    t
+                }
+            }
+        }
+    }
+
+    /// The number of nodes in the term (used for size metrics and for
+    /// choosing minimal representatives).
+    pub fn size(&self) -> usize {
+        match self.kind() {
+            TermKind::Var(_) => 1,
+            TermKind::App(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
+            TermKind::Lin(e) => 1 + e.iter().map(|(a, _)| a.size()).sum::<usize>(),
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Term {
+        Term::var(v)
+    }
+}
+
+impl From<i64> for Term {
+    fn from(v: i64) -> Term {
+        Term::int(v)
+    }
+}
+
+impl From<Rat> for Term {
+    fn from(c: Rat) -> Term {
+        Term::constant(c)
+    }
+}
+
+impl From<Int> for Term {
+    fn from(c: Int) -> Term {
+        Term::constant(Rat::from(c))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            TermKind::Var(v) => write!(f, "{v}"),
+            TermKind::App(g, args) => {
+                write!(f, "{}", g.name())?;
+                f.write_str("(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            TermKind::Lin(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::TheoryTag;
+
+    fn v(n: &str) -> Term {
+        Term::var_named(n)
+    }
+
+    #[test]
+    fn arithmetic_normalizes() {
+        let x = v("x");
+        let y = v("y");
+        // x + y - x == y (collapses to the bare variable)
+        let t = Term::sub(&Term::add(&x, &y), &x);
+        assert_eq!(t, y);
+        // 2*(x + 1) == 2x + 2
+        let two = Rat::from(2i64);
+        let t2 = Term::scale(&two, &Term::add(&x, &Term::int(1)));
+        assert_eq!(t2.to_string(), "2*x + 2");
+    }
+
+    #[test]
+    fn uf_terms_are_atoms_of_lin() {
+        let f = FnSym::uf("F", 1);
+        let fx = Term::app(f, vec![v("x")]);
+        let sum = Term::add(&fx, &fx);
+        assert_eq!(sum.to_string(), "2*F(x)");
+        assert_eq!(Term::sub(&sum, &Term::scale(&Rat::from(2i64), &fx)), Term::int(0));
+    }
+
+    #[test]
+    fn subst_renormalizes() {
+        let x = Var::named("x");
+        let t = Term::add(&Term::var(x), &v("y")); // x + y
+        let mut m = BTreeMap::new();
+        m.insert(x, Term::sub(&v("z"), &v("y"))); // x := z - y
+        assert_eq!(t.subst(&m), v("z"));
+    }
+
+    #[test]
+    fn subst_under_apps() {
+        let f = FnSym::uf("F", 1);
+        let x = Var::named("x");
+        let t = Term::app(f, vec![Term::add(&Term::var(x), &Term::int(1))]);
+        let mut m = BTreeMap::new();
+        m.insert(x, Term::int(4));
+        assert_eq!(t.subst(&m).to_string(), "F(5)");
+    }
+
+    #[test]
+    fn replace_term_rebuilds() {
+        let f = FnSym::uf("F", 1);
+        let fx = Term::app(f, vec![v("x")]);
+        let t = Term::add(&fx, &v("y")); // F(x) + y
+        let r = t.replace_term(&fx, &v("z"));
+        assert_eq!(r.to_string(), "y + z");
+    }
+
+    #[test]
+    fn vars_and_size() {
+        let f = FnSym::uf("G", 2);
+        let t = Term::app(f, vec![v("a"), Term::add(&v("b"), &Term::int(3))]);
+        let vars: Vec<&str> = t.vars().iter().map(|v| v.name()).collect();
+        assert_eq!(vars, ["a", "b"]);
+        assert!(t.size() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let f = FnSym::new("H", 2, TheoryTag::UF);
+        let _ = Term::app(f, vec![v("x")]);
+    }
+}

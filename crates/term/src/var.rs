@@ -1,0 +1,121 @@
+//! Globally interned program variables.
+
+use std::collections::BTreeSet;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned variable.
+///
+/// Two variables with the same name are the same `Var`; [`Var::fresh`]
+/// produces a variable whose name is guaranteed not to collide with any
+/// previously interned name. Variables are `Copy`, and their ordering is
+/// the (deterministic) lexicographic order of their names, so displayed
+/// conjunctions and linear expressions are stable across runs.
+///
+/// ```
+/// use cai_term::Var;
+/// let x = Var::named("x");
+/// assert_eq!(x, Var::named("x"));
+/// assert_eq!(x.name(), "x");
+/// assert!(Var::named("a") < Var::named("b"));
+/// let t = Var::fresh("t");
+/// assert_ne!(t, Var::named("t"));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(&'static str);
+
+/// A sorted set of variables.
+pub type VarSet = BTreeSet<Var>;
+
+struct Interner {
+    names: HashSet<&'static str>,
+    fresh_counter: u64,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner { names: HashSet::new(), fresh_counter: 0 })
+    })
+}
+
+impl Var {
+    /// Interns `name` and returns the corresponding variable.
+    pub fn named(name: &str) -> Var {
+        let mut i = interner().lock().expect("variable interner poisoned");
+        if let Some(&s) = i.names.get(name) {
+            return Var(s);
+        }
+        let s: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        i.names.insert(s);
+        Var(s)
+    }
+
+    /// Creates a fresh variable whose name starts with `prefix` and does
+    /// not collide with any interned name.
+    pub fn fresh(prefix: &str) -> Var {
+        let mut i = interner().lock().expect("variable interner poisoned");
+        loop {
+            let n = i.fresh_counter;
+            i.fresh_counter += 1;
+            let name = format!("{prefix}${n}");
+            if !i.names.contains(name.as_str()) {
+                let s: &'static str = Box::leak(name.into_boxed_str());
+                i.names.insert(s);
+                return Var(s);
+            }
+        }
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &'static str {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let a = Var::named("alpha");
+        let b = Var::named("alpha");
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "alpha");
+    }
+
+    #[test]
+    fn distinct_names_distinct_vars() {
+        assert_ne!(Var::named("p"), Var::named("q"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Var::named("aa") < Var::named("ab"));
+        assert!(Var::named("x1") < Var::named("x2"));
+    }
+
+    #[test]
+    fn fresh_never_collides() {
+        let f1 = Var::fresh("tmp");
+        let f2 = Var::fresh("tmp");
+        assert_ne!(f1, f2);
+        assert!(f1.name().starts_with("tmp$"));
+        // Interning the fresh name yields the same var.
+        assert_eq!(Var::named(f1.name()), f1);
+    }
+}

@@ -1,0 +1,393 @@
+//! The uninterpreted-functions abstract domain (global value numbering /
+//! Herbrand equivalences — references [11, 12, 15] of the paper).
+
+use crate::egraph::EGraph;
+use crate::product::join_equalities;
+use cai_core::{AbstractDomain, Partition, TheoryProps};
+use cai_term::{Atom, Conj, Sig, Term, TheoryTag, Var, VarSet};
+use std::fmt;
+
+/// An element of the UF domain: a finite conjunction of equalities between
+/// uninterpreted-function terms, kept in a canonical generating form, or
+/// an explicit bottom.
+///
+/// Conjunctions of equations over uninterpreted functions are always
+/// satisfiable, so bottom only arises by propagation from a sibling domain
+/// during Nelson–Oppen saturation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct UfElem {
+    /// `None` is bottom; otherwise the canonical equalities.
+    eqs: Option<Vec<(Term, Term)>>,
+}
+
+impl UfElem {
+    /// The top element.
+    pub fn top() -> UfElem {
+        UfElem { eqs: Some(Vec::new()) }
+    }
+
+    /// The bottom element.
+    pub fn bottom() -> UfElem {
+        UfElem { eqs: None }
+    }
+
+    /// Returns `true` if this is bottom.
+    pub fn is_bottom(&self) -> bool {
+        self.eqs.is_none()
+    }
+
+    /// The canonical equalities (empty for bottom).
+    pub fn equalities(&self) -> &[(Term, Term)] {
+        self.eqs.as_deref().unwrap_or(&[])
+    }
+
+    /// The variables mentioned.
+    pub fn vars(&self) -> VarSet {
+        let mut out = VarSet::new();
+        for (s, t) in self.equalities() {
+            s.collect_vars(&mut out);
+            t.collect_vars(&mut out);
+        }
+        out
+    }
+
+    /// Rebuilds the congruence closure of the element.
+    pub fn closure(&self) -> EGraph {
+        let mut g = EGraph::new();
+        for (s, t) in self.equalities() {
+            g.assert_eq(s, t);
+        }
+        g
+    }
+
+    fn from_pairs(pairs: Vec<(Term, Term)>, max_size: usize) -> UfElem {
+        // Canonicalize: close, then emit the generating set with every
+        // variable anchored.
+        let mut g = EGraph::new();
+        for (s, t) in &pairs {
+            g.assert_eq(s, t);
+        }
+        let all = |_: Var| true;
+        UfElem { eqs: Some(g.emit_equalities(&all, max_size)) }
+    }
+}
+
+impl fmt::Display for UfElem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.eqs {
+            None => f.write_str("false"),
+            Some(eqs) if eqs.is_empty() => f.write_str("true"),
+            Some(eqs) => {
+                for (i, (s, t)) in eqs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" & ")?;
+                    }
+                    write!(f, "{s} = {t}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The uninterpreted-functions abstract domain.
+///
+/// - implication and `VE_T` are congruence closure,
+/// - `Q_L` erases variables via `V`-free minimal representatives
+///   (Gulwani & Necula, SAS 2004),
+/// - the join is the product-graph construction of \[15\], which discovers
+///   equalities over terms occurring in neither input (`x = F(y)` from
+///   Figure 4's branches), and
+/// - `Alternate_T` reads a representative off the congruence-closed
+///   e-graph.
+///
+/// ```
+/// use cai_core::AbstractDomain;
+/// use cai_uf::UfDomain;
+/// use cai_term::parse::Vocab;
+///
+/// let vocab = Vocab::standard();
+/// let d = UfDomain::new();
+/// let e = d.from_conj(&vocab.parse_conj("x = F(a) & y = F(b) & a = b")?);
+/// assert!(d.implies_atom(&e, &vocab.parse_atom("x = y")?));
+/// # Ok::<(), cai_term::parse::ParseError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct UfDomain {
+    /// Bound on representative term size (see
+    /// [`EGraph::representatives`]); defaults to 64.
+    max_term_size: usize,
+}
+
+impl UfDomain {
+    /// Creates the domain with the default term-size bound.
+    pub fn new() -> UfDomain {
+        UfDomain { max_term_size: 64 }
+    }
+
+    /// Creates the domain with a custom bound on representative term size.
+    pub fn with_max_term_size(max_term_size: usize) -> UfDomain {
+        UfDomain { max_term_size }
+    }
+}
+
+impl Default for UfDomain {
+    fn default() -> UfDomain {
+        UfDomain::new()
+    }
+}
+
+impl AbstractDomain for UfDomain {
+    type Elem = UfElem;
+
+    fn sig(&self) -> Sig {
+        Sig::single(TheoryTag::UF)
+    }
+
+    fn props(&self) -> TheoryProps {
+        TheoryProps::nelson_oppen()
+    }
+
+    fn top(&self) -> UfElem {
+        UfElem::top()
+    }
+
+    fn bottom(&self) -> UfElem {
+        UfElem::bottom()
+    }
+
+    fn is_bottom(&self, e: &UfElem) -> bool {
+        e.is_bottom()
+    }
+
+    fn meet_atom(&self, e: &UfElem, atom: &Atom) -> UfElem {
+        let Atom::Eq(s, t) = atom else {
+            panic!("atom `{atom}` is outside the uninterpreted-functions signature")
+        };
+        if e.is_bottom() {
+            return UfElem::bottom();
+        }
+        let mut pairs: Vec<(Term, Term)> = e.equalities().to_vec();
+        pairs.push((s.clone(), t.clone()));
+        UfElem::from_pairs(pairs, self.max_term_size)
+    }
+
+    fn meet_all(&self, e: &UfElem, atoms: &[Atom]) -> UfElem {
+        if e.is_bottom() {
+            return UfElem::bottom();
+        }
+        let mut pairs: Vec<(Term, Term)> = e.equalities().to_vec();
+        for atom in atoms {
+            let Atom::Eq(s, t) = atom else {
+                panic!("atom `{atom}` is outside the uninterpreted-functions signature")
+            };
+            pairs.push((s.clone(), t.clone()));
+        }
+        UfElem::from_pairs(pairs, self.max_term_size)
+    }
+
+    fn implies_atom(&self, e: &UfElem, atom: &Atom) -> bool {
+        let Atom::Eq(s, t) = atom else {
+            panic!("atom `{atom}` is outside the uninterpreted-functions signature")
+        };
+        if e.is_bottom() {
+            return true;
+        }
+        e.closure().proves_eq(s, t)
+    }
+
+    fn join(&self, a: &UfElem, b: &UfElem) -> UfElem {
+        if a.is_bottom() {
+            return b.clone();
+        }
+        if b.is_bottom() {
+            return a.clone();
+        }
+        let mut g1 = a.closure();
+        let mut g2 = b.closure();
+        let mut vars = a.vars();
+        vars.extend(b.vars());
+        let eqs = join_equalities(&mut g1, &mut g2, &vars, self.max_term_size);
+        UfElem::from_pairs(eqs, self.max_term_size)
+    }
+
+    fn exists(&self, e: &UfElem, vars: &VarSet) -> UfElem {
+        if e.is_bottom() {
+            return UfElem::bottom();
+        }
+        let g = e.closure();
+        let anchor = |v: Var| !vars.contains(&v);
+        UfElem { eqs: Some(g.emit_equalities(&anchor, self.max_term_size)) }
+    }
+
+    fn var_equalities(&self, e: &UfElem) -> Partition {
+        let mut p = Partition::new();
+        if e.is_bottom() {
+            return p;
+        }
+        let g = e.closure();
+        let mut by_root: std::collections::BTreeMap<usize, Var> =
+            std::collections::BTreeMap::new();
+        for (v, id) in g.vars() {
+            let root = g.find(id);
+            match by_root.get(&root) {
+                Some(&first) => {
+                    p.union(first, v);
+                }
+                None => {
+                    by_root.insert(root, v);
+                }
+            }
+        }
+        p
+    }
+
+    fn alternate(&self, e: &UfElem, y: Var, avoid: &VarSet) -> Option<Term> {
+        if e.is_bottom() {
+            return None;
+        }
+        let mut g = e.closure();
+        let yid = g.add(&Term::var(y));
+        let root = g.find(yid);
+        let anchor = |v: Var| v != y && !avoid.contains(&v);
+        let reps = g.representatives(&anchor, self.max_term_size);
+        reps.get(&root).cloned()
+    }
+
+    fn alternates(
+        &self,
+        e: &UfElem,
+        targets: &VarSet,
+        avoid: &VarSet,
+    ) -> std::collections::BTreeMap<Var, Term> {
+        if e.is_bottom() {
+            return std::collections::BTreeMap::new();
+        }
+        // One closure + one representative pass serves every target
+        // (`targets ⊆ avoid`, so each target's own name is excluded).
+        let mut g = e.closure();
+        let roots: Vec<(Var, usize)> = targets
+            .iter()
+            .map(|&y| {
+                let id = g.add(&Term::var(y));
+                (y, id)
+            })
+            .collect();
+        let anchor = |v: Var| !avoid.contains(&v);
+        let reps = g.representatives(&anchor, self.max_term_size);
+        roots
+            .into_iter()
+            .filter_map(|(y, id)| reps.get(&g.find(id)).map(|t| (y, t.clone())))
+            .collect()
+    }
+
+    fn to_conj(&self, e: &UfElem) -> Conj {
+        if e.is_bottom() {
+            return Conj::of(Atom::eq(Term::int(0), Term::int(1)));
+        }
+        e.equalities()
+            .iter()
+            .map(|(s, t)| Atom::eq(s.clone(), t.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cai_term::parse::Vocab;
+
+    fn d() -> UfDomain {
+        UfDomain::new()
+    }
+
+    fn elem(src: &str) -> UfElem {
+        let v = Vocab::standard();
+        d().from_conj(&v.parse_conj(src).unwrap())
+    }
+
+    fn atom(src: &str) -> Atom {
+        Vocab::standard().parse_atom(src).unwrap()
+    }
+
+    #[test]
+    fn congruence_implication() {
+        let e = elem("x = F(a) & y = F(b) & a = b");
+        assert!(d().implies_atom(&e, &atom("x = y")));
+        assert!(!d().implies_atom(&e, &atom("x = a")));
+    }
+
+    #[test]
+    fn figure4_join() {
+        // Branch 1: x = F(a + 1)... handled at product level; the pure UF
+        // shadow is x = F(a') & y = a' vs x = F(b') & y = b'.
+        let a = elem("x = F(a1) & y = a1");
+        let b = elem("x = F(b1) & y = b1");
+        let j = d().join(&a, &b);
+        assert!(d().implies_atom(&j, &atom("x = F(y)")), "join = {j}");
+    }
+
+    #[test]
+    fn exists_erases_and_keeps() {
+        let e = elem("x = F(u) & y = F(u)");
+        let vs: VarSet = [Var::named("u")].into_iter().collect();
+        let q = d().exists(&e, &vs);
+        assert!(d().implies_atom(&q, &atom("x = y")));
+        assert!(!q.vars().contains(&Var::named("u")));
+        assert!(!d().implies_atom(&q, &atom("x = F(u)")));
+    }
+
+    #[test]
+    fn alternate_reads_representative() {
+        let e = elem("y = F(G(a, b))");
+        let avoid: VarSet = VarSet::new();
+        let t = d().alternate(&e, Var::named("y"), &avoid).unwrap();
+        assert_eq!(t.to_string(), "F(G(a, b))");
+        // Avoiding a blocks that representative.
+        let avoid: VarSet = [Var::named("a")].into_iter().collect();
+        assert!(d().alternate(&e, Var::named("y"), &avoid).is_none());
+    }
+
+    #[test]
+    fn var_equalities_are_classes() {
+        let e = elem("x = F(a) & y = F(a) & z = G(x, x)");
+        let p = d().var_equalities(&e);
+        assert!(p.same(Var::named("x"), Var::named("y")));
+        assert!(!p.same(Var::named("x"), Var::named("z")));
+    }
+
+    #[test]
+    fn meet_accumulates() {
+        let e = elem("x = F(a)");
+        let e2 = d().meet_atom(&e, &atom("a = b"));
+        assert!(d().implies_atom(&e2, &atom("x = F(b)")));
+    }
+
+    #[test]
+    fn join_self_is_equivalent() {
+        let e = elem("x = F(y) & z = G(x, y)");
+        let j = d().join(&e, &e);
+        for (s, t) in e.equalities() {
+            assert!(d().implies_atom(&j, &Atom::eq(s.clone(), t.clone())), "lost {s} = {t}");
+        }
+        for (s, t) in j.equalities() {
+            assert!(d().implies_atom(&e, &Atom::eq(s.clone(), t.clone())));
+        }
+    }
+
+    #[test]
+    fn bottom_propagates() {
+        assert!(d().is_bottom(&UfElem::bottom()));
+        assert!(d().implies_atom(&UfElem::bottom(), &atom("x = y")));
+        let j = d().join(&UfElem::bottom(), &elem("x = F(y)"));
+        assert!(d().implies_atom(&j, &atom("x = F(y)")));
+    }
+
+    #[test]
+    fn cyclic_equalities_are_stable() {
+        let e = elem("x = F(x)");
+        assert!(d().implies_atom(&e, &atom("x = F(F(F(x)))")));
+        let j = d().join(&e, &e);
+        assert!(d().implies_atom(&j, &atom("x = F(x)")), "join = {j}");
+    }
+}

@@ -1,0 +1,17 @@
+//! The uninterpreted-functions abstract domain (Herbrand equivalences /
+//! global value numbering) for the `cai` workspace.
+//!
+//! Implements the logical lattice over the theory of uninterpreted
+//! functions (§2 of *Combining Abstract Interpreters*): congruence-closure
+//! [`EGraph`]s decide implication and implied variable equalities; the
+//! join is the product-graph construction of Gulwani–Tiwari–Necula \[15\];
+//! existential quantification erases variables via minimal `V`-free
+//! representatives (Gulwani & Necula, SAS 2004 \[12\]).
+
+mod domain;
+mod egraph;
+mod product;
+
+pub use domain::{UfDomain, UfElem};
+pub use egraph::{EGraph, NodeId, NodeKey};
+pub use product::join_equalities;

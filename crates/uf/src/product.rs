@@ -1,0 +1,327 @@
+//! The join of uninterpreted-function abstractions via the product-graph
+//! construction (Gulwani, Tiwari & Necula, FST&TCS 2004 — reference [15]
+//! of the paper).
+//!
+//! The equalities implied by *both* inputs are exactly the pairs of terms
+//! mapping to the same pair `(class in G1, class in G2)`. The product
+//! graph materializes the reachable pairs and a finite generating set of
+//! their defining equations — including equations over terms that occur in
+//! *neither* input, such as `x = F(y)` from `x = F(a) ∧ y = a` joined with
+//! `x = F(b) ∧ y = b`.
+
+use crate::egraph::{EGraph, NodeId, NodeKey};
+use cai_term::{FnSym, Term, Var, VarSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A node of the product graph: a pair of class roots.
+type PairId = usize;
+
+#[derive(Default)]
+struct ProductGraph {
+    pairs: Vec<(NodeId, NodeId)>,
+    index: HashMap<(NodeId, NodeId), PairId>,
+    vars: Vec<BTreeSet<Var>>,
+    defs: Vec<BTreeSet<(FnSym, Vec<PairId>)>>,
+    /// Pairs indexed by their first component (for argument enumeration).
+    by_left: HashMap<NodeId, Vec<PairId>>,
+}
+
+impl ProductGraph {
+    fn intern(&mut self, p: (NodeId, NodeId)) -> (PairId, bool) {
+        if let Some(&id) = self.index.get(&p) {
+            return (id, false);
+        }
+        let id = self.pairs.len();
+        self.pairs.push(p);
+        self.index.insert(p, id);
+        self.vars.push(BTreeSet::new());
+        self.defs.push(BTreeSet::new());
+        self.by_left.entry(p.0).or_default().push(id);
+        (id, true)
+    }
+}
+
+/// An upper bound on the argument-assignment combinations explored per
+/// application node per round; prevents pathological blow-ups on highly
+/// ambiguous graphs while remaining exact on the paper's workloads.
+const MAX_COMBOS: usize = 4096;
+
+/// Computes a generating set of the equalities implied by both closures.
+///
+/// `vars` is the set of variables the result may mention (typically the
+/// union of both elements' variables); `max_size` bounds representative
+/// terms as in [`EGraph::representatives`].
+pub fn join_equalities(
+    g1: &mut EGraph,
+    g2: &mut EGraph,
+    vars: &VarSet,
+    max_size: usize,
+) -> Vec<(Term, Term)> {
+    // Both graphs must know every variable.
+    for &v in vars {
+        g1.add(&Term::var(v));
+        g2.add(&Term::var(v));
+    }
+    let mut pg = ProductGraph::default();
+    // Seed with variable pairs.
+    for &v in vars {
+        let n1 = g1.find(g1.var_node(v).expect("added above"));
+        let n2 = g2.find(g2.var_node(v).expect("added above"));
+        let (id, _) = pg.intern((n1, n2));
+        pg.vars[id].insert(v);
+    }
+    // Also seed opaque leaves present in both graphs.
+    let leaves: Vec<(Term, NodeId)> = g1
+        .node_ids()
+        .filter_map(|id| match g1.key(id) {
+            NodeKey::Leaf(t) => Some((t.clone(), g1.find(id))),
+            _ => None,
+        })
+        .collect();
+    for (t, r1) in leaves {
+        let n2 = g2.add(&t);
+        let r2 = g2.find(n2);
+        pg.intern((r1, r2));
+    }
+    // Saturate: a G1 application whose argument classes all pair with
+    // existing product nodes, and whose G2 counterpart exists, induces a
+    // product node with a definition.
+    loop {
+        let mut changed = false;
+        for id in g1.node_ids() {
+            let NodeKey::App(f, args) = g1.key(id).clone() else {
+                continue;
+            };
+            let c1 = g1.find(id);
+            let arg_roots: Vec<NodeId> = args.iter().map(|&a| g1.find(a)).collect();
+            // Enumerate assignments of product nodes to the arguments.
+            let choices: Vec<Vec<PairId>> = arg_roots
+                .iter()
+                .map(|r| pg.by_left.get(r).cloned().unwrap_or_default())
+                .collect();
+            if choices.iter().any(Vec::is_empty) {
+                continue;
+            }
+            let total: usize = choices.iter().map(Vec::len).product();
+            if total > MAX_COMBOS {
+                continue;
+            }
+            let mut combo = vec![0usize; choices.len()];
+            'combos: loop {
+                let pair_args: Vec<PairId> =
+                    combo.iter().zip(&choices).map(|(&i, c)| c[i]).collect();
+                let right_args: Vec<NodeId> = pair_args
+                    .iter()
+                    .map(|&p| g2.find(pg.pairs[p].1))
+                    .collect();
+                if let Some(m) = g2.lookup_app(f, &right_args) {
+                    let c2 = g2.find(m);
+                    let (pid, fresh) = pg.intern((c1, c2));
+                    if pg.defs[pid].insert((f, pair_args)) || fresh {
+                        changed = true;
+                    }
+                }
+                // Advance the mixed-radix counter.
+                for i in 0..combo.len() {
+                    combo[i] += 1;
+                    if combo[i] < choices[i].len() {
+                        continue 'combos;
+                    }
+                    combo[i] = 0;
+                }
+                break;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Representatives per product node: least fixpoint, smallest term.
+    let mut rep: BTreeMap<PairId, Term> = BTreeMap::new();
+    for (id, vs) in pg.vars.iter().enumerate() {
+        if let Some(v) = vs.iter().next() {
+            rep.insert(id, Term::var(*v));
+        }
+    }
+    for (id, p) in pg.pairs.iter().enumerate() {
+        if let NodeKey::Leaf(t) = g1.key(find_leaf(g1, p.0)) {
+            rep.entry(id).or_insert_with(|| t.clone());
+        }
+    }
+    loop {
+        let mut changed = false;
+        for id in 0..pg.pairs.len() {
+            for (f, children) in pg.defs[id].clone() {
+                let mut child_terms = Vec::with_capacity(children.len());
+                let mut ok = true;
+                for c in &children {
+                    match rep.get(c) {
+                        Some(t) => child_terms.push(t.clone()),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let t = Term::app(f, child_terms);
+                if t.size() > max_size {
+                    continue;
+                }
+                let better = match rep.get(&id) {
+                    Some(cur) => {
+                        let (ts, cs) = (t.size(), cur.size());
+                        ts < cs || (ts == cs && t < *cur)
+                    }
+                    None => true,
+                };
+                if better {
+                    rep.insert(id, t);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Emit: variable members equal the representative; each definition
+    // with representable children yields rep = f(child-reps).
+    let mut out: BTreeSet<(Term, Term)> = BTreeSet::new();
+    for id in 0..pg.pairs.len() {
+        let Some(r) = rep.get(&id) else {
+            continue;
+        };
+        for &v in &pg.vars[id] {
+            let t = Term::var(v);
+            if &t != r {
+                out.insert((t, r.clone()));
+            }
+        }
+        for (f, children) in &pg.defs[id] {
+            let mut child_terms = Vec::with_capacity(children.len());
+            let mut ok = true;
+            for c in children {
+                match rep.get(c) {
+                    Some(t) => child_terms.push(t.clone()),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let t = Term::app(*f, child_terms);
+            if t.size() <= max_size && &t != r {
+                out.insert((r.clone(), t));
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Finds a member node of class `root` that is a leaf, or returns `root`.
+fn find_leaf(g: &EGraph, root: NodeId) -> NodeId {
+    g.node_ids()
+        .find(|&id| g.find(id) == root && matches!(g.key(id), NodeKey::Leaf(_)))
+        .unwrap_or(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cai_term::parse::Vocab;
+
+    fn graph(eqs: &[(&str, &str)]) -> EGraph {
+        let vocab = Vocab::standard();
+        let mut g = EGraph::new();
+        for (s, t) in eqs {
+            g.assert_eq(
+                &vocab.parse_term(s).unwrap(),
+                &vocab.parse_term(t).unwrap(),
+            );
+        }
+        g
+    }
+
+    fn joined(e1: &[(&str, &str)], e2: &[(&str, &str)], vars: &[&str]) -> Vec<String> {
+        let mut g1 = graph(e1);
+        let mut g2 = graph(e2);
+        let vs: VarSet = vars.iter().map(|v| Var::named(v)).collect();
+        join_equalities(&mut g1, &mut g2, &vs, 64)
+            .into_iter()
+            .map(|(a, b)| format!("{a} = {b}"))
+            .collect()
+    }
+
+    #[test]
+    fn common_equalities_survive() {
+        let eqs = joined(&[("x", "F(a)"), ("y", "x")], &[("x", "F(a)"), ("y", "x")], &["x", "y", "a"]);
+        assert!(eqs.contains(&"x = y".to_owned()) || eqs.contains(&"y = x".to_owned()), "{eqs:?}");
+        assert!(eqs.iter().any(|e| e.contains("F(a)")), "{eqs:?}");
+    }
+
+    #[test]
+    fn differing_equalities_dropped() {
+        let eqs = joined(&[("x", "y")], &[("x", "z")], &["x", "y", "z"]);
+        assert!(eqs.is_empty(), "{eqs:?}");
+    }
+
+    #[test]
+    fn fresh_term_discovered() {
+        // The classic example: x = F(a) & y = a joined with x = F(b) & y = b
+        // implies x = F(y), a term occurring in neither input.
+        let eqs = joined(
+            &[("x", "F(a)"), ("y", "a")],
+            &[("x", "F(b)"), ("y", "b")],
+            &["x", "y"],
+        );
+        assert!(eqs.contains(&"x = F(y)".to_owned()), "{eqs:?}");
+    }
+
+    #[test]
+    fn nested_fresh_terms() {
+        // x = F(F(a)) & y = a  vs  x = F(F(b)) & y = b  =>  x = F(F(y)).
+        let eqs = joined(
+            &[("x", "F(F(a))"), ("y", "a")],
+            &[("x", "F(F(b))"), ("y", "b")],
+            &["x", "y"],
+        );
+        assert!(eqs.contains(&"x = F(F(y))".to_owned()), "{eqs:?}");
+    }
+
+    #[test]
+    fn join_with_self_is_identity_closure() {
+        let e = [("x", "F(y)"), ("z", "G(x, y)")];
+        let eqs = joined(&e, &e, &["x", "y", "z"]);
+        // The generating set must regenerate both input equalities.
+        let vocab = Vocab::standard();
+        let mut g = EGraph::new();
+        for eq in &eqs {
+            let (s, t) = eq.split_once(" = ").unwrap();
+            g.assert_eq(&vocab.parse_term(s).unwrap(), &vocab.parse_term(t).unwrap());
+        }
+        assert!(g.proves_eq(
+            &vocab.parse_term("x").unwrap(),
+            &vocab.parse_term("F(y)").unwrap()
+        ));
+        assert!(g.proves_eq(
+            &vocab.parse_term("z").unwrap(),
+            &vocab.parse_term("G(F(y), y)").unwrap()
+        ));
+    }
+
+    #[test]
+    fn binary_functions_pair_argumentwise() {
+        let eqs = joined(
+            &[("x", "G(a, c)"), ("y", "a"), ("z", "c")],
+            &[("x", "G(b, d)"), ("y", "b"), ("z", "d")],
+            &["x", "y", "z"],
+        );
+        assert!(eqs.contains(&"x = G(y, z)".to_owned()), "{eqs:?}");
+    }
+}

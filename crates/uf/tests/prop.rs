@@ -1,0 +1,156 @@
+//! Property-based tests for the uninterpreted-functions domain,
+//! cross-checked against a reference congruence closure.
+
+use cai_core::AbstractDomain;
+use cai_term::{Atom, Conj, FnSym, Term, Var, VarSet};
+use cai_uf::{EGraph, UfDomain};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum RTerm {
+    Var(u8),
+    F(Box<RTerm>),
+    G(Box<RTerm>, Box<RTerm>),
+}
+
+impl RTerm {
+    fn to_term(&self) -> Term {
+        match self {
+            RTerm::Var(i) => Term::var(Var::named(&format!("u{}", i % 4))),
+            RTerm::F(a) => Term::app(FnSym::uf("F", 1), vec![a.to_term()]),
+            RTerm::G(a, b) => {
+                Term::app(FnSym::uf("G", 2), vec![a.to_term(), b.to_term()])
+            }
+        }
+    }
+}
+
+fn rterm() -> impl Strategy<Value = RTerm> {
+    let leaf = (0u8..4).prop_map(RTerm::Var);
+    leaf.prop_recursive(3, 8, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| RTerm::F(Box::new(a))),
+            (inner.clone(), inner).prop_map(|(a, b)| RTerm::G(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eq_system() -> impl Strategy<Value = Vec<(RTerm, RTerm)>> {
+    proptest::collection::vec((rterm(), rterm()), 1..5)
+}
+
+fn build(eqs: &[(RTerm, RTerm)]) -> Conj {
+    eqs.iter()
+        .map(|(s, t)| Atom::eq(s.to_term(), t.to_term()))
+        .collect()
+}
+
+/// Reference implication check via a fresh congruence closure.
+fn reference_implies(eqs: &Conj, s: &Term, t: &Term) -> bool {
+    let mut g = EGraph::new();
+    for atom in eqs {
+        let Atom::Eq(a, b) = atom else { unreachable!() };
+        g.assert_eq(a, b);
+    }
+    g.proves_eq(s, t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The canonical element presentation is equivalent to the input: it
+    /// implies and is implied by the original equalities.
+    #[test]
+    fn canonicalization_preserves_meaning(eqs in eq_system()) {
+        let d = UfDomain::new();
+        let c = build(&eqs);
+        let e = d.from_conj(&c);
+        // Input atoms follow from the canonical form ...
+        for atom in &c {
+            prop_assert!(d.implies_atom(&e, atom), "{e} !=> {atom}");
+        }
+        // ... and the canonical atoms follow from the input.
+        for atom in &d.to_conj(&e) {
+            let Atom::Eq(s, t) = atom else { unreachable!() };
+            prop_assert!(reference_implies(&c, s, t), "{c} !=> {atom}");
+        }
+    }
+
+    /// Join soundness: every joined equality holds in both inputs.
+    #[test]
+    fn join_is_sound(a in eq_system(), b in eq_system()) {
+        let d = UfDomain::new();
+        let (ca, cb) = (build(&a), build(&b));
+        let (ea, eb) = (d.from_conj(&ca), d.from_conj(&cb));
+        let j = d.join(&ea, &eb);
+        for atom in &d.to_conj(&j) {
+            let Atom::Eq(s, t) = atom else { unreachable!() };
+            prop_assert!(reference_implies(&ca, s, t), "left misses {atom}");
+            prop_assert!(reference_implies(&cb, s, t), "right misses {atom}");
+        }
+    }
+
+    /// Join upper bound in the lattice order.
+    #[test]
+    fn join_dominates(a in eq_system(), b in eq_system()) {
+        let d = UfDomain::new();
+        let (ea, eb) = (d.from_conj(&build(&a)), d.from_conj(&build(&b)));
+        let j = d.join(&ea, &eb);
+        prop_assert!(d.le(&ea, &j));
+        prop_assert!(d.le(&eb, &j));
+    }
+
+    /// Join of an element with itself is equivalent to the element.
+    #[test]
+    fn join_idempotent(a in eq_system()) {
+        let d = UfDomain::new();
+        let e = d.from_conj(&build(&a));
+        let j = d.join(&e, &e);
+        prop_assert!(d.equal_elems(&j, &e), "join(e,e) = {j} vs {e}");
+    }
+
+    /// Quantification: result avoids the variable and is implied.
+    #[test]
+    fn exists_sound(a in eq_system(), which in 0u8..4) {
+        let d = UfDomain::new();
+        let c = build(&a);
+        let e = d.from_conj(&c);
+        let v = Var::named(&format!("u{which}"));
+        let elim: VarSet = [v].into_iter().collect();
+        let q = d.exists(&e, &elim);
+        prop_assert!(!q.vars().contains(&v));
+        for atom in &d.to_conj(&q) {
+            let Atom::Eq(s, t) = atom else { unreachable!() };
+            prop_assert!(reference_implies(&c, s, t));
+        }
+    }
+
+    /// Alternate's contract: implied and avoid-free.
+    #[test]
+    fn alternate_contract(a in eq_system(), which in 0u8..4, avoid_ix in 0u8..4) {
+        let d = UfDomain::new();
+        let c = build(&a);
+        let e = d.from_conj(&c);
+        let y = Var::named(&format!("u{which}"));
+        let avoid: VarSet = [Var::named(&format!("u{avoid_ix}"))].into_iter().collect();
+        if let Some(t) = d.alternate(&e, y, &avoid) {
+            prop_assert!(!t.vars().contains(&y), "{t} mentions {y}");
+            for v in &avoid {
+                prop_assert!(!t.vars().contains(v), "{t} mentions avoided {v}");
+            }
+            prop_assert!(reference_implies(&c, &Term::var(y), &t));
+        }
+    }
+
+    /// Congruence closure agrees with itself under input permutation.
+    #[test]
+    fn order_independence(a in eq_system()) {
+        let d = UfDomain::new();
+        let c = build(&a);
+        let mut rev: Vec<Atom> = c.iter().cloned().collect();
+        rev.reverse();
+        let e1 = d.from_conj(&c);
+        let e2 = d.from_conj(&rev.into_iter().collect());
+        prop_assert!(d.equal_elems(&e1, &e2));
+    }
+}

@@ -1,0 +1,84 @@
+//! The paper's Figure 1 precision ladder, live: the same program analyzed
+//! over the component domains, their direct product, reduced product, and
+//! logical product.
+//!
+//! ```sh
+//! cargo run --release --example product_comparison
+//! ```
+
+use cai_core::{AbstractDomain, LogicalProduct, ReducedProduct};
+use cai_interp::{herbrand_view, parse_program, Analyzer, Program};
+use cai_linarith::AffineEq;
+use cai_term::parse::Vocab;
+use cai_uf::UfDomain;
+
+const FIG1: &str = "
+    a1 := 0; a2 := 0;
+    b1 := 1; b2 := F(1);
+    c1 := 2; c2 := 2;
+    d1 := 3; d2 := F(4);
+    while (b1 < b2) {
+        a1 := a1 + 1; a2 := a2 + 2;
+        b1 := F(b1);  b2 := F(b2);
+        c1 := F(2*c1 - c2); c2 := F(c2);
+        d1 := F(1 + d1); d2 := F(d2 + 1);
+    }
+    assert(a2 = 2*a1);
+    assert(b2 = F(b1));
+    assert(c2 = c1);
+    assert(d2 = F(d1 + 1));
+";
+
+fn verdicts<D: AbstractDomain>(d: &D, p: &Program, herbrand: bool) -> Vec<bool> {
+    let analyzer = if herbrand {
+        Analyzer::new(d).with_view(herbrand_view)
+    } else {
+        Analyzer::new(d)
+    };
+    analyzer.run(p).assertions.iter().map(|a| a.verified).collect()
+}
+
+fn row(name: &str, verdicts: &[bool]) {
+    let marks: Vec<&str> = verdicts.iter().map(|v| if *v { "yes" } else { " - " }).collect();
+    println!(
+        "{name:<18} | {:^7} | {:^9} | {:^7} | {:^13} | {}",
+        marks[0],
+        marks[1],
+        marks[2],
+        marks[3],
+        verdicts.iter().filter(|v| **v).count()
+    );
+}
+
+fn main() {
+    let vocab = Vocab::standard();
+    let p = parse_program(&vocab, FIG1).expect("figure 1 parses");
+
+    println!("Figure 1 program:\n{p}");
+    println!(
+        "{:<18} | a2=2a1  | b2=F(b1)  | c2=c1   | d2=F(d1+1)    | total",
+        "analysis"
+    );
+    println!("{}", "-".repeat(78));
+
+    let lin = verdicts(&AffineEq::new(), &p, false);
+    row("linear equalities", &lin);
+
+    let uf = verdicts(&UfDomain::new(), &p, true);
+    row("uninterpreted fns", &uf);
+
+    let direct: Vec<bool> = lin.iter().zip(&uf).map(|(a, b)| *a || *b).collect();
+    row("direct product", &direct);
+
+    let reduced = ReducedProduct::new(AffineEq::new(), UfDomain::new());
+    row("reduced product", &verdicts(&reduced, &p, false));
+
+    let logical = LogicalProduct::new(AffineEq::new(), UfDomain::new());
+    row("logical product", &verdicts(&logical, &p, false));
+
+    println!(
+        "\nThe logical product is the paper's contribution: it verifies the\n\
+         mixed assertion d2 = F(d1 + 1), which is not even *expressible* in\n\
+         the reduced product lattice."
+    );
+}

@@ -1,0 +1,15 @@
+//! Facade crate for the `cai` workspace: combining abstract interpreters
+//! via logical products (Gulwani & Tiwari, PLDI 2006).
+//!
+//! Re-exports the component crates under short module names. See the
+//! README (doctested below) for a guided tour.
+#![doc = include_str!("../README.md")]
+
+pub use cai_core as core;
+pub use cai_interp as interp;
+pub use cai_linarith as linarith;
+pub use cai_lists as lists;
+pub use cai_num as num;
+pub use cai_numeric as numeric;
+pub use cai_term as term;
+pub use cai_uf as uf;

@@ -1,0 +1,95 @@
+//! Figure 8 of the paper: combining *non-disjoint* theories (parity and
+//! sign share `+`, `-`, `0`, `1`) is sound but incomplete.
+//!
+//! The strongest postcondition of `even(x) ∧ positive(x)` across
+//! `x := x - 1` is `odd(x) ∧ positive(x)` (over the integers), but the
+//! black-box combination can only produce `odd(x)`: the sign component
+//! alone cannot bound `x - 1` away from zero, and no exchange of variable
+//! equalities helps. This is the Cousot & Cousot counterexample the paper
+//! adapts.
+
+use cai_core::{AbstractDomain, LogicalProduct, Precision};
+use cai_interp::{parse_program, Analyzer};
+use cai_numeric::{ParityDomain, SignDomain};
+use cai_term::parse::Vocab;
+use cai_term::{Var, VarSet};
+
+fn product() -> LogicalProduct<ParityDomain, SignDomain> {
+    LogicalProduct::new(ParityDomain::new(), SignDomain::new())
+}
+
+#[test]
+fn combination_is_flagged_heuristic() {
+    assert_eq!(product().precision(), Precision::HeuristicNonDisjoint);
+}
+
+#[test]
+fn figure8_quantification_trace() {
+    // Q_{L1⋈L2}(even(x0) ∧ positive(x0) ∧ x = x0 − 1, {x0}).
+    let vocab = Vocab::standard();
+    let d = product();
+    let e = vocab
+        .parse_conj("even(x0) & positive(x0) & x = x0 - 1")
+        .unwrap();
+    let elim: VarSet = [Var::named("x0")].into_iter().collect();
+    let q = d.exists(&e, &elim);
+    // The parity side contributes odd(x) ...
+    assert!(
+        d.implies_atom(&q, &vocab.parse_atom("odd(x)").unwrap()),
+        "Q = {q}"
+    );
+    // ... but the most precise answer odd(x) ∧ positive(x) is NOT reached:
+    // the sign part is lost, exactly as the paper's Figure 8 shows.
+    assert!(
+        !d.implies_atom(&q, &vocab.parse_atom("positive(x)").unwrap()),
+        "Q = {q} unexpectedly proves positive(x)"
+    );
+}
+
+#[test]
+fn figure8_as_a_program() {
+    let vocab = Vocab::standard();
+    let p = parse_program(
+        &vocab,
+        "x := *;
+         assume(even(x));
+         assume(positive(x));
+         x := x - 1;
+         assert(odd(x));
+         assert(positive(x));",
+    )
+    .unwrap();
+    let d = product();
+    let analysis = Analyzer::new(&d).run(&p);
+    let got: Vec<bool> = analysis.assertions.iter().map(|a| a.verified).collect();
+    // odd(x) verified; positive(x) lost to the incompleteness.
+    assert_eq!(got, [true, false]);
+}
+
+#[test]
+fn soundness_is_not_affected() {
+    // Incomplete but sound: nothing false is ever proved.
+    let vocab = Vocab::standard();
+    let d = product();
+    let e = vocab.parse_conj("even(x0) & positive(x0) & x = x0 - 1").unwrap();
+    for bogus in ["even(x)", "negative(x)", "negative(x0)", "odd(x0)"] {
+        assert!(
+            !d.implies_atom(&e, &vocab.parse_atom(bogus).unwrap()),
+            "proved bogus fact {bogus}"
+        );
+    }
+}
+
+#[test]
+fn meets_still_cooperate_on_shared_facts() {
+    // The shared linear fact x = x0 - 1 is seen by both sides, so both
+    // refine their per-variable maps from it.
+    let vocab = Vocab::standard();
+    let d = product();
+    let e = vocab
+        .parse_conj("even(x0) & positive(x0) & x = x0 + 1")
+        .unwrap();
+    // x = x0 + 1 with x0 positive: x positive; with x0 even: x odd.
+    assert!(d.implies_atom(&e, &vocab.parse_atom("odd(x)").unwrap()));
+    assert!(d.implies_atom(&e, &vocab.parse_atom("positive(x)").unwrap()));
+}

@@ -1,0 +1,207 @@
+//! Property-based soundness tests for the logical-product operators on
+//! randomly generated mixed conjunctions over linear arithmetic and
+//! uninterpreted functions.
+//!
+//! Soundness of the Figure 6 join (Theorem 2): every atom of
+//! `J(a, b)` is implied by both `a` and `b`. Soundness of the Figure 7
+//! quantification (Theorem 4): every atom of `Q(e, V)` is implied by `e`
+//! and mentions no variable of `V`.
+
+use cai_core::{AbstractDomain, LogicalProduct, ReducedProduct};
+use cai_linarith::AffineEq;
+use cai_term::parse::Vocab;
+use cai_term::{Atom, Conj, FnSym, Term, Var, VarSet};
+use cai_uf::UfDomain;
+use proptest::prelude::*;
+
+/// Random mixed terms over a small variable pool.
+#[derive(Clone, Debug)]
+enum RTerm {
+    Var(u8),
+    Const(i8),
+    Add(Box<RTerm>, Box<RTerm>),
+    Sub(Box<RTerm>, Box<RTerm>),
+    F(Box<RTerm>),
+    G(Box<RTerm>, Box<RTerm>),
+}
+
+impl RTerm {
+    fn to_term(&self, vocab: &Vocab) -> Term {
+        match self {
+            RTerm::Var(i) => Term::var(Var::named(&format!("w{}", i % 4))),
+            RTerm::Const(c) => Term::int(*c as i64),
+            RTerm::Add(a, b) => Term::add(&a.to_term(vocab), &b.to_term(vocab)),
+            RTerm::Sub(a, b) => Term::sub(&a.to_term(vocab), &b.to_term(vocab)),
+            RTerm::F(a) => {
+                let f = vocab.function("F", 1).unwrap();
+                Term::app(f, vec![a.to_term(vocab)])
+            }
+            RTerm::G(a, b) => {
+                let g = vocab.function("G", 2).unwrap();
+                Term::app(g, vec![a.to_term(vocab), b.to_term(vocab)])
+            }
+        }
+    }
+}
+
+fn rterm() -> impl Strategy<Value = RTerm> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(RTerm::Var),
+        (-3i8..4).prop_map(RTerm::Const),
+    ];
+    leaf.prop_recursive(3, 10, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RTerm::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RTerm::Sub(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| RTerm::F(Box::new(a))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| RTerm::G(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn rconj() -> impl Strategy<Value = Vec<(RTerm, RTerm)>> {
+    proptest::collection::vec((rterm(), rterm()), 1..4)
+}
+
+fn build(vocab: &Vocab, eqs: &[(RTerm, RTerm)]) -> Conj {
+    eqs.iter()
+        .map(|(s, t)| Atom::eq(s.to_term(vocab), t.to_term(vocab)))
+        .collect()
+}
+
+fn logical() -> LogicalProduct<AffineEq, UfDomain> {
+    LogicalProduct::new(AffineEq::new(), UfDomain::new())
+}
+
+// Force interning of the shared symbols up front so arities agree.
+fn shared_vocab() -> Vocab {
+    let v = Vocab::standard();
+    let _ = FnSym::uf("F", 1);
+    let _ = FnSym::uf("G", 2);
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 2 (join soundness): both inputs imply every output atom.
+    #[test]
+    fn join_is_upper_bound(l in rconj(), r in rconj()) {
+        let vocab = shared_vocab();
+        let d = logical();
+        let (el, er) = (build(&vocab, &l), build(&vocab, &r));
+        let j = d.join(&el, &er);
+        for atom in &j {
+            prop_assert!(d.implies_atom(&el, atom), "left {el} !=> {atom}");
+            prop_assert!(d.implies_atom(&er, atom), "right {er} !=> {atom}");
+        }
+    }
+
+    /// Theorem 4 (quantification soundness): the input implies the output,
+    /// and the eliminated variables are gone.
+    #[test]
+    fn exists_is_sound(e in rconj(), which in 0u8..4) {
+        let vocab = shared_vocab();
+        let d = logical();
+        let e = build(&vocab, &e);
+        let v = Var::named(&format!("w{which}"));
+        let elim: VarSet = [v].into_iter().collect();
+        let q = d.exists(&e, &elim);
+        prop_assert!(!q.vars().contains(&v), "Q = {q} still mentions {v}");
+        if !d.is_bottom(&e) {
+            for atom in &q {
+                prop_assert!(d.implies_atom(&e, atom), "{e} !=> {atom}");
+            }
+        }
+    }
+
+    /// The join is an upper bound in the lattice order (`le`).
+    #[test]
+    fn join_dominates_inputs(l in rconj(), r in rconj()) {
+        let vocab = shared_vocab();
+        let d = logical();
+        let (el, er) = (build(&vocab, &l), build(&vocab, &r));
+        let j = d.join(&el, &er);
+        prop_assert!(d.le(&el, &j));
+        prop_assert!(d.le(&er, &j));
+    }
+
+    /// The logical product is at least as precise as the reduced product:
+    /// every (pure or mixed) fact the reduced join proves, the logical
+    /// join proves too.
+    #[test]
+    fn logical_refines_reduced(l in rconj(), r in rconj()) {
+        let vocab = shared_vocab();
+        let dl = logical();
+        let dr = ReducedProduct::new(AffineEq::new(), UfDomain::new());
+        let (cl, cr) = (build(&vocab, &l), build(&vocab, &r));
+        let jl = dl.join(&cl, &cr);
+        let jr = dr.join(&dr.from_conj(&cl), &dr.from_conj(&cr));
+        for atom in &dr.to_conj(&jr) {
+            prop_assert!(
+                dl.implies_atom(&jl, atom),
+                "logical join {jl} misses reduced fact {atom}"
+            );
+        }
+    }
+
+    /// Meet (conjunction) is the greatest lower bound's upper half:
+    /// `e ∧ atom` implies both `e` and `atom`.
+    #[test]
+    fn meet_is_lower_bound(e in rconj(), extra in (rterm(), rterm())) {
+        let vocab = shared_vocab();
+        let d = logical();
+        let e = build(&vocab, &e);
+        let atom = Atom::eq(extra.0.to_term(&vocab), extra.1.to_term(&vocab));
+        let m = d.meet_atom(&e, &atom);
+        prop_assert!(d.le(&m, &e));
+        prop_assert!(d.implies_atom(&m, &atom));
+    }
+
+    /// Implication is reflexive on every generated element.
+    #[test]
+    fn le_is_reflexive(e in rconj()) {
+        let vocab = shared_vocab();
+        let d = logical();
+        let e = build(&vocab, &e);
+        prop_assert!(d.le(&e, &e));
+    }
+
+    /// A completeness witness for Theorem 3: facts common to both inputs
+    /// *by construction* (a shared base conjunction, whose alien terms
+    /// therefore occur in both elements) must survive the join.
+    #[test]
+    fn join_retains_common_base(base in rconj(), l in rconj(), r in rconj()) {
+        let vocab = shared_vocab();
+        let d = logical();
+        let base = build(&vocab, &base);
+        let el = base.and(&build(&vocab, &l));
+        let er = base.and(&build(&vocab, &r));
+        if d.is_bottom(&el) || d.is_bottom(&er) {
+            return Ok(());
+        }
+        let j = d.join(&el, &er);
+        for atom in &base {
+            prop_assert!(
+                d.implies_atom(&j, atom),
+                "join {j} lost common fact {atom}"
+            );
+        }
+    }
+
+    /// Monotonicity of the join in the lattice order: joining with a
+    /// weaker element yields a weaker (or equal) result.
+    #[test]
+    fn join_monotone_in_top(l in rconj(), r in rconj()) {
+        let vocab = shared_vocab();
+        let d = logical();
+        let (el, er) = (build(&vocab, &l), build(&vocab, &r));
+        let j = d.join(&el, &er);
+        let top = d.join(&el, &d.top());
+        // top is an upper bound of any join with el.
+        prop_assert!(d.le(&j, &top) || d.equal_elems(&top, &d.top()));
+    }
+}

@@ -1,0 +1,181 @@
+//! Section 5 of the paper: reducing the commutative-functions lattice and
+//! the multi-arity uninterpreted-functions lattice to the logical product
+//! of a single-unary-UF lattice and linear arithmetic.
+
+use cai_core::reduce::{EncodeMode, UnaryEncoder};
+use cai_core::LogicalProduct;
+use cai_interp::{parse_program, Analyzer};
+use cai_linarith::AffineEq;
+use cai_term::parse::Vocab;
+use cai_uf::UfDomain;
+use proptest::prelude::*;
+
+fn product() -> LogicalProduct<AffineEq, UfDomain> {
+    LogicalProduct::new(AffineEq::new(), UfDomain::new())
+}
+
+/// §5.1: after encoding, commutativity of the source functions is free.
+#[test]
+fn commutative_program_analysis() {
+    let vocab = Vocab::standard();
+    let p = parse_program(
+        &vocab,
+        "x := Fadd(a, b);
+         y := Fadd(b, a);
+         z := Fmul(Fadd(a, b), c);
+         w := Fmul(c, Fadd(b, a));
+         assert(x = y);
+         assert(z = w);
+         assert(x = z);",
+    )
+    .unwrap();
+    let mut enc = UnaryEncoder::new(EncodeMode::Commutative);
+    let encoded = p.map_terms(&mut |t| enc.encode_term(t));
+    let d = product();
+    let analysis = Analyzer::new(&d).run(&encoded);
+    let got: Vec<bool> = analysis.assertions.iter().map(|a| a.verified).collect();
+    // Commutativity instances hold; the unrelated fact does not.
+    assert_eq!(got, [true, true, false]);
+}
+
+/// §5.2: multi-arity functions encode faithfully — argument order still
+/// matters, congruence still works.
+#[test]
+fn multi_arity_program_analysis() {
+    let vocab = Vocab::standard();
+    let p = parse_program(
+        &vocab,
+        "assume(a = b);
+         x := H3(a, c, d);
+         y := H3(b, c, d);
+         z := H3(c, a, d);
+         assert(x = y);
+         assert(x = z);",
+    )
+    .unwrap();
+    let mut enc = UnaryEncoder::new(EncodeMode::MultiArity);
+    let encoded = p.map_terms(&mut |t| enc.encode_term(t));
+    let d = product();
+    let analysis = Analyzer::new(&d).run(&encoded);
+    let got: Vec<bool> = analysis.assertions.iter().map(|a| a.verified).collect();
+    assert_eq!(got, [true, false]);
+}
+
+/// A loop invariant through the encoding: the combination discovers facts
+/// about encoded commutative applications across iterations.
+#[test]
+fn commutative_loop_invariant() {
+    let vocab = Vocab::standard();
+    let p = parse_program(
+        &vocab,
+        "u := Gc(p, q);
+         v := Gc(q, p);
+         while (*) {
+             u := Gc(u, r);
+             v := Gc(r, v);
+         }
+         assert(u = v);",
+    )
+    .unwrap();
+    let mut enc = UnaryEncoder::new(EncodeMode::Commutative);
+    let encoded = p.map_terms(&mut |t| enc.encode_term(t));
+    let d = product();
+    let analysis = Analyzer::new(&d).run(&encoded);
+    assert!(!analysis.diverged);
+    assert!(analysis.assertions[0].verified, "u = v not found");
+}
+
+// ---- Claim 2 as property tests -------------------------------------------
+
+/// The §5 source term language: variables and binary applications.
+#[derive(Clone, Debug)]
+enum SrcTerm {
+    Var(u8),
+    App(u8, Box<SrcTerm>, Box<SrcTerm>),
+}
+
+impl SrcTerm {
+    fn to_term(&self, vocab: &Vocab) -> cai_term::Term {
+        match self {
+            SrcTerm::Var(i) => cai_term::Term::var_named(&format!("v{i}")),
+            SrcTerm::App(g, a, b) => {
+                let f = vocab.function(&format!("G{g}"), 2).unwrap();
+                cai_term::Term::app(f, vec![a.to_term(vocab), b.to_term(vocab)])
+            }
+        }
+    }
+
+    /// Syntactic equality modulo commutativity of every application.
+    fn comm_eq(&self, other: &SrcTerm) -> bool {
+        match (self, other) {
+            (SrcTerm::Var(a), SrcTerm::Var(b)) => a == b,
+            (SrcTerm::App(f, a1, a2), SrcTerm::App(g, b1, b2)) => {
+                f == g
+                    && ((a1.comm_eq(b1) && a2.comm_eq(b2))
+                        || (a1.comm_eq(b2) && a2.comm_eq(b1)))
+            }
+            _ => false,
+        }
+    }
+
+    /// A commutativity-respecting variant: randomly swapped arguments.
+    fn swapped(&self, flips: &mut impl Iterator<Item = bool>) -> SrcTerm {
+        match self {
+            SrcTerm::Var(i) => SrcTerm::Var(*i),
+            SrcTerm::App(g, a, b) => {
+                let (x, y) = (a.swapped(flips), b.swapped(flips));
+                if flips.next().unwrap_or(false) {
+                    SrcTerm::App(*g, Box::new(y), Box::new(x))
+                } else {
+                    SrcTerm::App(*g, Box::new(x), Box::new(y))
+                }
+            }
+        }
+    }
+}
+
+fn src_term() -> impl Strategy<Value = SrcTerm> {
+    let leaf = (0u8..4).prop_map(SrcTerm::Var);
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        ((0u8..3), inner.clone(), inner)
+            .prop_map(|(g, a, b)| SrcTerm::App(g, Box::new(a), Box::new(b)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Claim 2 (§5.1), soundness direction: commutativity-equal source
+    /// terms have structurally equal images.
+    #[test]
+    fn claim2_commutative_sound(t in src_term(), flips in proptest::collection::vec(any::<bool>(), 16)) {
+        let vocab = Vocab::standard();
+        let mut enc = UnaryEncoder::new(EncodeMode::Commutative);
+        let swapped = t.swapped(&mut flips.into_iter());
+        let m1 = enc.encode_term(&t.to_term(&vocab));
+        let m2 = enc.encode_term(&swapped.to_term(&vocab));
+        prop_assert_eq!(m1, m2);
+    }
+
+    /// Claim 2 (§5.1), injectivity direction: distinct source terms
+    /// (modulo commutativity) have distinct images.
+    #[test]
+    fn claim2_commutative_injective(a in src_term(), b in src_term()) {
+        let vocab = Vocab::standard();
+        let mut enc = UnaryEncoder::new(EncodeMode::Commutative);
+        let ma = enc.encode_term(&a.to_term(&vocab));
+        let mb = enc.encode_term(&b.to_term(&vocab));
+        prop_assert_eq!(a.comm_eq(&b), ma == mb, "a={:?} b={:?}", a, b);
+    }
+
+    /// Claim 2 (§5.2): the multi-arity encoding is injective on syntax.
+    #[test]
+    fn claim2_multiarity_injective(a in src_term(), b in src_term()) {
+        let vocab = Vocab::standard();
+        let mut enc = UnaryEncoder::new(EncodeMode::MultiArity);
+        let (ta, tb) = (a.to_term(&vocab), b.to_term(&vocab));
+        let ma = enc.encode_term(&ta);
+        let mb = enc.encode_term(&tb);
+        prop_assert_eq!(ta == tb, ma == mb);
+    }
+}
