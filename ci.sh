@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Offline CI gate for the workspace. Run from the repo root.
+#
+#   1. formatting            (cargo fmt --check)
+#   2. lint, library code    (clippy, warnings + unwrap/panic-free libs)
+#   3. lint, all targets     (clippy, warnings; tests/bins may unwrap)
+#   4. release build
+#   5. test suite
+#
+# Everything runs with --offline: the workspace has no external
+# dependencies and must keep building in a network-less container.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt check =="
+cargo fmt --all -- --check
+
+echo "== clippy (libs: -D warnings -D clippy::unwrap_used) =="
+cargo clippy --workspace --lib --offline -- -D warnings -D clippy::unwrap_used
+
+echo "== clippy (all targets: -D warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== test =="
+cargo test -q --workspace --offline
+
+echo "CI OK"

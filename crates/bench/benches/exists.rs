@@ -5,15 +5,15 @@
 //! n·T_J)` — near-linear overhead on top of the components plus the
 //! `QSaturation` passes.
 
-use cai_bench::ConjGen;
+use cai_bench::{time_case, ConjGen};
 use cai_core::{AbstractDomain, LogicalProduct};
 use cai_linarith::AffineEq;
 use cai_term::{Var, VarSet};
 use cai_uf::UfDomain;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_exists(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exists");
+const SAMPLES: usize = 20;
+
+fn main() {
     for &n in &[2usize, 4, 6, 8] {
         let mut gen = ConjGen::new(2000 + n as u64, n);
         let elim: VarSet = (0..n / 2).map(|i| Var::named(&format!("w{i}"))).collect();
@@ -21,31 +21,22 @@ fn bench_exists(c: &mut Criterion) {
         let la = gen.conj(n, 2, false);
         let lin = AffineEq::new();
         let ea = lin.from_conj(&la);
-        group.bench_with_input(BenchmarkId::new("affine_eq", n), &n, |bch, _| {
-            bch.iter(|| lin.exists(&ea, &elim))
+        time_case("exists", &format!("affine_eq/{n}"), SAMPLES, || {
+            lin.exists(&ea, &elim)
         });
 
         let mixed = gen.conj(n, 2, true);
         let uf = UfDomain::new();
         let sig = cai_term::Sig::single(cai_term::TheoryTag::UF);
-        let uf_only: cai_term::Conj =
-            mixed.iter().filter(|a| sig.owns_atom(a)).cloned().collect();
+        let uf_only: cai_term::Conj = mixed.iter().filter(|a| sig.owns_atom(a)).cloned().collect();
         let eu = uf.from_conj(&uf_only);
-        group.bench_with_input(BenchmarkId::new("uf", n), &n, |bch, _| {
-            bch.iter(|| uf.exists(&eu, &elim))
+        time_case("exists", &format!("uf/{n}"), SAMPLES, || {
+            uf.exists(&eu, &elim)
         });
 
         let logical = LogicalProduct::new(AffineEq::new(), UfDomain::new());
-        group.bench_with_input(BenchmarkId::new("logical_product", n), &n, |bch, _| {
-            bch.iter(|| logical.exists(&mixed, &elim))
+        time_case("exists", &format!("logical_product/{n}"), SAMPLES, || {
+            logical.exists(&mixed, &elim)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_exists
-}
-criterion_main!(benches);

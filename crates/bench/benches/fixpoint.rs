@@ -5,35 +5,30 @@
 //! per-domain iteration counts (the quantity Theorem 6 actually bounds)
 //! are printed by `paper_eval thm6`.
 
-use cai_bench::thm6_family;
+use cai_bench::{thm6_family, time_case};
 use cai_core::LogicalProduct;
 use cai_interp::{herbrand_view, parse_program, Analyzer};
 use cai_linarith::AffineEq;
 use cai_term::parse::Vocab;
 use cai_uf::UfDomain;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_fixpoint(c: &mut Criterion) {
+const SAMPLES: usize = 10;
+
+fn main() {
     let vocab = Vocab::standard();
-    let mut group = c.benchmark_group("fixpoint");
-    group.sample_size(10);
     for &k in &[1usize, 2, 3] {
         let p = parse_program(&vocab, &thm6_family(k)).expect("family parses");
-        group.bench_with_input(BenchmarkId::new("affine_eq", k), &k, |b, _| {
-            let d = AffineEq::new();
-            b.iter(|| Analyzer::new(&d).run(&p))
+        let d = AffineEq::new();
+        time_case("fixpoint", &format!("affine_eq/{k}"), SAMPLES, || {
+            Analyzer::new(&d).run(&p)
         });
-        group.bench_with_input(BenchmarkId::new("uf", k), &k, |b, _| {
-            let d = UfDomain::new();
-            b.iter(|| Analyzer::new(&d).with_view(herbrand_view).run(&p))
+        let d = UfDomain::new();
+        time_case("fixpoint", &format!("uf/{k}"), SAMPLES, || {
+            Analyzer::new(&d).with_view(herbrand_view).run(&p)
         });
-        group.bench_with_input(BenchmarkId::new("logical", k), &k, |b, _| {
-            let d = LogicalProduct::new(AffineEq::new(), UfDomain::new());
-            b.iter(|| Analyzer::new(&d).run(&p))
+        let d = LogicalProduct::new(AffineEq::new(), UfDomain::new());
+        time_case("fixpoint", &format!("logical/{k}"), SAMPLES, || {
+            Analyzer::new(&d).run(&p)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fixpoint);
-criterion_main!(benches);

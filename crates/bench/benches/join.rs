@@ -7,22 +7,22 @@
 //! the growth *shape* (combined ≈ components at quadratic size) can be
 //! compared against the claim.
 
-use cai_bench::ConjGen;
+use cai_bench::{time_case, ConjGen};
 use cai_core::{AbstractDomain, LogicalProduct, ReducedProduct};
 use cai_linarith::AffineEq;
 use cai_uf::UfDomain;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_joins(c: &mut Criterion) {
-    let mut group = c.benchmark_group("join");
+const SAMPLES: usize = 20;
+
+fn main() {
     for &n in &[2usize, 4, 6, 8] {
         // Pure linear inputs for the component domain.
         let mut gen = ConjGen::new(1000 + n as u64, n);
         let (la_a, la_b) = gen.join_pair(n, 2, false);
         let lin = AffineEq::new();
         let (ea, eb) = (lin.from_conj(&la_a), lin.from_conj(&la_b));
-        group.bench_with_input(BenchmarkId::new("affine_eq", n), &n, |bch, _| {
-            bch.iter(|| lin.join(&ea, &eb))
+        time_case("join", &format!("affine_eq/{n}"), SAMPLES, || {
+            lin.join(&ea, &eb)
         });
 
         // Mixed inputs for UF (arithmetic leaves become opaque) and both
@@ -33,14 +33,12 @@ fn bench_joins(c: &mut Criterion) {
             uf.from_conj(&strip_to_uf(&mx_a)),
             uf.from_conj(&strip_to_uf(&mx_b)),
         );
-        group.bench_with_input(BenchmarkId::new("uf", n), &n, |bch, _| {
-            bch.iter(|| uf.join(&ua, &ub))
-        });
+        time_case("join", &format!("uf/{n}"), SAMPLES, || uf.join(&ua, &ub));
 
         let reduced = ReducedProduct::new(AffineEq::new(), UfDomain::new());
         let (ra, rb) = (reduced.from_conj(&mx_a), reduced.from_conj(&mx_b));
-        group.bench_with_input(BenchmarkId::new("reduced_product", n), &n, |bch, _| {
-            bch.iter(|| reduced.join(&ra, &rb))
+        time_case("join", &format!("reduced_product/{n}"), SAMPLES, || {
+            reduced.join(&ra, &rb)
         });
 
         // The logical join runs the components on a quadratic pair-variable
@@ -48,12 +46,11 @@ fn bench_joins(c: &mut Criterion) {
         // of alien subterms; keep the sweep modest.
         if n <= 6 {
             let logical = LogicalProduct::new(AffineEq::new(), UfDomain::new());
-            group.bench_with_input(BenchmarkId::new("logical_product", n), &n, |bch, _| {
-                bch.iter(|| logical.join(&mx_a, &mx_b))
+            time_case("join", &format!("logical_product/{n}"), SAMPLES, || {
+                logical.join(&mx_a, &mx_b)
             });
         }
     }
-    group.finish();
 }
 
 /// Keeps only the atoms the UF signature fully owns (a fair standalone
@@ -62,10 +59,3 @@ fn strip_to_uf(c: &cai_term::Conj) -> cai_term::Conj {
     let sig = cai_term::Sig::single(cai_term::TheoryTag::UF);
     c.iter().filter(|a| sig.owns_atom(a)).cloned().collect()
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_joins
-}
-criterion_main!(benches);

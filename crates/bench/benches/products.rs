@@ -3,56 +3,53 @@
 //! precision is established by the Figure 1 reproduction; see
 //! `paper_eval compare`).
 
-use cai_bench::{fig1_family, FIG1};
+use cai_bench::{fig1_family, time_case, FIG1};
 use cai_core::{LogicalProduct, ReducedProduct};
 use cai_interp::{herbrand_view, parse_program, Analyzer};
 use cai_linarith::AffineEq;
 use cai_term::parse::Vocab;
 use cai_uf::UfDomain;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_fig1(c: &mut Criterion) {
+const SAMPLES: usize = 10;
+
+fn main() {
     let vocab = Vocab::standard();
     let p = parse_program(&vocab, FIG1).expect("figure 1 parses");
-    let mut group = c.benchmark_group("fig1_analysis");
-    group.sample_size(10);
 
-    group.bench_function("linear_equalities", |b| {
+    {
         let d = AffineEq::new();
-        b.iter(|| Analyzer::new(&d).run(&p))
-    });
-    group.bench_function("uninterpreted_fns", |b| {
-        let d = UfDomain::new();
-        b.iter(|| Analyzer::new(&d).with_view(herbrand_view).run(&p))
-    });
-    group.bench_function("reduced_product", |b| {
-        let d = ReducedProduct::new(AffineEq::new(), UfDomain::new());
-        b.iter(|| Analyzer::new(&d).run(&p))
-    });
-    group.bench_function("logical_product", |b| {
-        let d = LogicalProduct::new(AffineEq::new(), UfDomain::new());
-        b.iter(|| Analyzer::new(&d).run(&p))
-    });
-    group.finish();
-}
-
-fn bench_scaling(c: &mut Criterion) {
-    let vocab = Vocab::standard();
-    let mut group = c.benchmark_group("product_scaling");
-    group.sample_size(10);
-    for &k in &[1usize, 2, 3] {
-        let p = parse_program(&vocab, &fig1_family(k)).expect("family parses");
-        group.bench_with_input(BenchmarkId::new("reduced", k), &k, |b, _| {
-            let d = ReducedProduct::new(AffineEq::new(), UfDomain::new());
-            b.iter(|| Analyzer::new(&d).run(&p))
-        });
-        group.bench_with_input(BenchmarkId::new("logical", k), &k, |b, _| {
-            let d = LogicalProduct::new(AffineEq::new(), UfDomain::new());
-            b.iter(|| Analyzer::new(&d).run(&p))
+        time_case("fig1_analysis", "linear_equalities", SAMPLES, || {
+            Analyzer::new(&d).run(&p)
         });
     }
-    group.finish();
-}
+    {
+        let d = UfDomain::new();
+        time_case("fig1_analysis", "uninterpreted_fns", SAMPLES, || {
+            Analyzer::new(&d).with_view(herbrand_view).run(&p)
+        });
+    }
+    {
+        let d = ReducedProduct::new(AffineEq::new(), UfDomain::new());
+        time_case("fig1_analysis", "reduced_product", SAMPLES, || {
+            Analyzer::new(&d).run(&p)
+        });
+    }
+    {
+        let d = LogicalProduct::new(AffineEq::new(), UfDomain::new());
+        time_case("fig1_analysis", "logical_product", SAMPLES, || {
+            Analyzer::new(&d).run(&p)
+        });
+    }
 
-criterion_group!(benches, bench_fig1, bench_scaling);
-criterion_main!(benches);
+    for &k in &[1usize, 2, 3] {
+        let p = parse_program(&vocab, &fig1_family(k)).expect("family parses");
+        let d = ReducedProduct::new(AffineEq::new(), UfDomain::new());
+        time_case("product_scaling", &format!("reduced/{k}"), SAMPLES, || {
+            Analyzer::new(&d).run(&p)
+        });
+        let d = LogicalProduct::new(AffineEq::new(), UfDomain::new());
+        time_case("product_scaling", &format!("logical/{k}"), SAMPLES, || {
+            Analyzer::new(&d).run(&p)
+        });
+    }
+}

@@ -10,9 +10,7 @@
 
 use cai_bench::{fig1_family, thm6_family, ConjGen, FIG1, FIG4, FIG8};
 use cai_core::reduce::{EncodeMode, UnaryEncoder};
-use cai_core::{
-    no_saturate, AbstractDomain, LogicalProduct, Precision, ReducedProduct,
-};
+use cai_core::{no_saturate, AbstractDomain, LogicalProduct, Precision, ReducedProduct};
 use cai_interp::{herbrand_view, parse_program, Analyzer, Program};
 use cai_linarith::{AffineEq, Polyhedra};
 use cai_numeric::{ParityDomain, SignDomain};
@@ -71,12 +69,24 @@ fn verdicts<D: AbstractDomain>(d: &D, p: &Program, herbrand: bool) -> Vec<bool> 
     } else {
         Analyzer::new(d)
     };
-    analyzer.run(p).assertions.iter().map(|a| a.verified).collect()
+    analyzer
+        .run(p)
+        .assertions
+        .iter()
+        .map(|a| a.verified)
+        .collect()
 }
 
 fn show(verdicts: &[bool]) -> String {
-    let marks: Vec<&str> = verdicts.iter().map(|v| if *v { "yes" } else { "-" }).collect();
-    format!("{:<28} ({} verified)", marks.join("  "), verdicts.iter().filter(|v| **v).count())
+    let marks: Vec<&str> = verdicts
+        .iter()
+        .map(|v| if *v { "yes" } else { "-" })
+        .collect();
+    format!(
+        "{:<28} ({} verified)",
+        marks.join("  "),
+        verdicts.iter().filter(|v| **v).count()
+    )
 }
 
 fn fig1() {
@@ -91,9 +101,15 @@ fn fig1() {
     let direct: Vec<bool> = lin.iter().zip(&uf).map(|(a, b)| *a || *b).collect();
     println!("direct product          : {}", show(&direct));
     let reduced = ReducedProduct::new(AffineEq::new(), UfDomain::new());
-    println!("reduced product         : {}", show(&verdicts(&reduced, &p, false)));
+    println!(
+        "reduced product         : {}",
+        show(&verdicts(&reduced, &p, false))
+    );
     let logical = LogicalProduct::new(AffineEq::new(), UfDomain::new());
-    println!("logical product         : {}", show(&verdicts(&logical, &p, false)));
+    println!(
+        "logical product         : {}",
+        show(&verdicts(&logical, &p, false))
+    );
 }
 
 fn fig2() {
@@ -177,18 +193,29 @@ fn fig8() {
     println!(
         "computed: odd(x) {} / positive(x) {}",
         if got[0] { "verified" } else { "MISSED" },
-        if got[1] { "UNEXPECTEDLY VERIFIED" } else { "not verified (as predicted)" }
+        if got[1] {
+            "UNEXPECTEDLY VERIFIED"
+        } else {
+            "not verified (as predicted)"
+        }
     );
 }
 
 fn thm6() {
     header("Theorem 6 — fixpoint iterations over the combined lattice");
     println!("paper claim: H_combined ≤ H_L1 + H_L2 + |AlienTerms|");
-    println!("{:<4} {:>8} {:>6} {:>10} {:>8} {:>18}", "k", "affine", "uf", "combined", "aliens", "bound respected?");
+    println!(
+        "{:<4} {:>8} {:>6} {:>10} {:>8} {:>18}",
+        "k", "affine", "uf", "combined", "aliens", "bound respected?"
+    );
     let vocab = Vocab::standard();
     for k in 1..=4 {
         let p = parse_program(&vocab, &thm6_family(k)).expect("family parses");
-        let lin: usize = Analyzer::new(&AffineEq::new()).run(&p).loop_iterations.iter().sum();
+        let lin: usize = Analyzer::new(&AffineEq::new())
+            .run(&p)
+            .loop_iterations
+            .iter()
+            .sum();
         let uf: usize = Analyzer::new(&UfDomain::new())
             .with_view(herbrand_view)
             .run(&p)
@@ -211,7 +238,11 @@ fn thm6() {
             uf,
             combined,
             aliens,
-            if combined <= lin + uf + aliens + 1 { "yes" } else { "NO" }
+            if combined <= lin + uf + aliens + 1 {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
 }
@@ -230,16 +261,15 @@ fn sec5() {
         println!("M({src}) = {}", enc2.encode_term(&t));
     }
     // Program-level check: commutativity proved through the reduction.
-    let p = parse_program(
-        &vocab,
-        "x := Gc(p, q); y := Gc(q, p); assert(x = y);",
-    )
-    .expect("parses");
+    let p = parse_program(&vocab, "x := Gc(p, q); y := Gc(q, p); assert(x = y);").expect("parses");
     let mut enc3 = UnaryEncoder::new(EncodeMode::Commutative);
     let encoded = p.map_terms(&mut |t| enc3.encode_term(t));
     let d = LogicalProduct::new(AffineEq::new(), UfDomain::new());
     let got = verdicts(&d, &encoded, false);
-    println!("commutativity assertion through the reduction: {}", show(&got));
+    println!(
+        "commutativity assertion through the reduction: {}",
+        show(&got)
+    );
 }
 
 fn complexity() {

@@ -1,10 +1,9 @@
 //! Workload generators and the paper's example programs, shared by the
-//! Criterion benchmarks and the `paper_eval` reproduction binary.
+//! benchmarks and the `paper_eval` reproduction binary.
 
+use cai_num::SplitMix64;
 use cai_term::parse::Vocab;
 use cai_term::{Atom, Conj, Term, Var};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
 
 /// The Figure 1 program source (the paper's motivating example).
@@ -85,10 +84,34 @@ pub fn fig1_family(k: usize) -> String {
     format!("{init}while (*) {{\n{body}}}\n{asserts}")
 }
 
+/// Minimal timing harness for the `harness = false` benchmarks (the
+/// workspace builds offline with no external crates, so no Criterion):
+/// runs `f` through a few warm-up rounds, then `samples` timed rounds, and
+/// prints the median per-call time in nanoseconds.
+pub fn time_case<T>(group: &str, name: &str, samples: usize, mut f: impl FnMut() -> T) {
+    const WARMUP: usize = 3;
+    for _ in 0..WARMUP {
+        std::hint::black_box(f());
+    }
+    let mut times: Vec<u128> = (0..samples.max(1))
+        .map(|_| {
+            let start = std::time::Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    println!(
+        "{group}/{name}: median {median} ns ({} samples)",
+        times.len()
+    );
+}
+
 /// Deterministic random mixed terms over `w0..w{n_vars-1}`.
 pub struct ConjGen {
     vocab: Vocab,
-    rng: SmallRng,
+    rng: SplitMix64,
     n_vars: usize,
 }
 
@@ -99,7 +122,11 @@ impl ConjGen {
         // Pre-register the function symbols at fixed arities.
         vocab.function("F", 1).expect("fresh vocab");
         vocab.function("G", 2).expect("fresh vocab");
-        ConjGen { vocab, rng: SmallRng::seed_from_u64(seed), n_vars }
+        ConjGen {
+            vocab,
+            rng: SplitMix64::new(seed),
+            n_vars,
+        }
     }
 
     /// The vocabulary used for generated symbols.
@@ -108,7 +135,7 @@ impl ConjGen {
     }
 
     fn var(&mut self) -> Term {
-        let i = self.rng.gen_range(0..self.n_vars);
+        let i = self.rng.below(self.n_vars as u64);
         Term::var(Var::named(&format!("w{i}")))
     }
 
@@ -116,13 +143,13 @@ impl ConjGen {
     /// arithmetic and UF constructors; otherwise only arithmetic.
     pub fn term(&mut self, depth: usize, mixed: bool) -> Term {
         if depth == 0 {
-            return if self.rng.gen_bool(0.7) {
+            return if self.rng.ratio(7, 10) {
                 self.var()
             } else {
-                Term::int(self.rng.gen_range(-4..5))
+                Term::int(self.rng.range_i64(-4, 5))
             };
         }
-        let choice = self.rng.gen_range(0..if mixed { 4 } else { 2 });
+        let choice = self.rng.below(if mixed { 4 } else { 2 });
         match choice {
             0 => Term::add(&self.term(depth - 1, mixed), &self.term(depth - 1, mixed)),
             1 => Term::sub(&self.term(depth - 1, mixed), &self.term(depth - 1, mixed)),

@@ -1,0 +1,342 @@
+//! Resource governance: fuel/deadline budgets with sound graceful
+//! degradation.
+//!
+//! The combination algorithms are built from loops whose cost is easy to
+//! underestimate — `NOSaturation` fixpoints, the quadratic pair-variable
+//! join of Figure 6, `QSaturation`, Fourier–Motzkin elimination, and
+//! congruence closure. A [`Budget`] bounds the total work those loops may
+//! perform. When the bound is hit, every governed operation **degrades
+//! soundly** instead of diverging: it returns an over-approximation of its
+//! exact result (often ⊤, or it skips the refinement step) and records a
+//! [`Degradation`] event, so callers can distinguish "proved" from "gave
+//! up".
+//!
+//! A `Budget` is a shared handle: cloning it shares the same fuel counter
+//! and deadline, which is how one budget governs a whole analysis — clone
+//! it into each component domain, the product, and the analyzer, and
+//! exhaustion anywhere stops work everywhere.
+//!
+//! ```
+//! use cai_core::Budget;
+//! let b = Budget::fuel(2);
+//! assert!(b.tick(1));
+//! assert!(b.tick(1));
+//! assert!(!b.tick(1)); // exhausted — and stays exhausted
+//! assert!(b.is_exhausted());
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often (in ticks) the wall-clock deadline is re-checked; checking
+/// `Instant::now()` on every tick would dominate the hot loops.
+const DEADLINE_CHECK_PERIOD: u64 = 256;
+
+/// Cap on stored [`Degradation`] events; further events only bump a
+/// counter so an exhausted analysis cannot itself exhaust memory.
+const MAX_EVENTS: usize = 64;
+
+/// A typed failure of the analysis engine.
+///
+/// Most governed operations never return this — they degrade to a sound
+/// over-approximation instead. The error type exists for entry points that
+/// prefer a hard stop (e.g. services enforcing request deadlines).
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum CaiError {
+    /// The fuel counter or wall-clock deadline was exhausted at `site`.
+    Exhausted {
+        /// The governed loop that observed exhaustion.
+        site: &'static str,
+    },
+    /// Input outside the supported fragment.
+    Invalid {
+        /// The operation that rejected the input.
+        site: &'static str,
+        /// What was wrong with it.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CaiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaiError::Exhausted { site } => {
+                write!(f, "resource budget exhausted in {site}")
+            }
+            CaiError::Invalid { site, detail } => {
+                write!(f, "invalid input to {site}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CaiError {}
+
+/// One recorded precision-loss event: a governed operation hit the budget
+/// and substituted a sound over-approximation for its exact result.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Degradation {
+    /// The operation that degraded (e.g. `"logical-product/join"`).
+    pub site: &'static str,
+    /// What the operation fell back to.
+    pub detail: String,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.site, self.detail)
+    }
+}
+
+/// A summary of everything a budget observed: whether any governed
+/// operation gave up, and where.
+#[derive(Clone, Debug, Default)]
+pub struct DegradationReport {
+    /// `true` if any operation substituted an over-approximation.
+    pub degraded: bool,
+    /// `true` if the fuel counter or deadline ran out.
+    pub exhausted: bool,
+    /// Fuel ticks consumed so far.
+    pub fuel_spent: u64,
+    /// The recorded events, oldest first (at most [`MAX_EVENTS`] kept).
+    pub events: Vec<Degradation>,
+    /// Events beyond the storage cap (recorded only as a count).
+    pub dropped_events: usize,
+}
+
+#[derive(Debug, Default)]
+struct Log {
+    events: Vec<Degradation>,
+    dropped: usize,
+}
+
+#[derive(Debug)]
+struct BudgetInner {
+    /// Remaining fuel; `None` means unlimited.
+    fuel_left: Option<AtomicU64>,
+    /// Total ticks consumed (kept even when unlimited, for reporting).
+    spent: AtomicU64,
+    deadline: Option<Instant>,
+    /// Sticky exhaustion flag: once out, always out, so one governed loop
+    /// bailing makes every later loop bail immediately.
+    exhausted: AtomicBool,
+    degraded: AtomicBool,
+    log: Mutex<Log>,
+}
+
+/// A shared fuel counter and optional wall-clock deadline governing the
+/// potentially-unbounded loops of the engine. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct Budget {
+    inner: Arc<BudgetInner>,
+}
+
+impl Budget {
+    fn build(fuel: Option<u64>, deadline: Option<Duration>) -> Budget {
+        Budget {
+            inner: Arc::new(BudgetInner {
+                fuel_left: fuel.map(AtomicU64::new),
+                spent: AtomicU64::new(0),
+                deadline: deadline.map(|d| Instant::now() + d),
+                exhausted: AtomicBool::new(false),
+                degraded: AtomicBool::new(false),
+                log: Mutex::new(Log::default()),
+            }),
+        }
+    }
+
+    /// A budget that never exhausts (the default everywhere).
+    pub fn unlimited() -> Budget {
+        Budget::build(None, None)
+    }
+
+    /// A budget of `n` operation ticks.
+    pub fn fuel(n: u64) -> Budget {
+        Budget::build(Some(n), None)
+    }
+
+    /// A budget with a wall-clock deadline, measured from now.
+    pub fn deadline(d: Duration) -> Budget {
+        Budget::build(None, Some(d))
+    }
+
+    /// A budget with both a fuel cap and a wall-clock deadline.
+    pub fn fuel_and_deadline(n: u64, d: Duration) -> Budget {
+        Budget::build(Some(n), Some(d))
+    }
+
+    /// Consumes `cost` ticks. Returns `true` while within budget; once it
+    /// returns `false` it returns `false` forever (exhaustion is sticky).
+    pub fn tick(&self, cost: u64) -> bool {
+        let inner = &*self.inner;
+        if inner.exhausted.load(Ordering::Relaxed) {
+            return false;
+        }
+        let spent = inner.spent.fetch_add(cost, Ordering::Relaxed) + cost;
+        if let Some(left) = &inner.fuel_left {
+            // Saturating decrement: `fetch_update` loops only under
+            // contention, and the counter never wraps below zero.
+            let out = left
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                    Some(cur.saturating_sub(cost))
+                })
+                .unwrap_or(0);
+            if out < cost {
+                inner.exhausted.store(true, Ordering::Relaxed);
+                return false;
+            }
+        }
+        if let Some(deadline) = inner.deadline {
+            // Amortize the clock read; the first tick always checks.
+            if (spent <= cost || spent % DEADLINE_CHECK_PERIOD < cost) && Instant::now() >= deadline
+            {
+                inner.exhausted.store(true, Ordering::Relaxed);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Exhausts the budget immediately (cooperative cancellation; also
+    /// used by the chaos harness to inject fuel exhaustion at chosen
+    /// ticks). Every governed loop sharing this budget degrades at its
+    /// next check.
+    pub fn exhaust(&self) {
+        self.inner.exhausted.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the budget has run out (fuel or deadline).
+    pub fn is_exhausted(&self) -> bool {
+        if self.inner.exhausted.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                self.inner.exhausted.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Errors with [`CaiError::Exhausted`] if the budget has run out —
+    /// for callers that want a hard stop instead of degradation.
+    pub fn check(&self, site: &'static str) -> Result<(), CaiError> {
+        if self.is_exhausted() {
+            Err(CaiError::Exhausted { site })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Total ticks consumed so far.
+    pub fn spent(&self) -> u64 {
+        self.inner.spent.load(Ordering::Relaxed)
+    }
+
+    /// Records that a governed operation substituted a sound
+    /// over-approximation for its exact result.
+    pub fn degrade(&self, site: &'static str, detail: impl Into<String>) {
+        self.inner.degraded.store(true, Ordering::Relaxed);
+        let mut log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
+        if log.events.len() < MAX_EVENTS {
+            log.events.push(Degradation {
+                site,
+                detail: detail.into(),
+            });
+        } else {
+            log.dropped += 1;
+        }
+    }
+
+    /// `true` if any governed operation has degraded under this budget.
+    pub fn degraded(&self) -> bool {
+        self.inner.degraded.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of everything observed so far.
+    pub fn report(&self) -> DegradationReport {
+        let log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
+        DegradationReport {
+            degraded: self.degraded(),
+            exhausted: self.inner.exhausted.load(Ordering::Relaxed),
+            fuel_spent: self.spent(),
+            events: log.events.clone(),
+            dropped_events: log.dropped,
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.tick(1));
+        }
+        assert!(!b.is_exhausted());
+        assert_eq!(b.spent(), 10_000);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_sticky() {
+        let b = Budget::fuel(3);
+        assert!(b.tick(2));
+        assert!(!b.tick(2)); // only 1 left
+        assert!(!b.tick(0)); // sticky even for free ticks
+        assert!(b.is_exhausted());
+        assert!(b.check("here").is_err());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Budget::fuel(2);
+        let b = a.clone();
+        assert!(a.tick(1));
+        assert!(b.tick(1));
+        assert!(!a.tick(1));
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn deadline_in_the_past_exhausts() {
+        let b = Budget::deadline(Duration::ZERO);
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn degradation_log_caps() {
+        let b = Budget::unlimited();
+        assert!(!b.degraded());
+        for i in 0..(MAX_EVENTS + 10) {
+            b.degrade("test", format!("event {i}"));
+        }
+        let r = b.report();
+        assert!(r.degraded);
+        assert_eq!(r.events.len(), MAX_EVENTS);
+        assert_eq!(r.dropped_events, 10);
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = CaiError::Exhausted { site: "join" };
+        assert!(e.to_string().contains("join"));
+        let e = CaiError::Invalid {
+            site: "parse",
+            detail: "bad atom".into(),
+        };
+        assert!(e.to_string().contains("bad atom"));
+    }
+}

@@ -1,0 +1,383 @@
+//! Fault injection for robustness testing: a wrapper domain that
+//! deterministically misbehaves in *sound* ways.
+//!
+//! [`ChaosDomain`] wraps any [`AbstractDomain`] and, driven by a seeded
+//! splitmix64 stream (no external randomness), injects the failure modes a
+//! production analysis must survive:
+//!
+//! - **spurious ⊤** from `join` / `widen` / `exists` (a component giving
+//!   up),
+//! - **skipped meets** (`meet_atom` ignoring its atom, as a degraded
+//!   component does on exhaustion),
+//! - **dropped equalities** from `var_equalities` and lost `alternate`
+//!   definitions (an under-saturating component),
+//! - **denied implications** (`implies_atom` answering "unknown"),
+//! - **fuel exhaustion** of an attached [`Budget`] at a chosen tick.
+//!
+//! Every injected fault *over-approximates* the exact answer, so a correct
+//! combination engine must stay sound under any schedule of them: results
+//! may only move up the lattice. The property tests in
+//! `tests/chaos.rs` (and the full-analyzer tests in `cai-interp`) assert
+//! exactly that, plus no-panic and bounded termination.
+//!
+//! Determinism matters: a failing seed is a reproducible bug report.
+
+use crate::budget::Budget;
+use crate::domain::{AbstractDomain, TheoryProps};
+use crate::partition::Partition;
+use cai_num::prng::{mix, GAMMA};
+use cai_term::{Atom, Conj, Sig, Term, Var, VarSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-fault injection rates, in permille (0 = never, 1000 = always).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChaosConfig {
+    /// `join`/`widen` returns ⊤ instead of the real join.
+    pub top_join_permille: u32,
+    /// `exists` returns ⊤ instead of the real projection.
+    pub top_exists_permille: u32,
+    /// Each equality pair reported by `var_equalities` is dropped.
+    pub drop_equality_permille: u32,
+    /// `alternate` returns `None` (and `alternates` drops each entry).
+    pub drop_alternate_permille: u32,
+    /// `meet_atom` ignores its atom (returns the element unchanged).
+    pub skip_meet_permille: u32,
+    /// `implies_atom` answers `false` regardless of the real answer.
+    pub deny_implies_permille: u32,
+    /// Any operation exhausts the attached budget (see
+    /// [`ChaosDomain::with_budget`]) before running.
+    pub exhaust_budget_permille: u32,
+}
+
+impl Default for ChaosConfig {
+    /// Moderate chaos: every fault fires at 10% (budget exhaustion at 1%).
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            top_join_permille: 100,
+            top_exists_permille: 100,
+            drop_equality_permille: 100,
+            drop_alternate_permille: 100,
+            skip_meet_permille: 100,
+            deny_implies_permille: 100,
+            exhaust_budget_permille: 10,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// No injections at all (the wrapper becomes transparent).
+    pub fn quiet() -> ChaosConfig {
+        ChaosConfig {
+            top_join_permille: 0,
+            top_exists_permille: 0,
+            drop_equality_permille: 0,
+            drop_alternate_permille: 0,
+            skip_meet_permille: 0,
+            deny_implies_permille: 0,
+            exhaust_budget_permille: 0,
+        }
+    }
+}
+
+/// A deterministic fault-injecting wrapper around any abstract domain.
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct ChaosDomain<D> {
+    inner: D,
+    /// splitmix64 state, advanced lock-free on each decision so the
+    /// wrapper stays usable through `&self` like every other domain.
+    state: AtomicU64,
+    config: ChaosConfig,
+    budget: Option<Budget>,
+    injected: AtomicU64,
+}
+
+impl<D> ChaosDomain<D> {
+    /// Wraps `inner`, drawing fault decisions from `seed` with the default
+    /// (moderate) configuration.
+    pub fn new(inner: D, seed: u64) -> ChaosDomain<D> {
+        ChaosDomain {
+            inner,
+            state: AtomicU64::new(seed),
+            config: ChaosConfig::default(),
+            budget: None,
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Overrides the injection rates.
+    pub fn with_config(mut self, config: ChaosConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches the budget that `exhaust_budget_permille` drains — pass a
+    /// clone of the budget governing the engine under test.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The wrapped domain.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// How many faults have been injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// One seeded coin flip; `true` fires the fault.
+    fn roll(&self, permille: u32) -> bool {
+        if permille == 0 {
+            return false;
+        }
+        let s = self
+            .state
+            .fetch_add(GAMMA, Ordering::Relaxed)
+            .wrapping_add(GAMMA);
+        let fire = mix(s) % 1000 < u64::from(permille);
+        if fire {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// Runs the budget-exhaustion fault shared by every operation.
+    fn maybe_exhaust(&self) {
+        if let Some(budget) = &self.budget {
+            if self.roll(self.config.exhaust_budget_permille) {
+                budget.exhaust();
+            }
+        }
+    }
+}
+
+impl<D: AbstractDomain> AbstractDomain for ChaosDomain<D> {
+    type Elem = D::Elem;
+
+    fn sig(&self) -> Sig {
+        self.inner.sig()
+    }
+
+    fn props(&self) -> TheoryProps {
+        self.inner.props()
+    }
+
+    fn top(&self) -> D::Elem {
+        self.inner.top()
+    }
+
+    fn bottom(&self) -> D::Elem {
+        self.inner.bottom()
+    }
+
+    fn is_bottom(&self, e: &D::Elem) -> bool {
+        // Never injected: claiming ⊥ about a satisfiable element would be
+        // unsound, and hiding a real ⊥ would break the callers' bottom
+        // bookkeeping without modelling any real failure.
+        self.inner.is_bottom(e)
+    }
+
+    fn meet_atom(&self, e: &D::Elem, atom: &Atom) -> D::Elem {
+        self.maybe_exhaust();
+        if self.roll(self.config.skip_meet_permille) {
+            // e alone over-approximates e ∧ atom.
+            return e.clone();
+        }
+        self.inner.meet_atom(e, atom)
+    }
+
+    fn implies_atom(&self, e: &D::Elem, atom: &Atom) -> bool {
+        self.maybe_exhaust();
+        if self.roll(self.config.deny_implies_permille) {
+            // "Unknown" is always a sound answer to an implication query.
+            return false;
+        }
+        self.inner.implies_atom(e, atom)
+    }
+
+    fn join(&self, a: &D::Elem, b: &D::Elem) -> D::Elem {
+        self.maybe_exhaust();
+        if self.roll(self.config.top_join_permille) {
+            return self.inner.top();
+        }
+        self.inner.join(a, b)
+    }
+
+    fn exists(&self, e: &D::Elem, vars: &VarSet) -> D::Elem {
+        self.maybe_exhaust();
+        if self.roll(self.config.top_exists_permille) {
+            // ⊤ is implied by e and mentions no variable at all.
+            return self.inner.top();
+        }
+        self.inner.exists(e, vars)
+    }
+
+    fn var_equalities(&self, e: &D::Elem) -> Partition {
+        self.maybe_exhaust();
+        let full = self.inner.var_equalities(e);
+        if self.config.drop_equality_permille == 0 {
+            return full;
+        }
+        // Rebuild the partition, dropping generator pairs at the
+        // configured rate — a coarser (weaker, still sound) partition.
+        let mut out = Partition::new();
+        for (a, b) in full.pairs() {
+            if !self.roll(self.config.drop_equality_permille) {
+                out.union(a, b);
+            }
+        }
+        out
+    }
+
+    fn alternate(&self, e: &D::Elem, y: Var, avoid: &VarSet) -> Option<Term> {
+        self.maybe_exhaust();
+        if self.roll(self.config.drop_alternate_permille) {
+            // `None` ("no definition found") is always within contract.
+            return None;
+        }
+        self.inner.alternate(e, y, avoid)
+    }
+
+    fn alternates(
+        &self,
+        e: &D::Elem,
+        targets: &VarSet,
+        avoid: &VarSet,
+    ) -> std::collections::BTreeMap<Var, Term> {
+        self.maybe_exhaust();
+        let mut out = self.inner.alternates(e, targets, avoid);
+        if self.config.drop_alternate_permille > 0 {
+            out.retain(|_, _| !self.roll(self.config.drop_alternate_permille));
+        }
+        out
+    }
+
+    fn widen(&self, a: &D::Elem, b: &D::Elem) -> D::Elem {
+        self.maybe_exhaust();
+        if self.roll(self.config.top_join_permille) {
+            // ⊤ is a stable point of any widening, so termination of the
+            // enclosing fixpoint is preserved.
+            return self.inner.top();
+        }
+        self.inner.widen(a, b)
+    }
+
+    fn to_conj(&self, e: &D::Elem) -> Conj {
+        self.inner.to_conj(e)
+    }
+
+    fn from_conj(&self, c: &Conj) -> D::Elem {
+        // Route through the wrapper's meet so construction is also chaotic.
+        self.meet_all(&self.top(), c.atoms())
+    }
+
+    fn meet_all(&self, e: &D::Elem, atoms: &[Atom]) -> D::Elem {
+        self.maybe_exhaust();
+        if self.roll(self.config.skip_meet_permille) {
+            // Drop one batched meet entirely.
+            return e.clone();
+        }
+        self.inner.meet_all(e, atoms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial domain over no theory, for wrapper-level checks.
+    #[derive(Clone, Copy, Debug)]
+    struct Free;
+
+    impl AbstractDomain for Free {
+        type Elem = Conj;
+
+        fn sig(&self) -> Sig {
+            Sig::single(cai_term::TheoryTag::UF)
+        }
+        fn top(&self) -> Conj {
+            Conj::new()
+        }
+        fn bottom(&self) -> Conj {
+            Conj::of(Atom::eq(Term::int(0), Term::int(1)))
+        }
+        fn is_bottom(&self, e: &Conj) -> bool {
+            e.iter().any(|a| *a == Atom::eq(Term::int(0), Term::int(1)))
+        }
+        fn meet_atom(&self, e: &Conj, atom: &Atom) -> Conj {
+            let mut out = e.clone();
+            out.push(atom.clone());
+            out
+        }
+        fn implies_atom(&self, e: &Conj, atom: &Atom) -> bool {
+            e.iter().any(|a| a == atom)
+        }
+        fn join(&self, a: &Conj, b: &Conj) -> Conj {
+            a.iter()
+                .filter(|x| b.iter().any(|y| y == *x))
+                .cloned()
+                .collect()
+        }
+        fn exists(&self, e: &Conj, vars: &VarSet) -> Conj {
+            e.iter()
+                .filter(|a| !a.mentions_any(vars))
+                .cloned()
+                .collect()
+        }
+        fn var_equalities(&self, _e: &Conj) -> Partition {
+            Partition::new()
+        }
+        fn alternate(&self, _e: &Conj, _y: Var, _avoid: &VarSet) -> Option<Term> {
+            None
+        }
+        fn to_conj(&self, e: &Conj) -> Conj {
+            e.clone()
+        }
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let atom = Atom::var_eq(Var::named("x"), Var::named("y"));
+        let e = Conj::of(atom.clone());
+        let runs: Vec<Vec<bool>> = (0..2)
+            .map(|_| {
+                let d = ChaosDomain::new(Free, 7);
+                (0..50).map(|_| d.implies_atom(&e, &atom)).collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        // And a different seed gives a different schedule (with these many
+        // trials the chance of collision is negligible).
+        let d = ChaosDomain::new(Free, 8);
+        let other: Vec<bool> = (0..50).map(|_| d.implies_atom(&e, &atom)).collect();
+        assert_ne!(runs[0], other);
+    }
+
+    #[test]
+    fn quiet_config_is_transparent() {
+        let d = ChaosDomain::new(Free, 1).with_config(ChaosConfig::quiet());
+        let atom = Atom::var_eq(Var::named("x"), Var::named("y"));
+        let e = Conj::of(atom.clone());
+        for _ in 0..100 {
+            assert!(d.implies_atom(&e, &atom));
+        }
+        assert_eq!(d.injected(), 0);
+    }
+
+    #[test]
+    fn budget_drain_fires() {
+        let budget = Budget::unlimited();
+        let d = ChaosDomain::new(Free, 3)
+            .with_config(ChaosConfig {
+                exhaust_budget_permille: 1000,
+                ..ChaosConfig::quiet()
+            })
+            .with_budget(budget.clone());
+        let atom = Atom::var_eq(Var::named("x"), Var::named("y"));
+        let _ = d.meet_atom(&Conj::new(), &atom);
+        assert!(budget.is_exhausted());
+    }
+}

@@ -53,11 +53,7 @@ impl<D1: AbstractDomain, D2: AbstractDomain> DirectProduct<D1, D2> {
 
     /// Routes a (possibly mixed) atom into both components: pure parts are
     /// met directly; alien-naming ghosts are eliminated component-wise.
-    fn meet_routed(
-        &self,
-        e: &Pair<D1::Elem, D2::Elem>,
-        atom: &Atom,
-    ) -> Pair<D1::Elem, D2::Elem> {
+    fn meet_routed(&self, e: &Pair<D1::Elem, D2::Elem>, atom: &Atom) -> Pair<D1::Elem, D2::Elem> {
         let s1 = self.d1.sig();
         let s2 = self.d2.sig();
         let p = purify(&Conj::of(atom.clone()), &s1, &s2);
@@ -94,11 +90,17 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for DirectProduct<D1
     }
 
     fn top(&self) -> Self::Elem {
-        Pair { left: self.d1.top(), right: self.d2.top() }
+        Pair {
+            left: self.d1.top(),
+            right: self.d2.top(),
+        }
     }
 
     fn bottom(&self) -> Self::Elem {
-        Pair { left: self.d1.bottom(), right: self.d2.bottom() }
+        Pair {
+            left: self.d1.bottom(),
+            right: self.d2.bottom(),
+        }
     }
 
     fn is_bottom(&self, e: &Self::Elem) -> bool {

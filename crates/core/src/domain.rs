@@ -23,7 +23,10 @@ pub struct TheoryProps {
 impl TheoryProps {
     /// Both properties hold (the common case for the paper's theories).
     pub fn nelson_oppen() -> TheoryProps {
-        TheoryProps { convex: true, stably_infinite: true }
+        TheoryProps {
+            convex: true,
+            stably_infinite: true,
+        }
     }
 }
 
@@ -131,6 +134,7 @@ pub trait AbstractDomain {
     /// Builds the element abstracting a pure conjunction: the meet of `top`
     /// with every atom (batched, see
     /// [`meet_all`](AbstractDomain::meet_all)).
+    #[allow(clippy::wrong_self_convention)] // the domain builds its elements
     fn from_conj(&self, c: &Conj) -> Self::Elem {
         self.meet_all(&self.top(), c.atoms())
     }
@@ -153,7 +157,9 @@ pub trait AbstractDomain {
         if self.is_bottom(a) {
             return true;
         }
-        self.to_conj(b).iter().all(|atom| self.implies_atom(a, atom))
+        self.to_conj(b)
+            .iter()
+            .all(|atom| self.implies_atom(a, atom))
     }
 
     /// Semantic element equality (mutual implication). Structural

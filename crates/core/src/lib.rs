@@ -26,6 +26,8 @@
 //! functions and multi-arity uninterpreted functions into unary-UF +
 //! linear arithmetic.
 
+mod budget;
+pub mod chaos;
 mod direct;
 mod domain;
 mod logical;
@@ -34,9 +36,11 @@ pub mod reduce;
 mod reduced;
 mod saturate;
 
+pub use budget::{Budget, CaiError, Degradation, DegradationReport};
+pub use chaos::{ChaosConfig, ChaosDomain};
 pub use direct::{DirectProduct, Pair};
 pub use domain::{combination_precision, AbstractDomain, Precision, TheoryProps};
 pub use logical::LogicalProduct;
 pub use partition::Partition;
 pub use reduced::ReducedProduct;
-pub use saturate::{no_saturate, Saturated};
+pub use saturate::{no_saturate, no_saturate_budgeted, Saturated};

@@ -19,12 +19,11 @@
 //! lattice (Theorems 3 and 5). Otherwise they remain sound and act as the
 //! paper's "efficient heuristic" (see [`LogicalProduct::precision`]).
 
+use crate::budget::Budget;
 use crate::domain::{combination_precision, AbstractDomain, Precision, TheoryProps};
 use crate::partition::Partition;
-use crate::saturate::{no_saturate, Saturated};
-use cai_term::{
-    purify, Atom, AtomSide, Conj, Purified, Purifier, Sig, Term, Var, VarSet,
-};
+use crate::saturate::{no_saturate_budgeted, Saturated};
+use cai_term::{purify, Atom, AtomSide, Conj, Purified, Purifier, Sig, Term, Var, VarSet};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -59,12 +58,31 @@ macro_rules! trace_phase {
 pub struct LogicalProduct<D1, D2> {
     d1: D1,
     d2: D2,
+    budget: Budget,
 }
 
 impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
-    /// Combines two domains into their logical product.
+    /// Combines two domains into their logical product (with an unlimited
+    /// [`Budget`]).
     pub fn new(d1: D1, d2: D2) -> LogicalProduct<D1, D2> {
-        LogicalProduct { d1, d2 }
+        LogicalProduct {
+            d1,
+            d2,
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Governs this product's join, quantification, and saturation loops
+    /// by `budget`. Clone one budget into the component domains and the
+    /// analyzer as well to bound a whole analysis end to end.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The budget governing this product's operators.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// The first component domain.
@@ -121,8 +139,30 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
         let p = purify(e, &self.d1.sig(), &self.d2.sig());
         let e1 = self.d1.from_conj(&p.left);
         let e2 = self.d2.from_conj(&p.right);
-        let s = no_saturate(&self.d1, e1, &self.d2, e2);
+        let s = no_saturate_budgeted(&self.d1, e1, &self.d2, e2, &self.budget);
         (p, s)
+    }
+
+    /// Budget-exhaustion fallback for the join: the syntactic intersection
+    /// of the two conjunctions. Sound — an atom present in both inputs is
+    /// implied by each, hence by their join — but far less precise than
+    /// Figure 6 (it discovers no new facts).
+    fn fallback_join(&self, el: &Conj, er: &Conj) -> Conj {
+        el.iter()
+            .filter(|a| er.iter().any(|b| b == *a))
+            .cloned()
+            .collect()
+    }
+
+    /// Budget-exhaustion fallback for quantification: drop every atom
+    /// mentioning a variable to eliminate. Sound (each kept atom is a
+    /// conjunct of `e`) and `vars`-free by construction, but performs no
+    /// definition recovery.
+    fn fallback_exists(e: &Conj, vars: &VarSet) -> Conj {
+        e.iter()
+            .filter(|a| !a.mentions_any(vars))
+            .cloned()
+            .collect()
     }
 
     /// `QSaturation` (Figure 7, lines 1–10 of the right-hand algorithm):
@@ -137,6 +177,14 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
         let mut v2 = v1.clone();
         let mut defs: BTreeMap<Var, Term> = BTreeMap::new();
         loop {
+            if !self.budget.tick(1 + v2.len() as u64) {
+                // Sound early exit: the variables still in V2 are simply
+                // quantified component-wise instead of being substituted.
+                self.budget.degrade("logical-product/q-saturation", {
+                    format!("stopped with {} definitions pending", v2.len())
+                });
+                return (v2, defs);
+            }
             let mut changed = false;
             // One batched Alternate pass per component per round; as
             // variables leave V2, later rounds may find more definitions.
@@ -165,12 +213,23 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
 
     /// Applies a definition map to a conjunction until fixpoint. The
     /// definitions discovered by `QSaturation` are acyclic (each avoids all
-    /// variables removed after it), so this terminates.
-    fn subst_defs(mut c: Conj, defs: &BTreeMap<Var, Term>) -> Conj {
+    /// variables removed after it), so this terminates; the budget guards
+    /// against pathological definition chains anyway, dropping any atom
+    /// that still mentions a defined variable when fuel runs out (sound:
+    /// every kept atom is an instance of a conjunct of `c`).
+    fn subst_defs(&self, mut c: Conj, defs: &BTreeMap<Var, Term>) -> Conj {
         if defs.is_empty() {
             return c;
         }
         loop {
+            if !self.budget.tick(1 + c.len() as u64) {
+                self.budget.degrade(
+                    "logical-product/subst-defs",
+                    "dropped atoms still mentioning defined variables",
+                );
+                let defined: VarSet = defs.keys().copied().collect();
+                return Self::fallback_exists(&c, &defined);
+            }
             let next = c.subst(defs);
             if next == c {
                 return c;
@@ -182,6 +241,13 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
     /// The shared implementation of join and widening (the paper constructs
     /// the widening operator "in exactly the same way" as the join).
     fn join_impl(&self, el: &Conj, er: &Conj, widen: bool) -> Conj {
+        if self.budget.is_exhausted() {
+            self.budget.degrade(
+                "logical-product/join",
+                "fell back to syntactic intersection",
+            );
+            return self.fallback_join(el, er);
+        }
         // Figure 6, lines 1–4.
         let (pl, sl) = trace_phase!("join/split-left", self.split(el));
         if sl.bottom {
@@ -201,9 +267,21 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
         let mut rvars: VarSet = er.vars();
         rvars.extend(pr.fresh.iter().copied());
 
+        // The pair-variable set is the quadratic heart of Figure 6 — charge
+        // for it up front, and degrade to the syntactic join if the budget
+        // cannot afford it.
+        if !self.budget.tick((lvars.len() * rvars.len()) as u64) {
+            self.budget.degrade("logical-product/join", {
+                format!(
+                    "pair-variable set of {}x{} exceeded the budget",
+                    lvars.len(),
+                    rvars.len()
+                )
+            });
+            return self.fallback_join(el, er);
+        }
         let mut pair_vars = VarSet::new();
-        let mut seen: std::collections::BTreeSet<(Var, Var)> =
-            std::collections::BTreeSet::new();
+        let mut seen: std::collections::BTreeSet<(Var, Var)> = std::collections::BTreeSet::new();
         let mut atoms_l: Vec<Atom> = Vec::new();
         let mut atoms_r: Vec<Atom> = Vec::new();
         for &x in &lvars {
@@ -281,6 +359,7 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for LogicalProduct<D
 
     fn meet_atom(&self, e: &Conj, atom: &Atom) -> Conj {
         // The meet operator for L1 ⋈ L2 is simply conjunction (§4).
+        self.budget.tick(1);
         let mut out = e.clone();
         out.push(atom.clone());
         out
@@ -296,7 +375,7 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for LogicalProduct<D
         let p = purifier.finish();
         let e1 = self.d1.from_conj(&p.left);
         let e2 = self.d2.from_conj(&p.right);
-        let s = no_saturate(&self.d1, e1, &self.d2, e2);
+        let s = no_saturate_budgeted(&self.d1, e1, &self.d2, e2, &self.budget);
         if s.bottom {
             return true;
         }
@@ -304,8 +383,7 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for LogicalProduct<D
             AtomSide::Left => self.d1.implies_atom(&s.left, &pure),
             AtomSide::Right => self.d2.implies_atom(&s.right, &pure),
             AtomSide::Both => {
-                self.d1.implies_atom(&s.left, &pure)
-                    || self.d2.implies_atom(&s.right, &pure)
+                self.d1.implies_atom(&s.left, &pure) || self.d2.implies_atom(&s.right, &pure)
             }
         }
     }
@@ -315,6 +393,13 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for LogicalProduct<D
     }
 
     fn exists(&self, e: &Conj, vars: &VarSet) -> Conj {
+        if self.budget.is_exhausted() {
+            self.budget.degrade(
+                "logical-product/exists",
+                "fell back to syntactic projection",
+            );
+            return Self::fallback_exists(e, vars);
+        }
         // Figure 7, left-hand algorithm.
         let (p, s) = trace_phase!("exists/split", self.split(e));
         if s.bottom {
@@ -334,7 +419,7 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for LogicalProduct<D
         let e22 = trace_phase!("exists/q2", self.d2.exists(&s.right, &v2));
         // Lines 7–8: substitute the definitions back, producing mixed facts.
         let mixed = self.d1.to_conj(&e12).and(&self.d2.to_conj(&e22));
-        trace_phase!("exists/subst-defs", Self::subst_defs(mixed, &defs))
+        trace_phase!("exists/subst-defs", self.subst_defs(mixed, &defs))
     }
 
     /// Batched implication: purify and saturate `a` once, then decide every
@@ -347,7 +432,7 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for LogicalProduct<D
         let p = purifier.finish();
         let e1 = self.d1.from_conj(&p.left);
         let e2 = self.d2.from_conj(&p.right);
-        let s = no_saturate(&self.d1, e1, &self.d2, e2);
+        let s = no_saturate_budgeted(&self.d1, e1, &self.d2, e2, &self.budget);
         if s.bottom {
             return true;
         }
@@ -355,8 +440,7 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for LogicalProduct<D
             AtomSide::Left => self.d1.implies_atom(&s.left, &pure),
             AtomSide::Right => self.d2.implies_atom(&s.right, &pure),
             AtomSide::Both => {
-                self.d1.implies_atom(&s.left, &pure)
-                    || self.d2.implies_atom(&s.right, &pure)
+                self.d1.implies_atom(&s.left, &pure) || self.d2.implies_atom(&s.right, &pure)
             }
         })
     }

@@ -64,7 +64,9 @@ impl Partition {
 
     /// Returns `true` if no two distinct variables are equated.
     pub fn is_identity(&self) -> bool {
-        self.parent.iter().all(|(v, p)| v == p || self.find(*v) == *v)
+        self.parent
+            .iter()
+            .all(|(v, p)| v == p || self.find(*v) == *v)
     }
 
     /// The non-singleton classes, each sorted, in sorted order.
@@ -73,10 +75,7 @@ impl Partition {
         for &v in self.parent.keys() {
             by_root.entry(self.find(v)).or_default().push(v);
         }
-        by_root
-            .into_values()
-            .filter(|c| c.len() > 1)
-            .collect()
+        by_root.into_values().filter(|c| c.len() > 1).collect()
     }
 
     /// The equalities `(v, root)` for every variable that is not its own

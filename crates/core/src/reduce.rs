@@ -59,7 +59,12 @@ impl UnaryEncoder {
     /// Panics if `f` is not unary.
     pub fn with_symbol(mode: EncodeMode, f: FnSym) -> UnaryEncoder {
         assert_eq!(f.arity(), 1, "the target symbol must be unary");
-        UnaryEncoder { mode, f, indices: BTreeMap::new(), next_index: 1 }
+        UnaryEncoder {
+            mode,
+            f,
+            indices: BTreeMap::new(),
+            next_index: 1,
+        }
     }
 
     /// The unary symbol all functions are encoded into.
@@ -119,13 +124,9 @@ impl UnaryEncoder {
                     }
                     EncodeMode::MultiArity => {
                         for (j, a) in args.iter().enumerate() {
-                            let weight = cai_num::Rat::from(
-                                cai_num::Int::from(2).pow(j as u32 + 1),
-                            );
-                            sum = Term::add(
-                                &sum,
-                                &Term::scale(&weight, &self.encode_term(a)),
-                            );
+                            let weight =
+                                cai_num::Rat::from(cai_num::Int::from(2).pow(j as u32 + 1));
+                            sum = Term::add(&sum, &Term::scale(&weight, &self.encode_term(a)));
                         }
                     }
                 }

@@ -7,10 +7,11 @@
 //! pairs of pure elements; the components exchange implied variable
 //! equalities (the "reduction"), but no mixed facts are ever created.
 
+use crate::budget::Budget;
 use crate::direct::Pair;
 use crate::domain::{AbstractDomain, TheoryProps};
 use crate::partition::Partition;
-use crate::saturate::no_saturate;
+use crate::saturate::no_saturate_budgeted;
 use cai_term::{Atom, AtomSide, Conj, Purifier, Sig, Term, Var, VarSet};
 
 /// The reduced product `L1 ⊓ L2`: component-wise elements kept mutually
@@ -24,12 +25,24 @@ use cai_term::{Atom, AtomSide, Conj, Purifier, Sig, Term, Var, VarSet};
 pub struct ReducedProduct<D1, D2> {
     d1: D1,
     d2: D2,
+    budget: Budget,
 }
 
 impl<D1: AbstractDomain, D2: AbstractDomain> ReducedProduct<D1, D2> {
-    /// Combines two domains into their reduced product.
+    /// Combines two domains into their reduced product (with an unlimited
+    /// [`Budget`]).
     pub fn new(d1: D1, d2: D2) -> ReducedProduct<D1, D2> {
-        ReducedProduct { d1, d2 }
+        ReducedProduct {
+            d1,
+            d2,
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Governs this product's saturation loops by `budget`.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// The first component domain.
@@ -44,8 +57,11 @@ impl<D1: AbstractDomain, D2: AbstractDomain> ReducedProduct<D1, D2> {
 
     /// Re-establishes the saturation invariant (the reduction operator ρ).
     fn reduce(&self, e: Pair<D1::Elem, D2::Elem>) -> Pair<D1::Elem, D2::Elem> {
-        let s = no_saturate(&self.d1, e.left, &self.d2, e.right);
-        Pair { left: s.left, right: s.right }
+        let s = no_saturate_budgeted(&self.d1, e.left, &self.d2, e.right, &self.budget);
+        Pair {
+            left: s.left,
+            right: s.right,
+        }
     }
 }
 
@@ -65,11 +81,17 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for ReducedProduct<D
     }
 
     fn top(&self) -> Self::Elem {
-        Pair { left: self.d1.top(), right: self.d2.top() }
+        Pair {
+            left: self.d1.top(),
+            right: self.d2.top(),
+        }
     }
 
     fn bottom(&self) -> Self::Elem {
-        Pair { left: self.d1.bottom(), right: self.d2.bottom() }
+        Pair {
+            left: self.d1.bottom(),
+            right: self.d2.bottom(),
+        }
     }
 
     fn is_bottom(&self, e: &Self::Elem) -> bool {
@@ -118,7 +140,7 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for ReducedProduct<D
         for a in &defs.right {
             right = self.d2.meet_atom(&right, a);
         }
-        let s = no_saturate(&self.d1, left, &self.d2, right);
+        let s = no_saturate_budgeted(&self.d1, left, &self.d2, right, &self.budget);
         if s.bottom {
             return true;
         }

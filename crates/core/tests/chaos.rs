@@ -1,0 +1,71 @@
+//! Fault-injection tests for the Nelson–Oppen exchange: `no_saturate`
+//! over chaos-wrapped real domains must never panic, always terminate,
+//! and only ever *lose* implied equalities — never invent them.
+
+use cai_core::{no_saturate, no_saturate_budgeted, AbstractDomain, Budget, ChaosDomain};
+use cai_linarith::AffineEq;
+use cai_term::parse::Vocab;
+use cai_uf::UfDomain;
+
+const SPLIT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A conjunction whose full closure needs several exchange rounds
+/// (chains through both theories, cf. the clean multi-round test).
+const LIN_SIDE: &str = "a = b & p = q & t = r + 1 & u = s + 1";
+const UF_SIDE: &str = "x = F(a) & y = F(b) & r = F(p) & s = F(q)";
+
+#[test]
+fn chaos_saturation_only_loses_equalities() {
+    let v = Vocab::standard();
+    let lin_conj = v.parse_conj(LIN_SIDE).expect("parses");
+    let uf_conj = v.parse_conj(UF_SIDE).expect("parses");
+
+    // Ground truth: the unlimited, fault-free closure.
+    let lin = AffineEq::new();
+    let uf = UfDomain::new();
+    let clean = no_saturate(&lin, lin.from_conj(&lin_conj), &uf, uf.from_conj(&uf_conj));
+    assert!(!clean.bottom);
+
+    for seed in 0..120u64 {
+        // A quarter of the runs are starved so exhaustion interleaves
+        // with the injected faults.
+        let fuel = if seed % 4 == 0 { 12 } else { 100_000 };
+        let budget = Budget::fuel(fuel);
+        let cl = ChaosDomain::new(AffineEq::new(), seed).with_budget(budget.clone());
+        let cu = ChaosDomain::new(UfDomain::new(), seed ^ SPLIT).with_budget(budget.clone());
+        let s = no_saturate_budgeted(
+            &cl,
+            cl.from_conj(&lin_conj),
+            &cu,
+            cu.from_conj(&uf_conj),
+            &budget,
+        );
+        // Injections only weaken elements, so a satisfiable conjunction
+        // must never be declared unsatisfiable.
+        assert!(!s.bottom, "seed {seed}: chaos produced a spurious bottom");
+        // Every equality the chaotic exchange reports is one the clean
+        // closure knows: precision loss only.
+        for (x, y) in s.equalities.pairs() {
+            assert!(
+                clean.equalities.same(x, y),
+                "seed {seed}: chaos invented the equality {x} = {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_saturation_is_reproducible() {
+    let v = Vocab::standard();
+    let lin_conj = v.parse_conj(LIN_SIDE).expect("parses");
+    let uf_conj = v.parse_conj(UF_SIDE).expect("parses");
+    let run = |seed: u64| {
+        let cl = ChaosDomain::new(AffineEq::new(), seed);
+        let cu = ChaosDomain::new(UfDomain::new(), seed ^ SPLIT);
+        let s = no_saturate(&cl, cl.from_conj(&lin_conj), &cu, cu.from_conj(&uf_conj));
+        (s.equalities.pairs(), s.bottom, s.degraded)
+    };
+    for seed in [0u64, 17, 1 << 40] {
+        assert_eq!(run(seed), run(seed), "seed {seed} not reproducible");
+    }
+}

@@ -2,8 +2,7 @@
 //! reproducing the paper's worked examples (Figures 3, 4, 6, and 7).
 
 use cai_core::{
-    combination_precision, AbstractDomain, DirectProduct, LogicalProduct, Precision,
-    ReducedProduct,
+    combination_precision, AbstractDomain, DirectProduct, LogicalProduct, Precision, ReducedProduct,
 };
 use cai_linarith::{AffineEq, Polyhedra};
 use cai_term::parse::Vocab;
@@ -32,7 +31,10 @@ fn logical_poly() -> LogicalProduct<Polyhedra, UfDomain> {
 
 #[test]
 fn precision_classification() {
-    assert_eq!(combination_precision(&AffineEq::new(), &UfDomain::new()), Precision::Complete);
+    assert_eq!(
+        combination_precision(&AffineEq::new(), &UfDomain::new()),
+        Precision::Complete
+    );
 }
 
 /// Figure 3: in the logical product of linear arithmetic and UF, the join
@@ -60,10 +62,7 @@ fn figure4_mixed_join() {
     let e1 = conj(&v, "x = F(a + 1) & y = a");
     let e2 = conj(&v, "x = F(b + 1) & y = b");
     let j = d.join(&e1, &e2);
-    assert!(
-        d.implies_atom(&j, &atom(&v, "x = F(y + 1)")),
-        "join = {j}"
-    );
+    assert!(d.implies_atom(&j, &atom(&v, "x = F(y + 1)")), "join = {j}");
     // The strict-logical-product-only fact is not implied.
     assert!(
         !d.implies_atom(&j, &atom(&v, "F(a) + F(b) = F(y) + F(a + b - y)")),

@@ -3,7 +3,7 @@
 //! widening (§4.3).
 
 use crate::ast::{Cond, Program, Stmt};
-use cai_core::AbstractDomain;
+use cai_core::{AbstractDomain, Budget, DegradationReport};
 use cai_term::{Atom, Conj, Term, Var, VarSet};
 use std::collections::BTreeMap;
 
@@ -43,6 +43,9 @@ pub struct Analysis<E> {
     pub diverged: bool,
     /// Operation counters.
     pub stats: OpStats,
+    /// What the governing [`Budget`] observed: fuel spent and every place
+    /// a governed operation substituted a sound over-approximation.
+    pub degradation: DegradationReport,
 }
 
 impl<E> Analysis<E> {
@@ -69,18 +72,45 @@ impl<E> Analysis<E> {
 /// reaches the domain — used to give a standalone UF analysis the
 /// Herbrand (all-operators-uninterpreted) view of the program, as in the
 /// paper's description of running the component analyses separately.
+/// An expression view applied to every term before transfer (e.g. the
+/// Herbrand view).
+type TermView<'d> = Box<dyn Fn(&Term) -> Term + 'd>;
+
 pub struct Analyzer<'d, D: AbstractDomain> {
     domain: &'d D,
-    view: Option<Box<dyn Fn(&Term) -> Term + 'd>>,
+    view: Option<TermView<'d>>,
     widen_delay: usize,
     max_iterations: usize,
+    budget: Budget,
 }
 
 impl<'d, D: AbstractDomain> Analyzer<'d, D> {
     /// Creates an analyzer over `domain` with default settings
-    /// (widening after 4 rounds, iteration cap 60).
+    /// (widening after 4 rounds, iteration cap 60, unlimited budget).
     pub fn new(domain: &'d D) -> Analyzer<'d, D> {
-        Analyzer { domain, view: None, widen_delay: 4, max_iterations: 60 }
+        Analyzer {
+            domain,
+            view: None,
+            widen_delay: 4,
+            max_iterations: 60,
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Governs the analysis by `budget`: each statement transfer ticks it,
+    /// and a loop fixpoint that observes exhaustion stops immediately with
+    /// the invariant forced to ⊤ (sound, flagged via
+    /// [`Analysis::diverged`] and the degradation report). Clone the same
+    /// budget into the domain (see e.g. `Polyhedra::with_budget`) to bound
+    /// the *whole* analysis with one fuel counter.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The governing budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// Installs an expression view applied to every term before transfer.
@@ -122,6 +152,7 @@ impl<'d, D: AbstractDomain> Analyzer<'d, D> {
             loop_iterations: ctx.loop_iterations,
             diverged: ctx.diverged,
             stats: ctx.stats,
+            degradation: self.budget.report(),
         }
     }
 
@@ -136,8 +167,11 @@ impl<'d, D: AbstractDomain> Analyzer<'d, D> {
         if self.view.is_none() {
             return atom.clone();
         }
-        let args: Vec<Term> =
-            atom.args().into_iter().map(|t| self.apply_view(t)).collect();
+        let args: Vec<Term> = atom
+            .args()
+            .into_iter()
+            .map(|t| self.apply_view(t))
+            .collect();
         atom.with_args(args)
     }
 }
@@ -207,6 +241,11 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
 
     fn exec(&mut self, stmt: &Stmt, e: D::Elem, record: bool) -> D::Elem {
         let d = self.domain();
+        // Charge one tick per statement transfer. No bail-out here: a
+        // statement sequence is finite, and pressing on keeps the
+        // assertion record complete — the governed loops below (and the
+        // budgeted domain operations) are where exhaustion cuts work.
+        self.analyzer.budget.tick(1);
         match stmt {
             Stmt::Assign(x, rhs) => {
                 let x0 = Var::fresh(&format!("{}0", x.name()));
@@ -232,8 +271,7 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
             Stmt::Assert(a) => {
                 if record {
                     let viewed = self.analyzer.view_atom(a);
-                    let verified = d.sig().owns_atom(&viewed)
-                        && d.implies_atom(&e, &viewed);
+                    let verified = d.sig().owns_atom(&viewed) && d.implies_atom(&e, &viewed);
                     self.assertions.push(AssertionOutcome {
                         atom: a.clone(),
                         verified,
@@ -254,6 +292,17 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                 let mut inv = e;
                 let mut iterations = 0usize;
                 loop {
+                    if self.analyzer.budget.is_exhausted() {
+                        // ⊤ is an invariant of any loop, so stopping here
+                        // is sound; it is also stable, so the recording
+                        // pass below still terminates.
+                        self.analyzer
+                            .budget
+                            .degrade("analyzer/while", "forced the loop invariant to top");
+                        inv = d.top();
+                        self.diverged = true;
+                        break;
+                    }
                     iterations += 1;
                     let enter = self.assume_cond(inv.clone(), c, true);
                     let after = self.exec_seq(body, enter, false);
@@ -289,5 +338,6 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
 /// Checks a conjunction against a domain element (convenience for tests
 /// and examples): every atom owned by the signature must be implied.
 pub fn implies_all<D: AbstractDomain>(d: &D, e: &D::Elem, c: &Conj) -> bool {
-    c.iter().all(|a| d.sig().owns_atom(a) && d.implies_atom(e, a))
+    c.iter()
+        .all(|a| d.sig().owns_atom(a) && d.implies_atom(e, a))
 }

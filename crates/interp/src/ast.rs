@@ -123,7 +123,7 @@ impl Program {
     /// reductions to encode a program into a different theory.
     pub fn map_terms(&self, f: &mut dyn FnMut(&Term) -> Term) -> Program {
         fn map_atom(a: &Atom, f: &mut dyn FnMut(&Term) -> Term) -> Atom {
-            let args: Vec<Term> = a.args().into_iter().map(|t| f(t)).collect();
+            let args: Vec<Term> = a.args().into_iter().map(&mut *f).collect();
             a.with_args(args)
         }
         fn map_cond(c: &Cond, f: &mut dyn FnMut(&Term) -> Term) -> Cond {
@@ -140,14 +140,14 @@ impl Program {
                     Stmt::Havoc(x) => Stmt::Havoc(*x),
                     Stmt::Assume(a) => Stmt::Assume(map_atom(a, f)),
                     Stmt::Assert(a) => Stmt::Assert(map_atom(a, f)),
-                    Stmt::If(c, t, e) => {
-                        Stmt::If(map_cond(c, f), walk(t, f), walk(e, f))
-                    }
+                    Stmt::If(c, t, e) => Stmt::If(map_cond(c, f), walk(t, f), walk(e, f)),
                     Stmt::While(c, b) => Stmt::While(map_cond(c, f), walk(b, f)),
                 })
                 .collect()
         }
-        Program { stmts: walk(&self.stmts, f) }
+        Program {
+            stmts: walk(&self.stmts, f),
+        }
     }
 
     /// All variables assigned or havoced anywhere in the program.

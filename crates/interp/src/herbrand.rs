@@ -35,9 +35,7 @@ use cai_term::{FnSym, Term, TermKind, TheoryTag};
 pub fn herbrand_view(t: &Term) -> Term {
     match t.kind() {
         TermKind::Var(_) => t.clone(),
-        TermKind::App(f, args) => {
-            Term::app(*f, args.iter().map(herbrand_view).collect())
-        }
+        TermKind::App(f, args) => Term::app(*f, args.iter().map(herbrand_view).collect()),
         TermKind::Lin(e) => {
             let mut name = format!("lin#{}", e.constant_part());
             let mut children = Vec::with_capacity(e.num_atoms());

@@ -30,7 +30,10 @@ pub struct ProgramParseError {
 
 impl ProgramParseError {
     fn new(msg: impl Into<String>, line: usize) -> ProgramParseError {
-        ProgramParseError { msg: msg.into(), line }
+        ProgramParseError {
+            msg: msg.into(),
+            line,
+        }
     }
 }
 
@@ -49,7 +52,11 @@ impl std::error::Error for ProgramParseError {}
 /// Returns [`ProgramParseError`] on malformed input; the embedded term
 /// grammar reports through the same error type.
 pub fn parse_program(vocab: &Vocab, src: &str) -> Result<Program, ProgramParseError> {
-    let mut p = ProgParser { vocab, src: &strip_comments(src), pos: 0 };
+    let mut p = ProgParser {
+        vocab,
+        src: &strip_comments(src),
+        pos: 0,
+    };
     let stmts = p.stmts(true)?;
     Ok(Program { stmts })
 }
@@ -80,9 +87,7 @@ impl<'a> ProgParser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self.pos < self.src.len()
-            && self.src.as_bytes()[self.pos].is_ascii_whitespace()
-        {
+        while self.pos < self.src.len() && self.src.as_bytes()[self.pos].is_ascii_whitespace() {
             self.pos += 1;
         }
     }
@@ -203,7 +208,11 @@ impl<'a> ProgParser<'a> {
             self.expect("(")?;
             let c = self.cond()?;
             let then = self.block()?;
-            let els = if self.eat("else") { self.block()? } else { Vec::new() };
+            let els = if self.eat("else") {
+                self.block()?
+            } else {
+                Vec::new()
+            };
             return Ok(Stmt::If(c, then, els));
         }
         if rest.starts_with("while") && !ident_continues(rest, 5) {
@@ -302,7 +311,9 @@ mod tests {
     fn function_calls_in_expressions() {
         let p = parse("b2 := F(b2); c1 := F(2*c1 - c2);");
         assert_eq!(p.stmts.len(), 2);
-        let Stmt::Assign(_, rhs) = &p.stmts[1] else { panic!() };
+        let Stmt::Assign(_, rhs) = &p.stmts[1] else {
+            panic!()
+        };
         assert_eq!(rhs.to_string(), "F(2*c1 - c2)");
     }
 
@@ -315,7 +326,7 @@ mod tests {
     #[test]
     fn errors_carry_lines() {
         let e = parse_program(&Vocab::standard(), "x := 1;\ny := ;").unwrap_err();
-        assert_eq!(e.to_string().contains("line 2"), true, "{e}");
+        assert!(e.to_string().contains("line 2"), "{e}");
         assert!(parse_program(&Vocab::standard(), "if (x = 1) { x := 2;").is_err());
         assert!(parse_program(&Vocab::standard(), "assert(x + y);").is_err());
     }

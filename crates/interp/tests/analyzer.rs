@@ -2,7 +2,7 @@
 //! base domains: transfer-function behaviour, conditionals, widening, and
 //! assertion checking.
 
-use cai_core::{AbstractDomain, LogicalProduct};
+use cai_core::{AbstractDomain, Budget, LogicalProduct};
 use cai_interp::{parse_program, Analyzer};
 use cai_linarith::{AffineEq, Polyhedra};
 use cai_numeric::ParityDomain;
@@ -206,4 +206,73 @@ fn iteration_cap_reports_divergence() {
         .max_iterations(5)
         .run(&p);
     assert!(analysis.diverged);
+}
+
+#[test]
+fn widen_delay_beyond_cap_still_terminates() {
+    // The widening delay exceeds the iteration cap, so widening never
+    // fires; the cap alone must stop the loop, flag divergence, and the
+    // capped state cannot verify a fact that only holds on entry.
+    let vocab = Vocab::standard();
+    let p = parse_program(&vocab, "x := 0; while (*) { x := x + 1; } assert(x = 0);").unwrap();
+    let d = Polyhedra::new();
+    let analysis = Analyzer::new(&d).widen_delay(50).max_iterations(3).run(&p);
+    assert!(analysis.diverged);
+    assert_eq!(analysis.loop_iterations, vec![3]);
+    assert!(!analysis.assertions[0].verified);
+}
+
+#[test]
+fn budget_exhaustion_forces_top_invariant_soundly() {
+    // One budget governs both the engine and the domain. When it runs
+    // out mid-fixpoint the loop invariant is forced to ⊤ — sound for any
+    // loop — the run still terminates, and the degradation report names
+    // the site.
+    let vocab = Vocab::standard();
+    let p = parse_program(
+        &vocab,
+        "x := 0; while (*) { x := x + 1; } assert(x = 0); assert(0 <= x);",
+    )
+    .unwrap();
+    let budget = Budget::fuel(3);
+    let d = Polyhedra::new().with_budget(budget.clone());
+    let analysis = Analyzer::new(&d).with_budget(budget).run(&p);
+    assert!(analysis.diverged);
+    assert!(analysis.degradation.degraded);
+    assert!(analysis.degradation.exhausted);
+    assert!(analysis
+        .degradation
+        .events
+        .iter()
+        .any(|ev| ev.site == "analyzer/while"));
+    // ⊤ verifies nothing specific about x: both assertions must fail
+    // rather than be claimed unsoundly.
+    let got: Vec<bool> = analysis.assertions.iter().map(|a| a.verified).collect();
+    assert_eq!(got, [false, false]);
+}
+
+#[test]
+fn exhausted_budget_on_logical_product_reports_and_terminates() {
+    // The full combined analysis under a starvation budget: it must come
+    // back (no divergence of the process itself), flag degradation, and
+    // never verify an assertion that the unlimited run also rejects.
+    let vocab = Vocab::standard();
+    let src = "if (*) { k := 1; } else { k := 2; }
+               r := F(k + 3);
+               while (*) { r := F(r); }
+               assert(r = F(4));";
+    let p = parse_program(&vocab, src).unwrap();
+    let clean_domain = LogicalProduct::new(AffineEq::new(), UfDomain::new());
+    let clean = Analyzer::new(&clean_domain).run(&p);
+    let budget = Budget::fuel(5);
+    let d = LogicalProduct::new(AffineEq::new(), UfDomain::new()).with_budget(budget.clone());
+    let analysis = Analyzer::new(&d).with_budget(budget).run(&p);
+    assert!(analysis.degradation.exhausted);
+    for (starved, full) in analysis.assertions.iter().zip(&clean.assertions) {
+        assert!(
+            !starved.verified || full.verified,
+            "starved run verified {} which the unlimited run rejects",
+            starved.atom
+        );
+    }
 }

@@ -1,0 +1,107 @@
+//! Fault-injection acceptance tests: the full logical-product analyzer
+//! run over chaos-wrapped component domains.
+//!
+//! [`ChaosDomain`] deterministically injects *sound* faults — spurious ⊤
+//! results, skipped meets, dropped variable equalities, denied
+//! implications, and budget exhaustion. Under any such fault stream the
+//! analysis must (a) never panic, (b) terminate, and (c) only lose
+//! precision: an assertion the chaotic run verifies must also be verified
+//! by the clean run, because every injection only weakens elements and
+//! all domain operators are monotone.
+
+use cai_core::{Budget, ChaosDomain, LogicalProduct};
+use cai_interp::{parse_program, Analyzer};
+use cai_linarith::AffineEq;
+use cai_term::parse::Vocab;
+use cai_uf::UfDomain;
+
+/// Seed decorrelation between the two chaos wrappers of one run.
+const SPLIT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Programs mixing branches, loops, linear arithmetic, and uninterpreted
+/// functions, each with a blend of verifiable and unverifiable assertions.
+const PROGRAMS: &[&str] = &[
+    "if (*) { k := 1; } else { k := 2; }
+     r := F(k + 3);
+     assert(r = F(k + 3));
+     assert(r = F(4));",
+    "x := 0; s := x + 1;
+     while (*) { x := x + 1; s := s + 1; }
+     assert(s = x + 1);
+     assert(x = 0);",
+    "a := b;
+     x := F(a); y := F(b);
+     while (*) { x := F(x); y := F(y); }
+     assert(x = y);
+     assert(x = F(a));",
+];
+
+#[test]
+fn chaos_analyzer_is_panic_free_terminating_and_sound() {
+    let vocab = Vocab::standard();
+    let mut cases = 0usize;
+    for (pi, src) in PROGRAMS.iter().enumerate() {
+        let p = parse_program(&vocab, src).expect("program parses");
+        let clean_domain = LogicalProduct::new(AffineEq::new(), UfDomain::new());
+        let clean = Analyzer::new(&clean_domain).run(&p);
+        for round in 0..40u64 {
+            let seed = round * 1009 + pi as u64;
+            // A third of the runs get a starvation budget so the
+            // exhaustion/degradation paths are exercised too; the rest get
+            // enough fuel that only the injected faults bite.
+            let fuel = if round % 3 == 0 { 64 } else { 1_000_000 };
+            let budget = Budget::fuel(fuel);
+            let d = LogicalProduct::new(
+                ChaosDomain::new(AffineEq::new(), seed).with_budget(budget.clone()),
+                ChaosDomain::new(UfDomain::new(), seed ^ SPLIT).with_budget(budget.clone()),
+            )
+            .with_budget(budget.clone());
+            let analysis = Analyzer::new(&d).with_budget(budget).run(&p);
+            // Terminated (we are here) with the complete assertion record.
+            assert_eq!(
+                analysis.assertions.len(),
+                clean.assertions.len(),
+                "program {pi} seed {seed}: assertion record truncated"
+            );
+            // Only precision may be lost, never soundness.
+            for (chaotic, full) in analysis.assertions.iter().zip(&clean.assertions) {
+                assert!(
+                    !chaotic.verified || full.verified,
+                    "program {pi} seed {seed}: chaotic run verified `{}` \
+                     which the clean run rejects",
+                    chaotic.atom
+                );
+            }
+            cases += 1;
+        }
+    }
+    assert!(cases >= 100, "acceptance demands at least 100 seeded cases");
+}
+
+#[test]
+fn chaos_runs_are_reproducible() {
+    // The injector is a pure function of (seed, call index), so two runs
+    // with the same seed produce identical outcomes — a failing seed can
+    // be replayed exactly.
+    let vocab = Vocab::standard();
+    let p = parse_program(&vocab, PROGRAMS[0]).expect("program parses");
+    let verdicts = |seed: u64| -> (Vec<bool>, u64) {
+        let d = LogicalProduct::new(
+            ChaosDomain::new(AffineEq::new(), seed),
+            ChaosDomain::new(UfDomain::new(), seed ^ SPLIT),
+        );
+        let analysis = Analyzer::new(&d).run(&p);
+        let injected = d.first().injected() + d.second().injected();
+        (
+            analysis.assertions.iter().map(|a| a.verified).collect(),
+            injected,
+        )
+    };
+    for seed in [3u64, 77, 4096] {
+        assert_eq!(
+            verdicts(seed),
+            verdicts(seed),
+            "seed {seed} not reproducible"
+        );
+    }
+}

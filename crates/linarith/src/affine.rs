@@ -25,7 +25,9 @@ pub struct AffineElem {
 impl AffineElem {
     /// The top element (no constraints).
     pub fn top() -> AffineElem {
-        AffineElem { rows: Some(Vec::new()) }
+        AffineElem {
+            rows: Some(Vec::new()),
+        }
     }
 
     /// The bottom element.
@@ -62,7 +64,9 @@ impl AffineElem {
     pub fn reduce(&self, e: &AffExpr) -> AffExpr {
         let mut out = e.clone();
         for row in self.rows() {
-            let p = row.leading_var().expect("rows are non-constant");
+            // Rows are non-constant by construction; skip rather than panic
+            // if the invariant is ever violated.
+            let Some(p) = row.leading_var() else { continue };
             let c = out.coeff(p);
             if !c.is_zero() {
                 out.add_scaled(&-c, row);
@@ -79,7 +83,7 @@ impl AffineElem {
         let mut e = e.clone();
         // Reduce by existing rows.
         for row in rows.iter() {
-            let p = row.leading_var().expect("rows are non-constant");
+            let Some(p) = row.leading_var() else { continue };
             let c = e.coeff(p);
             if !c.is_zero() {
                 e.add_scaled(&-c, row);
@@ -93,7 +97,7 @@ impl AffineElem {
             return;
         }
         let e = e.normalize_leading();
-        let pivot = e.leading_var().expect("non-constant");
+        let Some(pivot) = e.leading_var() else { return };
         // Eliminate the new pivot from existing rows.
         for row in rows.iter_mut() {
             let c = row.coeff(pivot);
@@ -101,11 +105,11 @@ impl AffineElem {
                 row.add_scaled(&-c, &e);
             }
         }
-        let idx = rows
-            .binary_search_by(|r| {
-                r.leading_var().expect("non-constant").cmp(&pivot)
-            })
-            .unwrap_err();
+        // The pivot was just eliminated from every row, so the search
+        // normally misses; inserting at a hit position is equally correct.
+        let idx = match rows.binary_search_by(|r| r.leading_var().cmp(&Some(pivot))) {
+            Ok(i) | Err(i) => i,
+        };
         rows.insert(idx, e);
     }
 
@@ -123,14 +127,11 @@ impl AffineElem {
     /// absent entries are zero).
     fn generators(&self, u: &VarSet) -> (BTreeMap<Var, Rat>, Vec<BTreeMap<Var, Rat>>) {
         let rows = self.rows();
-        let pivots: VarSet = rows
-            .iter()
-            .map(|r| r.leading_var().expect("non-constant"))
-            .collect();
+        let pivots: VarSet = rows.iter().filter_map(AffExpr::leading_var).collect();
         // Particular point: all free variables 0, pivots forced.
         let mut point = BTreeMap::new();
         for r in rows {
-            let p = r.leading_var().expect("non-constant");
+            let Some(p) = r.leading_var() else { continue };
             let v = -r.constant_part().clone();
             if !v.is_zero() {
                 point.insert(p, v);
@@ -144,7 +145,7 @@ impl AffineElem {
             for r in rows {
                 let c = r.coeff(f);
                 if !c.is_zero() {
-                    let p = r.leading_var().expect("non-constant");
+                    let Some(p) = r.leading_var() else { continue };
                     dir.insert(p, -c);
                 }
             }
@@ -257,11 +258,13 @@ impl fmt::Display for AffineElem {
             None => f.write_str("false"),
             Some(rows) if rows.is_empty() => f.write_str("true"),
             Some(rows) => {
-                for (i, r) in rows.iter().enumerate() {
-                    if i > 0 {
+                let mut first = true;
+                for r in rows {
+                    let Some(p) = r.leading_var() else { continue };
+                    if !first {
                         f.write_str(" & ")?;
                     }
-                    let p = r.leading_var().expect("non-constant");
+                    first = false;
                     write!(f, "{p} = {}", r.solve_for(p))?;
                 }
                 Ok(())
@@ -330,11 +333,8 @@ impl AbstractDomain for AffineEq {
     }
 
     fn meet_atom(&self, e: &AffineElem, atom: &Atom) -> AffineElem {
-        let diff = atom_difference(atom).unwrap_or_else(|| {
-            panic!("atom `{atom}` is outside the linear-arithmetic signature")
-        });
-        match atom {
-            Atom::Eq(..) => {
+        match (atom, atom_difference(atom)) {
+            (Atom::Eq(..), Some(diff)) => {
                 let mut out = e.clone();
                 out.insert(&diff);
                 out
@@ -342,25 +342,29 @@ impl AbstractDomain for AffineEq {
             // The equalities-only lattice cannot represent an inequality;
             // dropping it is the sound over-approximation — except that a
             // constant contradiction (e.g. 1 <= 0) still yields bottom.
-            Atom::Le(..) => {
+            (Atom::Le(..), Some(diff)) => {
                 if diff.is_constant() && diff.constant_part().is_positive() {
                     AffineElem::bottom()
                 } else {
                     e.clone()
                 }
             }
-            Atom::Pred(..) => unreachable!("rejected above"),
+            // Out-of-signature and non-linear atoms cannot be represented;
+            // dropping the conjunct is the sound over-approximation.
+            _ => e.clone(),
         }
     }
 
     fn implies_atom(&self, e: &AffineElem, atom: &Atom) -> bool {
-        let Some(diff) = atom_difference(atom) else {
-            panic!("atom `{atom}` is outside the linear-arithmetic signature")
-        };
-        match atom {
-            Atom::Eq(..) => e.implies_zero(&diff),
-            Atom::Le(..) => e.implies_nonpositive(&diff),
-            Atom::Pred(..) => unreachable!("rejected above"),
+        if e.is_bottom() {
+            return true;
+        }
+        match (atom, atom_difference(atom)) {
+            (Atom::Eq(..), Some(diff)) => e.implies_zero(&diff),
+            (Atom::Le(..), Some(diff)) => e.implies_nonpositive(&diff),
+            // "not known to hold" is the sound answer for atoms outside
+            // the signature.
+            _ => false,
         }
     }
 
@@ -401,9 +405,7 @@ impl AbstractDomain for AffineEq {
         // Fast path: the canonical residue of `y` may already avoid the
         // forbidden variables (common when `y` is a pivot).
         let canon = e.reduce(&AffExpr::var(y));
-        if canon.coeff(y).is_zero()
-            && canon.iter().all(|(v, _)| *v != y && !avoid.contains(v))
-        {
+        if canon.coeff(y).is_zero() && canon.iter().all(|(v, _)| *v != y && !avoid.contains(v)) {
             return Some(canon.to_term());
         }
         let mut elim = avoid.clone();
@@ -415,12 +417,7 @@ impl AbstractDomain for AffineEq {
         Some(t)
     }
 
-    fn alternates(
-        &self,
-        e: &AffineElem,
-        targets: &VarSet,
-        avoid: &VarSet,
-    ) -> BTreeMap<Var, Term> {
+    fn alternates(&self, e: &AffineElem, targets: &VarSet, avoid: &VarSet) -> BTreeMap<Var, Term> {
         let mut out = BTreeMap::new();
         if e.is_bottom() {
             for &y in targets {
@@ -428,7 +425,11 @@ impl AbstractDomain for AffineEq {
             }
             return out;
         }
-        out.extend(crate::expr::preferential_definitions(e.rows(), targets, avoid));
+        out.extend(crate::expr::preferential_definitions(
+            e.rows(),
+            targets,
+            avoid,
+        ));
         out
     }
 
@@ -438,9 +439,9 @@ impl AbstractDomain for AffineEq {
         }
         e.rows()
             .iter()
-            .map(|r| {
-                let p = r.leading_var().expect("non-constant");
-                Atom::eq(Term::var(p), r.solve_for(p))
+            .filter_map(|r| {
+                let p = r.leading_var()?;
+                Some(Atom::eq(Term::var(p), r.solve_for(p)))
             })
             .collect()
     }

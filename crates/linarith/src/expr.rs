@@ -38,14 +38,20 @@ impl AffExpr {
 
     /// A constant expression.
     pub fn constant(c: Rat) -> AffExpr {
-        AffExpr { coeffs: BTreeMap::new(), konst: c }
+        AffExpr {
+            coeffs: BTreeMap::new(),
+            konst: c,
+        }
     }
 
     /// The expression `1·v`.
     pub fn var(v: Var) -> AffExpr {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(v, Rat::one());
-        AffExpr { coeffs, konst: Rat::zero() }
+        AffExpr {
+            coeffs,
+            konst: Rat::zero(),
+        }
     }
 
     /// Converts a pure linear-arithmetic term.

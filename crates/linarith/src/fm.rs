@@ -4,6 +4,7 @@
 //! projection, and (via the standard lifting) convex hulls.
 
 use crate::expr::AffExpr;
+use cai_core::Budget;
 use cai_num::Rat;
 use cai_term::{Var, VarSet};
 use std::collections::BTreeMap;
@@ -20,7 +21,10 @@ pub struct Ineq {
 impl Ineq {
     /// A non-strict inequality `expr <= 0`.
     pub fn le(expr: AffExpr) -> Ineq {
-        Ineq { expr, strict: false }
+        Ineq {
+            expr,
+            strict: false,
+        }
     }
 
     /// A strict inequality `expr < 0`.
@@ -36,7 +40,11 @@ impl Ineq {
             return None;
         }
         let k = self.expr.constant_part();
-        Some(if self.strict { !k.is_negative() } else { k.is_positive() })
+        Some(if self.strict {
+            !k.is_negative()
+        } else {
+            k.is_positive()
+        })
     }
 }
 
@@ -204,8 +212,7 @@ fn prune_redundant(rows: Vec<Ineq>) -> Vec<Ineq> {
 fn substitute_equalities(rows: &mut Vec<Ineq>, remaining: &mut Vec<Var>) {
     loop {
         // Index the normalized non-strict rows to find complementary pairs.
-        let mut keys: std::collections::BTreeMap<String, usize> =
-            std::collections::BTreeMap::new();
+        let mut keys: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
         for (i, r) in rows.iter().enumerate() {
             if !r.strict {
                 keys.insert(r.expr.normalize_positive().to_term().to_string(), i);
@@ -261,12 +268,33 @@ fn r_coeff(r: &Ineq, v: Var) -> Rat {
 /// Projects the system onto the complement of `vars` (eliminating each
 /// variable, cheapest first, with redundancy pruning between steps).
 /// Returns `None` if infeasibility is detected along the way.
-pub fn project(mut rows: Vec<Ineq>, vars: &VarSet) -> Option<Vec<Ineq>> {
+pub fn project(rows: Vec<Ineq>, vars: &VarSet) -> Option<Vec<Ineq>> {
+    project_budgeted(rows, vars, &Budget::unlimited())
+}
+
+/// [`project`] governed by a [`Budget`]: each elimination round ticks in
+/// proportion to the current system size. On exhaustion the remaining
+/// eliminations are replaced by simply *dropping* every row that still
+/// mentions a variable of `vars` — each kept row is implied by the input
+/// system and free of `vars`, so the result over-approximates the exact
+/// projection (sound; consequences carried only by dropped rows are lost).
+pub fn project_budgeted(mut rows: Vec<Ineq>, vars: &VarSet, budget: &Budget) -> Option<Vec<Ineq>> {
     let mut remaining: Vec<Var> = vars.iter().copied().collect();
     rows = simplify(rows)?;
     substitute_equalities(&mut rows, &mut remaining);
     rows = simplify(rows)?;
     while !remaining.is_empty() {
+        if !budget.tick(1 + rows.len() as u64) {
+            budget.degrade(
+                "fm/project",
+                format!(
+                    "dropped rows mentioning {} uneliminated variables",
+                    remaining.len()
+                ),
+            );
+            rows.retain(|r| vars.iter().all(|&v| r.expr.coeff(v).is_zero()));
+            return Some(rows);
+        }
         // Pick the variable minimizing the pos×neg fan-out.
         let (idx, _) = remaining
             .iter()
@@ -296,24 +324,35 @@ pub fn project(mut rows: Vec<Ineq>, vars: &VarSet) -> Option<Vec<Ineq>> {
 
 /// Returns `true` if the system has no rational solution.
 pub fn infeasible(rows: Vec<Ineq>) -> bool {
+    infeasible_budgeted(rows, &Budget::unlimited())
+}
+
+/// [`infeasible`] governed by a [`Budget`]. On exhaustion the degraded
+/// projection may hide a contradiction, in which case this answers `false`
+/// ("not known infeasible") — the sound direction for every caller.
+pub fn infeasible_budgeted(rows: Vec<Ineq>, budget: &Budget) -> bool {
     let mut all_vars = VarSet::new();
     for r in &rows {
         all_vars.extend(r.expr.vars());
     }
-    match project(rows, &all_vars) {
+    match project_budgeted(rows, &all_vars, budget) {
         None => true,
-        Some(rest) => rest
-            .iter()
-            .any(|r| r.constant_violation().unwrap_or(false)),
+        Some(rest) => rest.iter().any(|r| r.constant_violation().unwrap_or(false)),
     }
 }
 
 /// Decides whether the system implies `expr <= 0` (non-strict): holds iff
 /// conjoining the strict negation `-expr < 0` is infeasible.
 pub fn implies_le(rows: &[Ineq], expr: &AffExpr) -> bool {
+    implies_le_budgeted(rows, expr, &Budget::unlimited())
+}
+
+/// [`implies_le`] governed by a [`Budget`]; exhaustion yields `false`
+/// ("unknown"), never a spurious `true`.
+pub fn implies_le_budgeted(rows: &[Ineq], expr: &AffExpr, budget: &Budget) -> bool {
     let mut sys = rows.to_vec();
     sys.push(Ineq::lt(expr.scale(&-Rat::one())));
-    infeasible(sys)
+    infeasible_budgeted(sys, budget)
 }
 
 #[cfg(test)]

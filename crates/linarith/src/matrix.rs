@@ -32,6 +32,8 @@ pub fn rref(m: &mut Matrix) -> Vec<usize> {
         for i in 0..rows {
             if i != r && !m[i][c].is_zero() {
                 let f = m[i][c].clone();
+                // Indexing: the update reads row r while writing row i.
+                #[allow(clippy::needless_range_loop)]
                 for j in 0..cols {
                     let delta = &m[r][j] * &f;
                     m[i][j] = &m[i][j] - &delta;
@@ -76,7 +78,9 @@ mod tests {
     }
 
     fn mat(rows: &[&[i64]]) -> Matrix {
-        rows.iter().map(|row| row.iter().map(|&x| r(x)).collect()).collect()
+        rows.iter()
+            .map(|row| row.iter().map(|&x| r(x)).collect())
+            .collect()
     }
 
     #[test]

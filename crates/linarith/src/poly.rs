@@ -10,7 +10,7 @@
 use crate::affine::AffineElem;
 use crate::expr::AffExpr;
 use crate::fm::{self, Ineq};
-use cai_core::{AbstractDomain, Partition, TheoryProps};
+use cai_core::{AbstractDomain, Budget, Partition, TheoryProps};
 use cai_num::Rat;
 use cai_term::{Atom, Conj, Sig, Term, TheoryTag, Var, VarSet};
 use std::collections::BTreeMap;
@@ -36,7 +36,10 @@ impl PolyElem {
     /// The top element.
     pub fn top() -> PolyElem {
         PolyElem {
-            state: Some(PolyState { eqs: AffineElem::top(), ineqs: Vec::new() }),
+            state: Some(PolyState {
+                eqs: AffineElem::top(),
+                ineqs: Vec::new(),
+            }),
         }
     }
 
@@ -94,7 +97,15 @@ impl PolyElem {
     /// normalizing: inequalities are reduced modulo the equalities, implied
     /// equalities (tight inequality pairs) are promoted, redundant rows are
     /// pruned, and infeasibility collapses to bottom.
-    fn assemble(eqs: AffineElem, ineqs: Vec<AffExpr>) -> PolyElem {
+    ///
+    /// Governed by a [`Budget`]. On exhaustion the
+    /// remaining normalization (tight-pair promotion, redundancy pruning,
+    /// deep feasibility checks) is skipped and the rows are kept as they
+    /// are: the result describes the *same* set of points, merely less
+    /// canonically, so every downstream implication stays sound — at worst
+    /// an infeasible system is reported as non-bottom, which only loses
+    /// precision.
+    fn assemble_budgeted(eqs: AffineElem, ineqs: Vec<AffExpr>, budget: &Budget) -> PolyElem {
         let mut eqs = eqs;
         let mut pending: Vec<AffExpr> = ineqs;
         loop {
@@ -116,7 +127,16 @@ impl PolyElem {
             let Some(rows) = fm::simplify(rows) else {
                 return PolyElem::bottom();
             };
-            if fm::infeasible(rows.clone()) {
+            if !budget.tick(1 + rows.len() as u64) {
+                budget.degrade("poly/assemble", "kept rows without normalization");
+                return PolyElem {
+                    state: Some(PolyState {
+                        eqs,
+                        ineqs: rows.into_iter().map(|r| r.expr).collect(),
+                    }),
+                };
+            }
+            if fm::infeasible_budgeted(rows.clone(), budget) {
                 return PolyElem::bottom();
             }
             // Promote tight inequalities (those whose reverse is implied)
@@ -128,7 +148,7 @@ impl PolyElem {
                 // equality in disguise; `rows` may include `r` itself, which
                 // never implies its own reverse.
                 let reverse = r.expr.scale(&-Rat::one());
-                if fm::implies_le(&rows, &reverse) {
+                if fm::implies_le_budgeted(&rows, &reverse, budget) {
                     promoted.push(r.expr.clone());
                 } else {
                     kept.push(r.expr.clone());
@@ -145,12 +165,15 @@ impl PolyElem {
                         .filter(|&(j, _)| j != i)
                         .map(|(_, q)| q.clone())
                         .collect();
-                    if !fm::implies_le(&others, e) {
+                    if !fm::implies_le_budgeted(&others, e, budget) {
                         survivors.push(e.clone());
                     }
                 }
                 return PolyElem {
-                    state: Some(PolyState { eqs, ineqs: survivors }),
+                    state: Some(PolyState {
+                        eqs,
+                        ineqs: survivors,
+                    }),
                 };
             }
             for p in promoted {
@@ -162,15 +185,28 @@ impl PolyElem {
 
     /// Decides `self ⇒ e <= 0`.
     pub fn implies_nonpositive(&self, e: &AffExpr) -> bool {
+        self.implies_nonpositive_budgeted(e, &Budget::unlimited())
+    }
+
+    /// [`PolyElem::implies_nonpositive`] governed by a [`Budget`];
+    /// exhaustion yields `false` ("unknown"), never a spurious `true`.
+    pub fn implies_nonpositive_budgeted(&self, e: &AffExpr, budget: &Budget) -> bool {
         if self.is_bottom() {
             return true;
         }
-        fm::implies_le(&self.rows(), e)
+        fm::implies_le_budgeted(&self.rows(), e, budget)
     }
 
     /// Decides `self ⇒ e = 0`.
     pub fn implies_zero(&self, e: &AffExpr) -> bool {
-        self.implies_nonpositive(e) && self.implies_nonpositive(&e.scale(&-Rat::one()))
+        self.implies_zero_budgeted(e, &Budget::unlimited())
+    }
+
+    /// [`PolyElem::implies_zero`] governed by a [`Budget`]; exhaustion
+    /// yields `false` ("unknown").
+    pub fn implies_zero_budgeted(&self, e: &AffExpr, budget: &Budget) -> bool {
+        self.implies_nonpositive_budgeted(e, budget)
+            && self.implies_nonpositive_budgeted(&e.scale(&-Rat::one()), budget)
     }
 }
 
@@ -218,13 +254,51 @@ impl fmt::Display for PolyElem {
 /// assert!(d.implies_atom(&e, &vocab.parse_atom("x <= z")?));
 /// # Ok::<(), cai_term::parse::ParseError>(())
 /// ```
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Polyhedra;
+#[derive(Clone, Debug, Default)]
+pub struct Polyhedra {
+    budget: Budget,
+}
 
 impl Polyhedra {
-    /// Creates the domain.
+    /// Creates the domain with an unlimited budget.
     pub fn new() -> Polyhedra {
-        Polyhedra
+        Polyhedra::default()
+    }
+
+    /// Governs every operation of this domain by `budget` (clone the one
+    /// budget shared across the whole analysis).
+    pub fn with_budget(mut self, budget: Budget) -> Polyhedra {
+        self.budget = budget;
+        self
+    }
+
+    /// The governing budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Translates an `Eq`/`Le` atom into its `lhs - rhs` form; atoms
+    /// outside linear arithmetic yield `None` (handled by degrading, not
+    /// panicking — the products filter atoms by signature, so this only
+    /// fires on misuse, which the degradation log records).
+    fn atom_diff(&self, atom: &Atom, site: &'static str) -> Option<AffExpr> {
+        match atom {
+            Atom::Eq(a, b) | Atom::Le(a, b) => match AffExpr::difference(a, b) {
+                Ok(diff) => Some(diff),
+                Err(err) => {
+                    self.budget
+                        .degrade(site, format!("non-linear atom `{atom}`: {err}"));
+                    None
+                }
+            },
+            Atom::Pred(..) => {
+                self.budget.degrade(
+                    site,
+                    format!("atom `{atom}` outside the linarith signature"),
+                );
+                None
+            }
+        }
     }
 }
 
@@ -255,41 +329,28 @@ impl AbstractDomain for Polyhedra {
         let Some(s) = &e.state else {
             return PolyElem::bottom();
         };
-        let diff = match atom {
-            Atom::Eq(a, b) | Atom::Le(a, b) => {
-                AffExpr::difference(a, b).unwrap_or_else(|err| {
-                    panic!("atom `{atom}` is outside linear arithmetic: {err}")
-                })
-            }
-            Atom::Pred(..) => {
-                panic!("atom `{atom}` is outside the linear-arithmetic signature")
-            }
+        let Some(diff) = self.atom_diff(atom, "poly/meet_atom") else {
+            // Sound: `e` alone over-approximates `e ∧ atom`.
+            return e.clone();
         };
         let mut eqs = s.eqs.clone();
         let mut ineqs = s.ineqs.clone();
-        match atom {
-            Atom::Eq(..) => eqs.insert(&diff),
-            Atom::Le(..) => ineqs.push(diff),
-            Atom::Pred(..) => unreachable!(),
+        if matches!(atom, Atom::Eq(..)) {
+            eqs.insert(&diff);
+        } else {
+            ineqs.push(diff);
         }
-        PolyElem::assemble(eqs, ineqs)
+        PolyElem::assemble_budgeted(eqs, ineqs, &self.budget)
     }
 
     fn implies_atom(&self, e: &PolyElem, atom: &Atom) -> bool {
-        let diff = match atom {
-            Atom::Eq(a, b) | Atom::Le(a, b) => {
-                AffExpr::difference(a, b).unwrap_or_else(|err| {
-                    panic!("atom `{atom}` is outside linear arithmetic: {err}")
-                })
-            }
-            Atom::Pred(..) => {
-                panic!("atom `{atom}` is outside the linear-arithmetic signature")
-            }
+        let Some(diff) = self.atom_diff(atom, "poly/implies_atom") else {
+            return false; // "unknown" is always sound
         };
-        match atom {
-            Atom::Eq(..) => e.implies_zero(&diff),
-            Atom::Le(..) => e.implies_nonpositive(&diff),
-            Atom::Pred(..) => unreachable!(),
+        if matches!(atom, Atom::Eq(..)) {
+            e.implies_zero_budgeted(&diff, &self.budget)
+        } else {
+            e.implies_nonpositive_budgeted(&diff, &self.budget)
         }
     }
 
@@ -304,6 +365,14 @@ impl AbstractDomain for Polyhedra {
         // (from a, scaled by λ) and z (from b, scaled by μ).
         let mut universe = a.vars();
         universe.extend(b.vars());
+        // The lifting triples the variable count before projecting it back
+        // down — charge for it up front and fall back to ⊤ (a sound upper
+        // bound of any join) once the budget is gone.
+        if !self.budget.tick(1 + universe.len() as u64) {
+            self.budget
+                .degrade("poly/join", "returned top instead of the convex hull");
+            return PolyElem::top();
+        }
         let lambda = Var::fresh("lam");
         let mu = Var::fresh("mu");
         let mut ys: BTreeMap<Var, Var> = BTreeMap::new();
@@ -348,12 +417,13 @@ impl AbstractDomain for Polyhedra {
         let mut aux: VarSet = [lambda, mu].into_iter().collect();
         aux.extend(ys.values().copied());
         aux.extend(zs.values().copied());
-        let Some(rows) = fm::project(sys, &aux) else {
+        let Some(rows) = fm::project_budgeted(sys, &aux, &self.budget) else {
             return PolyElem::bottom();
         };
-        PolyElem::assemble(
+        PolyElem::assemble_budgeted(
             AffineElem::top(),
             rows.into_iter().map(|r| r.expr).collect(),
+            &self.budget,
         )
     }
 
@@ -365,12 +435,13 @@ impl AbstractDomain for Polyhedra {
         // complementary pairs); `assemble` re-derives the equality part
         // from tight pairs.
         let _ = s;
-        let Some(rows) = fm::project(e.rows(), vars) else {
+        let Some(rows) = fm::project_budgeted(e.rows(), vars, &self.budget) else {
             return PolyElem::bottom();
         };
-        PolyElem::assemble(
+        PolyElem::assemble_budgeted(
             AffineElem::top(),
             rows.into_iter().map(|r| r.expr).collect(),
+            &self.budget,
         )
     }
 
@@ -432,23 +503,26 @@ impl AbstractDomain for Polyhedra {
         if b.is_bottom() {
             return a.clone();
         }
+        // Exhaustion makes the implication checks answer `false`, which
+        // only *drops* constraints: the widening gets weaker, and weaker
+        // still terminates (it keeps a subset of `a`'s constraints).
         let mut eqs = AffineElem::top();
         let mut ineqs = Vec::new();
         for r in a.equalities() {
-            if b.implies_zero(r) {
+            if b.implies_zero_budgeted(r, &self.budget) {
                 eqs.insert(r);
-            } else if b.implies_nonpositive(r) {
+            } else if b.implies_nonpositive_budgeted(r, &self.budget) {
                 ineqs.push(r.clone());
-            } else if b.implies_nonpositive(&r.scale(&-Rat::one())) {
+            } else if b.implies_nonpositive_budgeted(&r.scale(&-Rat::one()), &self.budget) {
                 ineqs.push(r.scale(&-Rat::one()));
             }
         }
         for r in a.inequalities() {
-            if b.implies_nonpositive(r) {
+            if b.implies_nonpositive_budgeted(r, &self.budget) {
                 ineqs.push(r.clone());
             }
         }
-        PolyElem::assemble(eqs, ineqs)
+        PolyElem::assemble_budgeted(eqs, ineqs, &self.budget)
     }
 
     fn to_conj(&self, e: &PolyElem) -> Conj {

@@ -1,23 +1,35 @@
 //! Property-based tests for the linear-arithmetic domains, cross-checked
 //! against concrete rational valuations.
+//!
+//! Random systems and valuation points come from the in-tree
+//! deterministic [`SplitMix64`] stream (the workspace builds offline, with
+//! no external test crates); each test runs a fixed set of seeded cases.
 
 use cai_core::AbstractDomain;
 use cai_linarith::{AffExpr, AffineEq, Polyhedra};
-use cai_num::Rat;
+use cai_num::{Rat, SplitMix64};
 use cai_term::{Atom, Conj, Term, Var, VarSet};
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 const NVARS: usize = 4;
+const CASES: usize = 96;
 
 fn var(i: usize) -> Var {
     Var::named(&format!("q{i}"))
 }
 
-/// A random affine expression with small integer coefficients.
-fn aff() -> impl Strategy<Value = Vec<i64>> {
-    // coefficients for q0..q3 plus a constant
-    proptest::collection::vec(-3i64..4, NVARS + 1)
+/// Random small coefficients for q0..q3 plus a constant.
+fn aff(g: &mut SplitMix64) -> Vec<i64> {
+    (0..NVARS + 1).map(|_| g.range_i64(-3, 4)).collect()
+}
+
+fn rows(g: &mut SplitMix64, max: u64) -> Vec<Vec<i64>> {
+    (0..1 + g.below(max)).map(|_| aff(g)).collect()
+}
+
+/// A random integer valuation point.
+fn point(g: &mut SplitMix64) -> Vec<i64> {
+    (0..NVARS).map(|_| g.range_i64(-5, 6)).collect()
 }
 
 fn to_expr(coeffs: &[i64]) -> AffExpr {
@@ -47,122 +59,126 @@ fn eval(coeffs: &[i64], point: &[i64]) -> i64 {
         + coeffs[NVARS]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Any valuation satisfying both affine systems satisfies their hull.
-    #[test]
-    fn affine_join_is_sound(
-        rows_a in proptest::collection::vec(aff(), 1..4),
-        rows_b in proptest::collection::vec(aff(), 1..4),
-        point in proptest::collection::vec(-5i64..6, NVARS),
-    ) {
+/// Any valuation satisfying both affine systems satisfies their hull.
+#[test]
+fn affine_join_is_sound() {
+    let mut g = SplitMix64::new(0xD001);
+    for _ in 0..CASES {
+        let rows_a = rows(&mut g, 3);
+        let rows_b = rows(&mut g, 3);
+        let pt = point(&mut g);
         let d = AffineEq::new();
         let ea = d.from_conj(&rows_a.iter().map(|r| to_eq_atom(r)).collect());
         let eb = d.from_conj(&rows_b.iter().map(|r| to_eq_atom(r)).collect());
         let j = d.join(&ea, &eb);
         // If the point satisfies side A, it must satisfy the join.
-        if rows_a.iter().all(|r| eval(r, &point) == 0) && !ea.is_bottom() {
+        if rows_a.iter().all(|r| eval(r, &pt) == 0) && !ea.is_bottom() {
             for atom in &d.to_conj(&j) {
-                prop_assert!(holds_eq(atom, &point), "join atom {atom} fails at {point:?}");
+                assert!(holds_eq(atom, &pt), "join atom {atom} fails at {pt:?}");
             }
         }
     }
+}
 
-    /// The element implies exactly the row consequences: reduce-to-zero is
-    /// validated against satisfying valuations.
-    #[test]
-    fn affine_implication_respects_models(
-        rows in proptest::collection::vec(aff(), 1..4),
-        query in aff(),
-        point in proptest::collection::vec(-5i64..6, NVARS),
-    ) {
+/// The element implies exactly the row consequences: reduce-to-zero is
+/// validated against satisfying valuations.
+#[test]
+fn affine_implication_respects_models() {
+    let mut g = SplitMix64::new(0xD002);
+    for _ in 0..CASES {
+        let sys = rows(&mut g, 3);
+        let query = aff(&mut g);
+        let pt = point(&mut g);
         let d = AffineEq::new();
-        let e = d.from_conj(&rows.iter().map(|r| to_eq_atom(r)).collect());
+        let e = d.from_conj(&sys.iter().map(|r| to_eq_atom(r)).collect());
         if e.is_bottom() {
-            return Ok(());
+            continue;
         }
         // soundness: if implied, every satisfying point satisfies it.
-        if d.implies_atom(&e, &to_eq_atom(&query))
-            && rows.iter().all(|r| eval(r, &point) == 0)
-        {
-            prop_assert_eq!(eval(&query, &point), 0);
+        if d.implies_atom(&e, &to_eq_atom(&query)) && sys.iter().all(|r| eval(r, &pt) == 0) {
+            assert_eq!(eval(&query, &pt), 0);
         }
     }
+}
 
-    /// Projection never mentions the projected variable and is implied.
-    #[test]
-    fn affine_projection_sound(
-        rows in proptest::collection::vec(aff(), 1..4),
-        which in 0usize..NVARS,
-    ) {
+/// Projection never mentions the projected variable and is implied.
+#[test]
+fn affine_projection_sound() {
+    let mut g = SplitMix64::new(0xD003);
+    for _ in 0..CASES {
+        let sys = rows(&mut g, 3);
+        let which = g.below(NVARS as u64) as usize;
         let d = AffineEq::new();
-        let e = d.from_conj(&rows.iter().map(|r| to_eq_atom(r)).collect());
+        let e = d.from_conj(&sys.iter().map(|r| to_eq_atom(r)).collect());
         let vs: VarSet = [var(which)].into_iter().collect();
         let p = d.exists(&e, &vs);
-        prop_assert!(!p.vars().contains(&var(which)));
+        assert!(!p.vars().contains(&var(which)));
         if !e.is_bottom() {
             for atom in &d.to_conj(&p) {
-                prop_assert!(d.implies_atom(&e, atom));
+                assert!(d.implies_atom(&e, atom));
             }
         }
     }
+}
 
-    /// Polyhedra: meet/implication agree with concrete valuations.
-    #[test]
-    fn poly_implication_respects_models(
-        rows in proptest::collection::vec(aff(), 1..4),
-        query in aff(),
-        point in proptest::collection::vec(-5i64..6, NVARS),
-    ) {
+/// Polyhedra: meet/implication agree with concrete valuations.
+#[test]
+fn poly_implication_respects_models() {
+    let mut g = SplitMix64::new(0xD004);
+    for _ in 0..CASES {
+        let sys = rows(&mut g, 3);
+        let query = aff(&mut g);
+        let pt = point(&mut g);
         let d = Polyhedra::new();
-        let e = d.from_conj(&rows.iter().map(|r| to_le_atom(r)).collect());
-        if d.implies_atom(&e, &to_le_atom(&query))
-            && rows.iter().all(|r| eval(r, &point) <= 0)
-        {
-            prop_assert!(
-                eval(&query, &point) <= 0,
-                "claimed implied but fails at {point:?}"
+        let e = d.from_conj(&sys.iter().map(|r| to_le_atom(r)).collect());
+        if d.implies_atom(&e, &to_le_atom(&query)) && sys.iter().all(|r| eval(r, &pt) <= 0) {
+            assert!(
+                eval(&query, &pt) <= 0,
+                "claimed implied but fails at {pt:?}"
             );
         }
     }
+}
 
-    /// Polyhedra hull: a point in either polyhedron satisfies the join.
-    #[test]
-    fn poly_join_is_sound(
-        rows_a in proptest::collection::vec(aff(), 1..3),
-        rows_b in proptest::collection::vec(aff(), 1..3),
-        point in proptest::collection::vec(-5i64..6, NVARS),
-    ) {
+/// Polyhedra hull: a point in either polyhedron satisfies the join.
+#[test]
+fn poly_join_is_sound() {
+    let mut g = SplitMix64::new(0xD005);
+    for _ in 0..CASES {
+        let rows_a = rows(&mut g, 2);
+        let rows_b = rows(&mut g, 2);
+        let pt = point(&mut g);
         let d = Polyhedra::new();
         let ea = d.from_conj(&rows_a.iter().map(|r| to_le_atom(r)).collect());
         let eb = d.from_conj(&rows_b.iter().map(|r| to_le_atom(r)).collect());
         let j = d.join(&ea, &eb);
-        let in_a = rows_a.iter().all(|r| eval(r, &point) <= 0);
-        let in_b = rows_b.iter().all(|r| eval(r, &point) <= 0);
+        let in_a = rows_a.iter().all(|r| eval(r, &pt) <= 0);
+        let in_b = rows_b.iter().all(|r| eval(r, &pt) <= 0);
         if in_a || in_b {
             for atom in &d.to_conj(&j) {
-                prop_assert!(
-                    holds_le(atom, &point),
-                    "join atom {atom} fails at {point:?} (in_a={in_a} in_b={in_b})"
+                assert!(
+                    holds_le(atom, &pt),
+                    "join atom {atom} fails at {pt:?} (in_a={in_a} in_b={in_b})"
                 );
             }
         }
     }
+}
 
-    /// Polyhedra widening is an upper bound of both arguments.
-    #[test]
-    fn poly_widen_is_upper_bound(
-        rows_a in proptest::collection::vec(aff(), 1..3),
-        rows_b in proptest::collection::vec(aff(), 1..3),
-    ) {
+/// Polyhedra widening is an upper bound of both arguments.
+#[test]
+fn poly_widen_is_upper_bound() {
+    let mut g = SplitMix64::new(0xD006);
+    for _ in 0..CASES {
+        let rows_a = rows(&mut g, 2);
+        let rows_b = rows(&mut g, 2);
         let d = Polyhedra::new();
         let ea = d.from_conj(&rows_a.iter().map(|r| to_le_atom(r)).collect());
         let eb = d.from_conj(&rows_b.iter().map(|r| to_le_atom(r)).collect());
         let j = d.join(&ea, &eb);
         let w = d.widen(&ea, &j);
-        prop_assert!(d.le(&ea, &w));
-        prop_assert!(d.le(&j, &w));
+        assert!(d.le(&ea, &w));
+        assert!(d.le(&j, &w));
     }
 }
 
@@ -182,8 +198,7 @@ fn holds_le(atom: &Atom, point: &[i64]) -> bool {
 }
 
 fn eval_term(t: &Term, point: &[i64]) -> Rat {
-    let map: BTreeMap<Var, Rat> =
-        (0..NVARS).map(|i| (var(i), Rat::from(point[i]))).collect();
+    let map: BTreeMap<Var, Rat> = (0..NVARS).map(|i| (var(i), Rat::from(point[i]))).collect();
     eval_with(t, &map)
 }
 

@@ -28,7 +28,9 @@ pub struct ListElem {
 impl ListElem {
     /// The top element.
     pub fn top() -> ListElem {
-        ListElem { eqs: Some(Vec::new()) }
+        ListElem {
+            eqs: Some(Vec::new()),
+        }
     }
 
     /// The bottom element.
@@ -298,8 +300,7 @@ impl AbstractDomain for ListDomain {
             return p;
         }
         let g = e.closure();
-        let mut by_root: std::collections::BTreeMap<usize, Var> =
-            std::collections::BTreeMap::new();
+        let mut by_root: std::collections::BTreeMap<usize, Var> = std::collections::BTreeMap::new();
         for (v, id) in g.vars() {
             let root = g.find(id);
             match by_root.get(&root) {
@@ -322,7 +323,9 @@ impl AbstractDomain for ListDomain {
         let yid = g.add(&Term::var(y));
         let root = g.find(yid);
         let anchor = |v: Var| v != y && !avoid.contains(&v);
-        g.representatives(&anchor, self.max_term_size).get(&root).cloned()
+        g.representatives(&anchor, self.max_term_size)
+            .get(&root)
+            .cloned()
     }
 
     fn to_conj(&self, e: &ListElem) -> Conj {

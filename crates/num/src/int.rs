@@ -37,12 +37,18 @@ pub struct Int {
 impl Int {
     /// The integer zero.
     pub fn zero() -> Int {
-        Int { sign: 0, mag: Vec::new() }
+        Int {
+            sign: 0,
+            mag: Vec::new(),
+        }
     }
 
     /// The integer one.
     pub fn one() -> Int {
-        Int { sign: 1, mag: vec![1] }
+        Int {
+            sign: 1,
+            mag: vec![1],
+        }
     }
 
     /// Returns `true` if this integer is zero.
@@ -72,7 +78,10 @@ impl Int {
 
     /// The absolute value.
     pub fn abs(&self) -> Int {
-        Int { sign: self.sign.abs(), mag: self.mag.clone() }
+        Int {
+            sign: self.sign.abs(),
+            mag: self.mag.clone(),
+        }
     }
 
     /// Converts to `i64` if the value fits.
@@ -85,7 +94,7 @@ impl Int {
                 if self.sign > 0 && m <= i64::MAX as u64 {
                     Some(m as i64)
                 } else if self.sign < 0 && m <= i64::MAX as u64 + 1 {
-                    Some((m as i128 * -1) as i64)
+                    Some((-(m as i128)) as i64)
                 } else {
                     None
                 }
@@ -102,7 +111,10 @@ impl Int {
         if v >> 32 != 0 {
             mag.push((v >> 32) as u32);
         }
-        Int { sign: if v == 0 { 0 } else { 1 }, mag }
+        Int {
+            sign: if v == 0 { 0 } else { 1 },
+            mag,
+        }
     }
 
     /// Greatest common divisor; always non-negative, and `gcd(0, 0) = 0`.
@@ -229,12 +241,16 @@ impl Int {
             while q.last() == Some(&0) {
                 q.pop();
             }
-            let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
+            let r = if rem == 0 {
+                Vec::new()
+            } else {
+                vec![rem as u32]
+            };
             return (q, r);
         }
         // Knuth algorithm D with normalization so the divisor's top limb has
         // its high bit set.
-        let shift = b.last().unwrap().leading_zeros();
+        let shift = b.last().copied().map_or(0, u32::leading_zeros);
         let bn = Int::shl_bits(b, shift);
         let mut an = Int::shl_bits(a, shift);
         an.push(0); // room for the top partial remainder
@@ -247,9 +263,7 @@ impl Int {
             let top2 = (an[j + n] as u64) << 32 | an[j + n - 1] as u64;
             let mut qhat = top2 / btop;
             let mut rhat = top2 % btop;
-            while qhat >> 32 != 0
-                || qhat * bsecond > (rhat << 32 | an[j + n - 2] as u64)
-            {
+            while qhat >> 32 != 0 || qhat * bsecond > (rhat << 32 | an[j + n - 2] as u64) {
                 qhat -= 1;
                 rhat += btop;
                 if rhat >> 32 != 0 {
@@ -306,7 +320,7 @@ impl Int {
         let mut carry = 0u32;
         for &limb in a {
             out.push(limb << shift | carry);
-            carry = (limb >> (32 - shift)) as u32;
+            carry = limb >> (32 - shift);
         }
         if carry != 0 {
             out.push(carry);
@@ -443,7 +457,10 @@ impl Add for &Int {
             return self.clone();
         }
         if self.sign == other.sign {
-            Int { sign: self.sign, mag: Int::add_mag(&self.mag, &other.mag) }
+            Int {
+                sign: self.sign,
+                mag: Int::add_mag(&self.mag, &other.mag),
+            }
         } else {
             match Int::cmp_mag(&self.mag, &other.mag) {
                 Ordering::Equal => Int::zero(),
@@ -539,7 +556,7 @@ impl fmt::Display for Int {
             chunks.push(if r.is_empty() { 0 } else { r[0] });
             mag = q;
         }
-        let mut s = chunks.last().unwrap().to_string();
+        let mut s = chunks.last().copied().unwrap_or(0).to_string();
         for chunk in chunks.iter().rev().skip(1) {
             s.push_str(&format!("{:09}", chunk));
         }
@@ -661,7 +678,7 @@ mod tests {
 
     #[test]
     fn ordering() {
-        let mut v = vec![
+        let mut v = [
             Int::from(3),
             Int::from(-10),
             Int::from(0),
@@ -675,7 +692,14 @@ mod tests {
 
     #[test]
     fn parse_display_roundtrip() {
-        for s in ["0", "1", "-1", "999999999", "1000000000", "-123456789012345678901234567890"] {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "999999999",
+            "1000000000",
+            "-123456789012345678901234567890",
+        ] {
             let n: Int = s.parse().unwrap();
             assert_eq!(n.to_string(), s);
         }
@@ -702,9 +726,6 @@ mod tests {
     fn pow() {
         assert_eq!(Int::from(2).pow(10), Int::from(1024));
         assert_eq!(Int::from(10).pow(0), Int::one());
-        assert_eq!(
-            Int::from(3).pow(40).to_string(),
-            "12157665459056928801"
-        );
+        assert_eq!(Int::from(3).pow(40).to_string(), "12157665459056928801");
     }
 }

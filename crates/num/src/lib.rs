@@ -24,7 +24,9 @@
 //! ```
 
 mod int;
+pub mod prng;
 mod rat;
 
 pub use int::{Int, ParseIntError};
+pub use prng::SplitMix64;
 pub use rat::{ParseRatError, Rat};

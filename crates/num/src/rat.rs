@@ -55,12 +55,18 @@ impl Rat {
 
     /// The rational zero.
     pub fn zero() -> Rat {
-        Rat { num: Int::zero(), den: Int::one() }
+        Rat {
+            num: Int::zero(),
+            den: Int::one(),
+        }
     }
 
     /// The rational one.
     pub fn one() -> Rat {
-        Rat { num: Int::one(), den: Int::one() }
+        Rat {
+            num: Int::one(),
+            den: Int::one(),
+        }
     }
 
     /// Returns `true` if the value is zero.
@@ -105,7 +111,10 @@ impl Rat {
 
     /// The absolute value.
     pub fn abs(&self) -> Rat {
-        Rat { num: self.num.abs(), den: self.den.clone() }
+        Rat {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// The multiplicative inverse.
@@ -130,7 +139,10 @@ impl Rat {
 
 impl From<Int> for Rat {
     fn from(num: Int) -> Rat {
-        Rat { num, den: Int::one() }
+        Rat {
+            num,
+            den: Int::one(),
+        }
     }
 }
 

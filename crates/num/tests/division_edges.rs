@@ -49,7 +49,10 @@ fn boundary_patterns_divide_exactly_like_u128() {
             }
         }
     }
-    assert!(checked > 5_000, "expected thousands of cases, got {checked}");
+    assert!(
+        checked > 5_000,
+        "expected thousands of cases, got {checked}"
+    );
 }
 
 #[test]
@@ -79,7 +82,12 @@ fn four_limb_by_three_limb_patterns() {
 
 #[test]
 fn division_by_one_and_self() {
-    for s in ["1", "4294967296", "18446744073709551616", "340282366920938463463374607431768211455"] {
+    for s in [
+        "1",
+        "4294967296",
+        "18446744073709551616",
+        "340282366920938463463374607431768211455",
+    ] {
         let n: Int = s.parse().unwrap();
         let (q, r) = n.div_rem(&Int::one());
         assert_eq!(q, n);

@@ -1,87 +1,149 @@
 //! Property-based tests for exact arithmetic, cross-checked against i128.
+//!
+//! Randomized inputs come from the in-tree deterministic [`SplitMix64`]
+//! stream (the workspace builds offline, with no external test crates), so
+//! every run checks the same cases and a failure is reproducible from the
+//! printed seed.
 
-use cai_num::{Int, Rat};
-use proptest::prelude::*;
+use cai_num::{Int, Rat, SplitMix64};
+
+const CASES: usize = 200;
 
 fn int_of(v: i128) -> Int {
     // Build via string to exercise parsing as well.
     v.to_string().parse().expect("decimal i128 parses")
 }
 
-proptest! {
-    #[test]
-    fn add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+fn any_i64(g: &mut SplitMix64) -> i64 {
+    g.next_u64() as i64
+}
+
+fn any_i128(g: &mut SplitMix64) -> i128 {
+    ((g.next_u64() as i128) << 64) | g.next_u64() as i128
+}
+
+#[test]
+fn add_matches_i128() {
+    let mut g = SplitMix64::new(0xA001);
+    for _ in 0..CASES {
+        let (a, b) = (any_i64(&mut g), any_i64(&mut g));
         let sum = &Int::from(a) + &Int::from(b);
-        prop_assert_eq!(sum, int_of(a as i128 + b as i128));
+        assert_eq!(sum, int_of(a as i128 + b as i128), "a={a} b={b}");
     }
+}
 
-    #[test]
-    fn mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+#[test]
+fn mul_matches_i128() {
+    let mut g = SplitMix64::new(0xA002);
+    for _ in 0..CASES {
+        let (a, b) = (any_i64(&mut g), any_i64(&mut g));
         let prod = &Int::from(a) * &Int::from(b);
-        prop_assert_eq!(prod, int_of(a as i128 * b as i128));
+        assert_eq!(prod, int_of(a as i128 * b as i128), "a={a} b={b}");
     }
+}
 
-    #[test]
-    fn div_rem_reconstructs(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |b| *b != 0)) {
+#[test]
+fn div_rem_reconstructs() {
+    let mut g = SplitMix64::new(0xA003);
+    for _ in 0..CASES {
+        let a = any_i64(&mut g);
+        let b = match any_i64(&mut g) {
+            0 => 1,
+            b => b,
+        };
         let (q, r) = Int::from(a).div_rem(&Int::from(b));
-        prop_assert_eq!(&(&q * &Int::from(b)) + &r, Int::from(a));
-        prop_assert_eq!(q, Int::from(a / b));
-        prop_assert_eq!(r, Int::from(a % b));
+        assert_eq!(&(&q * &Int::from(b)) + &r, Int::from(a), "a={a} b={b}");
+        assert_eq!(q, Int::from(a / b), "a={a} b={b}");
+        assert_eq!(r, Int::from(a % b), "a={a} b={b}");
     }
+}
 
-    #[test]
-    fn parse_display_roundtrip(a in any::<i128>()) {
+#[test]
+fn parse_display_roundtrip() {
+    let mut g = SplitMix64::new(0xA004);
+    for _ in 0..CASES {
+        let a = any_i128(&mut g);
         let n = int_of(a);
-        prop_assert_eq!(n.to_string(), a.to_string());
+        assert_eq!(n.to_string(), a.to_string());
     }
+}
 
-    #[test]
-    fn gcd_divides_both(a in any::<i32>(), b in any::<i32>()) {
+#[test]
+fn gcd_divides_both() {
+    let mut g = SplitMix64::new(0xA005);
+    for _ in 0..CASES {
+        let (a, b) = (g.next_u64() as i32, g.next_u64() as i32);
         let (a, b) = (Int::from(a), Int::from(b));
-        let g = a.gcd(&b);
-        if !g.is_zero() {
-            prop_assert!((&a % &g).is_zero());
-            prop_assert!((&b % &g).is_zero());
+        let gcd = a.gcd(&b);
+        if !gcd.is_zero() {
+            assert!((&a % &gcd).is_zero(), "a={a} gcd={gcd}");
+            assert!((&b % &gcd).is_zero(), "b={b} gcd={gcd}");
         } else {
-            prop_assert!(a.is_zero() && b.is_zero());
+            assert!(a.is_zero() && b.is_zero());
         }
     }
+}
 
-    #[test]
-    fn ordering_matches_i64(a in any::<i64>(), b in any::<i64>()) {
-        prop_assert_eq!(Int::from(a).cmp(&Int::from(b)), a.cmp(&b));
+#[test]
+fn ordering_matches_i64() {
+    let mut g = SplitMix64::new(0xA006);
+    for _ in 0..CASES {
+        let (a, b) = (any_i64(&mut g), any_i64(&mut g));
+        assert_eq!(Int::from(a).cmp(&Int::from(b)), a.cmp(&b), "a={a} b={b}");
     }
+}
 
-    #[test]
-    fn big_mul_div_roundtrip(a in any::<i128>(), b in any::<i128>().prop_filter("nonzero", |b| *b != 0)) {
+#[test]
+fn big_mul_div_roundtrip() {
+    let mut g = SplitMix64::new(0xA007);
+    for _ in 0..CASES {
+        let a = any_i128(&mut g);
+        let b = match any_i128(&mut g) {
+            0 => 1,
+            b => b,
+        };
         let (ia, ib) = (int_of(a), int_of(b));
         let p = &ia * &ib;
         let (q, r) = p.div_rem(&ib);
-        prop_assert_eq!(q, ia);
-        prop_assert!(r.is_zero());
+        assert_eq!(q, ia, "a={a} b={b}");
+        assert!(r.is_zero(), "a={a} b={b}");
     }
+}
 
-    #[test]
-    fn rat_field_laws(an in -1000i64..1000, ad in 1i64..100, bn in -1000i64..1000, bd in 1i64..100) {
+#[test]
+fn rat_field_laws() {
+    let mut g = SplitMix64::new(0xA008);
+    for _ in 0..CASES {
+        let an = g.range_i64(-1000, 1000);
+        let ad = g.range_i64(1, 100);
+        let bn = g.range_i64(-1000, 1000);
+        let bd = g.range_i64(1, 100);
         let a = Rat::new(Int::from(an), Int::from(ad));
         let b = Rat::new(Int::from(bn), Int::from(bd));
-        prop_assert_eq!(&a + &b, &b + &a);
-        prop_assert_eq!(&a * &b, &b * &a);
-        prop_assert_eq!(&(&a + &b) - &b, a.clone());
+        assert_eq!(&a + &b, &b + &a);
+        assert_eq!(&a * &b, &b * &a);
+        assert_eq!(&(&a + &b) - &b, a.clone());
         if !b.is_zero() {
-            prop_assert_eq!(&(&a / &b) * &b, a.clone());
+            assert_eq!(&(&a / &b) * &b, a.clone());
         }
         // distributivity
         let c = Rat::new(Int::from(7), Int::from(3));
-        prop_assert_eq!(&c * &(&a + &b), &(&c * &a) + &(&c * &b));
+        assert_eq!(&c * &(&a + &b), &(&c * &a) + &(&c * &b));
     }
+}
 
-    #[test]
-    fn rat_cmp_antisymmetric(an in any::<i32>(), ad in 1i32..1000, bn in any::<i32>(), bd in 1i32..1000) {
+#[test]
+fn rat_cmp_antisymmetric() {
+    let mut g = SplitMix64::new(0xA009);
+    for _ in 0..CASES {
+        let an = g.next_u64() as i32;
+        let ad = g.range_i64(1, 1000) as i32;
+        let bn = g.next_u64() as i32;
+        let bd = g.range_i64(1, 1000) as i32;
         let a = Rat::new(Int::from(an), Int::from(ad));
         let b = Rat::new(Int::from(bn), Int::from(bd));
         let lhs = (an as i64) * (bd as i64);
         let rhs = (bn as i64) * (ad as i64);
-        prop_assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
+        assert_eq!(a.cmp(&b), lhs.cmp(&rhs), "a={an}/{ad} b={bn}/{bd}");
     }
 }

@@ -67,7 +67,12 @@ struct State {
 impl ParityElem {
     /// The top element.
     pub fn top() -> ParityElem {
-        ParityElem { state: Some(State { map: BTreeMap::new(), constraints: Vec::new() }) }
+        ParityElem {
+            state: Some(State {
+                map: BTreeMap::new(),
+                constraints: Vec::new(),
+            }),
+        }
     }
 
     /// The bottom element.
@@ -135,7 +140,11 @@ impl ParityElem {
                 if rest_p == Parity::Top {
                     continue;
                 }
-                let vp = if rest_p == c.required { Parity::Even } else { Parity::Odd };
+                let vp = if rest_p == c.required {
+                    Parity::Even
+                } else {
+                    Parity::Odd
+                };
                 s.map.insert(v, vp);
                 changed = true;
             }
@@ -221,15 +230,24 @@ fn atom_constraint(atom: &Atom) -> Option<Constraint> {
     match atom {
         Atom::Eq(s, t) => {
             let e = AffExpr::difference(s, t).ok()?;
-            Some(Constraint { expr: e, required: Parity::Even })
+            Some(Constraint {
+                expr: e,
+                required: Parity::Even,
+            })
         }
         Atom::Pred(PredSym::Even, t) => {
             let e = AffExpr::try_from_term(t).ok()?;
-            Some(Constraint { expr: e, required: Parity::Even })
+            Some(Constraint {
+                expr: e,
+                required: Parity::Even,
+            })
         }
         Atom::Pred(PredSym::Odd, t) => {
             let e = AffExpr::try_from_term(t).ok()?;
-            Some(Constraint { expr: e, required: Parity::Odd })
+            Some(Constraint {
+                expr: e,
+                required: Parity::Odd,
+            })
         }
         _ => None,
     }
@@ -312,7 +330,9 @@ impl AbstractDomain for ParityDomain {
             .filter(|c| sb.constraints.contains(c))
             .cloned()
             .collect();
-        ParityElem { state: Some(State { map, constraints }) }
+        ParityElem {
+            state: Some(State { map, constraints }),
+        }
     }
 
     fn exists(&self, e: &ParityElem, vars: &VarSet) -> ParityElem {
@@ -321,8 +341,7 @@ impl AbstractDomain for ParityDomain {
         };
         let mut s = s.clone();
         s.map.retain(|v, _| !vars.contains(v));
-        s.constraints
-            .retain(|c| c.expr.vars().is_disjoint(vars));
+        s.constraints.retain(|c| c.expr.vars().is_disjoint(vars));
         ParityElem { state: Some(s) }
     }
 
@@ -456,7 +475,6 @@ mod tests {
     #[test]
     fn non_integer_coefficients_are_top() {
         let e = elem("even(x)");
-        assert!(!d().implies_atom(&e, &atom("even(1/2*x + 1/2*x)")) || true);
         // 1/2*x + 1/2*x normalizes to x, which is even.
         assert!(d().implies_atom(&e, &atom("even(1/2*x + 1/2*x)")));
     }
@@ -480,7 +498,10 @@ mod le_faithfulness_tests {
         let shown = d.to_conj(&e);
         assert!(!shown.is_empty(), "presentation lost the constraint");
         // ... making the order faithful:
-        assert!(!d.le(&d.top(), &e), "top compared below a constrained element");
+        assert!(
+            !d.le(&d.top(), &e),
+            "top compared below a constrained element"
+        );
         assert!(d.le(&e, &d.top()));
         assert!(d.le(&e, &e), "reflexivity through the constraint fallback");
     }
@@ -490,7 +511,11 @@ mod le_faithfulness_tests {
     fn presentation_roundtrip() {
         let d = ParityDomain::new();
         let v = Vocab::standard();
-        for src in ["even(x + y) & odd(z)", "even(a) & x = a + 1", "odd(p + q + r)"] {
+        for src in [
+            "even(x + y) & odd(z)",
+            "even(a) & x = a + 1",
+            "odd(p + q + r)",
+        ] {
             let e = d.from_conj(&v.parse_conj(src).unwrap());
             let e2 = d.from_conj(&d.to_conj(&e));
             assert!(d.equal_elems(&e, &e2), "{src}: {e:?} vs {e2:?}");

@@ -140,7 +140,12 @@ struct State {
 impl SignElem {
     /// The top element.
     pub fn top() -> SignElem {
-        SignElem { state: Some(State { map: BTreeMap::new(), constraints: Vec::new() }) }
+        SignElem {
+            state: Some(State {
+                map: BTreeMap::new(),
+                constraints: Vec::new(),
+            }),
+        }
     }
 
     /// The bottom element.
@@ -262,15 +267,24 @@ fn atom_constraint(atom: &Atom) -> Option<Constraint> {
     match atom {
         Atom::Eq(s, t) => {
             let e = AffExpr::difference(s, t).ok()?;
-            Some(Constraint { expr: e, required: SignVal::IS_ZERO })
+            Some(Constraint {
+                expr: e,
+                required: SignVal::IS_ZERO,
+            })
         }
         Atom::Pred(PredSym::Positive, t) => {
             let e = AffExpr::try_from_term(t).ok()?;
-            Some(Constraint { expr: e, required: SignVal::POSITIVE })
+            Some(Constraint {
+                expr: e,
+                required: SignVal::POSITIVE,
+            })
         }
         Atom::Pred(PredSym::Negative, t) => {
             let e = AffExpr::try_from_term(t).ok()?;
-            Some(Constraint { expr: e, required: SignVal::NEGATIVE })
+            Some(Constraint {
+                expr: e,
+                required: SignVal::NEGATIVE,
+            })
         }
         _ => None,
     }
@@ -351,7 +365,9 @@ impl AbstractDomain for SignDomain {
             .filter(|c| sb.constraints.contains(c))
             .cloned()
             .collect();
-        SignElem { state: Some(State { map, constraints }) }
+        SignElem {
+            state: Some(State { map, constraints }),
+        }
     }
 
     fn exists(&self, e: &SignElem, vars: &VarSet) -> SignElem {
@@ -506,7 +522,11 @@ mod le_faithfulness_tests {
     fn presentation_roundtrip() {
         let d = SignDomain::new();
         let v = Vocab::standard();
-        for src in ["positive(x + y)", "negative(a - b) & positive(c)", "x + y = 1"] {
+        for src in [
+            "positive(x + y)",
+            "negative(a - b) & positive(c)",
+            "x + y = 1",
+        ] {
             let e = d.from_conj(&v.parse_conj(src).unwrap());
             let e2 = d.from_conj(&d.to_conj(&e));
             assert!(d.le(&e2, &e), "{src}: roundtrip weaker than allowed");

@@ -134,7 +134,10 @@ impl Atom {
     /// Replaces every occurrence of `from` by `to` in the atom's arguments.
     pub fn replace_term(&self, from: &Term, to: &Term) -> Atom {
         self.with_args(
-            self.args().into_iter().map(|t| t.replace_term(from, to)).collect(),
+            self.args()
+                .into_iter()
+                .map(|t| t.replace_term(from, to))
+                .collect(),
         )
     }
 

@@ -35,7 +35,10 @@ impl LinExpr {
 
     /// A constant expression.
     pub fn constant(c: Rat) -> LinExpr {
-        LinExpr { constant: c, terms: BTreeMap::new() }
+        LinExpr {
+            constant: c,
+            terms: BTreeMap::new(),
+        }
     }
 
     /// A single atom with coefficient one.
@@ -48,7 +51,10 @@ impl LinExpr {
             _ => {
                 let mut terms = BTreeMap::new();
                 terms.insert(t, Rat::one());
-                LinExpr { constant: Rat::zero(), terms }
+                LinExpr {
+                    constant: Rat::zero(),
+                    terms,
+                }
             }
         }
     }

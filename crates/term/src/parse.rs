@@ -36,7 +36,10 @@ pub struct ParseError {
 
 impl ParseError {
     fn new(msg: impl Into<String>, pos: usize) -> ParseError {
-        ParseError { msg: msg.into(), pos }
+        ParseError {
+            msg: msg.into(),
+            pos,
+        }
     }
 
     /// The byte offset at which the error occurred.
@@ -72,9 +75,11 @@ impl Vocab {
 
     /// Pre-registers a function symbol under its name.
     pub fn register(&self, f: FnSym) {
+        // A poisoned lock only means another parse panicked mid-insert; the
+        // map itself is still a valid symbol table, so recover it.
         self.fns
             .lock()
-            .expect("vocab poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(f.name(), f);
     }
 
@@ -95,7 +100,7 @@ impl Vocab {
             "cdr" => return Ok(FnSym::cdr()),
             _ => {}
         }
-        let mut fns = self.fns.lock().expect("vocab poisoned");
+        let mut fns = self.fns.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(f) = fns.get(name) {
             if f.arity() != arity {
                 return Err(ParseError::new(
@@ -167,7 +172,11 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &str, vocab: &'a Vocab) -> Parser<'a> {
-        Parser { toks: lex(input), pos: 0, vocab }
+        Parser {
+            toks: lex(input),
+            pos: 0,
+            vocab,
+        }
     }
 
     fn peek(&self) -> &Tok {
@@ -298,9 +307,7 @@ impl<'a> Parser<'a> {
                     self.bump();
                     let dpos = self.here();
                     match self.bump() {
-                        Tok::Num(d) if !d.is_zero() => {
-                            Ok(Term::constant(&n / &d))
-                        }
+                        Tok::Num(d) if !d.is_zero() => Ok(Term::constant(&n / &d)),
                         _ => Err(ParseError::new("expected nonzero denominator", dpos)),
                     }
                 } else {
@@ -411,8 +418,16 @@ fn lex(input: &str) -> Vec<(Tok, usize)> {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                let n: Rat = input[start..i].parse().expect("digits parse");
-                toks.push((Tok::Num(n), start));
+                match input[start..i].parse::<Rat>() {
+                    Ok(n) => toks.push((Tok::Num(n), start)),
+                    Err(_) => {
+                        toks.push((
+                            Tok::Error(input[start..].chars().next().unwrap_or('?')),
+                            start,
+                        ));
+                        break;
+                    }
+                }
             }
             _ if b.is_ascii_alphabetic() || b == b'_' => {
                 let start = i;
@@ -462,7 +477,10 @@ mod tests {
         assert_eq!(v.parse_atom("x = y").unwrap().to_string(), "x = y");
         assert_eq!(v.parse_atom("x >= y").unwrap().to_string(), "y <= x");
         assert_eq!(v.parse_atom("x < y").unwrap().to_string(), "x + 1 <= y");
-        assert_eq!(v.parse_atom("even(x + 1)").unwrap().to_string(), "even(x + 1)");
+        assert_eq!(
+            v.parse_atom("even(x + 1)").unwrap().to_string(),
+            "even(x + 1)"
+        );
     }
 
     #[test]

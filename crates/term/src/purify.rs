@@ -113,13 +113,11 @@ impl Purifier {
             // Root is fine here; recurse into children.
             return match t.kind() {
                 TermKind::Var(_) => unreachable!("handled above"),
-                TermKind::App(f, args) => Term::app(
-                    *f,
-                    args.iter().map(|a| self.purify_term(a, host)).collect(),
-                ),
+                TermKind::App(f, args) => {
+                    Term::app(*f, args.iter().map(|a| self.purify_term(a, host)).collect())
+                }
                 TermKind::Lin(e) => {
-                    let mut acc =
-                        crate::lin::LinExpr::constant(e.constant_part().clone());
+                    let mut acc = crate::lin::LinExpr::constant(e.constant_part().clone());
                     for (atom, coeff) in e.iter() {
                         let p = self.purify_term(atom, host);
                         acc = acc.add(&p.to_lin().scale(coeff));
@@ -265,7 +263,11 @@ mod tests {
         assert_eq!(p.defs[&t2].to_string(), format!("F({t1})"));
         // E1 mentions only linear structure, E2 only UF structure.
         assert!(p.left.iter().all(|a| lin().owns_atom(a)), "E1 = {}", p.left);
-        assert!(p.right.iter().all(|a| uf().owns_atom(a)), "E2 = {}", p.right);
+        assert!(
+            p.right.iter().all(|a| uf().owns_atom(a)),
+            "E2 = {}",
+            p.right
+        );
         assert_eq!(p.left.len(), 3); // def + two inequalities
         assert_eq!(p.right.len(), 3); // def + two equalities
     }
@@ -278,8 +280,7 @@ mod tests {
         // Expanding definitions in E1 ∧ E2 recovers facts over the original
         // variables.
         for atom in &p.conjoined() {
-            let args: Vec<Term> =
-                atom.args().into_iter().map(|t| p.expand(t)).collect();
+            let args: Vec<Term> = atom.args().into_iter().map(|t| p.expand(t)).collect();
             let expanded = atom.with_args(args);
             let evars = expanded.vars();
             for v in &evars {
@@ -316,7 +317,9 @@ mod tests {
         let parity = Sig::single(TheoryTag::PARITY);
         let sign = Sig::single(TheoryTag::SIGN);
         let vocab = Vocab::standard();
-        let e = vocab.parse_conj("even(x0) & positive(x0) & x = x0 - 1").unwrap();
+        let e = vocab
+            .parse_conj("even(x0) & positive(x0) & x = x0 - 1")
+            .unwrap();
         let p = purify(&e, &parity, &sign);
         // The linear fact is understood by both theories; predicates split.
         assert_eq!(p.left.to_string(), "even(x0) & x = x0 - 1");

@@ -36,12 +36,16 @@ impl Sig {
 
     /// A signature from a collection of tags.
     pub fn of(tags: impl IntoIterator<Item = TheoryTag>) -> Sig {
-        Sig { tags: tags.into_iter().collect() }
+        Sig {
+            tags: tags.into_iter().collect(),
+        }
     }
 
     /// The union of two signatures.
     pub fn union(&self, other: &Sig) -> Sig {
-        Sig { tags: self.tags.union(&other.tags).copied().collect() }
+        Sig {
+            tags: self.tags.union(&other.tags).copied().collect(),
+        }
     }
 
     /// Returns `true` if the signature contains `tag`.
@@ -79,9 +83,7 @@ impl Sig {
             TermKind::App(f, args) => {
                 self.contains(f.theory()) && args.iter().all(|a| self.owns_term(a))
             }
-            TermKind::Lin(e) => {
-                self.owns_arith() && e.iter().all(|(a, _)| self.owns_term(a))
-            }
+            TermKind::Lin(e) => self.owns_arith() && e.iter().all(|(a, _)| self.owns_term(a)),
         }
     }
 
@@ -176,9 +178,7 @@ pub enum AtomSide {
 ///
 /// Panics if neither signature can host the atom — a misconfigured product.
 pub fn classify_atom(atom: &Atom, sig1: &Sig, sig2: &Sig) -> AtomSide {
-    let side_of_root = |t: &Term| -> (bool, bool) {
-        (sig1.owns_root(t), sig2.owns_root(t))
-    };
+    let side_of_root = |t: &Term| -> (bool, bool) { (sig1.owns_root(t), sig2.owns_root(t)) };
     let (l, r) = match atom {
         Atom::Le(..) => (
             sig1.contains(TheoryTag::LINARITH),
@@ -213,9 +213,7 @@ pub fn classify_atom(atom: &Atom, sig1: &Sig, sig2: &Sig) -> AtomSide {
         (true, true) => AtomSide::Both,
         (true, false) => AtomSide::Left,
         (false, true) => AtomSide::Right,
-        (false, false) => panic!(
-            "atom `{atom}` belongs to neither signature {sig1} nor {sig2}"
-        ),
+        (false, false) => panic!("atom `{atom}` belongs to neither signature {sig1} nor {sig2}"),
     }
 }
 

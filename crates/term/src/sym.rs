@@ -62,7 +62,12 @@ struct TagInterner {
 
 fn tag_interner() -> &'static Mutex<TagInterner> {
     static I: OnceLock<Mutex<TagInterner>> = OnceLock::new();
-    I.get_or_init(|| Mutex::new(TagInterner { names: Vec::new(), by_name: HashMap::new() }))
+    I.get_or_init(|| {
+        Mutex::new(TagInterner {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+        })
+    })
 }
 
 impl fmt::Display for TheoryTag {
@@ -102,7 +107,12 @@ struct FnInterner {
 
 fn fn_interner() -> &'static Mutex<FnInterner> {
     static I: OnceLock<Mutex<FnInterner>> = OnceLock::new();
-    I.get_or_init(|| Mutex::new(FnInterner { infos: Vec::new(), by_key: HashMap::new() }))
+    I.get_or_init(|| {
+        Mutex::new(FnInterner {
+            infos: Vec::new(),
+            by_key: HashMap::new(),
+        })
+    })
 }
 
 impl FnSym {
@@ -114,7 +124,11 @@ impl FnSym {
             return FnSym(id);
         }
         let id = i.infos.len() as u32;
-        i.infos.push(FnInfo { name: name.to_owned(), arity, theory });
+        i.infos.push(FnInfo {
+            name: name.to_owned(),
+            arity,
+            theory,
+        });
         i.by_key.insert(key, id);
         FnSym(id)
     }

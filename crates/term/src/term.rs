@@ -187,9 +187,7 @@ impl Term {
         }
         match self.kind() {
             TermKind::Var(v) => map.get(v).cloned().unwrap_or_else(|| self.clone()),
-            TermKind::App(f, args) => {
-                Term::app(*f, args.iter().map(|a| a.subst(map)).collect())
-            }
+            TermKind::App(f, args) => Term::app(*f, args.iter().map(|a| a.subst(map)).collect()),
             TermKind::Lin(e) => {
                 let mut acc = LinExpr::constant(e.constant_part().clone());
                 for (atom, coeff) in e.iter() {
@@ -322,7 +320,10 @@ mod tests {
         let fx = Term::app(f, vec![v("x")]);
         let sum = Term::add(&fx, &fx);
         assert_eq!(sum.to_string(), "2*F(x)");
-        assert_eq!(Term::sub(&sum, &Term::scale(&Rat::from(2i64), &fx)), Term::int(0));
+        assert_eq!(
+            Term::sub(&sum, &Term::scale(&Rat::from(2i64), &fx)),
+            Term::int(0)
+        );
     }
 
     #[test]

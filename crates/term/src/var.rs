@@ -36,7 +36,10 @@ struct Interner {
 fn interner() -> &'static Mutex<Interner> {
     static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
     INTERNER.get_or_init(|| {
-        Mutex::new(Interner { names: HashSet::new(), fresh_counter: 0 })
+        Mutex::new(Interner {
+            names: HashSet::new(),
+            fresh_counter: 0,
+        })
     })
 }
 

@@ -1,120 +1,105 @@
 //! Property-based tests for the term layer: arithmetic normalization,
 //! substitution laws, and purification invariants.
+//!
+//! Random terms are generated from the in-tree deterministic
+//! [`SplitMix64`] stream (the workspace builds offline, with no external
+//! test crates); each test runs a fixed set of seeded cases.
 
-use cai_num::Rat;
+use cai_num::{Rat, SplitMix64};
 use cai_term::{alien_terms, purify, Atom, Conj, FnSym, Sig, Term, TheoryTag, Var};
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
-#[derive(Clone, Debug)]
-enum RTerm {
-    Var(u8),
-    Const(i8),
-    Add(Box<RTerm>, Box<RTerm>),
-    Sub(Box<RTerm>, Box<RTerm>),
-    Scale(i8, Box<RTerm>),
-    F(Box<RTerm>),
-    G(Box<RTerm>, Box<RTerm>),
-}
+const CASES: usize = 128;
 
-impl RTerm {
-    fn to_term(&self) -> Term {
-        match self {
-            RTerm::Var(i) => Term::var(Var::named(&format!("m{}", i % 4))),
-            RTerm::Const(c) => Term::int(*c as i64),
-            RTerm::Add(a, b) => Term::add(&a.to_term(), &b.to_term()),
-            RTerm::Sub(a, b) => Term::sub(&a.to_term(), &b.to_term()),
-            RTerm::Scale(c, a) => Term::scale(&Rat::from(*c as i64), &a.to_term()),
-            RTerm::F(a) => Term::app(FnSym::uf("F", 1), vec![a.to_term()]),
-            RTerm::G(a, b) => {
-                Term::app(FnSym::uf("G", 2), vec![a.to_term(), b.to_term()])
-            }
-        }
+/// A random term over `m0..m3` with the given depth budget: leaves are
+/// variables (70%) or small constants; interior nodes draw uniformly from
+/// add, sub, scale, `F/1`, and `G/2`.
+fn rand_term(g: &mut SplitMix64, depth: usize) -> Term {
+    if depth == 0 {
+        return if g.ratio(7, 10) {
+            Term::var(Var::named(&format!("m{}", g.below(4))))
+        } else {
+            Term::int(g.range_i64(-4, 5))
+        };
+    }
+    match g.below(5) {
+        0 => Term::add(&rand_term(g, depth - 1), &rand_term(g, depth - 1)),
+        1 => Term::sub(&rand_term(g, depth - 1), &rand_term(g, depth - 1)),
+        2 => Term::scale(&Rat::from(g.range_i64(-3, 4)), &rand_term(g, depth - 1)),
+        3 => Term::app(FnSym::uf("F", 1), vec![rand_term(g, depth - 1)]),
+        _ => Term::app(
+            FnSym::uf("G", 2),
+            vec![rand_term(g, depth - 1), rand_term(g, depth - 1)],
+        ),
     }
 }
 
-fn rterm() -> impl Strategy<Value = RTerm> {
-    let leaf = prop_oneof![
-        (0u8..4).prop_map(RTerm::Var),
-        (-4i8..5).prop_map(RTerm::Const),
-    ];
-    leaf.prop_recursive(4, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| RTerm::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| RTerm::Sub(Box::new(a), Box::new(b))),
-            (-3i8..4, inner.clone())
-                .prop_map(|(c, a)| RTerm::Scale(c, Box::new(a))),
-            inner.clone().prop_map(|a| RTerm::F(Box::new(a))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| RTerm::G(Box::new(a), Box::new(b))),
-        ]
-    })
+fn rand_conj(g: &mut SplitMix64, max_atoms: u64, depth: usize) -> Conj {
+    (0..1 + g.below(max_atoms))
+        .map(|_| Atom::eq(rand_term(g, depth), rand_term(g, depth)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Arithmetic normalization: a + b == b + a, (a + b) - b == a, and
-    /// 2*a == a + a, all as structural equality.
-    #[test]
-    fn linear_layer_is_canonical(a in rterm(), b in rterm()) {
-        let (ta, tb) = (a.to_term(), b.to_term());
-        prop_assert_eq!(Term::add(&ta, &tb), Term::add(&tb, &ta));
-        prop_assert_eq!(Term::sub(&Term::add(&ta, &tb), &tb), ta.clone());
-        prop_assert_eq!(
-            Term::scale(&Rat::from(2i64), &ta),
-            Term::add(&ta, &ta)
-        );
-        prop_assert_eq!(Term::sub(&ta, &ta), Term::int(0));
+/// Arithmetic normalization: a + b == b + a, (a + b) - b == a, and
+/// 2*a == a + a, all as structural equality.
+#[test]
+fn linear_layer_is_canonical() {
+    let mut g = SplitMix64::new(0xB001);
+    for _ in 0..CASES {
+        let (ta, tb) = (rand_term(&mut g, 3), rand_term(&mut g, 3));
+        assert_eq!(Term::add(&ta, &tb), Term::add(&tb, &ta));
+        assert_eq!(Term::sub(&Term::add(&ta, &tb), &tb), ta.clone());
+        assert_eq!(Term::scale(&Rat::from(2i64), &ta), Term::add(&ta, &ta));
+        assert_eq!(Term::sub(&ta, &ta), Term::int(0));
     }
+}
 
-    /// Substitution is compositional on disjoint maps and identity on
-    /// absent variables.
-    #[test]
-    fn subst_laws(t in rterm(), r in rterm()) {
-        let term = t.to_term();
-        let replacement = r.to_term();
+/// Substitution is identity on absent variables and on v ↦ v.
+#[test]
+fn subst_laws() {
+    let mut g = SplitMix64::new(0xB002);
+    for _ in 0..CASES {
+        let term = rand_term(&mut g, 3);
+        let replacement = rand_term(&mut g, 3);
         let fresh = Var::named("zz_not_used");
         let mut map = BTreeMap::new();
         map.insert(fresh, replacement);
-        prop_assert_eq!(term.subst(&map), term.clone());
+        assert_eq!(term.subst(&map), term.clone());
         // Substituting a variable by itself is the identity.
         let v = Var::named("m0");
         let mut id = BTreeMap::new();
         id.insert(v, Term::var(v));
-        prop_assert_eq!(term.subst(&id), term);
+        assert_eq!(term.subst(&id), term);
     }
+}
 
-    /// Purification invariants: the two halves are pure, the fresh
-    /// variables are exactly the definition keys, and expanding the
-    /// definitions recovers facts over the original variables only.
-    #[test]
-    fn purify_invariants(pairs in proptest::collection::vec((rterm(), rterm()), 1..4)) {
-        let conj: Conj = pairs
-            .iter()
-            .map(|(s, t)| Atom::eq(s.to_term(), t.to_term()))
-            .collect();
+/// Purification invariants: the two halves are pure, the fresh variables
+/// are exactly the definition keys, and expanding the definitions
+/// recovers facts over the original variables only.
+#[test]
+fn purify_invariants() {
+    let mut g = SplitMix64::new(0xB003);
+    for _ in 0..CASES {
+        let conj = rand_conj(&mut g, 3, 3);
         let lin = Sig::single(TheoryTag::LINARITH);
         let uf = Sig::single(TheoryTag::UF);
         let p = purify(&conj, &lin, &uf);
         for atom in &p.left {
-            prop_assert!(lin.owns_atom(atom), "left atom {atom} not pure");
+            assert!(lin.owns_atom(atom), "left atom {atom} not pure");
         }
         for atom in &p.right {
-            prop_assert!(uf.owns_atom(atom), "right atom {atom} not pure");
+            assert!(uf.owns_atom(atom), "right atom {atom} not pure");
         }
-        prop_assert_eq!(p.fresh.len(), p.defs.len());
+        assert_eq!(p.fresh.len(), p.defs.len());
         // No alien terms remain in either half.
-        prop_assert!(alien_terms(&p.left, &lin, &uf).is_empty());
-        prop_assert!(alien_terms(&p.right, &lin, &uf).is_empty());
+        assert!(alien_terms(&p.left, &lin, &uf).is_empty());
+        assert!(alien_terms(&p.right, &lin, &uf).is_empty());
         // Expanding definitions eliminates every fresh variable.
         for atom in &p.conjoined() {
             for arg in atom.args() {
                 let expanded = p.expand(arg);
                 for v in &expanded.vars() {
-                    prop_assert!(
+                    assert!(
                         !p.fresh.contains(v),
                         "expanded {expanded} still mentions fresh {v}"
                     );
@@ -122,31 +107,34 @@ proptest! {
             }
         }
     }
+}
 
-    /// The alien terms of a purifiable conjunction all root in one theory
-    /// and occur under the other.
-    #[test]
-    fn alien_terms_are_boundary_terms(pairs in proptest::collection::vec((rterm(), rterm()), 1..4)) {
-        let conj: Conj = pairs
-            .iter()
-            .map(|(s, t)| Atom::eq(s.to_term(), t.to_term()))
-            .collect();
+/// The alien terms of a purifiable conjunction all root in exactly one
+/// theory and occur under the other.
+#[test]
+fn alien_terms_are_boundary_terms() {
+    let mut g = SplitMix64::new(0xB004);
+    for _ in 0..CASES {
+        let conj = rand_conj(&mut g, 3, 3);
         let lin = Sig::single(TheoryTag::LINARITH);
         let uf = Sig::single(TheoryTag::UF);
         for t in alien_terms(&conj, &lin, &uf) {
             // Every alien is rooted in exactly one of the two signatures.
             let l = lin.owns_root(&t);
             let u = uf.owns_root(&t);
-            prop_assert!(l ^ u, "alien {t} roots in both/neither signature");
+            assert!(l ^ u, "alien {t} roots in both/neither signature");
         }
     }
+}
 
-    /// Display/parse round-trip for generated terms.
-    #[test]
-    fn display_parse_roundtrip(t in rterm()) {
-        let term = t.to_term();
+/// Display/parse round-trip for generated terms.
+#[test]
+fn display_parse_roundtrip() {
+    let mut g = SplitMix64::new(0xB005);
+    for _ in 0..CASES {
+        let term = rand_term(&mut g, 3);
         let vocab = cai_term::parse::Vocab::standard();
         let reparsed = vocab.parse_term(&term.to_string()).expect("display parses");
-        prop_assert_eq!(reparsed, term);
+        assert_eq!(reparsed, term);
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::egraph::EGraph;
 use crate::product::join_equalities;
-use cai_core::{AbstractDomain, Partition, TheoryProps};
+use cai_core::{AbstractDomain, Budget, Partition, TheoryProps};
 use cai_term::{Atom, Conj, Sig, Term, TheoryTag, Var, VarSet};
 use std::fmt;
 
@@ -23,7 +23,9 @@ pub struct UfElem {
 impl UfElem {
     /// The top element.
     pub fn top() -> UfElem {
-        UfElem { eqs: Some(Vec::new()) }
+        UfElem {
+            eqs: Some(Vec::new()),
+        }
     }
 
     /// The bottom element.
@@ -60,7 +62,7 @@ impl UfElem {
         g
     }
 
-    fn from_pairs(pairs: Vec<(Term, Term)>, max_size: usize) -> UfElem {
+    fn from_pairs(pairs: Vec<(Term, Term)>, max_size: usize, budget: &Budget) -> UfElem {
         // Canonicalize: close, then emit the generating set with every
         // variable anchored.
         let mut g = EGraph::new();
@@ -68,7 +70,9 @@ impl UfElem {
             g.assert_eq(s, t);
         }
         let all = |_: Var| true;
-        UfElem { eqs: Some(g.emit_equalities(&all, max_size)) }
+        UfElem {
+            eqs: Some(g.emit_equalities_budgeted(&all, max_size, budget)),
+        }
     }
 }
 
@@ -112,22 +116,56 @@ impl fmt::Display for UfElem {
 /// assert!(d.implies_atom(&e, &vocab.parse_atom("x = y")?));
 /// # Ok::<(), cai_term::parse::ParseError>(())
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct UfDomain {
     /// Bound on representative term size (see
     /// [`EGraph::representatives`]); defaults to 64.
     max_term_size: usize,
+    budget: Budget,
 }
 
 impl UfDomain {
-    /// Creates the domain with the default term-size bound.
+    /// Creates the domain with the default term-size bound and an
+    /// unlimited budget.
     pub fn new() -> UfDomain {
-        UfDomain { max_term_size: 64 }
+        UfDomain {
+            max_term_size: 64,
+            budget: Budget::unlimited(),
+        }
     }
 
     /// Creates the domain with a custom bound on representative term size.
     pub fn with_max_term_size(max_term_size: usize) -> UfDomain {
-        UfDomain { max_term_size }
+        UfDomain {
+            max_term_size,
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Governs every operation of this domain by `budget` (clone the one
+    /// budget shared across the whole analysis).
+    pub fn with_budget(mut self, budget: Budget) -> UfDomain {
+        self.budget = budget;
+        self
+    }
+
+    /// The governing budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Extracts the equality's sides; non-`Eq` atoms are outside the UF
+    /// signature (the products filter by signature, so this only fires on
+    /// misuse) and are reported via the degradation log, not a panic.
+    fn atom_sides<'a>(&self, atom: &'a Atom, site: &'static str) -> Option<(&'a Term, &'a Term)> {
+        match atom {
+            Atom::Eq(s, t) => Some((s, t)),
+            _ => {
+                self.budget
+                    .degrade(site, format!("atom `{atom}` outside the UF signature"));
+                None
+            }
+        }
     }
 }
 
@@ -161,15 +199,16 @@ impl AbstractDomain for UfDomain {
     }
 
     fn meet_atom(&self, e: &UfElem, atom: &Atom) -> UfElem {
-        let Atom::Eq(s, t) = atom else {
-            panic!("atom `{atom}` is outside the uninterpreted-functions signature")
+        let Some((s, t)) = self.atom_sides(atom, "uf/meet_atom") else {
+            // Sound: `e` alone over-approximates `e ∧ atom`.
+            return e.clone();
         };
         if e.is_bottom() {
             return UfElem::bottom();
         }
         let mut pairs: Vec<(Term, Term)> = e.equalities().to_vec();
         pairs.push((s.clone(), t.clone()));
-        UfElem::from_pairs(pairs, self.max_term_size)
+        UfElem::from_pairs(pairs, self.max_term_size, &self.budget)
     }
 
     fn meet_all(&self, e: &UfElem, atoms: &[Atom]) -> UfElem {
@@ -178,17 +217,17 @@ impl AbstractDomain for UfDomain {
         }
         let mut pairs: Vec<(Term, Term)> = e.equalities().to_vec();
         for atom in atoms {
-            let Atom::Eq(s, t) = atom else {
-                panic!("atom `{atom}` is outside the uninterpreted-functions signature")
+            let Some((s, t)) = self.atom_sides(atom, "uf/meet_all") else {
+                continue;
             };
             pairs.push((s.clone(), t.clone()));
         }
-        UfElem::from_pairs(pairs, self.max_term_size)
+        UfElem::from_pairs(pairs, self.max_term_size, &self.budget)
     }
 
     fn implies_atom(&self, e: &UfElem, atom: &Atom) -> bool {
-        let Atom::Eq(s, t) = atom else {
-            panic!("atom `{atom}` is outside the uninterpreted-functions signature")
+        let Some((s, t)) = self.atom_sides(atom, "uf/implies_atom") else {
+            return false; // "unknown" is always sound
         };
         if e.is_bottom() {
             return true;
@@ -203,12 +242,21 @@ impl AbstractDomain for UfDomain {
         if b.is_bottom() {
             return a.clone();
         }
+        // The product-graph construction is quadratic in the inputs —
+        // charge for it up front and fall back to ⊤ (a sound upper bound
+        // of any join) once the budget is gone.
+        let cost = (1 + a.equalities().len() as u64) * (1 + b.equalities().len() as u64);
+        if !self.budget.tick(cost) {
+            self.budget
+                .degrade("uf/join", "returned top instead of the product graph");
+            return UfElem::top();
+        }
         let mut g1 = a.closure();
         let mut g2 = b.closure();
         let mut vars = a.vars();
         vars.extend(b.vars());
         let eqs = join_equalities(&mut g1, &mut g2, &vars, self.max_term_size);
-        UfElem::from_pairs(eqs, self.max_term_size)
+        UfElem::from_pairs(eqs, self.max_term_size, &self.budget)
     }
 
     fn exists(&self, e: &UfElem, vars: &VarSet) -> UfElem {
@@ -217,7 +265,9 @@ impl AbstractDomain for UfDomain {
         }
         let g = e.closure();
         let anchor = |v: Var| !vars.contains(&v);
-        UfElem { eqs: Some(g.emit_equalities(&anchor, self.max_term_size)) }
+        UfElem {
+            eqs: Some(g.emit_equalities_budgeted(&anchor, self.max_term_size, &self.budget)),
+        }
     }
 
     fn var_equalities(&self, e: &UfElem) -> Partition {
@@ -226,8 +276,7 @@ impl AbstractDomain for UfDomain {
             return p;
         }
         let g = e.closure();
-        let mut by_root: std::collections::BTreeMap<usize, Var> =
-            std::collections::BTreeMap::new();
+        let mut by_root: std::collections::BTreeMap<usize, Var> = std::collections::BTreeMap::new();
         for (v, id) in g.vars() {
             let root = g.find(id);
             match by_root.get(&root) {
@@ -250,7 +299,7 @@ impl AbstractDomain for UfDomain {
         let yid = g.add(&Term::var(y));
         let root = g.find(yid);
         let anchor = |v: Var| v != y && !avoid.contains(&v);
-        let reps = g.representatives(&anchor, self.max_term_size);
+        let reps = g.representatives_budgeted(&anchor, self.max_term_size, &self.budget);
         reps.get(&root).cloned()
     }
 
@@ -274,7 +323,7 @@ impl AbstractDomain for UfDomain {
             })
             .collect();
         let anchor = |v: Var| !avoid.contains(&v);
-        let reps = g.representatives(&anchor, self.max_term_size);
+        let reps = g.representatives_budgeted(&anchor, self.max_term_size, &self.budget);
         roots
             .into_iter()
             .filter_map(|(y, id)| reps.get(&g.find(id)).map(|t| (y, t.clone())))
@@ -368,7 +417,10 @@ mod tests {
         let e = elem("x = F(y) & z = G(x, y)");
         let j = d().join(&e, &e);
         for (s, t) in e.equalities() {
-            assert!(d().implies_atom(&j, &Atom::eq(s.clone(), t.clone())), "lost {s} = {t}");
+            assert!(
+                d().implies_atom(&j, &Atom::eq(s.clone(), t.clone())),
+                "lost {s} = {t}"
+            );
         }
         for (s, t) in j.equalities() {
             assert!(d().implies_atom(&e, &Atom::eq(s.clone(), t.clone())));

@@ -5,6 +5,7 @@
 //! `V`-free representatives (for `Q_L` and `Alternate_T`), and providing
 //! the per-class term inventory that the product-based join consumes.
 
+use cai_core::Budget;
 use cai_term::{FnSym, Term, TermKind, Var};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -142,9 +143,7 @@ impl EGraph {
     /// The current canonical signature of an app node.
     fn signature(&self, id: NodeId) -> Option<Sig> {
         match &self.keys[id] {
-            NodeKey::App(f, args) => {
-                Some((*f, args.iter().map(|&a| self.find(a)).collect()))
-            }
+            NodeKey::App(f, args) => Some((*f, args.iter().map(|&a| self.find(a)).collect())),
             _ => None,
         }
     }
@@ -171,7 +170,11 @@ impl EGraph {
             // pairs feed back into the worklist.
             let moved = std::mem::take(&mut self.uses[loser]);
             for u in &moved {
-                let sig = self.signature(*u).expect("uses contain app nodes");
+                // `uses` only ever receives app nodes (see `add_app`), so a
+                // non-app entry has no signature and nothing to re-canon.
+                let Some(sig) = self.signature(*u) else {
+                    continue;
+                };
                 match self.memo.get(&sig) {
                     Some(&v) => {
                         if self.find(v) != self.find(*u) {
@@ -243,6 +246,20 @@ impl EGraph {
         anchor: &dyn Fn(Var) -> bool,
         max_size: usize,
     ) -> BTreeMap<NodeId, Term> {
+        self.representatives_budgeted(anchor, max_size, &Budget::unlimited())
+    }
+
+    /// [`EGraph::representatives`] governed by a [`Budget`]: each fixpoint
+    /// round ticks in proportion to the node count. On exhaustion the map
+    /// computed so far is returned — classes still missing a representative
+    /// simply stay absent, so callers emit *fewer* equalities (a weaker,
+    /// still sound element).
+    pub fn representatives_budgeted(
+        &self,
+        anchor: &dyn Fn(Var) -> bool,
+        max_size: usize,
+        budget: &Budget,
+    ) -> BTreeMap<NodeId, Term> {
         let mut rep: BTreeMap<NodeId, Term> = BTreeMap::new();
         // Seed with anchored variables and leaves.
         for id in 0..self.keys.len() {
@@ -258,6 +275,13 @@ impl EGraph {
         }
         // Least fixpoint over app nodes.
         loop {
+            if !budget.tick(1 + self.keys.len() as u64) {
+                budget.degrade(
+                    "egraph/representatives",
+                    "returned partial representative map",
+                );
+                return rep;
+            }
             let mut changed = false;
             for id in 0..self.keys.len() {
                 let NodeKey::App(f, args) = &self.keys[id] else {
@@ -301,7 +325,20 @@ impl EGraph {
         anchor: &dyn Fn(Var) -> bool,
         max_size: usize,
     ) -> Vec<(Term, Term)> {
-        let rep = self.representatives(anchor, max_size);
+        self.emit_equalities_budgeted(anchor, max_size, &Budget::unlimited())
+    }
+
+    /// [`EGraph::emit_equalities`] governed by a [`Budget`]; exhaustion
+    /// yields a generating set for a *subset* of the representable
+    /// equalities (weaker, still sound — see
+    /// [`EGraph::representatives_budgeted`]).
+    pub fn emit_equalities_budgeted(
+        &self,
+        anchor: &dyn Fn(Var) -> bool,
+        max_size: usize,
+        budget: &Budget,
+    ) -> Vec<(Term, Term)> {
+        let rep = self.representatives_budgeted(anchor, max_size, budget);
         let mut out: BTreeSet<(Term, Term)> = BTreeSet::new();
         for id in 0..self.keys.len() {
             let root = self.find(id);
@@ -457,8 +494,7 @@ mod tests {
         let g = graph(&[("x", "F(x)")]);
         let all = |_: Var| true;
         let eqs = g.emit_equalities(&all, 64);
-        let shown: Vec<String> =
-            eqs.iter().map(|(a, b)| format!("{a} = {b}")).collect();
+        let shown: Vec<String> = eqs.iter().map(|(a, b)| format!("{a} = {b}")).collect();
         assert!(shown.contains(&"x = F(x)".to_owned()), "{shown:?}");
     }
 

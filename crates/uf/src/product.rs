@@ -110,10 +110,8 @@ pub fn join_equalities(
             'combos: loop {
                 let pair_args: Vec<PairId> =
                     combo.iter().zip(&choices).map(|(&i, c)| c[i]).collect();
-                let right_args: Vec<NodeId> = pair_args
-                    .iter()
-                    .map(|&p| g2.find(pg.pairs[p].1))
-                    .collect();
+                let right_args: Vec<NodeId> =
+                    pair_args.iter().map(|&p| g2.find(pg.pairs[p].1)).collect();
                 if let Some(m) = g2.lookup_app(f, &right_args) {
                     let c2 = g2.find(m);
                     let (pid, fresh) = pg.intern((c1, c2));
@@ -240,10 +238,7 @@ mod tests {
         let vocab = Vocab::standard();
         let mut g = EGraph::new();
         for (s, t) in eqs {
-            g.assert_eq(
-                &vocab.parse_term(s).unwrap(),
-                &vocab.parse_term(t).unwrap(),
-            );
+            g.assert_eq(&vocab.parse_term(s).unwrap(), &vocab.parse_term(t).unwrap());
         }
         g
     }
@@ -260,8 +255,15 @@ mod tests {
 
     #[test]
     fn common_equalities_survive() {
-        let eqs = joined(&[("x", "F(a)"), ("y", "x")], &[("x", "F(a)"), ("y", "x")], &["x", "y", "a"]);
-        assert!(eqs.contains(&"x = y".to_owned()) || eqs.contains(&"y = x".to_owned()), "{eqs:?}");
+        let eqs = joined(
+            &[("x", "F(a)"), ("y", "x")],
+            &[("x", "F(a)"), ("y", "x")],
+            &["x", "y", "a"],
+        );
+        assert!(
+            eqs.contains(&"x = y".to_owned()) || eqs.contains(&"y = x".to_owned()),
+            "{eqs:?}"
+        );
         assert!(eqs.iter().any(|e| e.contains("F(a)")), "{eqs:?}");
     }
 

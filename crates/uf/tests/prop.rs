@@ -1,47 +1,35 @@
 //! Property-based tests for the uninterpreted-functions domain,
 //! cross-checked against a reference congruence closure.
+//!
+//! Random equality systems are generated from the in-tree deterministic
+//! [`SplitMix64`] stream (the workspace builds offline, with no external
+//! test crates); each test runs a fixed set of seeded cases.
 
 use cai_core::AbstractDomain;
+use cai_num::SplitMix64;
 use cai_term::{Atom, Conj, FnSym, Term, Var, VarSet};
 use cai_uf::{EGraph, UfDomain};
-use proptest::prelude::*;
 
-#[derive(Clone, Debug)]
-enum RTerm {
-    Var(u8),
-    F(Box<RTerm>),
-    G(Box<RTerm>, Box<RTerm>),
-}
+const CASES: usize = 64;
 
-impl RTerm {
-    fn to_term(&self) -> Term {
-        match self {
-            RTerm::Var(i) => Term::var(Var::named(&format!("u{}", i % 4))),
-            RTerm::F(a) => Term::app(FnSym::uf("F", 1), vec![a.to_term()]),
-            RTerm::G(a, b) => {
-                Term::app(FnSym::uf("G", 2), vec![a.to_term(), b.to_term()])
-            }
-        }
+/// A random UF term over `u0..u3` with the given depth budget.
+fn rand_term(g: &mut SplitMix64, depth: usize) -> Term {
+    if depth == 0 || g.ratio(2, 5) {
+        return Term::var(Var::named(&format!("u{}", g.below(4))));
+    }
+    if g.ratio(1, 2) {
+        Term::app(FnSym::uf("F", 1), vec![rand_term(g, depth - 1)])
+    } else {
+        Term::app(
+            FnSym::uf("G", 2),
+            vec![rand_term(g, depth - 1), rand_term(g, depth - 1)],
+        )
     }
 }
 
-fn rterm() -> impl Strategy<Value = RTerm> {
-    let leaf = (0u8..4).prop_map(RTerm::Var);
-    leaf.prop_recursive(3, 8, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|a| RTerm::F(Box::new(a))),
-            (inner.clone(), inner).prop_map(|(a, b)| RTerm::G(Box::new(a), Box::new(b))),
-        ]
-    })
-}
-
-fn eq_system() -> impl Strategy<Value = Vec<(RTerm, RTerm)>> {
-    proptest::collection::vec((rterm(), rterm()), 1..5)
-}
-
-fn build(eqs: &[(RTerm, RTerm)]) -> Conj {
-    eqs.iter()
-        .map(|(s, t)| Atom::eq(s.to_term(), t.to_term()))
+fn eq_system(g: &mut SplitMix64) -> Conj {
+    (0..1 + g.below(4))
+        .map(|_| Atom::eq(rand_term(g, 3), rand_term(g, 3)))
         .collect()
 }
 
@@ -55,102 +43,124 @@ fn reference_implies(eqs: &Conj, s: &Term, t: &Term) -> bool {
     g.proves_eq(s, t)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The canonical element presentation is equivalent to the input: it
-    /// implies and is implied by the original equalities.
-    #[test]
-    fn canonicalization_preserves_meaning(eqs in eq_system()) {
+/// The canonical element presentation is equivalent to the input: it
+/// implies and is implied by the original equalities.
+#[test]
+fn canonicalization_preserves_meaning() {
+    let mut g = SplitMix64::new(0xC001);
+    for _ in 0..CASES {
         let d = UfDomain::new();
-        let c = build(&eqs);
+        let c = eq_system(&mut g);
         let e = d.from_conj(&c);
         // Input atoms follow from the canonical form ...
         for atom in &c {
-            prop_assert!(d.implies_atom(&e, atom), "{e} !=> {atom}");
+            assert!(d.implies_atom(&e, atom), "{e} !=> {atom}");
         }
         // ... and the canonical atoms follow from the input.
         for atom in &d.to_conj(&e) {
             let Atom::Eq(s, t) = atom else { unreachable!() };
-            prop_assert!(reference_implies(&c, s, t), "{c} !=> {atom}");
+            assert!(reference_implies(&c, s, t), "{c} !=> {atom}");
         }
     }
+}
 
-    /// Join soundness: every joined equality holds in both inputs.
-    #[test]
-    fn join_is_sound(a in eq_system(), b in eq_system()) {
+/// Join soundness: every joined equality holds in both inputs.
+#[test]
+fn join_is_sound() {
+    let mut g = SplitMix64::new(0xC002);
+    for _ in 0..CASES {
         let d = UfDomain::new();
-        let (ca, cb) = (build(&a), build(&b));
+        let (ca, cb) = (eq_system(&mut g), eq_system(&mut g));
         let (ea, eb) = (d.from_conj(&ca), d.from_conj(&cb));
         let j = d.join(&ea, &eb);
         for atom in &d.to_conj(&j) {
             let Atom::Eq(s, t) = atom else { unreachable!() };
-            prop_assert!(reference_implies(&ca, s, t), "left misses {atom}");
-            prop_assert!(reference_implies(&cb, s, t), "right misses {atom}");
+            assert!(reference_implies(&ca, s, t), "left misses {atom}");
+            assert!(reference_implies(&cb, s, t), "right misses {atom}");
         }
     }
+}
 
-    /// Join upper bound in the lattice order.
-    #[test]
-    fn join_dominates(a in eq_system(), b in eq_system()) {
+/// Join upper bound in the lattice order.
+#[test]
+fn join_dominates() {
+    let mut g = SplitMix64::new(0xC003);
+    for _ in 0..CASES {
         let d = UfDomain::new();
-        let (ea, eb) = (d.from_conj(&build(&a)), d.from_conj(&build(&b)));
+        let (ea, eb) = (
+            d.from_conj(&eq_system(&mut g)),
+            d.from_conj(&eq_system(&mut g)),
+        );
         let j = d.join(&ea, &eb);
-        prop_assert!(d.le(&ea, &j));
-        prop_assert!(d.le(&eb, &j));
+        assert!(d.le(&ea, &j));
+        assert!(d.le(&eb, &j));
     }
+}
 
-    /// Join of an element with itself is equivalent to the element.
-    #[test]
-    fn join_idempotent(a in eq_system()) {
+/// Join of an element with itself is equivalent to the element.
+#[test]
+fn join_idempotent() {
+    let mut g = SplitMix64::new(0xC004);
+    for _ in 0..CASES {
         let d = UfDomain::new();
-        let e = d.from_conj(&build(&a));
+        let e = d.from_conj(&eq_system(&mut g));
         let j = d.join(&e, &e);
-        prop_assert!(d.equal_elems(&j, &e), "join(e,e) = {j} vs {e}");
+        assert!(d.equal_elems(&j, &e), "join(e,e) = {j} vs {e}");
     }
+}
 
-    /// Quantification: result avoids the variable and is implied.
-    #[test]
-    fn exists_sound(a in eq_system(), which in 0u8..4) {
+/// Quantification: result avoids the variable and is implied.
+#[test]
+fn exists_sound() {
+    let mut g = SplitMix64::new(0xC005);
+    for _ in 0..CASES {
         let d = UfDomain::new();
-        let c = build(&a);
+        let c = eq_system(&mut g);
         let e = d.from_conj(&c);
-        let v = Var::named(&format!("u{which}"));
+        let v = Var::named(&format!("u{}", g.below(4)));
         let elim: VarSet = [v].into_iter().collect();
         let q = d.exists(&e, &elim);
-        prop_assert!(!q.vars().contains(&v));
+        assert!(!q.vars().contains(&v));
         for atom in &d.to_conj(&q) {
             let Atom::Eq(s, t) = atom else { unreachable!() };
-            prop_assert!(reference_implies(&c, s, t));
+            assert!(reference_implies(&c, s, t));
         }
     }
+}
 
-    /// Alternate's contract: implied and avoid-free.
-    #[test]
-    fn alternate_contract(a in eq_system(), which in 0u8..4, avoid_ix in 0u8..4) {
+/// Alternate's contract: implied and avoid-free.
+#[test]
+fn alternate_contract() {
+    let mut g = SplitMix64::new(0xC006);
+    for _ in 0..CASES {
         let d = UfDomain::new();
-        let c = build(&a);
+        let c = eq_system(&mut g);
         let e = d.from_conj(&c);
-        let y = Var::named(&format!("u{which}"));
-        let avoid: VarSet = [Var::named(&format!("u{avoid_ix}"))].into_iter().collect();
+        let y = Var::named(&format!("u{}", g.below(4)));
+        let avoid: VarSet = [Var::named(&format!("u{}", g.below(4)))]
+            .into_iter()
+            .collect();
         if let Some(t) = d.alternate(&e, y, &avoid) {
-            prop_assert!(!t.vars().contains(&y), "{t} mentions {y}");
+            assert!(!t.vars().contains(&y), "{t} mentions {y}");
             for v in &avoid {
-                prop_assert!(!t.vars().contains(v), "{t} mentions avoided {v}");
+                assert!(!t.vars().contains(v), "{t} mentions avoided {v}");
             }
-            prop_assert!(reference_implies(&c, &Term::var(y), &t));
+            assert!(reference_implies(&c, &Term::var(y), &t));
         }
     }
+}
 
-    /// Congruence closure agrees with itself under input permutation.
-    #[test]
-    fn order_independence(a in eq_system()) {
+/// Congruence closure agrees with itself under input permutation.
+#[test]
+fn order_independence() {
+    let mut g = SplitMix64::new(0xC007);
+    for _ in 0..CASES {
         let d = UfDomain::new();
-        let c = build(&a);
+        let c = eq_system(&mut g);
         let mut rev: Vec<Atom> = c.iter().cloned().collect();
         rev.reverse();
         let e1 = d.from_conj(&c);
         let e2 = d.from_conj(&rev.into_iter().collect());
-        prop_assert!(d.equal_elems(&e1, &e2));
+        assert!(d.equal_elems(&e1, &e2));
     }
 }

@@ -41,7 +41,9 @@ fn main() {
     .expect("program parses");
 
     let domain = UfDomain::new();
-    let analysis = Analyzer::new(&domain).with_view(herbrand_view).run(&program);
+    let analysis = Analyzer::new(&domain)
+        .with_view(herbrand_view)
+        .run(&program);
 
     println!("program:\n{program}");
     println!("value-numbering facts at exit: {}", analysis.exit);
@@ -49,7 +51,11 @@ fn main() {
         println!(
             "assert({}) ... {}",
             a.atom,
-            if a.verified { "VERIFIED" } else { "not proved (needs arithmetic)" }
+            if a.verified {
+                "VERIFIED"
+            } else {
+                "not proved (needs arithmetic)"
+            }
         );
     }
     println!(

@@ -35,11 +35,19 @@ fn verdicts<D: AbstractDomain>(d: &D, p: &Program, herbrand: bool) -> Vec<bool> 
     } else {
         Analyzer::new(d)
     };
-    analyzer.run(p).assertions.iter().map(|a| a.verified).collect()
+    analyzer
+        .run(p)
+        .assertions
+        .iter()
+        .map(|a| a.verified)
+        .collect()
 }
 
 fn row(name: &str, verdicts: &[bool]) {
-    let marks: Vec<&str> = verdicts.iter().map(|v| if *v { "yes" } else { " - " }).collect();
+    let marks: Vec<&str> = verdicts
+        .iter()
+        .map(|v| if *v { "yes" } else { " - " })
+        .collect();
     println!(
         "{name:<18} | {:^7} | {:^9} | {:^7} | {:^13} | {}",
         marks[0],

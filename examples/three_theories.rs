@@ -48,7 +48,10 @@ fn main() {
 
     println!("program:\n{program}");
     println!("exit invariant: {}", analysis.exit);
-    println!("loop iterations to fixpoint: {:?}", analysis.loop_iterations);
+    println!(
+        "loop iterations to fixpoint: {:?}",
+        analysis.loop_iterations
+    );
     for a in &analysis.assertions {
         println!(
             "assert({}) ... {}",

@@ -71,7 +71,9 @@ fn soundness_is_not_affected() {
     // Incomplete but sound: nothing false is ever proved.
     let vocab = Vocab::standard();
     let d = product();
-    let e = vocab.parse_conj("even(x0) & positive(x0) & x = x0 - 1").unwrap();
+    let e = vocab
+        .parse_conj("even(x0) & positive(x0) & x = x0 - 1")
+        .unwrap();
     for bogus in ["even(x)", "negative(x)", "negative(x0)", "odd(x0)"] {
         assert!(
             !d.implies_atom(&e, &vocab.parse_atom(bogus).unwrap()),

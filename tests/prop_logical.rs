@@ -6,69 +6,60 @@
 //! `J(a, b)` is implied by both `a` and `b`. Soundness of the Figure 7
 //! quantification (Theorem 4): every atom of `Q(e, V)` is implied by `e`
 //! and mentions no variable of `V`.
+//!
+//! Random inputs come from the in-tree deterministic [`SplitMix64`]
+//! stream (the workspace builds offline, with no external test crates);
+//! each test runs a fixed set of seeded cases.
 
 use cai_core::{AbstractDomain, LogicalProduct, ReducedProduct};
 use cai_linarith::AffineEq;
+use cai_num::SplitMix64;
 use cai_term::parse::Vocab;
 use cai_term::{Atom, Conj, FnSym, Term, Var, VarSet};
 use cai_uf::UfDomain;
-use proptest::prelude::*;
 
-/// Random mixed terms over a small variable pool.
-#[derive(Clone, Debug)]
-enum RTerm {
-    Var(u8),
-    Const(i8),
-    Add(Box<RTerm>, Box<RTerm>),
-    Sub(Box<RTerm>, Box<RTerm>),
-    F(Box<RTerm>),
-    G(Box<RTerm>, Box<RTerm>),
-}
+const CASES: usize = 48;
 
-impl RTerm {
-    fn to_term(&self, vocab: &Vocab) -> Term {
-        match self {
-            RTerm::Var(i) => Term::var(Var::named(&format!("w{}", i % 4))),
-            RTerm::Const(c) => Term::int(*c as i64),
-            RTerm::Add(a, b) => Term::add(&a.to_term(vocab), &b.to_term(vocab)),
-            RTerm::Sub(a, b) => Term::sub(&a.to_term(vocab), &b.to_term(vocab)),
-            RTerm::F(a) => {
-                let f = vocab.function("F", 1).unwrap();
-                Term::app(f, vec![a.to_term(vocab)])
-            }
-            RTerm::G(a, b) => {
-                let g = vocab.function("G", 2).unwrap();
-                Term::app(g, vec![a.to_term(vocab), b.to_term(vocab)])
-            }
+/// A random mixed term over `w0..w3` with the given depth budget: leaves
+/// are variables (2/3) or small constants; interior nodes draw uniformly
+/// from add, sub, `F/1`, and `G/2`.
+fn rand_term(g: &mut SplitMix64, vocab: &Vocab, depth: usize) -> Term {
+    if depth == 0 || g.ratio(1, 4) {
+        return if g.ratio(2, 3) {
+            Term::var(Var::named(&format!("w{}", g.below(4))))
+        } else {
+            Term::int(g.range_i64(-3, 4))
+        };
+    }
+    match g.below(4) {
+        0 => Term::add(
+            &rand_term(g, vocab, depth - 1),
+            &rand_term(g, vocab, depth - 1),
+        ),
+        1 => Term::sub(
+            &rand_term(g, vocab, depth - 1),
+            &rand_term(g, vocab, depth - 1),
+        ),
+        2 => {
+            let f = vocab.function("F", 1).expect("arity fixed");
+            Term::app(f, vec![rand_term(g, vocab, depth - 1)])
+        }
+        _ => {
+            let f = vocab.function("G", 2).expect("arity fixed");
+            Term::app(
+                f,
+                vec![
+                    rand_term(g, vocab, depth - 1),
+                    rand_term(g, vocab, depth - 1),
+                ],
+            )
         }
     }
 }
 
-fn rterm() -> impl Strategy<Value = RTerm> {
-    let leaf = prop_oneof![
-        (0u8..4).prop_map(RTerm::Var),
-        (-3i8..4).prop_map(RTerm::Const),
-    ];
-    leaf.prop_recursive(3, 10, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| RTerm::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| RTerm::Sub(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| RTerm::F(Box::new(a))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| RTerm::G(Box::new(a), Box::new(b))),
-        ]
-    })
-}
-
-fn rconj() -> impl Strategy<Value = Vec<(RTerm, RTerm)>> {
-    proptest::collection::vec((rterm(), rterm()), 1..4)
-}
-
-fn build(vocab: &Vocab, eqs: &[(RTerm, RTerm)]) -> Conj {
-    eqs.iter()
-        .map(|(s, t)| Atom::eq(s.to_term(vocab), t.to_term(vocab)))
+fn rand_conj(g: &mut SplitMix64, vocab: &Vocab) -> Conj {
+    (0..1 + g.below(3))
+        .map(|_| Atom::eq(rand_term(g, vocab, 3), rand_term(g, vocab, 3)))
         .collect()
 }
 
@@ -84,124 +75,145 @@ fn shared_vocab() -> Vocab {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Theorem 2 (join soundness): both inputs imply every output atom.
-    #[test]
-    fn join_is_upper_bound(l in rconj(), r in rconj()) {
-        let vocab = shared_vocab();
+/// Theorem 2 (join soundness): both inputs imply every output atom.
+#[test]
+fn join_is_upper_bound() {
+    let mut g = SplitMix64::new(0xE001);
+    let vocab = shared_vocab();
+    for _ in 0..CASES {
         let d = logical();
-        let (el, er) = (build(&vocab, &l), build(&vocab, &r));
+        let el = rand_conj(&mut g, &vocab);
+        let er = rand_conj(&mut g, &vocab);
         let j = d.join(&el, &er);
         for atom in &j {
-            prop_assert!(d.implies_atom(&el, atom), "left {el} !=> {atom}");
-            prop_assert!(d.implies_atom(&er, atom), "right {er} !=> {atom}");
+            assert!(d.implies_atom(&el, atom), "left {el} !=> {atom}");
+            assert!(d.implies_atom(&er, atom), "right {er} !=> {atom}");
         }
     }
+}
 
-    /// Theorem 4 (quantification soundness): the input implies the output,
-    /// and the eliminated variables are gone.
-    #[test]
-    fn exists_is_sound(e in rconj(), which in 0u8..4) {
-        let vocab = shared_vocab();
+/// Theorem 4 (quantification soundness): the input implies the output,
+/// and the eliminated variables are gone.
+#[test]
+fn exists_is_sound() {
+    let mut g = SplitMix64::new(0xE002);
+    let vocab = shared_vocab();
+    for _ in 0..CASES {
         let d = logical();
-        let e = build(&vocab, &e);
-        let v = Var::named(&format!("w{which}"));
+        let e = rand_conj(&mut g, &vocab);
+        let v = Var::named(&format!("w{}", g.below(4)));
         let elim: VarSet = [v].into_iter().collect();
         let q = d.exists(&e, &elim);
-        prop_assert!(!q.vars().contains(&v), "Q = {q} still mentions {v}");
+        assert!(!q.vars().contains(&v), "Q = {q} still mentions {v}");
         if !d.is_bottom(&e) {
             for atom in &q {
-                prop_assert!(d.implies_atom(&e, atom), "{e} !=> {atom}");
+                assert!(d.implies_atom(&e, atom), "{e} !=> {atom}");
             }
         }
     }
+}
 
-    /// The join is an upper bound in the lattice order (`le`).
-    #[test]
-    fn join_dominates_inputs(l in rconj(), r in rconj()) {
-        let vocab = shared_vocab();
+/// The join is an upper bound in the lattice order (`le`).
+#[test]
+fn join_dominates_inputs() {
+    let mut g = SplitMix64::new(0xE003);
+    let vocab = shared_vocab();
+    for _ in 0..CASES {
         let d = logical();
-        let (el, er) = (build(&vocab, &l), build(&vocab, &r));
+        let el = rand_conj(&mut g, &vocab);
+        let er = rand_conj(&mut g, &vocab);
         let j = d.join(&el, &er);
-        prop_assert!(d.le(&el, &j));
-        prop_assert!(d.le(&er, &j));
+        assert!(d.le(&el, &j));
+        assert!(d.le(&er, &j));
     }
+}
 
-    /// The logical product is at least as precise as the reduced product:
-    /// every (pure or mixed) fact the reduced join proves, the logical
-    /// join proves too.
-    #[test]
-    fn logical_refines_reduced(l in rconj(), r in rconj()) {
-        let vocab = shared_vocab();
+/// The logical product is at least as precise as the reduced product:
+/// every (pure or mixed) fact the reduced join proves, the logical
+/// join proves too.
+#[test]
+fn logical_refines_reduced() {
+    let mut g = SplitMix64::new(0xE004);
+    let vocab = shared_vocab();
+    for _ in 0..CASES {
         let dl = logical();
         let dr = ReducedProduct::new(AffineEq::new(), UfDomain::new());
-        let (cl, cr) = (build(&vocab, &l), build(&vocab, &r));
+        let cl = rand_conj(&mut g, &vocab);
+        let cr = rand_conj(&mut g, &vocab);
         let jl = dl.join(&cl, &cr);
         let jr = dr.join(&dr.from_conj(&cl), &dr.from_conj(&cr));
         for atom in &dr.to_conj(&jr) {
-            prop_assert!(
+            assert!(
                 dl.implies_atom(&jl, atom),
                 "logical join {jl} misses reduced fact {atom}"
             );
         }
     }
+}
 
-    /// Meet (conjunction) is the greatest lower bound's upper half:
-    /// `e ∧ atom` implies both `e` and `atom`.
-    #[test]
-    fn meet_is_lower_bound(e in rconj(), extra in (rterm(), rterm())) {
-        let vocab = shared_vocab();
+/// Meet (conjunction) is the greatest lower bound's upper half:
+/// `e ∧ atom` implies both `e` and `atom`.
+#[test]
+fn meet_is_lower_bound() {
+    let mut g = SplitMix64::new(0xE005);
+    let vocab = shared_vocab();
+    for _ in 0..CASES {
         let d = logical();
-        let e = build(&vocab, &e);
-        let atom = Atom::eq(extra.0.to_term(&vocab), extra.1.to_term(&vocab));
+        let e = rand_conj(&mut g, &vocab);
+        let atom = Atom::eq(rand_term(&mut g, &vocab, 3), rand_term(&mut g, &vocab, 3));
         let m = d.meet_atom(&e, &atom);
-        prop_assert!(d.le(&m, &e));
-        prop_assert!(d.implies_atom(&m, &atom));
+        assert!(d.le(&m, &e));
+        assert!(d.implies_atom(&m, &atom));
     }
+}
 
-    /// Implication is reflexive on every generated element.
-    #[test]
-    fn le_is_reflexive(e in rconj()) {
-        let vocab = shared_vocab();
+/// Implication is reflexive on every generated element.
+#[test]
+fn le_is_reflexive() {
+    let mut g = SplitMix64::new(0xE006);
+    let vocab = shared_vocab();
+    for _ in 0..CASES {
         let d = logical();
-        let e = build(&vocab, &e);
-        prop_assert!(d.le(&e, &e));
+        let e = rand_conj(&mut g, &vocab);
+        assert!(d.le(&e, &e));
     }
+}
 
-    /// A completeness witness for Theorem 3: facts common to both inputs
-    /// *by construction* (a shared base conjunction, whose alien terms
-    /// therefore occur in both elements) must survive the join.
-    #[test]
-    fn join_retains_common_base(base in rconj(), l in rconj(), r in rconj()) {
-        let vocab = shared_vocab();
+/// A completeness witness for Theorem 3: facts common to both inputs
+/// *by construction* (a shared base conjunction, whose alien terms
+/// therefore occur in both elements) must survive the join.
+#[test]
+fn join_retains_common_base() {
+    let mut g = SplitMix64::new(0xE007);
+    let vocab = shared_vocab();
+    for _ in 0..CASES {
         let d = logical();
-        let base = build(&vocab, &base);
-        let el = base.and(&build(&vocab, &l));
-        let er = base.and(&build(&vocab, &r));
+        let base = rand_conj(&mut g, &vocab);
+        let el = base.and(&rand_conj(&mut g, &vocab));
+        let er = base.and(&rand_conj(&mut g, &vocab));
         if d.is_bottom(&el) || d.is_bottom(&er) {
-            return Ok(());
+            continue;
         }
         let j = d.join(&el, &er);
         for atom in &base {
-            prop_assert!(
-                d.implies_atom(&j, atom),
-                "join {j} lost common fact {atom}"
-            );
+            assert!(d.implies_atom(&j, atom), "join {j} lost common fact {atom}");
         }
     }
+}
 
-    /// Monotonicity of the join in the lattice order: joining with a
-    /// weaker element yields a weaker (or equal) result.
-    #[test]
-    fn join_monotone_in_top(l in rconj(), r in rconj()) {
-        let vocab = shared_vocab();
+/// Monotonicity of the join in the lattice order: joining with a
+/// weaker element yields a weaker (or equal) result.
+#[test]
+fn join_monotone_in_top() {
+    let mut g = SplitMix64::new(0xE008);
+    let vocab = shared_vocab();
+    for _ in 0..CASES {
         let d = logical();
-        let (el, er) = (build(&vocab, &l), build(&vocab, &r));
+        let el = rand_conj(&mut g, &vocab);
+        let er = rand_conj(&mut g, &vocab);
         let j = d.join(&el, &er);
         let top = d.join(&el, &d.top());
         // top is an upper bound of any join with el.
-        prop_assert!(d.le(&j, &top) || d.equal_elems(&top, &d.top()));
+        assert!(d.le(&j, &top) || d.equal_elems(&top, &d.top()));
     }
 }

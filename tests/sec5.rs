@@ -6,9 +6,9 @@ use cai_core::reduce::{EncodeMode, UnaryEncoder};
 use cai_core::LogicalProduct;
 use cai_interp::{parse_program, Analyzer};
 use cai_linarith::AffineEq;
+use cai_num::SplitMix64;
 use cai_term::parse::Vocab;
 use cai_uf::UfDomain;
-use proptest::prelude::*;
 
 fn product() -> LogicalProduct<AffineEq, UfDomain> {
     LogicalProduct::new(AffineEq::new(), UfDomain::new())
@@ -110,9 +110,7 @@ impl SrcTerm {
         match (self, other) {
             (SrcTerm::Var(a), SrcTerm::Var(b)) => a == b,
             (SrcTerm::App(f, a1, a2), SrcTerm::App(g, b1, b2)) => {
-                f == g
-                    && ((a1.comm_eq(b1) && a2.comm_eq(b2))
-                        || (a1.comm_eq(b2) && a2.comm_eq(b1)))
+                f == g && ((a1.comm_eq(b1) && a2.comm_eq(b2)) || (a1.comm_eq(b2) && a2.comm_eq(b1)))
             }
             _ => false,
         }
@@ -134,48 +132,67 @@ impl SrcTerm {
     }
 }
 
-fn src_term() -> impl Strategy<Value = SrcTerm> {
-    let leaf = (0u8..4).prop_map(SrcTerm::Var);
-    leaf.prop_recursive(3, 12, 2, |inner| {
-        ((0u8..3), inner.clone(), inner)
-            .prop_map(|(g, a, b)| SrcTerm::App(g, Box::new(a), Box::new(b)))
-    })
+/// A random source term over `v0..v3` and `G0..G2` with the given depth
+/// budget (mirrors the old recursive generation: leaves get likelier as
+/// the budget shrinks).
+fn rand_src_term(g: &mut SplitMix64, depth: usize) -> SrcTerm {
+    if depth == 0 || g.ratio(1, 3) {
+        return SrcTerm::Var(g.below(4) as u8);
+    }
+    SrcTerm::App(
+        g.below(3) as u8,
+        Box::new(rand_src_term(g, depth - 1)),
+        Box::new(rand_src_term(g, depth - 1)),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CLAIM2_CASES: usize = 128;
 
-    /// Claim 2 (§5.1), soundness direction: commutativity-equal source
-    /// terms have structurally equal images.
-    #[test]
-    fn claim2_commutative_sound(t in src_term(), flips in proptest::collection::vec(any::<bool>(), 16)) {
-        let vocab = Vocab::standard();
+/// Claim 2 (§5.1), soundness direction: commutativity-equal source
+/// terms have structurally equal images.
+#[test]
+fn claim2_commutative_sound() {
+    let mut g = SplitMix64::new(0xF001);
+    let vocab = Vocab::standard();
+    for _ in 0..CLAIM2_CASES {
+        let t = rand_src_term(&mut g, 3);
+        let flips: Vec<bool> = (0..16).map(|_| g.ratio(1, 2)).collect();
         let mut enc = UnaryEncoder::new(EncodeMode::Commutative);
         let swapped = t.swapped(&mut flips.into_iter());
         let m1 = enc.encode_term(&t.to_term(&vocab));
         let m2 = enc.encode_term(&swapped.to_term(&vocab));
-        prop_assert_eq!(m1, m2);
+        assert_eq!(m1, m2, "t={t:?}");
     }
+}
 
-    /// Claim 2 (§5.1), injectivity direction: distinct source terms
-    /// (modulo commutativity) have distinct images.
-    #[test]
-    fn claim2_commutative_injective(a in src_term(), b in src_term()) {
-        let vocab = Vocab::standard();
+/// Claim 2 (§5.1), injectivity direction: distinct source terms
+/// (modulo commutativity) have distinct images.
+#[test]
+fn claim2_commutative_injective() {
+    let mut g = SplitMix64::new(0xF002);
+    let vocab = Vocab::standard();
+    for _ in 0..CLAIM2_CASES {
+        let a = rand_src_term(&mut g, 3);
+        let b = rand_src_term(&mut g, 3);
         let mut enc = UnaryEncoder::new(EncodeMode::Commutative);
         let ma = enc.encode_term(&a.to_term(&vocab));
         let mb = enc.encode_term(&b.to_term(&vocab));
-        prop_assert_eq!(a.comm_eq(&b), ma == mb, "a={:?} b={:?}", a, b);
+        assert_eq!(a.comm_eq(&b), ma == mb, "a={a:?} b={b:?}");
     }
+}
 
-    /// Claim 2 (§5.2): the multi-arity encoding is injective on syntax.
-    #[test]
-    fn claim2_multiarity_injective(a in src_term(), b in src_term()) {
-        let vocab = Vocab::standard();
+/// Claim 2 (§5.2): the multi-arity encoding is injective on syntax.
+#[test]
+fn claim2_multiarity_injective() {
+    let mut g = SplitMix64::new(0xF003);
+    let vocab = Vocab::standard();
+    for _ in 0..CLAIM2_CASES {
+        let a = rand_src_term(&mut g, 3);
+        let b = rand_src_term(&mut g, 3);
         let mut enc = UnaryEncoder::new(EncodeMode::MultiArity);
         let (ta, tb) = (a.to_term(&vocab), b.to_term(&vocab));
         let ma = enc.encode_term(&ta);
         let mb = enc.encode_term(&tb);
-        prop_assert_eq!(ta == tb, ma == mb);
+        assert_eq!(ta == tb, ma == mb, "a={a:?} b={b:?}");
     }
 }

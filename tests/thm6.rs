@@ -94,5 +94,5 @@ fn nested_loops_converge() {
     let product = LogicalProduct::new(AffineEq::new(), UfDomain::new());
     let analysis = Analyzer::new(&product).run(&p);
     assert!(!analysis.diverged);
-    assert_eq!(analysis.loop_iterations.len() >= 2, true);
+    assert!(analysis.loop_iterations.len() >= 2);
 }

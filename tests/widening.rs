@@ -32,7 +32,12 @@ fn combined_widening_terminates_unbounded_loop() {
     let got: Vec<bool> = analysis.assertions.iter().map(|a| a.verified).collect();
     // The exit condition gives x >= 1000; the mixed invariant y = F(x)
     // survives both the widening and the join.
-    assert_eq!(got, [true, true], "iterations: {:?}", analysis.loop_iterations);
+    assert_eq!(
+        got,
+        [true, true],
+        "iterations: {:?}",
+        analysis.loop_iterations
+    );
 }
 
 #[test]
