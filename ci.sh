@@ -27,4 +27,10 @@ cargo build --release --offline
 echo "== test =="
 cargo test -q --workspace --offline
 
+echo "== driver tests (release) =="
+cargo test -q -p cai-driver --release --offline
+
+echo "== driver_eval smoke =="
+cargo run --release -p cai-bench --bin driver_eval --offline -- --smoke
+
 echo "CI OK"

@@ -1,0 +1,147 @@
+//! Benchmarks the interprocedural driver (`cai-driver`): parallel
+//! speedup over independent procedures and warm-cache incremental
+//! re-analysis.
+//!
+//! ```sh
+//! cargo run --release -p cai-bench --bin driver_eval                    # defaults
+//! cargo run --release -p cai-bench --bin driver_eval -- --procs 64 --threads 8
+//! cargo run --release -p cai-bench --bin driver_eval -- --smoke         # quick CI check
+//! ```
+
+use cai_core::{Budget, LogicalProduct};
+use cai_driver::{Driver, ModuleAnalysis, SummaryCache};
+use cai_interp::{parse_module, Module};
+use cai_linarith::AffineEq;
+use cai_term::parse::Vocab;
+use cai_uf::UfDomain;
+use std::time::Instant;
+
+type Product = LogicalProduct<AffineEq, UfDomain>;
+
+fn product_driver() -> Driver<Product, impl Fn(&Budget) -> Product + Sync> {
+    Driver::new(|_: &Budget| LogicalProduct::new(AffineEq::new(), UfDomain::new()))
+}
+
+/// A batch of `n` independent procedures, each with a loop and alien
+/// (mixed-theory) terms so the per-procedure fixpoint does real work.
+/// `p0_variant` perturbs only the first procedure's constant, modelling
+/// a single-procedure edit.
+fn batch_module(n: usize, p0_variant: usize) -> Module {
+    let mut src = String::new();
+    for i in 0..n {
+        let k = if i == 0 { 7 + p0_variant } else { i % 7 };
+        src.push_str(&format!(
+            "proc p{i}(a) {{
+                 x := a + {k};
+                 y := F(x);
+                 z := F(y - 1);
+                 while (*) {{
+                     x := x + 1;
+                     y := F(x);
+                     z := z + 2;
+                 }}
+                 assert(y = F(x));
+                 ret := x;
+             }}\n"
+        ));
+    }
+    parse_module(&Vocab::standard(), &src).expect("generated module parses")
+}
+
+fn time_ms(mut f: impl FnMut() -> ModuleAnalysis) -> (f64, ModuleAnalysis) {
+    let t = Instant::now();
+    let a = f();
+    (t.elapsed().as_secs_f64() * 1e3, a)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |name: &str, default: usize| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let procs = flag_value("--procs", if smoke { 32 } else { 64 });
+    let threads = flag_value("--threads", 4);
+    let reps = if smoke { 1 } else { 3 };
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("driver_eval: {procs} independent procedures, {threads} threads, {cpus} CPU(s)");
+    let m = batch_module(procs, 0);
+
+    // --- parallel speedup -------------------------------------------------
+    let best = |t: usize| {
+        (0..reps)
+            .map(|_| time_ms(|| product_driver().threads(t).analyze(&m)).0)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let t_seq = best(1);
+    let t_par = best(threads);
+    let speedup = t_seq / t_par;
+    println!("  1 thread : {t_seq:>8.1} ms");
+    println!("  {threads} threads: {t_par:>8.1} ms   (speedup {speedup:.2}x)");
+
+    // Determinism check rides along: the parallel schedule must produce
+    // bit-identical summaries and verdicts.
+    let seq = product_driver().threads(1).analyze(&m);
+    let par = product_driver().threads(threads).analyze(&m);
+    let identical = seq.reports.iter().zip(par.reports.iter()).all(|(a, b)| {
+        a.summary == b.summary
+            && a.summary.to_string() == b.summary.to_string()
+            && a.assertions.iter().map(|o| o.verified).collect::<Vec<_>>()
+                == b.assertions.iter().map(|o| o.verified).collect::<Vec<_>>()
+    });
+    println!(
+        "  determinism (1 vs {threads} threads): {}",
+        if identical { "identical" } else { "MISMATCH" }
+    );
+
+    // --- warm-cache incremental re-analysis -------------------------------
+    let driver = product_driver().threads(threads);
+    let mut cache = SummaryCache::new();
+    let (t_cold, cold) = time_ms(|| driver.analyze_with_cache(&m, &mut cache));
+    let (t_warm, warm) = time_ms(|| driver.analyze_with_cache(&m, &mut cache));
+    println!(
+        "  cold cache: {t_cold:>8.1} ms   {{reused: {}, recomputed: {}}}",
+        cold.reused, cold.recomputed
+    );
+    println!(
+        "  warm cache: {t_warm:>8.1} ms   {{reused: {}, recomputed: {}}}   (speedup {:.1}x)",
+        warm.reused,
+        warm.recomputed,
+        t_cold / t_warm.max(1e-6)
+    );
+
+    // Edit one procedure: only its dirty cone (here, itself) recomputes.
+    let edited = batch_module(procs, 1);
+    let (t_edit, inc) = time_ms(|| driver.analyze_with_cache(&edited, &mut cache));
+    println!(
+        "  edit one procedure: {t_edit:>8.1} ms   {{reused: {}, recomputed: {}}}",
+        inc.reused, inc.recomputed
+    );
+
+    if smoke {
+        assert!(identical, "parallel schedule must be deterministic");
+        if cpus >= threads {
+            assert!(
+                speedup >= 1.5,
+                "expected >=1.5x speedup with {threads} threads on {cpus} CPUs, got {speedup:.2}x"
+            );
+        } else {
+            println!("  (only {cpus} CPU(s) — wall-clock speedup not measurable here)");
+        }
+        assert_eq!(warm.recomputed, 0, "warm cache must reuse everything");
+        assert_eq!(warm.reused, procs);
+        assert_eq!(
+            (inc.reused, inc.recomputed),
+            (procs - 1, 1),
+            "a one-procedure edit must recompute exactly that procedure"
+        );
+        println!("driver_eval smoke OK");
+    }
+}

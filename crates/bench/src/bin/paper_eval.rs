@@ -7,20 +7,38 @@
 //! ```
 //!
 //! Items: fig1 fig2 fig3 fig4 fig6 fig7 fig8 thm6 sec5 complexity compare
+//!
+//! `--deadline-ms N` runs the whole fig1 family under a wall-clock
+//! [`Budget`] and prints the resulting `DegradationReport` — the
+//! anytime-analysis preset.
 
 use cai_bench::{fig1_family, thm6_family, ConjGen, FIG1, FIG4, FIG8};
 use cai_core::reduce::{EncodeMode, UnaryEncoder};
-use cai_core::{no_saturate, AbstractDomain, LogicalProduct, Precision, ReducedProduct};
+use cai_core::{no_saturate, AbstractDomain, Budget, LogicalProduct, Precision, ReducedProduct};
 use cai_interp::{herbrand_view, parse_program, Analyzer, Program};
 use cai_linarith::{AffineEq, Polyhedra};
 use cai_numeric::{ParityDomain, SignDomain};
 use cai_term::parse::Vocab;
 use cai_term::{alien_terms, purify, Sig, TheoryTag, Var, VarSet};
 use cai_uf::UfDomain;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--deadline-ms") {
+        let ms = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--deadline-ms needs a millisecond count");
+                std::process::exit(2);
+            });
+        args.drain(i..=i + 1);
+        deadline(ms);
+        if args.is_empty() {
+            return;
+        }
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
@@ -56,6 +74,60 @@ fn main() {
     }
     if want("compare") {
         compare();
+    }
+}
+
+/// Anytime preset: analyze the fig1 family under a wall-clock budget.
+/// Every domain transformer sees the same deadline, so whichever loop is
+/// mid-flight when it passes degrades (soundly, toward ⊤) instead of
+/// running to convergence; the report says exactly where precision went.
+fn deadline(ms: u64) {
+    header(&format!(
+        "--deadline-ms {ms} — anytime analysis under a wall-clock budget"
+    ));
+    let budget = Budget::deadline(Duration::from_millis(ms));
+    let vocab = Vocab::standard();
+    for k in 1..=8usize {
+        let p = parse_program(&vocab, &fig1_family(k)).expect("family parses");
+        let d = LogicalProduct::new(AffineEq::new(), UfDomain::new());
+        let analysis = Analyzer::new(&d).with_budget(budget.clone()).run(&p);
+        let ok = analysis.assertions.iter().filter(|a| a.verified).count();
+        println!(
+            "k={k}: {ok}/{} verified{}",
+            analysis.assertions.len(),
+            if analysis.diverged { " (diverged)" } else { "" }
+        );
+        if budget.is_exhausted() {
+            println!("deadline passed during k={k}; stopping the sweep");
+            break;
+        }
+    }
+    // The budgeted saturation domains share the same wall clock.
+    let d = LogicalProduct::new(
+        ParityDomain::new().with_budget(budget.clone()),
+        SignDomain::new().with_budget(budget.clone()),
+    );
+    let p = parse_program(&vocab, FIG8).expect("figure 8 parses");
+    let analysis = Analyzer::new(&d).with_budget(budget.clone()).run(&p);
+    println!(
+        "fig8 under the same budget: {}/{} verified",
+        analysis.assertions.iter().filter(|a| a.verified).count(),
+        analysis.assertions.len()
+    );
+
+    let report = budget.report();
+    println!("degradation report:");
+    println!("  degraded : {}", report.degraded);
+    println!("  exhausted: {}", report.exhausted);
+    println!("  fuel     : {} ticks spent", report.fuel_spent);
+    for ev in &report.events {
+        println!("  event    : [{}] {}", ev.site, ev.detail);
+    }
+    if report.dropped_events > 0 {
+        println!("  (+{} events dropped)", report.dropped_events);
+    }
+    if report.events.is_empty() {
+        println!("  (no degradation events — the deadline was generous)");
     }
 }
 

@@ -107,6 +107,26 @@ pub struct DegradationReport {
     pub dropped_events: usize,
 }
 
+impl DegradationReport {
+    /// Folds another report into this one (used when merging the
+    /// per-worker budget slices of a parallel analysis): flags are OR-ed,
+    /// fuel adds up, and events concatenate up to the storage cap (the
+    /// rest only bump [`dropped_events`](DegradationReport::dropped_events)).
+    pub fn merge(&mut self, other: &DegradationReport) {
+        self.degraded |= other.degraded;
+        self.exhausted |= other.exhausted;
+        self.fuel_spent += other.fuel_spent;
+        for ev in &other.events {
+            if self.events.len() < MAX_EVENTS {
+                self.events.push(ev.clone());
+            } else {
+                self.dropped_events += 1;
+            }
+        }
+        self.dropped_events += other.dropped_events;
+    }
+}
+
 #[derive(Debug, Default)]
 struct Log {
     events: Vec<Degradation>,
@@ -136,12 +156,16 @@ pub struct Budget {
 
 impl Budget {
     fn build(fuel: Option<u64>, deadline: Option<Duration>) -> Budget {
+        Budget::build_at(fuel, deadline.map(|d| Instant::now() + d), false)
+    }
+
+    fn build_at(fuel: Option<u64>, deadline: Option<Instant>, exhausted: bool) -> Budget {
         Budget {
             inner: Arc::new(BudgetInner {
                 fuel_left: fuel.map(AtomicU64::new),
                 spent: AtomicU64::new(0),
-                deadline: deadline.map(|d| Instant::now() + d),
-                exhausted: AtomicBool::new(false),
+                deadline,
+                exhausted: AtomicBool::new(exhausted),
                 degraded: AtomicBool::new(false),
                 log: Mutex::new(Log::default()),
             }),
@@ -257,6 +281,37 @@ impl Budget {
         self.inner.degraded.load(Ordering::Relaxed)
     }
 
+    /// Splits the budget into `ways` *independent* slices for
+    /// shared-nothing parallel workers: each slice gets an equal share of
+    /// the fuel remaining right now (the first also gets the remainder),
+    /// its own spent counter and degradation log, and the *same absolute*
+    /// wall-clock deadline, so no worker outlives the parent's deadline.
+    /// An unlimited parent yields unlimited slices; an already-exhausted
+    /// parent yields already-exhausted slices. The parent keeps its own
+    /// counters untouched — merge the slices' [`report`](Budget::report)s
+    /// back with [`DegradationReport::merge`].
+    pub fn split(&self, ways: usize) -> Vec<Budget> {
+        let remaining = self
+            .inner
+            .fuel_left
+            .as_ref()
+            .map(|l| l.load(Ordering::Relaxed));
+        let exhausted = self.is_exhausted();
+        (0..ways)
+            .map(|i| {
+                let share = remaining.map(|r| {
+                    let each = r / ways as u64;
+                    if i == 0 {
+                        each + r % ways as u64
+                    } else {
+                        each
+                    }
+                });
+                Budget::build_at(share, self.inner.deadline, exhausted)
+            })
+            .collect()
+    }
+
     /// A snapshot of everything observed so far.
     pub fn report(&self) -> DegradationReport {
         let log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
@@ -327,6 +382,62 @@ mod tests {
         assert!(r.degraded);
         assert_eq!(r.events.len(), MAX_EVENTS);
         assert_eq!(r.dropped_events, 10);
+    }
+
+    #[test]
+    fn split_divides_remaining_fuel_independently() {
+        let parent = Budget::fuel(10);
+        assert!(parent.tick(3)); // 7 remaining
+        let kids = parent.split(3);
+        assert_eq!(kids.len(), 3);
+        // Shares: 3 (2 + remainder 1), 2, 2 — and they are independent.
+        assert!(kids[0].tick(3) && !kids[0].tick(1));
+        assert!(kids[1].tick(2) && !kids[1].tick(1));
+        assert!(kids[2].tick(2) && !kids[2].tick(1));
+        assert!(!parent.is_exhausted(), "children don't drain the parent");
+    }
+
+    #[test]
+    fn split_of_unlimited_is_unlimited() {
+        let kids = Budget::unlimited().split(2);
+        for k in &kids {
+            assert!(k.tick(1_000_000));
+            assert!(!k.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn split_of_exhausted_is_exhausted() {
+        let parent = Budget::fuel(1);
+        parent.exhaust();
+        for k in parent.split(4) {
+            assert!(k.is_exhausted());
+            assert!(!k.tick(1));
+        }
+    }
+
+    #[test]
+    fn split_shares_absolute_deadline() {
+        let parent = Budget::deadline(Duration::ZERO);
+        for k in parent.split(2) {
+            assert!(k.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn reports_merge() {
+        let a = Budget::fuel(2);
+        let b = Budget::fuel(1);
+        assert!(a.tick(1));
+        assert!(!b.tick(2));
+        b.degrade("test/b", "gave up");
+        let mut merged = a.report();
+        merged.merge(&b.report());
+        assert!(merged.degraded);
+        assert!(merged.exhausted);
+        assert_eq!(merged.fuel_spent, 3);
+        assert_eq!(merged.events.len(), 1);
+        assert_eq!(merged.dropped_events, 0);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! The call graph of a [`Module`] and its strongly-connected-component
+//! condensation, in the callee-first order the summary engine schedules.
+
+use cai_interp::Module;
+use std::collections::BTreeSet;
+
+/// The call graph of a module, condensed into strongly connected
+/// components (SCCs).
+///
+/// Procedures are identified by their index in [`Module::procs`]. The
+/// [`sccs`](CallGraph::sccs) vector lists components in **reverse
+/// topological order** of the condensation — every component appears
+/// after all components it calls into — which is exactly the order a
+/// summary-based engine must process them (callees before callers).
+/// Calls to names the module does not define are ignored here (the
+/// analyzer havocs them).
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    /// The components, callee-first. Each component lists member
+    /// procedure indices in module declaration order.
+    pub sccs: Vec<Vec<usize>>,
+    /// For each procedure index, the index of its component in
+    /// [`sccs`](CallGraph::sccs).
+    pub scc_of: Vec<usize>,
+    /// For each component, the set of *other* components it calls into
+    /// (self-loops, i.e. recursion, are not listed).
+    pub deps: Vec<BTreeSet<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the condensed call graph of `module`.
+    pub fn build(module: &Module) -> CallGraph {
+        let n = module.procs.len();
+        let succs: Vec<Vec<usize>> = module
+            .procs
+            .iter()
+            .map(|p| {
+                p.callees()
+                    .iter()
+                    .filter_map(|name| module.index_of(name))
+                    .collect()
+            })
+            .collect();
+
+        let mut t = Tarjan {
+            succs: &succs,
+            index: vec![usize::MAX; n],
+            low: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            next_index: 0,
+            sccs: Vec::new(),
+        };
+        for v in 0..n {
+            if t.index[v] == usize::MAX {
+                t.strongconnect(v);
+            }
+        }
+        // Tarjan emits components in reverse topological order already.
+        let mut sccs = t.sccs;
+        for members in &mut sccs {
+            members.sort_unstable();
+        }
+        let mut scc_of = vec![0usize; n];
+        for (c, members) in sccs.iter().enumerate() {
+            for &v in members {
+                scc_of[v] = c;
+            }
+        }
+        let mut deps: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); sccs.len()];
+        for (v, outs) in succs.iter().enumerate() {
+            for &w in outs {
+                if scc_of[v] != scc_of[w] {
+                    deps[scc_of[v]].insert(scc_of[w]);
+                }
+            }
+        }
+        CallGraph { sccs, scc_of, deps }
+    }
+
+    /// Whether component `c` is recursive: more than one member, or a
+    /// single member that calls itself.
+    pub fn is_recursive(&self, c: usize, module: &Module) -> bool {
+        let members = &self.sccs[c];
+        if members.len() > 1 {
+            return true;
+        }
+        let p = &module.procs[members[0]];
+        p.callees().iter().any(|name| name == &p.name)
+    }
+}
+
+struct Tarjan<'a> {
+    succs: &'a [Vec<usize>],
+    index: Vec<usize>,
+    low: Vec<usize>,
+    on_stack: Vec<bool>,
+    stack: Vec<usize>,
+    next_index: usize,
+    sccs: Vec<Vec<usize>>,
+}
+
+impl Tarjan<'_> {
+    fn strongconnect(&mut self, v: usize) {
+        self.index[v] = self.next_index;
+        self.low[v] = self.next_index;
+        self.next_index += 1;
+        self.stack.push(v);
+        self.on_stack[v] = true;
+        for i in 0..self.succs[v].len() {
+            let w = self.succs[v][i];
+            if self.index[w] == usize::MAX {
+                self.strongconnect(w);
+                self.low[v] = self.low[v].min(self.low[w]);
+            } else if self.on_stack[w] {
+                self.low[v] = self.low[v].min(self.index[w]);
+            }
+        }
+        if self.low[v] == self.index[v] {
+            let mut comp = Vec::new();
+            while let Some(w) = self.stack.pop() {
+                self.on_stack[w] = false;
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            self.sccs.push(comp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cai_interp::parse_module;
+    use cai_term::parse::Vocab;
+
+    fn graph(src: &str) -> (Module, CallGraph) {
+        let m = parse_module(&Vocab::standard(), src).expect("module parses");
+        let g = CallGraph::build(&m);
+        (m, g)
+    }
+
+    #[test]
+    fn chain_is_callee_first() {
+        let (m, g) = graph(
+            "proc a(x) { r := call b(x); ret := r; }
+             proc b(x) { r := call c(x); ret := r; }
+             proc c(x) { ret := x; }",
+        );
+        assert_eq!(g.sccs.len(), 3);
+        // c before b before a.
+        let pos = |name: &str| {
+            let i = m.index_of(name).unwrap();
+            g.sccs.iter().position(|s| s.contains(&i)).unwrap()
+        };
+        assert!(pos("c") < pos("b"));
+        assert!(pos("b") < pos("a"));
+        assert!(!g.is_recursive(g.scc_of[m.index_of("a").unwrap()], &m));
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_component() {
+        let (m, g) = graph(
+            "proc even(n) { r := call odd(n - 1); ret := r; }
+             proc odd(n) { r := call even(n - 1); ret := r; }
+             proc leaf(n) { ret := n; }",
+        );
+        assert_eq!(g.sccs.len(), 2);
+        let e = m.index_of("even").unwrap();
+        let o = m.index_of("odd").unwrap();
+        assert_eq!(g.scc_of[e], g.scc_of[o]);
+        assert!(g.is_recursive(g.scc_of[e], &m));
+        let l = g.scc_of[m.index_of("leaf").unwrap()];
+        assert!(!g.is_recursive(l, &m));
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let (m, g) = graph("proc f(n) { r := call f(n); ret := r; }");
+        assert!(g.is_recursive(g.scc_of[m.index_of("f").unwrap()], &m));
+    }
+
+    #[test]
+    fn unknown_callees_ignored() {
+        let (_, g) = graph("proc f(n) { r := call mystery(n); ret := r; }");
+        assert_eq!(g.sccs.len(), 1);
+        assert!(g.deps[0].is_empty());
+    }
+}

@@ -1,0 +1,637 @@
+//! The batch engine: callee-first summary computation over the call
+//! graph, a shared-nothing worker pool for independent components, and
+//! the fingerprint-keyed incremental cache.
+
+use crate::callgraph::CallGraph;
+use crate::summary::{member_fingerprint, scc_fingerprint, summarize, Summary, SummaryResolver};
+use cai_core::{AbstractDomain, Budget, DegradationReport};
+use cai_interp::{Analyzer, AssertionOutcome, Module, Procedure};
+use std::collections::{BTreeMap, VecDeque};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+
+/// The per-procedure result of a batch analysis.
+#[derive(Clone, Debug)]
+pub struct ProcReport {
+    /// The procedure name.
+    pub name: String,
+    /// Its computed (or cache-reused) summary.
+    pub summary: Summary,
+    /// Assertion verdicts inside the body, in program order, checked
+    /// under the final summaries of every callee.
+    pub assertions: Vec<AssertionOutcome>,
+    /// Whether any loop fixpoint inside the body — or the summary
+    /// fixpoint of the procedure's recursive component — failed to
+    /// stabilize and was forced to a sound over-approximation.
+    pub diverged: bool,
+}
+
+/// The result of analyzing a [`Module`].
+#[derive(Clone, Debug)]
+pub struct ModuleAnalysis {
+    /// One report per procedure, in module declaration order.
+    pub reports: Vec<ProcReport>,
+    /// Procedures whose cached summary was reused (fingerprint match).
+    pub reused: usize,
+    /// Procedures (re)analyzed this run.
+    pub recomputed: usize,
+    /// The merged degradation report: the driver's own budget plus every
+    /// worker slice.
+    pub degradation: DegradationReport,
+}
+
+impl ModuleAnalysis {
+    /// The report for a procedure, by name.
+    pub fn report(&self, name: &str) -> Option<&ProcReport> {
+        self.reports.iter().find(|r| r.name == name)
+    }
+
+    /// Total verified assertions across all procedures.
+    pub fn verified_count(&self) -> usize {
+        self.reports
+            .iter()
+            .map(|r| r.assertions.iter().filter(|a| a.verified).count())
+            .sum()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    fingerprint: u64,
+    report: ProcReport,
+}
+
+/// The incremental cache: per-procedure summaries keyed by a stable
+/// fingerprint of the procedure's text and its transitive callee cone
+/// (see [`scc_fingerprint`]). Feed the same cache back into
+/// [`Driver::analyze_with_cache`] after editing a module and only the
+/// dirty cone — the edited procedures and everything that transitively
+/// calls them — is re-analyzed.
+#[derive(Clone, Debug, Default)]
+pub struct SummaryCache {
+    entries: BTreeMap<String, CacheEntry>,
+}
+
+impl SummaryCache {
+    /// An empty cache.
+    pub fn new() -> SummaryCache {
+        SummaryCache::default()
+    }
+
+    /// The number of cached procedures.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SolveCfg {
+    widen_delay: usize,
+    max_iterations: usize,
+    summary_widen_delay: usize,
+    summary_rounds: usize,
+}
+
+/// One unit of work for a worker: a strongly connected component plus a
+/// snapshot of its external callees' (already final) summaries.
+struct Job {
+    scc: usize,
+    members: Vec<usize>,
+    external: BTreeMap<String, Summary>,
+    recursive: bool,
+}
+
+/// The interprocedural batch driver.
+///
+/// Built around a *domain factory* rather than a domain: every worker
+/// thread constructs its own domain instance (and receives its own
+/// [`Budget`] slice), so no abstract-domain state is ever shared between
+/// threads — the only values crossing thread boundaries are immutable
+/// [`Summary`] snapshots and finished [`ProcReport`]s.
+///
+/// ```
+/// use cai_driver::Driver;
+/// use cai_interp::parse_module;
+/// use cai_linarith::AffineEq;
+/// use cai_term::parse::Vocab;
+///
+/// let m = parse_module(
+///     &Vocab::standard(),
+///     "proc inc(a) { ret := a + 1; }
+///      proc two(b) { x := call inc(b); y := call inc(x); ret := y; assert(ret = b + 2); }",
+/// )?;
+/// let analysis = Driver::new(|_| AffineEq::new()).analyze(&m);
+/// assert_eq!(analysis.verified_count(), 1);
+/// # Ok::<(), cai_interp::ProgramParseError>(())
+/// ```
+pub struct Driver<D, F>
+where
+    D: AbstractDomain,
+    F: Fn(&Budget) -> D + Sync,
+{
+    factory: F,
+    threads: usize,
+    widen_delay: usize,
+    max_iterations: usize,
+    summary_widen_delay: usize,
+    summary_rounds: usize,
+    budget: Budget,
+    _domain: PhantomData<fn() -> D>,
+}
+
+impl<D, F> Driver<D, F>
+where
+    D: AbstractDomain,
+    F: Fn(&Budget) -> D + Sync,
+{
+    /// Creates a driver from a domain factory. The factory is called once
+    /// per worker job with that worker's budget slice, so budget-aware
+    /// domains (e.g. `Polyhedra::with_budget`) can wire it in; factories
+    /// for unbudgeted domains just ignore the argument.
+    pub fn new(factory: F) -> Driver<D, F> {
+        Driver {
+            factory,
+            threads: 1,
+            widen_delay: 4,
+            max_iterations: 60,
+            summary_widen_delay: 2,
+            summary_rounds: 30,
+            budget: Budget::unlimited(),
+            _domain: PhantomData,
+        }
+    }
+
+    /// Sets the worker-thread count (minimum 1). With an *unlimited*
+    /// budget the analysis result is identical for every thread count;
+    /// under a finite budget the per-worker fuel slices differ, so
+    /// degradation (never soundness) may vary.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Sets the intra-procedure widening delay (see
+    /// [`Analyzer::widen_delay`]).
+    pub fn widen_delay(mut self, rounds: usize) -> Self {
+        self.widen_delay = rounds;
+        self
+    }
+
+    /// Sets the intra-procedure loop iteration cap.
+    pub fn max_iterations(mut self, cap: usize) -> Self {
+        self.max_iterations = cap;
+        self
+    }
+
+    /// Sets the cap on summary-fixpoint rounds for a recursive component
+    /// before every member summary is forced to ⊤ (sound, reported via
+    /// [`ProcReport::diverged`]).
+    pub fn summary_rounds(mut self, cap: usize) -> Self {
+        self.summary_rounds = cap.max(1);
+        self
+    }
+
+    /// Governs the whole batch by `budget`: split across workers when
+    /// parallel, threaded into every analyzer, and handed to the domain
+    /// factory.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Analyzes every procedure of `module` from scratch.
+    pub fn analyze(&self, module: &Module) -> ModuleAnalysis {
+        let mut cache = SummaryCache::new();
+        self.analyze_with_cache(module, &mut cache)
+    }
+
+    /// Analyzes `module`, reusing `cache` entries whose fingerprints
+    /// still match and refreshing the cache with this run's results.
+    /// Entries for procedures no longer in the module are pruned.
+    pub fn analyze_with_cache(&self, module: &Module, cache: &mut SummaryCache) -> ModuleAnalysis {
+        let graph = CallGraph::build(module);
+        let n_sccs = graph.sccs.len();
+
+        // Fingerprints, callee-first, so every component sees its
+        // external callees' fingerprints already computed.
+        let mut proc_fps: BTreeMap<String, u64> = BTreeMap::new();
+        for members in &graph.sccs {
+            let procs: Vec<&Procedure> = members.iter().map(|&i| &module.procs[i]).collect();
+            let fp = scc_fingerprint(&procs, &proc_fps);
+            for p in &procs {
+                proc_fps.insert(p.name.clone(), member_fingerprint(fp, &p.name));
+            }
+        }
+
+        // Decide reuse per component: every member must have a cache
+        // entry whose fingerprint still matches.
+        let mut reuse = vec![false; n_sccs];
+        for (c, members) in graph.sccs.iter().enumerate() {
+            reuse[c] = members.iter().all(|&i| {
+                let p = &module.procs[i];
+                cache
+                    .entries
+                    .get(&p.name)
+                    .is_some_and(|e| Some(&e.fingerprint) == proc_fps.get(&p.name))
+            });
+        }
+
+        // Seed the summary table and reports with the reused entries.
+        let mut summaries: BTreeMap<String, Summary> = BTreeMap::new();
+        let mut reports: BTreeMap<String, ProcReport> = BTreeMap::new();
+        let mut reused = 0usize;
+        for (c, members) in graph.sccs.iter().enumerate() {
+            if !reuse[c] {
+                continue;
+            }
+            for &i in members {
+                let name = &module.procs[i].name;
+                if let Some(e) = cache.entries.get(name) {
+                    summaries.insert(name.clone(), e.report.summary.clone());
+                    reports.insert(name.clone(), e.report.clone());
+                    reused += 1;
+                }
+            }
+        }
+
+        // Schedule the components that need (re)computation.
+        let todo: Vec<usize> = (0..n_sccs).filter(|&c| !reuse[c]).collect();
+        let recomputed: usize = todo.iter().map(|&c| graph.sccs[c].len()).sum();
+        let cfg = SolveCfg {
+            widen_delay: self.widen_delay,
+            max_iterations: self.max_iterations,
+            summary_widen_delay: self.summary_widen_delay,
+            summary_rounds: self.summary_rounds,
+        };
+        let mut degradation = if self.threads <= 1 || todo.len() <= 1 {
+            self.run_sequential(module, &graph, &todo, cfg, &mut summaries, &mut reports)
+        } else {
+            self.run_parallel(module, &graph, &todo, cfg, &mut summaries, &mut reports)
+        };
+        degradation.merge(&self.budget.report());
+
+        // Refresh the cache: exactly the current module's procedures.
+        cache.entries = module
+            .procs
+            .iter()
+            .filter_map(|p| {
+                let fingerprint = proc_fps.get(&p.name).copied()?;
+                let report = reports.get(&p.name)?.clone();
+                Some((
+                    p.name.clone(),
+                    CacheEntry {
+                        fingerprint,
+                        report,
+                    },
+                ))
+            })
+            .collect();
+
+        let ordered: Vec<ProcReport> = module
+            .procs
+            .iter()
+            .filter_map(|p| reports.remove(&p.name))
+            .collect();
+        ModuleAnalysis {
+            reports: ordered,
+            reused,
+            recomputed,
+            degradation,
+        }
+    }
+
+    fn run_sequential(
+        &self,
+        module: &Module,
+        graph: &CallGraph,
+        todo: &[usize],
+        cfg: SolveCfg,
+        summaries: &mut BTreeMap<String, Summary>,
+        reports: &mut BTreeMap<String, ProcReport>,
+    ) -> DegradationReport {
+        let domain = (self.factory)(&self.budget);
+        for &c in todo {
+            let members = &graph.sccs[c];
+            let external = external_snapshot(module, members, summaries);
+            let out = solve_scc(
+                &domain,
+                module,
+                members,
+                &external,
+                graph.is_recursive(c, module),
+                cfg,
+                &self.budget,
+            );
+            for r in out {
+                summaries.insert(r.name.clone(), r.summary.clone());
+                reports.insert(r.name.clone(), r);
+            }
+        }
+        DegradationReport::default()
+    }
+
+    /// The shared-nothing worklist: the main thread owns the summary
+    /// table and the condensation's dependency counts; workers own a
+    /// domain instance and a budget slice each. Jobs (component + an
+    /// immutable snapshot of its external callees' summaries) flow out
+    /// through a mutex-guarded queue, finished reports flow back over a
+    /// channel, and completions unlock dependent components.
+    fn run_parallel(
+        &self,
+        module: &Module,
+        graph: &CallGraph,
+        todo: &[usize],
+        cfg: SolveCfg,
+        summaries: &mut BTreeMap<String, Summary>,
+        reports: &mut BTreeMap<String, ProcReport>,
+    ) -> DegradationReport {
+        let workers = self.threads.min(todo.len()).max(1);
+        let slices = self.budget.split(workers);
+
+        // Dependency counts among the to-be-computed components only;
+        // reused dependencies are already in the summary table.
+        let todo_set: Vec<bool> = {
+            let mut v = vec![false; graph.sccs.len()];
+            for &c in todo {
+                v[c] = true;
+            }
+            v
+        };
+        let mut indegree: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut dependents: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &c in todo {
+            let pending = graph.deps[c].iter().filter(|&&d| todo_set[d]).count();
+            indegree.insert(c, pending);
+            for &d in &graph.deps[c] {
+                if todo_set[d] {
+                    dependents.entry(d).or_default().push(c);
+                }
+            }
+        }
+
+        let queue: Mutex<VecDeque<Job>> = Mutex::new(VecDeque::new());
+        let ready = Condvar::new();
+        let done = AtomicBool::new(false);
+        let (result_tx, result_rx) = mpsc::channel::<(usize, Vec<ProcReport>)>();
+
+        let push_job = |c: usize, summaries: &BTreeMap<String, Summary>| {
+            let members = graph.sccs[c].clone();
+            let external = external_snapshot(module, &members, summaries);
+            let job = Job {
+                scc: c,
+                members,
+                external,
+                recursive: graph.is_recursive(c, module),
+            };
+            queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(job);
+            ready.notify_one();
+        };
+
+        std::thread::scope(|s| {
+            for slice in slices.iter().take(workers) {
+                let tx = result_tx.clone();
+                let queue = &queue;
+                let ready = &ready;
+                let done = &done;
+                let factory = &self.factory;
+                let slice = slice.clone();
+                s.spawn(move || loop {
+                    let job = {
+                        let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                        loop {
+                            if let Some(job) = q.pop_front() {
+                                break job;
+                            }
+                            if done.load(Ordering::Acquire) {
+                                return;
+                            }
+                            q = ready.wait(q).unwrap_or_else(|e| e.into_inner());
+                        }
+                    };
+                    let domain = factory(&slice);
+                    let out = solve_scc(
+                        &domain,
+                        module,
+                        &job.members,
+                        &job.external,
+                        job.recursive,
+                        cfg,
+                        &slice,
+                    );
+                    if tx.send((job.scc, out)).is_err() {
+                        return;
+                    }
+                });
+            }
+            drop(result_tx);
+
+            for (&c, &pending) in &indegree {
+                if pending == 0 {
+                    push_job(c, summaries);
+                }
+            }
+            let mut remaining = todo.len();
+            while remaining > 0 {
+                let Ok((c, out)) = result_rx.recv() else {
+                    break; // all workers gone — nothing more will arrive
+                };
+                remaining -= 1;
+                for r in out {
+                    summaries.insert(r.name.clone(), r.summary.clone());
+                    reports.insert(r.name.clone(), r);
+                }
+                if let Some(deps) = dependents.get(&c) {
+                    for &dep in deps {
+                        if let Some(count) = indegree.get_mut(&dep) {
+                            *count -= 1;
+                            if *count == 0 {
+                                push_job(dep, summaries);
+                            }
+                        }
+                    }
+                }
+            }
+            done.store(true, Ordering::Release);
+            ready.notify_all();
+        });
+
+        let mut degradation = DegradationReport::default();
+        for slice in &slices {
+            degradation.merge(&slice.report());
+        }
+        degradation
+    }
+}
+
+/// The summaries of every procedure the component calls outside itself
+/// (only those already present in the table — i.e. already final).
+fn external_snapshot(
+    module: &Module,
+    members: &[usize],
+    summaries: &BTreeMap<String, Summary>,
+) -> BTreeMap<String, Summary> {
+    let mut out = BTreeMap::new();
+    for &i in members {
+        for callee in module.procs[i].callees() {
+            if members.iter().any(|&j| module.procs[j].name == callee) {
+                continue;
+            }
+            if let Some(s) = summaries.get(&callee) {
+                out.insert(callee, s.clone());
+            }
+        }
+    }
+    out
+}
+
+fn summary_le<D: AbstractDomain>(d: &D, a: &Summary, b: &Summary) -> bool {
+    match (&a.exit, &b.exit) {
+        (None, _) => true,
+        (Some(ca), None) => d.is_bottom(&d.from_conj(ca)),
+        (Some(ca), Some(cb)) => d.le(&d.from_conj(ca), &d.from_conj(cb)),
+    }
+}
+
+fn summary_combine<D: AbstractDomain>(d: &D, old: &Summary, new: &Summary, widen: bool) -> Summary {
+    let exit = match (&old.exit, &new.exit) {
+        (None, e) | (e, None) => e.clone(),
+        (Some(ca), Some(cb)) => {
+            let (ea, eb) = (d.from_conj(ca), d.from_conj(cb));
+            let combined = if widen {
+                d.widen(&ea, &eb)
+            } else {
+                d.join(&ea, &eb)
+            };
+            Some(d.to_conj(&combined))
+        }
+    };
+    Summary {
+        params: new.params.clone(),
+        exit,
+    }
+}
+
+/// Solves one strongly connected component: non-recursive components
+/// take a single pass; recursive ones iterate a Jacobi-style summary
+/// fixpoint from optimistic ⊥ summaries — join for the first rounds,
+/// widening after — and force every member to ⊤ (flagging divergence) if
+/// the round cap is hit. A final recording pass under the stable
+/// summaries collects assertion verdicts.
+fn solve_scc<D: AbstractDomain>(
+    d: &D,
+    module: &Module,
+    members: &[usize],
+    external: &BTreeMap<String, Summary>,
+    recursive: bool,
+    cfg: SolveCfg,
+    budget: &Budget,
+) -> Vec<ProcReport> {
+    let run = |proc: &Procedure, table: &BTreeMap<String, Summary>| {
+        let resolver = SummaryResolver::new(table);
+        let analyzer = Analyzer::new(d)
+            .with_calls(&resolver)
+            .with_budget(budget.clone())
+            .widen_delay(cfg.widen_delay)
+            .max_iterations(cfg.max_iterations);
+        analyzer.run(&proc.body)
+    };
+
+    let mut table = external.clone();
+    let mut scc_diverged = false;
+
+    if !recursive {
+        // Callees are all external and final: one pass suffices.
+        let mut out = Vec::with_capacity(members.len());
+        for &i in members {
+            let proc = &module.procs[i];
+            let analysis = run(proc, &table);
+            let summary = summarize(d, &analysis.exit, proc);
+            out.push(ProcReport {
+                name: proc.name.clone(),
+                summary,
+                assertions: analysis.assertions,
+                diverged: analysis.diverged,
+            });
+        }
+        return out;
+    }
+
+    for &i in members {
+        let proc = &module.procs[i];
+        table.insert(proc.name.clone(), Summary::bottom(proc.params.clone()));
+    }
+    let mut round = 0usize;
+    loop {
+        round += 1;
+        // Jacobi iteration: every member reads the previous round's
+        // table, so the result is independent of member order.
+        let mut next: Vec<(String, Summary)> = Vec::with_capacity(members.len());
+        for &i in members {
+            let proc = &module.procs[i];
+            let analysis = run(proc, &table);
+            next.push((proc.name.clone(), summarize(d, &analysis.exit, proc)));
+        }
+        let stable = next
+            .iter()
+            .all(|(name, new)| table.get(name).is_some_and(|old| summary_le(d, new, old)));
+        if stable {
+            break;
+        }
+        if round >= cfg.summary_rounds {
+            budget.degrade(
+                "driver/summary-fixpoint",
+                "recursive component hit the round cap; summaries forced to top",
+            );
+            for &i in members {
+                let proc = &module.procs[i];
+                table.insert(proc.name.clone(), Summary::top(proc.params.clone()));
+            }
+            scc_diverged = true;
+            break;
+        }
+        let widen = round > cfg.summary_widen_delay;
+        for (name, new) in next {
+            let combined = match table.get(&name) {
+                Some(old) => summary_combine(d, old, &new, widen),
+                None => new,
+            };
+            table.insert(name, combined);
+        }
+        if budget.is_exhausted() {
+            // Sound bail-out mirroring the intra-procedure loops.
+            for &i in members {
+                let proc = &module.procs[i];
+                table.insert(proc.name.clone(), Summary::top(proc.params.clone()));
+            }
+            scc_diverged = true;
+            break;
+        }
+    }
+
+    // Recording pass under the stable summaries.
+    let mut out = Vec::with_capacity(members.len());
+    for &i in members {
+        let proc = &module.procs[i];
+        let analysis = run(proc, &table);
+        let summary = match table.get(&proc.name) {
+            Some(s) => s.clone(),
+            None => summarize(d, &analysis.exit, proc),
+        };
+        out.push(ProcReport {
+            name: proc.name.clone(),
+            summary,
+            assertions: analysis.assertions,
+            diverged: analysis.diverged || scc_diverged,
+        });
+    }
+    out
+}

@@ -1,0 +1,30 @@
+//! Interprocedural batch analysis for *Combining Abstract Interpreters*.
+//!
+//! The paper's engine analyzes one procedure at a time. This crate scales
+//! it to multi-procedure modules:
+//!
+//! - [`CallGraph`] condenses a [`Module`](cai_interp::Module)'s call
+//!   graph into strongly connected components, scheduled callee-first;
+//! - [`Summary`] is a context-insensitive procedure summary — the exit
+//!   constraint over the stable formals and `ret`, stored as a
+//!   domain-independent [`Conj`](cai_term::Conj) — applied at call sites
+//!   by [`SummaryResolver`] through the
+//!   [`CallResolver`](cai_interp::CallResolver) hook;
+//! - [`Driver`] runs the batch: sequentially, or farming independent
+//!   components to a fixed pool of shared-nothing worker threads (each
+//!   owns its domain instance and [`Budget`](cai_core::Budget) slice;
+//!   only immutable summaries cross threads, so results are identical
+//!   for every thread count under an unlimited budget);
+//! - [`SummaryCache`] makes re-analysis incremental: procedures are
+//!   fingerprinted over their text and transitive callee cone, and an
+//!   edit re-analyzes only its dirty cone
+//!   ([`ModuleAnalysis::reused`] / [`ModuleAnalysis::recomputed`] count
+//!   the split).
+
+mod callgraph;
+mod engine;
+mod summary;
+
+pub use callgraph::CallGraph;
+pub use engine::{Driver, ModuleAnalysis, ProcReport, SummaryCache};
+pub use summary::{member_fingerprint, scc_fingerprint, summarize, Summary, SummaryResolver};

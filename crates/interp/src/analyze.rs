@@ -76,9 +76,29 @@ impl<E> Analysis<E> {
 /// Herbrand view).
 type TermView<'d> = Box<dyn Fn(&Term) -> Term + 'd>;
 
+/// Resolves `x := call f(…)` statements for the analyzer.
+///
+/// The interprocedural driver implements this over its procedure
+/// summaries; the base analyzer has no resolver and conservatively
+/// havocs the destination (sound for call-by-value calls, whose only
+/// effect is on `x`).
+pub trait CallResolver<D: AbstractDomain> {
+    /// The abstract state after `dst := call name(args)` from state `e`,
+    /// or `None` to fall back to the analyzer's conservative havoc.
+    fn resolve_call(
+        &self,
+        domain: &D,
+        e: D::Elem,
+        dst: Var,
+        name: &str,
+        args: &[Term],
+    ) -> Option<D::Elem>;
+}
+
 pub struct Analyzer<'d, D: AbstractDomain> {
     domain: &'d D,
     view: Option<TermView<'d>>,
+    calls: Option<&'d dyn CallResolver<D>>,
     widen_delay: usize,
     max_iterations: usize,
     budget: Budget,
@@ -91,6 +111,7 @@ impl<'d, D: AbstractDomain> Analyzer<'d, D> {
         Analyzer {
             domain,
             view: None,
+            calls: None,
             widen_delay: 4,
             max_iterations: 60,
             budget: Budget::unlimited(),
@@ -116,6 +137,14 @@ impl<'d, D: AbstractDomain> Analyzer<'d, D> {
     /// Installs an expression view applied to every term before transfer.
     pub fn with_view(mut self, view: impl Fn(&Term) -> Term + 'd) -> Self {
         self.view = Some(Box::new(view));
+        self
+    }
+
+    /// Installs a [`CallResolver`] consulted for every `call` statement.
+    /// Without one (or when it returns `None`), calls havoc their
+    /// destination.
+    pub fn with_calls(mut self, calls: &'d dyn CallResolver<D>) -> Self {
+        self.calls = Some(calls);
         self
     }
 
@@ -314,6 +343,15 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                         d.widen(&inv, &after)
                     };
                     if d.le(&next, &inv) {
+                        // A stable invariant — but if the budget ran out
+                        // *during* this loop's rounds, the stabilization
+                        // may be an artifact of degraded (over-approximate
+                        // or forced-to-top) joins/widenings rather than a
+                        // genuine fixpoint, so flag it as divergence too
+                        // (not only the iteration cap or the entry check).
+                        if self.analyzer.budget.is_exhausted() {
+                            self.diverged = true;
+                        }
                         break;
                     }
                     inv = next;
@@ -330,6 +368,23 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                     let _ = self.exec_seq(body, enter, true);
                 }
                 self.assume_cond(inv, c, false)
+            }
+            Stmt::Call(x, name, args) => {
+                let viewed: Vec<Term> = args.iter().map(|a| self.analyzer.apply_view(a)).collect();
+                let resolved = self
+                    .analyzer
+                    .calls
+                    .and_then(|r| r.resolve_call(d, e.clone(), *x, name, &viewed));
+                match resolved {
+                    Some(out) => out,
+                    None => {
+                        // No summary available: the call's only effect is
+                        // on its destination, so havocing it is sound.
+                        self.stats.exists += 1;
+                        let elim: VarSet = [*x].into_iter().collect();
+                        d.exists(&e, &elim)
+                    }
+                }
             }
         }
     }

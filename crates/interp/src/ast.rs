@@ -42,6 +42,11 @@ pub enum Stmt {
     /// `while (c) { … }` — loop: fixpoint over the paper's join/widen
     /// iteration (§4.3).
     While(Cond, Vec<Stmt>),
+    /// `x := call f(e₁, …, eₙ)` — a procedure call whose result lands in
+    /// `x`. The base analyzer treats an unresolved call conservatively as
+    /// a havoc of `x`; an interprocedural driver resolves it through a
+    /// [`CallResolver`](crate::CallResolver) summary.
+    Call(Var, String, Vec<Term>),
 }
 
 impl Stmt {
@@ -78,6 +83,10 @@ impl Stmt {
                     s.fmt_indented(f, depth + 1)?;
                 }
                 writeln!(f, "{pad}}}")
+            }
+            Stmt::Call(x, name, args) => {
+                let shown: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                writeln!(f, "{pad}{x} := call {name}({});", shown.join(", "))
             }
         }
     }
@@ -142,6 +151,9 @@ impl Program {
                     Stmt::Assert(a) => Stmt::Assert(map_atom(a, f)),
                     Stmt::If(c, t, e) => Stmt::If(map_cond(c, f), walk(t, f), walk(e, f)),
                     Stmt::While(c, b) => Stmt::While(map_cond(c, f), walk(b, f)),
+                    Stmt::Call(x, name, args) => {
+                        Stmt::Call(*x, name.clone(), args.iter().map(&mut *f).collect())
+                    }
                 })
                 .collect()
         }
@@ -155,7 +167,7 @@ impl Program {
         fn walk(stmts: &[Stmt], out: &mut cai_term::VarSet) {
             for s in stmts {
                 match s {
-                    Stmt::Assign(x, _) | Stmt::Havoc(x) => {
+                    Stmt::Assign(x, _) | Stmt::Havoc(x) | Stmt::Call(x, ..) => {
                         out.insert(*x);
                     }
                     Stmt::If(_, t, e) => {
@@ -177,6 +189,94 @@ impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for s in &self.stmts {
             s.fmt_indented(f, 0)?;
+        }
+        Ok(())
+    }
+}
+
+/// The variable carrying a procedure's return value: the value of `ret`
+/// at procedure exit is what a call `x := call f(…)` assigns to `x`.
+pub const RETURN_VAR: &str = "ret";
+
+/// A named procedure of a [`Module`]: `proc f(a, b) { … }`.
+///
+/// Parameters are ordinary variables bound at entry by the call
+/// arguments; the body communicates its result by assigning
+/// [`RETURN_VAR`]. Everything else the body mentions is local to the
+/// procedure (summaries project it out).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Procedure {
+    /// The procedure name.
+    pub name: String,
+    /// The formal parameters, in declaration order.
+    pub params: Vec<Var>,
+    /// The body.
+    pub body: Program,
+}
+
+impl Procedure {
+    /// The names of procedures called (directly) anywhere in the body, in
+    /// first-occurrence order, deduplicated.
+    pub fn callees(&self) -> Vec<String> {
+        fn walk(stmts: &[Stmt], out: &mut Vec<String>) {
+            for s in stmts {
+                match s {
+                    Stmt::Call(_, name, _) if !out.iter().any(|n| n == name) => {
+                        out.push(name.clone());
+                    }
+                    Stmt::If(_, t, e) => {
+                        walk(t, out);
+                        walk(e, out);
+                    }
+                    Stmt::While(_, b) => walk(b, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.body.stmts, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Procedure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params: Vec<&str> = self.params.iter().map(|p| p.name()).collect();
+        writeln!(f, "proc {}({}) {{", self.name, params.join(", "))?;
+        for s in &self.body.stmts {
+            s.fmt_indented(f, 1)?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+/// A multi-procedure compilation unit: the work format of the
+/// interprocedural driver.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Module {
+    /// The procedures, in declaration order. Names are unique.
+    pub procs: Vec<Procedure>,
+}
+
+impl Module {
+    /// Looks a procedure up by name.
+    pub fn get(&self, name: &str) -> Option<&Procedure> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+
+    /// The index of a procedure by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.procs.iter().position(|p| p.name == name)
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.procs.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{p}")?;
         }
         Ok(())
     }

@@ -31,7 +31,7 @@ mod ast;
 mod herbrand;
 mod parse;
 
-pub use analyze::{implies_all, Analysis, Analyzer, AssertionOutcome, OpStats};
-pub use ast::{Cond, Program, Stmt};
+pub use analyze::{implies_all, Analysis, Analyzer, AssertionOutcome, CallResolver, OpStats};
+pub use ast::{Cond, Module, Procedure, Program, Stmt, RETURN_VAR};
 pub use herbrand::herbrand_view;
-pub use parse::{parse_program, ProgramParseError};
+pub use parse::{parse_module, parse_program, ProgramParseError};

@@ -3,9 +3,12 @@
 //! Grammar (expressions and atoms use [`cai_term::parse`]):
 //!
 //! ```text
+//! module  := proc*
+//! proc    := 'proc' ident '(' (ident (',' ident)*)? ')' block
 //! program := stmt*
 //! stmt    := ident ':=' expr ';'
 //!          | ident ':=' '*' ';'                 -- havoc
+//!          | ident ':=' 'call' ident '(' (expr (',' expr)*)? ')' ';'
 //!          | 'assume' '(' atom ')' ';'
 //!          | 'assert' '(' atom ')' ';'
 //!          | 'if' '(' cond ')' block ('else' block)?
@@ -16,7 +19,7 @@
 //!
 //! Line comments start with `//`.
 
-use crate::ast::{Cond, Program, Stmt};
+use crate::ast::{Cond, Module, Procedure, Program, Stmt};
 use cai_term::parse::Vocab;
 use cai_term::Var;
 use std::fmt;
@@ -59,6 +62,53 @@ pub fn parse_program(vocab: &Vocab, src: &str) -> Result<Program, ProgramParseEr
     };
     let stmts = p.stmts(true)?;
     Ok(Program { stmts })
+}
+
+/// Parses a multi-procedure module: a sequence of `proc name(params)`
+/// blocks. Procedure names must be unique.
+///
+/// # Errors
+///
+/// Returns [`ProgramParseError`] on malformed input or duplicate
+/// procedure names.
+pub fn parse_module(vocab: &Vocab, src: &str) -> Result<Module, ProgramParseError> {
+    let stripped = strip_comments(src);
+    let mut p = ProgParser {
+        vocab,
+        src: &stripped,
+        pos: 0,
+    };
+    let mut procs: Vec<Procedure> = Vec::new();
+    while !p.at_end() {
+        let line = p.line();
+        p.expect("proc")?;
+        let name = p.ident()?;
+        if procs.iter().any(|q| q.name == name) {
+            return Err(ProgramParseError::new(
+                format!("duplicate procedure `{name}`"),
+                line,
+            ));
+        }
+        p.expect("(")?;
+        let mut params: Vec<Var> = Vec::new();
+        if p.peek_byte() != Some(b')') {
+            loop {
+                let param = p.ident()?;
+                params.push(Var::named(&param));
+                if !p.eat(",") {
+                    break;
+                }
+            }
+        }
+        p.expect(")")?;
+        let stmts = p.block()?;
+        procs.push(Procedure {
+            name,
+            params,
+            body: Program { stmts },
+        });
+    }
+    Ok(Module { procs })
 }
 
 fn strip_comments(src: &str) -> String {
@@ -244,7 +294,7 @@ impl<'a> ProgParser<'a> {
             self.expect(";")?;
             return Ok(Stmt::Assert(atom));
         }
-        // Assignment or havoc.
+        // Assignment, havoc, or procedure call.
         let name = self.ident()?;
         self.expect(":=")?;
         self.skip_ws();
@@ -255,6 +305,27 @@ impl<'a> ProgParser<'a> {
             self.expect(";")?;
             return Ok(Stmt::Havoc(Var::named(&name)));
         }
+        let after = &self.src[self.pos..];
+        if after.starts_with("call") && !ident_continues(after, 4) {
+            self.pos += 4;
+            let callee = self.ident()?;
+            self.expect("(")?;
+            let inner = self.until(b')')?.to_owned();
+            self.expect(";")?;
+            let mut args = Vec::new();
+            for piece in split_top_level_commas(&inner) {
+                let piece = piece.trim();
+                if piece.is_empty() {
+                    continue;
+                }
+                let t = self
+                    .vocab
+                    .parse_term(piece)
+                    .map_err(|e| self.err(format!("in call argument `{piece}`: {e}")))?;
+                args.push(t);
+            }
+            return Ok(Stmt::Call(Var::named(&name), callee, args));
+        }
         let rhs_src = self.until(b';')?.trim().to_owned();
         let rhs = self
             .vocab
@@ -262,6 +333,27 @@ impl<'a> ProgParser<'a> {
             .map_err(|e| self.err(format!("in `{name} := {rhs_src}`: {e}")))?;
         Ok(Stmt::Assign(Var::named(&name), rhs))
     }
+}
+
+/// Splits on commas at parenthesis depth 0 (call arguments may contain
+/// nested applications like `F(a, b)`).
+fn split_top_level_commas(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, b) in s.bytes().enumerate() {
+        match b {
+            b'(' => depth += 1,
+            b')' => depth = depth.saturating_sub(1),
+            b',' if depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
 }
 
 fn ident_continues(s: &str, at: usize) -> bool {
@@ -329,6 +421,48 @@ mod tests {
         assert!(e.to_string().contains("line 2"), "{e}");
         assert!(parse_program(&Vocab::standard(), "if (x = 1) { x := 2;").is_err());
         assert!(parse_program(&Vocab::standard(), "assert(x + y);").is_err());
+    }
+
+    #[test]
+    fn call_statements() {
+        let p = parse("x := call f(a + 1, F(b, c)); y := call g();");
+        let Stmt::Call(dst, name, args) = &p.stmts[0] else {
+            panic!("expected call, got {:?}", p.stmts[0])
+        };
+        assert_eq!(dst.name(), "x");
+        assert_eq!(name, "f");
+        assert_eq!(args.len(), 2);
+        assert_eq!(args[0].to_string(), "a + 1");
+        assert_eq!(args[1].to_string(), "F(b, c)");
+        let Stmt::Call(_, gname, gargs) = &p.stmts[1] else {
+            panic!("expected call")
+        };
+        assert_eq!(gname, "g");
+        assert!(gargs.is_empty());
+        // `call` only triggers as a keyword: `caller` is a plain term.
+        let p2 = parse("x := caller + 1;");
+        assert!(matches!(p2.stmts[0], Stmt::Assign(..)));
+    }
+
+    #[test]
+    fn modules_parse_and_roundtrip() {
+        let src = "proc id(a) { ret := a; }
+                   proc twice(a) { t := call id(a); ret := t + t; }";
+        let m = parse_module(&Vocab::standard(), src).unwrap();
+        assert_eq!(m.procs.len(), 2);
+        assert_eq!(m.procs[0].name, "id");
+        assert_eq!(m.procs[1].params.len(), 1);
+        assert_eq!(m.procs[1].callees(), vec!["id".to_owned()]);
+        let m2 = parse_module(&Vocab::standard(), &m.to_string()).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn module_errors() {
+        let v = Vocab::standard();
+        assert!(parse_module(&v, "proc f() { ret := 1; } proc f() {}").is_err());
+        assert!(parse_module(&v, "x := 1;").is_err());
+        assert!(parse_module(&v, "proc f( { }").is_err());
     }
 
     #[test]

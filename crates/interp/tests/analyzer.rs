@@ -251,6 +251,90 @@ fn budget_exhaustion_forces_top_invariant_soundly() {
     assert_eq!(got, [false, false]);
 }
 
+/// A wrapper domain whose widening degrades to ⊤ while exhausting the
+/// shared budget — modelling a per-loop budget running out *inside* the
+/// widen itself (sound: ⊤ over-approximates any widen result).
+struct ExhaustingWiden {
+    inner: AffineEq,
+    budget: Budget,
+}
+
+impl AbstractDomain for ExhaustingWiden {
+    type Elem = <AffineEq as AbstractDomain>::Elem;
+
+    fn sig(&self) -> cai_term::Sig {
+        self.inner.sig()
+    }
+    fn top(&self) -> Self::Elem {
+        self.inner.top()
+    }
+    fn bottom(&self) -> Self::Elem {
+        self.inner.bottom()
+    }
+    fn is_bottom(&self, e: &Self::Elem) -> bool {
+        self.inner.is_bottom(e)
+    }
+    fn meet_atom(&self, e: &Self::Elem, atom: &cai_term::Atom) -> Self::Elem {
+        self.inner.meet_atom(e, atom)
+    }
+    fn implies_atom(&self, e: &Self::Elem, atom: &cai_term::Atom) -> bool {
+        self.inner.implies_atom(e, atom)
+    }
+    fn join(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        self.inner.join(a, b)
+    }
+    fn exists(&self, e: &Self::Elem, vars: &cai_term::VarSet) -> Self::Elem {
+        self.inner.exists(e, vars)
+    }
+    fn var_equalities(&self, e: &Self::Elem) -> cai_core::Partition {
+        self.inner.var_equalities(e)
+    }
+    fn alternate(
+        &self,
+        e: &Self::Elem,
+        y: cai_term::Var,
+        avoid: &cai_term::VarSet,
+    ) -> Option<cai_term::Term> {
+        self.inner.alternate(e, y, avoid)
+    }
+    fn to_conj(&self, e: &Self::Elem) -> cai_term::Conj {
+        self.inner.to_conj(e)
+    }
+    fn widen(&self, _a: &Self::Elem, _b: &Self::Elem) -> Self::Elem {
+        self.budget.exhaust();
+        self.budget
+            .degrade("test/widen", "budget ran out mid-widen; forced top");
+        self.inner.top()
+    }
+}
+
+#[test]
+fn budget_exhaustion_during_final_widen_still_flags_divergence() {
+    // Regression: when the budget runs out *inside* a widening that
+    // degrades to ⊤ and the fixpoint test then succeeds in the same
+    // round (⊤ ⊑ ⊤ here, since the entry state is already unconstrained),
+    // the loop used to stabilize silently with `diverged = false`. The
+    // divergence flag must also be set on this path, not only when the
+    // iteration cap fires or exhaustion is observed at the top of a
+    // round.
+    let vocab = Vocab::standard();
+    let p = parse_program(&vocab, "while (*) { x := x + 1; }").unwrap();
+    let budget = Budget::fuel(1_000_000);
+    let d = ExhaustingWiden {
+        inner: AffineEq::new(),
+        budget: budget.clone(),
+    };
+    // widen_delay(0): the very first round widens, exhausting the budget
+    // and returning ⊤, which is ⊑ the (already top) candidate invariant.
+    let analysis = Analyzer::new(&d).widen_delay(0).with_budget(budget).run(&p);
+    assert_eq!(analysis.loop_iterations, vec![1], "loop must stabilize");
+    assert!(
+        analysis.diverged,
+        "budget exhaustion during the final widen must set `diverged`"
+    );
+    assert!(analysis.degradation.exhausted);
+}
+
 #[test]
 fn exhausted_budget_on_logical_product_reports_and_terminates() {
     // The full combined analysis under a starvation budget: it must come

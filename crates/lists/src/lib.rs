@@ -12,7 +12,7 @@
 //! linear arithmetic and uninterpreted functions, so its logical products
 //! with those domains enjoy the paper's completeness guarantees.
 
-use cai_core::{AbstractDomain, Partition, TheoryProps};
+use cai_core::{AbstractDomain, Budget, Partition, TheoryProps};
 use cai_term::{Atom, Conj, FnSym, Sig, Term, TheoryTag, Var, VarSet};
 use cai_uf::{EGraph, NodeKey};
 use std::fmt;
@@ -65,11 +65,18 @@ impl ListElem {
     /// what makes quantification complete — erasing `b` from
     /// `l = cons(a, b)` must still yield `car(l) = a`.
     pub fn closure(&self) -> EGraph {
+        self.closure_budgeted(&Budget::unlimited())
+    }
+
+    /// [`closure`](ListElem::closure) under a [`Budget`]: saturation
+    /// rounds consume fuel and stop early (soundly — derived equalities
+    /// are only *missed*, never invented) once it runs out.
+    pub fn closure_budgeted(&self, budget: &Budget) -> EGraph {
         let mut g = EGraph::new();
         for (s, t) in self.equalities() {
             g.assert_eq(s, t);
         }
-        saturate_list_axioms(&mut g);
+        saturate_list_axioms_budgeted(&mut g, budget);
         let cons_nodes: Vec<usize> = g
             .node_ids()
             .filter(|&id| matches!(g.key(id), NodeKey::App(f, _) if *f == FnSym::cons()))
@@ -78,16 +85,16 @@ impl ListElem {
             g.add_app(FnSym::car(), vec![id]);
             g.add_app(FnSym::cdr(), vec![id]);
         }
-        saturate_list_axioms(&mut g);
+        saturate_list_axioms_budgeted(&mut g, budget);
         g
     }
 
-    fn from_pairs(pairs: Vec<(Term, Term)>, max_size: usize) -> ListElem {
+    fn from_pairs(pairs: Vec<(Term, Term)>, max_size: usize, budget: &Budget) -> ListElem {
         let mut g = EGraph::new();
         for (s, t) in &pairs {
             g.assert_eq(s, t);
         }
-        saturate_list_axioms(&mut g);
+        saturate_list_axioms_budgeted(&mut g, budget);
         let all = |_: Var| true;
         let eqs = g
             .emit_equalities(&all, max_size)
@@ -131,10 +138,28 @@ impl fmt::Display for ListElem {
 /// node's argument class contains a `cons`, the selector node is merged
 /// with the corresponding component.
 pub fn saturate_list_axioms(g: &mut EGraph) {
+    saturate_list_axioms_budgeted(g, &Budget::unlimited())
+}
+
+/// [`saturate_list_axioms`] under a [`Budget`]: each saturation round
+/// ticks fuel proportional to the e-graph size, and exhaustion stops the
+/// fixpoint early. Stopping is sound — an under-saturated closure proves
+/// *fewer* equalities, so every consumer (implication, join, exists,
+/// variable equalities) degrades toward ⊤ / "unknown", never toward a
+/// wrong fact. The early stop is recorded on the budget's degradation
+/// log.
+pub fn saturate_list_axioms_budgeted(g: &mut EGraph, budget: &Budget) {
     let car = FnSym::car();
     let cdr = FnSym::cdr();
     let cons = FnSym::cons();
     loop {
+        if !budget.tick(1 + g.node_ids().count() as u64) {
+            budget.degrade(
+                "lists/saturate",
+                "stopped selector-axiom saturation early; closure is under-approximated",
+            );
+            return;
+        }
         let mut merges: Vec<(usize, usize)> = Vec::new();
         for id in g.node_ids() {
             let NodeKey::App(f, args) = g.key(id).clone() else {
@@ -184,15 +209,30 @@ pub fn saturate_list_axioms(g: &mut EGraph) {
 /// assert!(d.implies_atom(&e, &vocab.parse_atom("car(l) = a")?));
 /// # Ok::<(), cai_term::parse::ParseError>(())
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ListDomain {
     max_term_size: usize,
+    budget: Budget,
 }
 
 impl ListDomain {
-    /// Creates the domain with the default term-size bound.
+    /// Creates the domain with the default term-size bound and an
+    /// unlimited budget.
     pub fn new() -> ListDomain {
-        ListDomain { max_term_size: 64 }
+        ListDomain {
+            max_term_size: 64,
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Governs the domain's saturation fixpoints by `budget`: once the
+    /// fuel runs out, axiom saturation stops early and the domain proves
+    /// strictly less (a sound degradation recorded on the budget's
+    /// report). Clone the analyzer's budget in to bound the whole
+    /// analysis with one fuel counter.
+    pub fn with_budget(mut self, budget: Budget) -> ListDomain {
+        self.budget = budget;
+        self
     }
 }
 
@@ -234,7 +274,7 @@ impl AbstractDomain for ListDomain {
         }
         let mut pairs = e.equalities().to_vec();
         pairs.push((s.clone(), t.clone()));
-        ListElem::from_pairs(pairs, self.max_term_size)
+        ListElem::from_pairs(pairs, self.max_term_size, &self.budget)
     }
 
     fn meet_all(&self, e: &ListElem, atoms: &[Atom]) -> ListElem {
@@ -248,7 +288,7 @@ impl AbstractDomain for ListDomain {
             };
             pairs.push((s.clone(), t.clone()));
         }
-        ListElem::from_pairs(pairs, self.max_term_size)
+        ListElem::from_pairs(pairs, self.max_term_size, &self.budget)
     }
 
     fn implies_atom(&self, e: &ListElem, atom: &Atom) -> bool {
@@ -258,10 +298,10 @@ impl AbstractDomain for ListDomain {
         if e.is_bottom() {
             return true;
         }
-        let mut g = e.closure();
+        let mut g = e.closure_budgeted(&self.budget);
         let a = g.add(s);
         let b = g.add(t);
-        saturate_list_axioms(&mut g);
+        saturate_list_axioms_budgeted(&mut g, &self.budget);
         g.find(a) == g.find(b)
     }
 
@@ -272,19 +312,19 @@ impl AbstractDomain for ListDomain {
         if b.is_bottom() {
             return a.clone();
         }
-        let mut g1 = a.closure();
-        let mut g2 = b.closure();
+        let mut g1 = a.closure_budgeted(&self.budget);
+        let mut g2 = b.closure_budgeted(&self.budget);
         let mut vars = a.vars();
         vars.extend(b.vars());
         let eqs = cai_uf::join_equalities(&mut g1, &mut g2, &vars, self.max_term_size);
-        ListElem::from_pairs(eqs, self.max_term_size)
+        ListElem::from_pairs(eqs, self.max_term_size, &self.budget)
     }
 
     fn exists(&self, e: &ListElem, vars: &VarSet) -> ListElem {
         if e.is_bottom() {
             return ListElem::bottom();
         }
-        let g = e.closure();
+        let g = e.closure_budgeted(&self.budget);
         let anchor = |v: Var| !vars.contains(&v);
         let eqs = g
             .emit_equalities(&anchor, self.max_term_size)
@@ -299,7 +339,7 @@ impl AbstractDomain for ListDomain {
         if e.is_bottom() {
             return p;
         }
-        let g = e.closure();
+        let g = e.closure_budgeted(&self.budget);
         let mut by_root: std::collections::BTreeMap<usize, Var> = std::collections::BTreeMap::new();
         for (v, id) in g.vars() {
             let root = g.find(id);
@@ -319,7 +359,7 @@ impl AbstractDomain for ListDomain {
         if e.is_bottom() {
             return None;
         }
-        let mut g = e.closure();
+        let mut g = e.closure_budgeted(&self.budget);
         let yid = g.add(&Term::var(y));
         let root = g.find(yid);
         let anchor = |v: Var| v != y && !avoid.contains(&v);

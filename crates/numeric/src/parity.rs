@@ -1,6 +1,6 @@
 //! The parity domain: `even`/`odd` facts over integer-valued variables.
 
-use cai_core::{AbstractDomain, Partition, TheoryProps};
+use cai_core::{AbstractDomain, Budget, Partition, TheoryProps};
 use cai_linarith::AffExpr;
 use cai_term::{Atom, Conj, PredSym, Sig, Term, TheoryTag, Var, VarSet};
 use std::collections::BTreeMap;
@@ -103,9 +103,18 @@ impl ParityElem {
     }
 
     /// Re-runs constraint refinement to a fixpoint. Returns `false` if a
-    /// contradiction is found.
-    fn refine(s: &mut State) -> bool {
+    /// contradiction is found. Each round ticks the budget; exhaustion
+    /// stops refinement early — sound, since an unrefined map pins
+    /// *fewer* parities (a weaker element) and reports no contradiction.
+    fn refine(s: &mut State, budget: &Budget) -> bool {
         loop {
+            if !budget.tick(1 + s.constraints.len() as u64) {
+                budget.degrade(
+                    "parity/refine",
+                    "stopped parity constraint refinement early",
+                );
+                return true;
+            }
             let mut changed = false;
             for c in &s.constraints {
                 let cur = Self::eval(&s.map, &c.expr);
@@ -154,7 +163,7 @@ impl ParityElem {
         }
     }
 
-    fn with_constraint(&self, c: Constraint) -> ParityElem {
+    fn with_constraint(&self, c: Constraint, budget: &Budget) -> ParityElem {
         let Some(s) = &self.state else {
             return ParityElem::bottom();
         };
@@ -162,7 +171,7 @@ impl ParityElem {
         if !s.constraints.contains(&c) {
             s.constraints.push(c);
         }
-        if Self::refine(&mut s) {
+        if Self::refine(&mut s, budget) {
             ParityElem { state: Some(s) }
         } else {
             ParityElem::bottom()
@@ -216,13 +225,23 @@ impl fmt::Display for ParityElem {
 /// Deliberately *not* signature-disjoint from linear arithmetic or sign
 /// (they share `+`, `-`, `0`, `1`), reproducing the Figure 8 hypothesis
 /// violation.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ParityDomain;
+#[derive(Clone, Debug, Default)]
+pub struct ParityDomain {
+    budget: Budget,
+}
 
 impl ParityDomain {
-    /// Creates the domain.
+    /// Creates the domain (unlimited budget).
     pub fn new() -> ParityDomain {
-        ParityDomain
+        ParityDomain::default()
+    }
+
+    /// Governs the constraint-refinement fixpoint by `budget`: once the
+    /// fuel runs out, refinement stops early and the domain pins fewer
+    /// parities (a sound degradation recorded on the budget's report).
+    pub fn with_budget(mut self, budget: Budget) -> ParityDomain {
+        self.budget = budget;
+        self
     }
 }
 
@@ -278,7 +297,7 @@ impl AbstractDomain for ParityDomain {
 
     fn meet_atom(&self, e: &ParityElem, atom: &Atom) -> ParityElem {
         match atom_constraint(atom) {
-            Some(c) => e.with_constraint(c),
+            Some(c) => e.with_constraint(c, &self.budget),
             None => panic!("atom `{atom}` is outside the parity signature"),
         }
     }

@@ -1,6 +1,6 @@
 //! The sign domain: `positive`/`negative` facts over rational variables.
 
-use cai_core::{AbstractDomain, Partition, TheoryProps};
+use cai_core::{AbstractDomain, Budget, Partition, TheoryProps};
 use cai_linarith::AffExpr;
 use cai_num::Rat;
 use cai_term::{Atom, Conj, PredSym, Sig, Term, TheoryTag, Var, VarSet};
@@ -175,8 +175,16 @@ impl SignElem {
         acc
     }
 
-    fn refine(s: &mut State) -> bool {
+    /// Narrows variable signs to a fixpoint. Returns `false` if a
+    /// contradiction is found. Each round ticks the budget; exhaustion
+    /// stops refinement early — sound, since an unnarrowed map keeps
+    /// *more* sign alternatives (a weaker element).
+    fn refine(s: &mut State, budget: &Budget) -> bool {
         loop {
+            if !budget.tick(1 + s.constraints.len() as u64) {
+                budget.degrade("sign/refine", "stopped sign narrowing early");
+                return true;
+            }
             let mut changed = false;
             for ci in 0..s.constraints.len() {
                 let c = s.constraints[ci].clone();
@@ -216,7 +224,7 @@ impl SignElem {
         }
     }
 
-    fn with_constraint(&self, c: Constraint) -> SignElem {
+    fn with_constraint(&self, c: Constraint, budget: &Budget) -> SignElem {
         let Some(s) = &self.state else {
             return SignElem::bottom();
         };
@@ -224,7 +232,7 @@ impl SignElem {
         if !s.constraints.contains(&c) {
             s.constraints.push(c);
         }
-        if Self::refine(&mut s) {
+        if Self::refine(&mut s, budget) {
             SignElem { state: Some(s) }
         } else {
             SignElem::bottom()
@@ -253,13 +261,24 @@ impl fmt::Display for SignElem {
 /// The sign abstract domain over the theory
 /// `{=, positive, negative, +, -, 0, 1}` — like parity, deliberately not
 /// signature-disjoint from linear arithmetic (Figure 8).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct SignDomain;
+#[derive(Clone, Debug, Default)]
+pub struct SignDomain {
+    budget: Budget,
+}
 
 impl SignDomain {
-    /// Creates the domain.
+    /// Creates the domain (unlimited budget).
     pub fn new() -> SignDomain {
-        SignDomain
+        SignDomain::default()
+    }
+
+    /// Governs the sign-narrowing fixpoint by `budget`: once the fuel
+    /// runs out, narrowing stops early and variables keep more sign
+    /// alternatives (a sound degradation recorded on the budget's
+    /// report).
+    pub fn with_budget(mut self, budget: Budget) -> SignDomain {
+        self.budget = budget;
+        self
     }
 }
 
@@ -315,7 +334,7 @@ impl AbstractDomain for SignDomain {
 
     fn meet_atom(&self, e: &SignElem, atom: &Atom) -> SignElem {
         match atom_constraint(atom) {
-            Some(c) => e.with_constraint(c),
+            Some(c) => e.with_constraint(c, &self.budget),
             None => panic!("atom `{atom}` is outside the sign signature"),
         }
     }

@@ -1,8 +1,9 @@
 //! Theory tags and theory-tagged function / predicate symbols.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, RwLock};
 
 /// Identifies the theory a symbol belongs to.
 ///
@@ -101,14 +102,14 @@ struct FnInfo {
 }
 
 struct FnInterner {
-    infos: Vec<FnInfo>,
+    infos: Vec<&'static FnInfo>,
     by_key: HashMap<(String, usize, TheoryTag), u32>,
 }
 
-fn fn_interner() -> &'static Mutex<FnInterner> {
-    static I: OnceLock<Mutex<FnInterner>> = OnceLock::new();
+fn fn_interner() -> &'static RwLock<FnInterner> {
+    static I: OnceLock<RwLock<FnInterner>> = OnceLock::new();
     I.get_or_init(|| {
-        Mutex::new(FnInterner {
+        RwLock::new(FnInterner {
             infos: Vec::new(),
             by_key: HashMap::new(),
         })
@@ -118,17 +119,23 @@ fn fn_interner() -> &'static Mutex<FnInterner> {
 impl FnSym {
     /// Interns a function symbol.
     pub fn new(name: &str, arity: usize, theory: TheoryTag) -> FnSym {
-        let mut i = fn_interner().lock().expect("fn interner poisoned");
+        {
+            let r = fn_interner().read().unwrap_or_else(|e| e.into_inner());
+            if let Some(&id) = r.by_key.get(&(name.to_owned(), arity, theory)) {
+                return FnSym(id);
+            }
+        }
+        let mut i = fn_interner().write().unwrap_or_else(|e| e.into_inner());
         let key = (name.to_owned(), arity, theory);
         if let Some(&id) = i.by_key.get(&key) {
             return FnSym(id);
         }
         let id = i.infos.len() as u32;
-        i.infos.push(FnInfo {
+        i.infos.push(Box::leak(Box::new(FnInfo {
             name: name.to_owned(),
             arity,
             theory,
-        });
+        })));
         i.by_key.insert(key, id);
         FnSym(id)
     }
@@ -154,24 +161,40 @@ impl FnSym {
         FnSym::new("cdr", 1, TheoryTag::LIST)
     }
 
-    fn info<R>(&self, f: impl FnOnce(&FnInfo) -> R) -> R {
-        let i = fn_interner().lock().expect("fn interner poisoned");
-        f(&i.infos[self.0 as usize])
+    /// Resolves the symbol's metadata without touching any global lock in
+    /// the common case: entries are immutable and append-only, so each
+    /// thread keeps a snapshot of the table and refreshes it (one shared
+    /// read-lock) only when it sees an id minted after its snapshot.
+    /// `theory()` in particular runs on every signature-ownership check
+    /// of every purification, from every analysis thread at once.
+    fn info(&self) -> &'static FnInfo {
+        thread_local! {
+            static SNAPSHOT: RefCell<Vec<&'static FnInfo>> = const { RefCell::new(Vec::new()) };
+        }
+        SNAPSHOT.with(|s| {
+            let mut v = s.borrow_mut();
+            let idx = self.0 as usize;
+            if idx >= v.len() {
+                let r = fn_interner().read().unwrap_or_else(|e| e.into_inner());
+                v.clone_from(&r.infos);
+            }
+            v[idx]
+        })
     }
 
     /// The symbol's name.
     pub fn name(&self) -> String {
-        self.info(|i| i.name.clone())
+        self.info().name.clone()
     }
 
     /// The symbol's arity.
     pub fn arity(&self) -> usize {
-        self.info(|i| i.arity)
+        self.info().arity
     }
 
     /// The theory the symbol belongs to.
     pub fn theory(&self) -> TheoryTag {
-        self.info(|i| i.theory)
+        self.info().theory
     }
 }
 

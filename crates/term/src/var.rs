@@ -3,7 +3,8 @@
 use std::collections::BTreeSet;
 use std::collections::HashSet;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
 
 /// An interned variable.
 ///
@@ -28,44 +29,58 @@ pub struct Var(&'static str);
 /// A sorted set of variables.
 pub type VarSet = BTreeSet<Var>;
 
-struct Interner {
-    names: HashSet<&'static str>,
-    fresh_counter: u64,
+fn names() -> &'static RwLock<HashSet<&'static str>> {
+    static NAMES: OnceLock<RwLock<HashSet<&'static str>>> = OnceLock::new();
+    NAMES.get_or_init(|| RwLock::new(HashSet::new()))
 }
 
-fn interner() -> &'static Mutex<Interner> {
-    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        Mutex::new(Interner {
-            names: HashSet::new(),
-            fresh_counter: 0,
-        })
-    })
-}
+static FRESH_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 impl Var {
     /// Interns `name` and returns the corresponding variable.
+    ///
+    /// Variable equality compares name *contents*, so interning is a
+    /// memory optimization, not a correctness requirement; the common
+    /// already-interned case takes only a shared read lock, keeping this
+    /// cheap from concurrently analyzing threads.
     pub fn named(name: &str) -> Var {
-        let mut i = interner().lock().expect("variable interner poisoned");
-        if let Some(&s) = i.names.get(name) {
+        {
+            let r = names().read().unwrap_or_else(|e| e.into_inner());
+            if let Some(&s) = r.get(name) {
+                return Var(s);
+            }
+        }
+        let mut w = names().write().unwrap_or_else(|e| e.into_inner());
+        if let Some(&s) = w.get(name) {
             return Var(s);
         }
         let s: &'static str = Box::leak(name.to_owned().into_boxed_str());
-        i.names.insert(s);
+        w.insert(s);
         Var(s)
     }
 
     /// Creates a fresh variable whose name starts with `prefix` and does
     /// not collide with any interned name.
+    ///
+    /// Uniqueness comes from a global atomic counter, so the hot path is
+    /// lock-free apart from a shared read of the interned-name set (to
+    /// honor the no-collision guarantee against names someone interned
+    /// by hand). Fresh names are *not* added to that set: the counter
+    /// already guarantees no later `fresh` can repeat them, and a later
+    /// [`Var::named`] of the same string compares equal by content.
+    /// Purification and join transformers mint fresh variables on their
+    /// hot paths, so this must not funnel every analysis thread through
+    /// one mutex.
     pub fn fresh(prefix: &str) -> Var {
-        let mut i = interner().lock().expect("variable interner poisoned");
         loop {
-            let n = i.fresh_counter;
-            i.fresh_counter += 1;
+            let n = FRESH_COUNTER.fetch_add(1, Ordering::Relaxed);
             let name = format!("{prefix}${n}");
-            if !i.names.contains(name.as_str()) {
+            let taken = names()
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .contains(name.as_str());
+            if !taken {
                 let s: &'static str = Box::leak(name.into_boxed_str());
-                i.names.insert(s);
                 return Var(s);
             }
         }

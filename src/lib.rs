@@ -6,6 +6,7 @@
 #![doc = include_str!("../README.md")]
 
 pub use cai_core as core;
+pub use cai_driver as driver;
 pub use cai_interp as interp;
 pub use cai_linarith as linarith;
 pub use cai_lists as lists;
