@@ -33,4 +33,9 @@ cargo test -q -p cai-driver --release --offline
 echo "== driver_eval smoke =="
 cargo run --release -p cai-bench --bin driver_eval --offline -- --smoke
 
+echo "== paper_eval --join-stats smoke =="
+# Exits nonzero unless the split cache hits, saves ticks, and leaves the
+# analysis results bit-identical.
+cargo run --release -p cai-bench --bin paper_eval --offline -- --join-stats
+
 echo "CI OK"

@@ -11,6 +11,11 @@
 //! `--deadline-ms N` runs the whole fig1 family under a wall-clock
 //! [`Budget`] and prints the resulting `DegradationReport` — the
 //! anytime-analysis preset.
+//!
+//! `--join-stats` re-analyzes the fig1 family with the logical product's
+//! split cache on vs. off, checks the results are bit-identical, prints
+//! both tick totals and the cache counters, and exits nonzero unless the
+//! cache hit and saved ticks.
 
 use cai_bench::{fig1_family, thm6_family, ConjGen, FIG1, FIG4, FIG8};
 use cai_core::reduce::{EncodeMode, UnaryEncoder};
@@ -35,6 +40,13 @@ fn main() {
             });
         args.drain(i..=i + 1);
         deadline(ms);
+        if args.is_empty() {
+            return;
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--join-stats") {
+        args.remove(i);
+        join_stats();
         if args.is_empty() {
             return;
         }
@@ -128,6 +140,79 @@ fn deadline(ms: u64) {
     }
     if report.events.is_empty() {
         println!("  (no degradation events — the deadline was generous)");
+    }
+}
+
+/// `--join-stats`: the split cache + batched elimination report. Each
+/// fig1-family program is analyzed twice per product (the second pass is
+/// the warmed re-analysis the interprocedural driver performs), cache on
+/// vs. off. The cache must be semantically invisible — identical verdicts
+/// and exit states — while measurably cutting budget ticks.
+fn join_stats() {
+    header("--join-stats — split-cache effect on the fig1 family");
+    let vocab = Vocab::standard();
+    let mut failed = false;
+    let mut total_hits = 0u64;
+    let mut total_cached_ticks = 0u64;
+    let mut total_uncached_ticks = 0u64;
+    println!(
+        "{:<4} {:>12} {:>12} {:>8} {:>8} {:>10}",
+        "k", "ticks (on)", "ticks (off)", "hits", "misses", "identical?"
+    );
+    for k in 1..=3usize {
+        let p = parse_program(&vocab, &fig1_family(k)).expect("family parses");
+        let run = |capacity: usize| {
+            let d = LogicalProduct::new(AffineEq::new(), UfDomain::new())
+                .with_split_cache_capacity(capacity);
+            let analyzer = Analyzer::new(&d);
+            let first = analyzer.run(&p);
+            let second = analyzer.run(&p);
+            let flags: Vec<bool> = second.assertions.iter().map(|a| a.verified).collect();
+            let same_rounds = first.exit == second.exit;
+            (
+                flags,
+                second.exit,
+                d.budget().spent(),
+                d.stats().snapshot(),
+                same_rounds,
+            )
+        };
+        let (va, ea, ticks_on, stats, stable) = run(cai_core::DEFAULT_SPLIT_CACHE_CAPACITY);
+        let (vb, eb, ticks_off, _, _) = run(0);
+        let identical = va == vb && ea == eb && stable;
+        failed |= !identical;
+        total_hits += stats.cache_hits;
+        total_cached_ticks += ticks_on;
+        total_uncached_ticks += ticks_off;
+        println!(
+            "{:<4} {:>12} {:>12} {:>8} {:>8} {:>10}",
+            k,
+            ticks_on,
+            ticks_off,
+            stats.cache_hits,
+            stats.cache_misses,
+            if identical { "yes" } else { "NO" }
+        );
+        println!("     {stats}");
+    }
+    println!(
+        "totals: {total_cached_ticks} ticks with cache, {total_uncached_ticks} without, \
+         {total_hits} hits"
+    );
+    if failed {
+        eprintln!("--join-stats: the cache changed an analysis result");
+        std::process::exit(1);
+    }
+    if total_hits == 0 {
+        eprintln!("--join-stats: the warmed re-analysis never hit the cache");
+        std::process::exit(1);
+    }
+    if total_cached_ticks >= total_uncached_ticks {
+        eprintln!(
+            "--join-stats: no tick reduction \
+             ({total_cached_ticks} cached vs {total_uncached_ticks} uncached)"
+        );
+        std::process::exit(1);
     }
 }
 

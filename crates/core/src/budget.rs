@@ -144,6 +144,11 @@ struct BudgetInner {
     /// bailing makes every later loop bail immediately.
     exhausted: AtomicBool,
     degraded: AtomicBool,
+    /// Monotonic count of every `degrade` call (including events past the
+    /// storage cap). Lets callers detect whether a computation degraded by
+    /// comparing snapshots before and after — the memo layer uses this to
+    /// refuse to cache results produced by a starved run.
+    degrade_events: AtomicU64,
     log: Mutex<Log>,
 }
 
@@ -167,6 +172,7 @@ impl Budget {
                 deadline,
                 exhausted: AtomicBool::new(exhausted),
                 degraded: AtomicBool::new(false),
+                degrade_events: AtomicU64::new(0),
                 log: Mutex::new(Log::default()),
             }),
         }
@@ -265,6 +271,7 @@ impl Budget {
     /// over-approximation for its exact result.
     pub fn degrade(&self, site: &'static str, detail: impl Into<String>) {
         self.inner.degraded.store(true, Ordering::Relaxed);
+        self.inner.degrade_events.fetch_add(1, Ordering::Relaxed);
         let mut log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
         if log.events.len() < MAX_EVENTS {
             log.events.push(Degradation {
@@ -279,6 +286,13 @@ impl Budget {
     /// `true` if any governed operation has degraded under this budget.
     pub fn degraded(&self) -> bool {
         self.inner.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Monotonic count of [`degrade`](Budget::degrade) calls so far
+    /// (including events beyond the storage cap). Compare snapshots taken
+    /// around a computation to learn whether *that* computation degraded.
+    pub fn degrade_count(&self) -> u64 {
+        self.inner.degrade_events.load(Ordering::Relaxed)
     }
 
     /// Splits the budget into `ways` *independent* slices for

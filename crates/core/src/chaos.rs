@@ -11,6 +11,9 @@
 //!   component does on exhaustion),
 //! - **dropped equalities** from `var_equalities` and lost `alternate`
 //!   definitions (an under-saturating component),
+//! - **defective `Alternate` definitions** (the sound-but-cyclic `y = y`,
+//!   violating the operator contract — the product's runtime check must
+//!   skip these rather than trust them),
 //! - **denied implications** (`implies_atom` answering "unknown"),
 //! - **fuel exhaustion** of an attached [`Budget`] at a chosen tick.
 //!
@@ -40,6 +43,12 @@ pub struct ChaosConfig {
     pub drop_equality_permille: u32,
     /// `alternate` returns `None` (and `alternates` drops each entry).
     pub drop_alternate_permille: u32,
+    /// `alternate`/`alternates` returns the *contract-violating*
+    /// definition `y = y` — semantically sound (every element implies
+    /// `y = y`) but cyclic, exercising the product's runtime
+    /// Alternate-contract check (a trusting consumer would loop or leak
+    /// the variable it was meant to eliminate).
+    pub break_alternate_permille: u32,
     /// `meet_atom` ignores its atom (returns the element unchanged).
     pub skip_meet_permille: u32,
     /// `implies_atom` answers `false` regardless of the real answer.
@@ -57,6 +66,7 @@ impl Default for ChaosConfig {
             top_exists_permille: 100,
             drop_equality_permille: 100,
             drop_alternate_permille: 100,
+            break_alternate_permille: 25,
             skip_meet_permille: 100,
             deny_implies_permille: 100,
             exhaust_budget_permille: 10,
@@ -72,6 +82,7 @@ impl ChaosConfig {
             top_exists_permille: 0,
             drop_equality_permille: 0,
             drop_alternate_permille: 0,
+            break_alternate_permille: 0,
             skip_meet_permille: 0,
             deny_implies_permille: 0,
             exhaust_budget_permille: 0,
@@ -238,6 +249,11 @@ impl<D: AbstractDomain> AbstractDomain for ChaosDomain<D> {
             // `None` ("no definition found") is always within contract.
             return None;
         }
+        if self.roll(self.config.break_alternate_permille) {
+            // `y = y` is implied by every element but violates both
+            // contract clauses (`t ≠ y` and `Vars(t) ∩ avoid = ∅`).
+            return Some(Term::var(y));
+        }
         self.inner.alternate(e, y, avoid)
     }
 
@@ -251,6 +267,14 @@ impl<D: AbstractDomain> AbstractDomain for ChaosDomain<D> {
         let mut out = self.inner.alternates(e, targets, avoid);
         if self.config.drop_alternate_permille > 0 {
             out.retain(|_, _| !self.roll(self.config.drop_alternate_permille));
+        }
+        if self.config.break_alternate_permille > 0 {
+            for (y, t) in out.iter_mut() {
+                if self.roll(self.config.break_alternate_permille) {
+                    // Corrupt this definition into the cyclic `y = y`.
+                    *t = Term::var(*y);
+                }
+            }
         }
         out
     }

@@ -103,6 +103,11 @@ pub trait AbstractDomain {
 
     /// `Alternate_T(e, y, avoid)`: a term `t` with `e ⇒ y = t` and
     /// `Vars(t) ∩ (avoid ∪ {y}) = ∅`, or `None` if no such term is found.
+    ///
+    /// The logical product *checks* this contract at runtime and skips (with
+    /// a budget degradation note) any definition that violates it — so a
+    /// defective implementation costs precision, never soundness or
+    /// termination of the combined quantification.
     fn alternate(&self, e: &Self::Elem, y: Var, avoid: &VarSet) -> Option<Term>;
 
     /// Batched `Alternate_T`: definitions for every variable of `targets`

@@ -40,7 +40,9 @@ pub use budget::{Budget, CaiError, Degradation, DegradationReport};
 pub use chaos::{ChaosConfig, ChaosDomain};
 pub use direct::{DirectProduct, Pair};
 pub use domain::{combination_precision, AbstractDomain, Precision, TheoryProps};
-pub use logical::LogicalProduct;
+pub use logical::{
+    JoinStats, JoinStatsSnapshot, LogicalProduct, SplitCache, DEFAULT_SPLIT_CACHE_CAPACITY,
+};
 pub use partition::Partition;
 pub use reduced::ReducedProduct;
 pub use saturate::{no_saturate, no_saturate_budgeted, Saturated};

@@ -18,13 +18,37 @@
 //! these operators are the most precise ones for the logical product
 //! lattice (Theorems 3 and 5). Otherwise they remain sound and act as the
 //! paper's "efficient heuristic" (see [`LogicalProduct::precision`]).
+//!
+//! # Performance
+//!
+//! Two amortizations keep the product fast inside analyzer fixpoints (see
+//! DESIGN.md, "Join performance"):
+//!
+//! - a [`SplitCache`] memoizes the purify + NOSaturation front end per
+//!   conjunction (keyed by structural fingerprint, verified against the
+//!   stored conjunction), so re-visiting an invariant across fixpoint
+//!   rounds costs a table lookup instead of a saturation fixpoint.
+//!   Budget-degraded results are never cached, so a starved round cannot
+//!   poison a later, better-funded one;
+//! - the join charges and generates one pair variable per *equivalence
+//!   class* pair, eliminates the whole batch with a single `QSaturation`
+//!   plus a one-pass topologically-ordered substitution, and prunes pair
+//!   variables that occur in neither component presentation (no
+//!   `Alternate` definition can mention them, so dropping them is exact).
+//!
+//! [`JoinStats`] exposes counters for all of the above; set `CAI_TRACE`
+//! for per-phase timings, or run `paper_eval --join-stats` for an
+//! end-to-end report.
 
 use crate::budget::Budget;
 use crate::domain::{combination_precision, AbstractDomain, Precision, TheoryProps};
 use crate::partition::Partition;
 use crate::saturate::{no_saturate_budgeted, Saturated};
 use cai_term::{purify, Atom, AtomSide, Conj, Purified, Purifier, Sig, Term, Var, VarSet};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Returns `true` when `CAI_TRACE` is set: the logical product then prints
@@ -47,6 +71,293 @@ macro_rules! trace_phase {
     }};
 }
 
+/// Shared observability counters for the logical product's join and
+/// quantification pipelines. Cloning shares the underlying counters, so
+/// one `JoinStats` can aggregate over many products (e.g. every worker of
+/// a parallel driver run).
+#[derive(Clone, Debug, Default)]
+pub struct JoinStats {
+    inner: Arc<JoinStatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct JoinStatsInner {
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_skips: AtomicU64,
+    cache_evictions: AtomicU64,
+    pairs_considered: AtomicU64,
+    pairs_generated: AtomicU64,
+    pairs_pruned: AtomicU64,
+    saturation_rounds: AtomicU64,
+    qsat_rounds: AtomicU64,
+    defs_found: AtomicU64,
+    defs_rejected: AtomicU64,
+    joins: AtomicU64,
+    widens: AtomicU64,
+    exists_ops: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl JoinStats {
+    /// Fresh counters, all zero.
+    pub fn new() -> JoinStats {
+        JoinStats::default()
+    }
+
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> JoinStatsSnapshot {
+        let i = &*self.inner;
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        JoinStatsSnapshot {
+            cache_hits: get(&i.cache_hits),
+            cache_misses: get(&i.cache_misses),
+            cache_skips: get(&i.cache_skips),
+            cache_evictions: get(&i.cache_evictions),
+            pairs_considered: get(&i.pairs_considered),
+            pairs_generated: get(&i.pairs_generated),
+            pairs_pruned: get(&i.pairs_pruned),
+            saturation_rounds: get(&i.saturation_rounds),
+            qsat_rounds: get(&i.qsat_rounds),
+            defs_found: get(&i.defs_found),
+            defs_rejected: get(&i.defs_rejected),
+            joins: get(&i.joins),
+            widens: get(&i.widens),
+            exists_ops: get(&i.exists_ops),
+            fallbacks: get(&i.fallbacks),
+        }
+    }
+}
+
+/// A point-in-time copy of [`JoinStats`]. Plain data: subtract two
+/// snapshots field-wise to meter a region.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinStatsSnapshot {
+    /// Split-cache lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Split-cache lookups that had to compute (and then stored).
+    pub cache_misses: u64,
+    /// Computed splits *not* stored because they were budget-degraded.
+    pub cache_skips: u64,
+    /// Times the cache was wiped because it reached capacity.
+    pub cache_evictions: u64,
+    /// Raw `|Vℓ| · |Vr|` pair-variable candidates across all joins.
+    pub pairs_considered: u64,
+    /// Pair variables actually created after equivalence-class dedup (what
+    /// the budget is charged for).
+    pub pairs_generated: u64,
+    /// Eliminable variables dropped up front because no definition can
+    /// mention them (absent from every relevant presentation).
+    pub pairs_pruned: u64,
+    /// NOSaturation exchange rounds actually run (cache hits replay none).
+    pub saturation_rounds: u64,
+    /// `QSaturation` rounds across all eliminations.
+    pub qsat_rounds: u64,
+    /// Definitions recovered by `Alternate` and substituted back.
+    pub defs_found: u64,
+    /// Definitions rejected by the runtime `Alternate`-contract check.
+    pub defs_rejected: u64,
+    /// Join operations.
+    pub joins: u64,
+    /// Widening operations.
+    pub widens: u64,
+    /// Combined-quantification operations.
+    pub exists_ops: u64,
+    /// Joins/quantifications that fell back to the syntactic
+    /// approximation on budget exhaustion.
+    pub fallbacks: u64,
+}
+
+impl JoinStatsSnapshot {
+    /// Cache hits as a fraction of all lookups (0 when there were none).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for JoinStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "joins={} widens={} exists={} fallbacks={} | cache hits={} misses={} \
+             skips={} evictions={} hit-rate={:.1}% | pairs considered={} generated={} \
+             pruned={} | saturation rounds={} qsat rounds={} defs found={} rejected={}",
+            self.joins,
+            self.widens,
+            self.exists_ops,
+            self.fallbacks,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_skips,
+            self.cache_evictions,
+            100.0 * self.cache_hit_rate(),
+            self.pairs_considered,
+            self.pairs_generated,
+            self.pairs_pruned,
+            self.saturation_rounds,
+            self.qsat_rounds,
+            self.defs_found,
+            self.defs_rejected,
+        )
+    }
+}
+
+/// Default capacity of a [`SplitCache`] (entries, not bytes).
+pub const DEFAULT_SPLIT_CACHE_CAPACITY: usize = 1024;
+
+struct SplitEntry<E1, E2> {
+    /// The exact conjunction this entry was computed from — compared on
+    /// every hit, so a fingerprint collision degrades to a miss instead of
+    /// returning a wrong split.
+    key: Conj,
+    purified: Purified,
+    saturated: Saturated<E1, E2>,
+}
+
+struct CacheShard<E1, E2> {
+    map: HashMap<u64, SplitEntry<E1, E2>>,
+    capacity: usize,
+}
+
+/// Memo cache for the purify + NOSaturation front end of the logical
+/// product, keyed by [`Conj::fingerprint`].
+///
+/// Cloning shares the underlying table; hand one cache to several products
+/// (or keep a product alive across analyzer fixpoint rounds) to amortize
+/// saturation across repeated conjunctions. Entries produced under a
+/// degraded budget are never stored — see
+/// [`LogicalProduct::with_split_cache`] for the invalidation rules.
+///
+/// Capacity 0 disables the cache. When the table reaches capacity it is
+/// cleared wholesale (the working set of a fixpoint is small and cyclic,
+/// so LRU bookkeeping is not worth its overhead).
+pub struct SplitCache<E1, E2> {
+    inner: Arc<Mutex<CacheShard<E1, E2>>>,
+}
+
+impl<E1, E2> Clone for SplitCache<E1, E2> {
+    fn clone(&self) -> Self {
+        SplitCache {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<E1, E2> fmt::Debug for SplitCache<E1, E2> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let shard = self.lock();
+        f.debug_struct("SplitCache")
+            .field("len", &shard.map.len())
+            .field("capacity", &shard.capacity)
+            .finish()
+    }
+}
+
+impl<E1, E2> Default for SplitCache<E1, E2> {
+    fn default() -> Self {
+        SplitCache::new()
+    }
+}
+
+impl<E1, E2> SplitCache<E1, E2> {
+    /// A cache with the [default capacity](DEFAULT_SPLIT_CACHE_CAPACITY).
+    pub fn new() -> SplitCache<E1, E2> {
+        SplitCache::with_capacity(DEFAULT_SPLIT_CACHE_CAPACITY)
+    }
+
+    /// A cache holding at most `capacity` splits; 0 disables caching.
+    pub fn with_capacity(capacity: usize) -> SplitCache<E1, E2> {
+        SplitCache {
+            inner: Arc::new(Mutex::new(CacheShard {
+                map: HashMap::new(),
+                capacity,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheShard<E1, E2>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The number of cached splits.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().map.is_empty()
+    }
+
+    /// The capacity (0 means caching is disabled).
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+
+    /// Drops every cached split.
+    pub fn clear(&self) {
+        self.lock().map.clear();
+    }
+}
+
+impl<E1: Clone, E2: Clone> SplitCache<E1, E2> {
+    fn get(&self, fp: u64, key: &Conj) -> Option<(Purified, Saturated<E1, E2>)> {
+        let shard = self.lock();
+        let entry = shard.map.get(&fp)?;
+        if entry.key != *key {
+            return None;
+        }
+        Some((entry.purified.clone(), entry.saturated.clone()))
+    }
+
+    /// Stores a split; returns `true` if the table had to be cleared to
+    /// make room.
+    fn insert(&self, fp: u64, key: Conj, purified: Purified, saturated: Saturated<E1, E2>) -> bool {
+        let mut shard = self.lock();
+        if shard.capacity == 0 {
+            return false;
+        }
+        let mut evicted = false;
+        if shard.map.len() >= shard.capacity && !shard.map.contains_key(&fp) {
+            shard.map.clear();
+            evicted = true;
+        }
+        shard.map.insert(
+            fp,
+            SplitEntry {
+                key,
+                purified,
+                saturated,
+            },
+        );
+        evicted
+    }
+}
+
+/// One representative — the minimum member — per equivalence class of
+/// `vars` under `classes`. Sorted-set iteration makes the first member of
+/// each class its minimum, so the result is deterministic and matches the
+/// first-occurrence dedup it replaces.
+fn class_reps(vars: &VarSet, classes: &Partition) -> Vec<Var> {
+    let mut seen: BTreeSet<Var> = BTreeSet::new();
+    let mut reps = Vec::new();
+    for &x in vars {
+        if seen.insert(classes.find(x)) {
+            reps.push(x);
+        }
+    }
+    reps
+}
+
 /// The logical product of two abstract domains.
 ///
 /// ```
@@ -55,20 +366,25 @@ macro_rules! trace_phase {
 /// // Elements are `Conj` — conjunctions of mixed atomic facts.
 /// ```
 #[derive(Clone, Debug)]
-pub struct LogicalProduct<D1, D2> {
+pub struct LogicalProduct<D1: AbstractDomain, D2: AbstractDomain> {
     d1: D1,
     d2: D2,
     budget: Budget,
+    cache: SplitCache<D1::Elem, D2::Elem>,
+    stats: JoinStats,
 }
 
 impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
     /// Combines two domains into their logical product (with an unlimited
-    /// [`Budget`]).
+    /// [`Budget`], a default-capacity [`SplitCache`], and fresh
+    /// [`JoinStats`]).
     pub fn new(d1: D1, d2: D2) -> LogicalProduct<D1, D2> {
         LogicalProduct {
             d1,
             d2,
             budget: Budget::unlimited(),
+            cache: SplitCache::new(),
+            stats: JoinStats::new(),
         }
     }
 
@@ -83,6 +399,46 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
     /// The budget governing this product's operators.
     pub fn budget(&self) -> &Budget {
         &self.budget
+    }
+
+    /// Shares `cache` as this product's purification/saturation memo —
+    /// e.g. one cache across the products of successive fixpoint rounds,
+    /// or across re-analyses of the same procedure.
+    ///
+    /// Invalidation rules: a split computed while the budget degraded
+    /// (its saturation stopped early, the budget exhausted, or *any*
+    /// governed operation recorded a degradation during the computation)
+    /// is returned but **not** stored, so a starved round never poisons a
+    /// later, better-funded one. Hits are verified against the stored
+    /// conjunction, so fingerprint collisions cost a recomputation rather
+    /// than correctness.
+    pub fn with_split_cache(mut self, cache: SplitCache<D1::Elem, D2::Elem>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Replaces the split cache with one of the given capacity
+    /// (0 disables caching — used by A/B measurements).
+    pub fn with_split_cache_capacity(self, capacity: usize) -> Self {
+        let cache = SplitCache::with_capacity(capacity);
+        self.with_split_cache(cache)
+    }
+
+    /// The purification/saturation memo cache.
+    pub fn split_cache(&self) -> &SplitCache<D1::Elem, D2::Elem> {
+        &self.cache
+    }
+
+    /// Shares `stats` as this product's counter sink (e.g. one `JoinStats`
+    /// aggregated across every worker of a parallel analysis).
+    pub fn with_stats(mut self, stats: JoinStats) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// This product's observability counters.
+    pub fn stats(&self) -> &JoinStats {
+        &self.stats
     }
 
     /// The first component domain.
@@ -134,12 +490,41 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
     }
 
     /// Lines 1–2 / 3–4 of Figure 6: purify a mixed conjunction into the
-    /// component domains and NO-saturate.
+    /// component domains and NO-saturate — memoized in the [`SplitCache`].
     fn split(&self, e: &Conj) -> (Purified, Saturated<D1::Elem, D2::Elem>) {
+        if self.cache.capacity() == 0 {
+            return self.split_uncached(e);
+        }
+        let fp = e.fingerprint();
+        if let Some(hit) = self.cache.get(fp, e) {
+            JoinStats::add(&self.stats.inner.cache_hits, 1);
+            return hit;
+        }
+        JoinStats::add(&self.stats.inner.cache_misses, 1);
+        let degrades_before = self.budget.degrade_count();
+        let out = self.split_uncached(e);
+        // Never cache a split computed under duress: an under-saturated or
+        // otherwise degraded result must not outlive its starved round.
+        let degraded = out.1.degraded
+            || self.budget.is_exhausted()
+            || self.budget.degrade_count() != degrades_before;
+        if degraded {
+            JoinStats::add(&self.stats.inner.cache_skips, 1);
+        } else if self
+            .cache
+            .insert(fp, e.clone(), out.0.clone(), out.1.clone())
+        {
+            JoinStats::add(&self.stats.inner.cache_evictions, 1);
+        }
+        out
+    }
+
+    fn split_uncached(&self, e: &Conj) -> (Purified, Saturated<D1::Elem, D2::Elem>) {
         let p = purify(e, &self.d1.sig(), &self.d2.sig());
         let e1 = self.d1.from_conj(&p.left);
         let e2 = self.d2.from_conj(&p.right);
         let s = no_saturate_budgeted(&self.d1, e1, &self.d2, e2, &self.budget);
+        JoinStats::add(&self.stats.inner.saturation_rounds, s.rounds as u64);
         (p, s)
     }
 
@@ -167,15 +552,29 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
 
     /// `QSaturation` (Figure 7, lines 1–10 of the right-hand algorithm):
     /// repeatedly finds definitions `y = t` for variables awaiting
-    /// elimination, via either component's `Alternate` operator.
+    /// elimination, via either component's `Alternate` operator, over the
+    /// whole pending set at once.
+    ///
+    /// Returns the still-undefined variables and the definitions in
+    /// discovery order. That order is topological: each term avoids every
+    /// variable still pending at its discovery, so it can only mention
+    /// variables defined strictly earlier (or never) — which is what lets
+    /// [`subst_defs`](Self::subst_defs) substitute in a single pass.
+    ///
+    /// The `Alternate` contract (`Vars(t) ∩ V2 = ∅`, `t ≠ y`) is enforced
+    /// at *runtime*: a defective definition — a faulty domain, or
+    /// fault-injection via `ChaosDomain` — is skipped with a degradation
+    /// note instead of being trusted, since a cyclic definition would
+    /// defeat the substitution pass. Skipping is sound: the variable is
+    /// simply quantified component-wise like any other undefined one.
     fn q_saturation(
         &self,
         e1: &D1::Elem,
         e2: &D2::Elem,
         v1: &VarSet,
-    ) -> (VarSet, BTreeMap<Var, Term>) {
+    ) -> (VarSet, Vec<(Var, Term)>) {
         let mut v2 = v1.clone();
-        let mut defs: BTreeMap<Var, Term> = BTreeMap::new();
+        let mut defs: Vec<(Var, Term)> = Vec::new();
         loop {
             if !self.budget.tick(1 + v2.len() as u64) {
                 // Sound early exit: the variables still in V2 are simply
@@ -185,6 +584,7 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
                 });
                 return (v2, defs);
             }
+            JoinStats::add(&self.stats.inner.qsat_rounds, 1);
             let mut changed = false;
             // One batched Alternate pass per component per round; as
             // variables leave V2, later rounds may find more definitions.
@@ -196,11 +596,15 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
                     if !v2.contains(&y) {
                         continue;
                     }
-                    debug_assert!(
-                        !t.mentions_any(&v2) && t.as_var() != Some(y),
-                        "Alternate returned `{t}` for {y}, violating its contract"
-                    );
-                    defs.insert(y, t);
+                    if t.as_var() == Some(y) || t.mentions_any(&v2) {
+                        JoinStats::add(&self.stats.inner.defs_rejected, 1);
+                        self.budget.degrade("logical-product/q-saturation", {
+                            format!("skipped defective Alternate definition {y} = {t}")
+                        });
+                        continue;
+                    }
+                    JoinStats::add(&self.stats.inner.defs_found, 1);
+                    defs.push((y, t));
                     v2.remove(&y);
                     changed = true;
                 }
@@ -211,37 +615,66 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
         }
     }
 
-    /// Applies a definition map to a conjunction until fixpoint. The
-    /// definitions discovered by `QSaturation` are acyclic (each avoids all
-    /// variables removed after it), so this terminates; the budget guards
-    /// against pathological definition chains anyway, dropping any atom
-    /// that still mentions a defined variable when fuel runs out (sound:
-    /// every kept atom is an instance of a conjunct of `c`).
-    fn subst_defs(&self, mut c: Conj, defs: &BTreeMap<Var, Term>) -> Conj {
+    /// Substitutes the definitions discovered by `QSaturation` into `c` in
+    /// one topologically-ordered pass: resolving each definition against
+    /// its predecessors (valid because `defs` is in discovery order and
+    /// the runtime contract check guarantees acyclicity) yields a map
+    /// whose right-hand sides mention no defined variable, so a single
+    /// substitution replaces the old quadratic resubstitute-to-fixpoint
+    /// loop.
+    fn subst_defs(&self, c: Conj, defs: &[(Var, Term)]) -> Conj {
         if defs.is_empty() {
             return c;
         }
-        loop {
-            if !self.budget.tick(1 + c.len() as u64) {
-                self.budget.degrade(
-                    "logical-product/subst-defs",
-                    "dropped atoms still mentioning defined variables",
-                );
-                let defined: VarSet = defs.keys().copied().collect();
-                return Self::fallback_exists(&c, &defined);
-            }
-            let next = c.subst(defs);
-            if next == c {
-                return c;
-            }
-            c = next;
+        if !self.budget.tick(1 + c.len() as u64 + defs.len() as u64) {
+            self.budget.degrade(
+                "logical-product/subst-defs",
+                "dropped atoms still mentioning defined variables",
+            );
+            let defined: VarSet = defs.iter().map(|(y, _)| *y).collect();
+            return Self::fallback_exists(&c, &defined);
         }
+        let mut resolved: BTreeMap<Var, Term> = BTreeMap::new();
+        for (y, t) in defs {
+            let rt = t.subst(&resolved);
+            resolved.insert(*y, rt);
+        }
+        c.subst(&resolved)
+    }
+
+    /// Lines 4–8 of Figure 7 on an already-saturated split: run
+    /// `QSaturation` for the variables in `v1`, quantify the remainder
+    /// component-wise, and substitute the recovered definitions back into
+    /// the mixed result.
+    fn eliminate(
+        &self,
+        s: &Saturated<D1::Elem, D2::Elem>,
+        v1: &VarSet,
+        label: &'static str,
+    ) -> Conj {
+        let (v2, defs) = trace_phase!(
+            format!("{label}/qsat"),
+            self.q_saturation(&s.left, &s.right, v1)
+        );
+        let e12 = trace_phase!(format!("{label}/q1"), self.d1.exists(&s.left, &v2));
+        let e22 = trace_phase!(format!("{label}/q2"), self.d2.exists(&s.right, &v2));
+        let mixed = self.d1.to_conj(&e12).and(&self.d2.to_conj(&e22));
+        trace_phase!(format!("{label}/subst-defs"), self.subst_defs(mixed, &defs))
     }
 
     /// The shared implementation of join and widening (the paper constructs
     /// the widening operator "in exactly the same way" as the join).
     fn join_impl(&self, el: &Conj, er: &Conj, widen: bool) -> Conj {
+        JoinStats::add(
+            if widen {
+                &self.stats.inner.widens
+            } else {
+                &self.stats.inner.joins
+            },
+            1,
+        );
         if self.budget.is_exhausted() {
+            JoinStats::add(&self.stats.inner.fallbacks, 1);
             self.budget.degrade(
                 "logical-product/join",
                 "fell back to syntactic intersection",
@@ -266,30 +699,34 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
         lvars.extend(pl.fresh.iter().copied());
         let mut rvars: VarSet = er.vars();
         rvars.extend(pr.fresh.iter().copied());
-
-        // The pair-variable set is the quadratic heart of Figure 6 — charge
-        // for it up front, and degrade to the syntactic join if the budget
-        // cannot afford it.
-        if !self.budget.tick((lvars.len() * rvars.len()) as u64) {
+        JoinStats::add(
+            &self.stats.inner.pairs_considered,
+            (lvars.len() * rvars.len()) as u64,
+        );
+        let lreps = class_reps(&lvars, &sl.equalities);
+        let rreps = class_reps(&rvars, &sr.equalities);
+        // The pair-variable set is the quadratic heart of Figure 6 —
+        // charge for what is actually generated (the deduplicated
+        // class-pair set, not the raw |Vℓ|·|Vr| square), and degrade to
+        // the syntactic join if the budget cannot afford it.
+        let npairs = (lreps.len() * rreps.len()) as u64;
+        if !self.budget.tick(npairs) {
+            JoinStats::add(&self.stats.inner.fallbacks, 1);
             self.budget.degrade("logical-product/join", {
                 format!(
-                    "pair-variable set of {}x{} exceeded the budget",
-                    lvars.len(),
-                    rvars.len()
+                    "pair-variable set of {}x{} classes exceeded the budget",
+                    lreps.len(),
+                    rreps.len()
                 )
             });
             return self.fallback_join(el, er);
         }
+        JoinStats::add(&self.stats.inner.pairs_generated, npairs);
         let mut pair_vars = VarSet::new();
-        let mut seen: std::collections::BTreeSet<(Var, Var)> = std::collections::BTreeSet::new();
         let mut atoms_l: Vec<Atom> = Vec::new();
         let mut atoms_r: Vec<Atom> = Vec::new();
-        for &x in &lvars {
-            for &y in &rvars {
-                let key = (sl.equalities.find(x), sr.equalities.find(y));
-                if !seen.insert(key) {
-                    continue;
-                }
+        for &x in &lreps {
+            for &y in &rreps {
                 let v = Var::fresh(&format!("<{},{}>", x.name(), y.name()));
                 pair_vars.insert(v);
                 // Lines 6–7: Eℓ2 := ⋀ x = ⟨x,y⟩ and Er2 := ⋀ y = ⟨x,y⟩,
@@ -314,16 +751,87 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
                 trace_phase!("join/join-2", self.d2.join(&e2l, &e2r)),
             )
         };
-        // Line 10: E := Q_{L1⋈L2}(E1 ∧ E2, V).
-        let mixed = self.d1.to_conj(&j1).and(&self.d2.to_conj(&j2));
+        // Line 10: E := Q_{L1⋈L2}(E1 ∧ E2, V) — performed directly on the
+        // joined component elements instead of re-purifying their mixed
+        // presentation, skipping a purify + from_conj round-trip per join.
+        let c1 = self.d1.to_conj(&j1);
+        let c2 = self.d2.to_conj(&j2);
+        // For overlapping signatures the old round-trip routed shared
+        // atoms to both sides; re-absorb each presentation's atoms that
+        // the *other* signature owns to keep that precision.
+        let sig1 = self.d1.sig();
+        let sig2 = self.d2.sig();
+        let cross1: Vec<Atom> = c2.iter().filter(|a| sig1.owns_atom(a)).cloned().collect();
+        let cross2: Vec<Atom> = c1.iter().filter(|a| sig2.owns_atom(a)).cloned().collect();
+        let j1 = if cross1.is_empty() {
+            j1
+        } else {
+            self.d1.meet_all(&j1, &cross1)
+        };
+        let j2 = if cross2.is_empty() {
+            j2
+        } else {
+            self.d2.meet_all(&j2, &cross2)
+        };
+        let s = trace_phase!(
+            "join/saturate",
+            no_saturate_budgeted(&self.d1, j1, &self.d2, j2, &self.budget)
+        );
+        JoinStats::add(&self.stats.inner.saturation_rounds, s.rounds as u64);
+        if s.bottom {
+            return self.bottom();
+        }
+        // The inputs' purification names must be eliminated along with the
+        // pair variables: when the split cache hands both sides the same
+        // name for a shared alien term, facts about it become two-sided
+        // and would otherwise survive the join (uncached splits mint
+        // distinct names, making such facts one-sided and join-dropped).
+        pair_vars.extend(pl.fresh.iter().copied());
+        pair_vars.extend(pr.fresh.iter().copied());
+        // Prune eliminable variables occurring in neither presentation:
+        // `Alternate` derives definitions from the element's facts, so an
+        // unmentioned variable can appear in no definition, and its
+        // component-wise quantification is the identity — dropping it up
+        // front is exact.
+        let mut occurring: VarSet = c1.vars();
+        occurring.extend(c2.vars());
+        let all_pairs = pair_vars.len();
+        pair_vars.retain(|v| occurring.contains(v));
+        JoinStats::add(
+            &self.stats.inner.pairs_pruned,
+            (all_pairs - pair_vars.len()) as u64,
+        );
         if tracing() {
             eprintln!(
-                "[cai-trace] join/sizes: pairs={} mixed_atoms={}",
-                pair_vars.len(),
-                mixed.len()
+                "[cai-trace] join/sizes: pairs={} pruned={} mixed_atoms={}",
+                all_pairs,
+                all_pairs - pair_vars.len(),
+                c1.len() + c2.len()
             );
+            eprintln!("[cai-trace] join/stats: {}", self.stats.snapshot());
         }
-        trace_phase!("join/exists", self.exists(&mixed, &pair_vars))
+        if pair_vars.is_empty() {
+            return c1.and(&c2);
+        }
+        let out = trace_phase!("join/eliminate", self.eliminate(&s, &pair_vars, "join"));
+        // Safety net: the output may only mention the inputs' variables —
+        // every pair variable and purification name must be gone. If a
+        // component element carried a pruned variable that its
+        // presentation omitted (a lossy `to_conj`), drop any atom still
+        // mentioning one; for faithful presentations this never matches.
+        let mut allowed: VarSet = el.vars();
+        allowed.extend(er.vars());
+        if out
+            .iter()
+            .all(|a| a.vars().iter().all(|v| allowed.contains(v)))
+        {
+            out
+        } else {
+            out.iter()
+                .filter(|a| a.vars().iter().all(|v| allowed.contains(v)))
+                .cloned()
+                .collect()
+        }
     }
 }
 
@@ -393,7 +901,9 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for LogicalProduct<D
     }
 
     fn exists(&self, e: &Conj, vars: &VarSet) -> Conj {
+        JoinStats::add(&self.stats.inner.exists_ops, 1);
         if self.budget.is_exhausted() {
+            JoinStats::add(&self.stats.inner.fallbacks, 1);
             self.budget.degrade(
                 "logical-product/exists",
                 "fell back to syntactic projection",
@@ -405,21 +915,22 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for LogicalProduct<D
         if s.bottom {
             return self.bottom();
         }
-        // Line 3: V1 := V0 ∪ V.
-        let mut v1: VarSet = vars.clone();
+        // Line 3: V1 := V0 ∪ V — restricted to the variables that occur in
+        // `e`. A variable absent from the element can receive no
+        // definition, and quantifying it component-wise is the identity,
+        // so dropping it up front is exact.
+        let evars = e.vars();
+        let requested = vars.len();
+        let mut v1: VarSet = vars.iter().copied().filter(|v| evars.contains(v)).collect();
+        JoinStats::add(
+            &self.stats.inner.pairs_pruned,
+            (requested - v1.len()) as u64,
+        );
         v1.extend(p.fresh.iter().copied());
         if v1.is_empty() {
             return e.clone();
         }
-        // Line 4: QSaturation.
-        let (v2, defs) = trace_phase!("exists/qsat", self.q_saturation(&s.left, &s.right, &v1));
-        // Lines 5–6: component quantification of the variables with no
-        // definitions.
-        let e12 = trace_phase!("exists/q1", self.d1.exists(&s.left, &v2));
-        let e22 = trace_phase!("exists/q2", self.d2.exists(&s.right, &v2));
-        // Lines 7–8: substitute the definitions back, producing mixed facts.
-        let mixed = self.d1.to_conj(&e12).and(&self.d2.to_conj(&e22));
-        trace_phase!("exists/subst-defs", self.subst_defs(mixed, &defs))
+        self.eliminate(&s, &v1, "exists")
     }
 
     /// Batched implication: purify and saturate `a` once, then decide every

@@ -22,6 +22,9 @@ pub struct Saturated<E1, E2> {
     /// original strengthened with *some* (not necessarily all) implied
     /// equalities.
     pub degraded: bool,
+    /// How many exchange rounds ran (observability; a cached split replays
+    /// the stored result without re-running any).
+    pub rounds: usize,
 }
 
 /// `NOSaturation(E1, E2)`: repeatedly propagates the variable equalities
@@ -65,6 +68,7 @@ where
     D2: AbstractDomain,
 {
     let mut joint = Partition::new();
+    let mut rounds = 0;
     loop {
         if d1.is_bottom(&e1) || d2.is_bottom(&e2) {
             return Saturated {
@@ -73,6 +77,7 @@ where
                 equalities: joint,
                 bottom: true,
                 degraded: false,
+                rounds,
             };
         }
         if !budget.tick(2) {
@@ -83,8 +88,10 @@ where
                 equalities: joint,
                 bottom: false,
                 degraded: true,
+                rounds,
             };
         }
+        rounds += 1;
         let p1 = d1.var_equalities(&e1);
         let p2 = d2.var_equalities(&e2);
         let mut changed = joint.merge(&p1);
@@ -96,6 +103,7 @@ where
                 equalities: joint,
                 bottom: false,
                 degraded: false,
+                rounds,
             };
         }
         // Assert every joint equality into both sides (meet is idempotent,

@@ -2,9 +2,13 @@
 //! over chaos-wrapped real domains must never panic, always terminate,
 //! and only ever *lose* implied equalities — never invent them.
 
-use cai_core::{no_saturate, no_saturate_budgeted, AbstractDomain, Budget, ChaosDomain};
+use cai_core::{
+    no_saturate, no_saturate_budgeted, AbstractDomain, Budget, ChaosConfig, ChaosDomain,
+    LogicalProduct,
+};
 use cai_linarith::AffineEq;
 use cai_term::parse::Vocab;
+use cai_term::VarSet;
 use cai_uf::UfDomain;
 
 const SPLIT: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -68,4 +72,73 @@ fn chaos_saturation_is_reproducible() {
     for seed in [0u64, 17, 1 << 40] {
         assert_eq!(run(seed), run(seed), "seed {seed} not reproducible");
     }
+}
+
+/// Every `Alternate` definition is corrupted into the contract-violating
+/// `y = y`. In release builds the old `debug_assert!` let those through,
+/// handing `subst_defs` a cyclic definition; the runtime check must skip
+/// them instead — panic-free, still sound (only weaker than the exact
+/// result), and with no eliminated variable leaking into the output.
+#[test]
+fn chaos_defective_alternate_definitions_are_skipped() {
+    let v = Vocab::standard();
+    let e = v.parse_conj("x = F(y + 1) & y = 2*z").expect("parses");
+    let el = v
+        .parse_conj("x = a & y = b & u = F(y + 1)")
+        .expect("parses");
+    let er = v
+        .parse_conj("x = b & y = a & u = F(y + 1)")
+        .expect("parses");
+    let elim: VarSet = v.parse_conj("y = y").expect("parses").vars();
+
+    let clean = LogicalProduct::new(AffineEq::new(), UfDomain::new());
+    let exact_exists = clean.exists(&e, &elim);
+    let exact_join = clean.join(&el, &er);
+
+    let cfg = ChaosConfig {
+        break_alternate_permille: 1000,
+        ..ChaosConfig::quiet()
+    };
+    let mut rejected_somewhere = false;
+    for seed in 0..40u64 {
+        let d = LogicalProduct::new(
+            ChaosDomain::new(AffineEq::new(), seed).with_config(cfg),
+            ChaosDomain::new(UfDomain::new(), seed ^ SPLIT).with_config(cfg),
+        );
+        let r = d.exists(&e, &elim);
+        // Sound: only precision may be lost relative to the exact result.
+        assert!(
+            clean.le(&exact_exists, &r),
+            "seed {seed}: defective definitions made exists unsound: {r}"
+        );
+        // The eliminated variable must be gone even though every recovered
+        // definition for it was defective.
+        for var in r.vars() {
+            assert!(
+                !elim.contains(&var),
+                "seed {seed}: eliminated variable {var} leaked into {r}"
+            );
+        }
+        let j = d.join(&el, &er);
+        assert!(
+            clean.le(&exact_join, &j),
+            "seed {seed}: defective definitions made the join unsound: {j}"
+        );
+        let inputs: VarSet = el.vars().union(&er.vars()).copied().collect();
+        for var in j.vars() {
+            assert!(
+                inputs.contains(&var),
+                "seed {seed}: internal variable {var} leaked into join {j}"
+            );
+        }
+        rejected_somewhere |= d.stats().snapshot().defs_rejected > 0;
+        // The degradation is reported, not silent.
+        if d.stats().snapshot().defs_rejected > 0 {
+            assert!(d.budget().degraded(), "seed {seed}: rejection unreported");
+        }
+    }
+    assert!(
+        rejected_somewhere,
+        "full-rate corruption never produced a rejected definition"
+    );
 }

@@ -1,0 +1,169 @@
+//! The split cache and the batched pair-variable elimination must be
+//! invisible semantically: cached and uncached products return *identical*
+//! conjunctions, a budget-degraded round must never poison the cache, and
+//! the join's budget is charged for the deduplicated class-pair set it
+//! actually generates.
+
+use cai_core::{AbstractDomain, Budget, JoinStats, LogicalProduct, SplitCache};
+use cai_linarith::AffineEq;
+use cai_term::parse::Vocab;
+use cai_term::{Conj, VarSet};
+use cai_uf::UfDomain;
+
+fn conj(v: &Vocab, src: &str) -> Conj {
+    v.parse_conj(src).expect("parses")
+}
+
+fn cached() -> LogicalProduct<AffineEq, UfDomain> {
+    LogicalProduct::new(AffineEq::new(), UfDomain::new())
+}
+
+fn uncached() -> LogicalProduct<AffineEq, UfDomain> {
+    LogicalProduct::new(AffineEq::new(), UfDomain::new()).with_split_cache_capacity(0)
+}
+
+/// A multi-round "fixpoint": repeatedly join the accumulator with the two
+/// branch states and project a temporary — revisiting each conjunction
+/// several times, exactly the workload the cache amortizes.
+fn rounds(d: &LogicalProduct<AffineEq, UfDomain>, v: &Vocab) -> Vec<Conj> {
+    let e1 = conj(v, "x = a & y = b & u = F(y + 1)");
+    let e2 = conj(v, "x = b & y = a & u = F(y + 1)");
+    let mut acc = e1.clone();
+    let mut outs = Vec::new();
+    for _ in 0..4 {
+        acc = d.join(&acc, &e2);
+        outs.push(acc.clone());
+        acc = d.join(&acc, &e1);
+        outs.push(acc.clone());
+        let elim: VarSet = conj(v, "u = u & u = u").vars();
+        outs.push(d.exists(&acc, &elim));
+    }
+    outs
+}
+
+#[test]
+fn cached_and_uncached_rounds_are_bit_identical() {
+    let v = Vocab::standard();
+    let with_cache = cached();
+    let without = uncached();
+    let a = rounds(&with_cache, &v);
+    let b = rounds(&without, &v);
+    assert_eq!(a, b, "split cache changed an analysis result");
+    let s = with_cache.stats().snapshot();
+    assert!(
+        s.cache_hits > 0,
+        "repeated rounds produced no cache hits: {s}"
+    );
+    assert_eq!(
+        without.stats().snapshot().cache_hits,
+        0,
+        "capacity 0 must disable the cache"
+    );
+}
+
+#[test]
+fn repeated_exists_hits_the_cache_with_identical_results() {
+    let v = Vocab::standard();
+    let d = cached();
+    let e = conj(&v, "x = F(y + 1) & y = 2*z");
+    let elim: VarSet = conj(&v, "y = y").vars();
+    let first = d.exists(&e, &elim);
+    let second = d.exists(&e, &elim);
+    assert_eq!(first, second);
+    assert!(d.stats().snapshot().cache_hits > 0);
+    // The result must not leak the eliminated variable or any internal
+    // (purification / pair) name.
+    let evars = e.vars();
+    for var in first.vars() {
+        assert!(evars.contains(&var), "leaked internal variable {var}");
+    }
+}
+
+/// A starved round degrades; its splits must not be cached, so a later
+/// well-funded product sharing the same cache computes from scratch and
+/// matches a completely fresh product bit-for-bit.
+#[test]
+fn degraded_round_never_poisons_the_cache() {
+    let v = Vocab::standard();
+    let e1 = conj(&v, "x = a & y = b & u = F(y + 1)");
+    let e2 = conj(&v, "x = b & y = a & u = F(y + 1)");
+
+    let shared: SplitCache<_, _> = SplitCache::new();
+    let stats = JoinStats::new();
+    // Round 1: starved. Enough fuel to get into the splits, not enough to
+    // finish them.
+    let starved = LogicalProduct::new(AffineEq::new(), UfDomain::new())
+        .with_budget(Budget::fuel(4))
+        .with_split_cache(shared.clone())
+        .with_stats(stats.clone());
+    let _ = starved.join(&e1, &e2);
+    assert!(starved.budget().degraded(), "fuel 4 was expected to starve");
+    // Splits that completed cleanly *before* exhaustion may be cached;
+    // the one that degraded must have been skipped.
+    assert!(
+        stats.snapshot().cache_skips > 0,
+        "the degraded computation was not recorded as a skip: {}",
+        stats.snapshot()
+    );
+
+    // Round 2: well-funded, sharing the cache the starved round touched.
+    let funded = LogicalProduct::new(AffineEq::new(), UfDomain::new())
+        .with_split_cache(shared.clone())
+        .with_stats(stats.clone());
+    let fresh = LogicalProduct::new(AffineEq::new(), UfDomain::new());
+    assert_eq!(
+        funded.join(&e1, &e2),
+        fresh.join(&e1, &e2),
+        "a poisoned cache entry leaked into a later round"
+    );
+    // And the now-cached healthy splits replay on a third round.
+    let before = stats.snapshot().cache_hits;
+    assert_eq!(funded.join(&e1, &e2), fresh.join(&e1, &e2));
+    assert!(stats.snapshot().cache_hits > before);
+}
+
+/// Regression for the pair-budget accounting: the join charges the
+/// deduplicated class-pair count, not `|Vℓ| · |Vr|`. With ten mutually
+/// equal variables per side the naive charge is over a hundred ticks at
+/// the pair step alone; the corrected charge lets a budget of the actual
+/// spend complete exactly (it previously forced the syntactic fallback).
+#[test]
+fn pair_budget_charges_deduplicated_classes() {
+    let v = Vocab::standard();
+    let chain = "x1 = x2 & x2 = x3 & x3 = x4 & x4 = x5 & x5 = x6 \
+                 & x6 = x7 & x7 = x8 & x8 = x9 & x9 = x10";
+    let el = conj(&v, &format!("{chain} & x1 = a"));
+    let er = conj(&v, &format!("{chain} & x1 = b"));
+    let naive_charge = (el.vars().len() * er.vars().len()) as u64; // 121
+
+    let unlimited = cached();
+    let exact = unlimited.join(&el, &er);
+    let spent = unlimited.budget().spent();
+    assert!(
+        spent < naive_charge,
+        "join spent {spent} ticks, at least the naive quadratic \
+         pair charge of {naive_charge} — dedup accounting regressed"
+    );
+    let s = unlimited.stats().snapshot();
+    assert!(
+        s.pairs_generated < s.pairs_considered,
+        "no dedup happened: {s}"
+    );
+
+    // The corrected charge is what makes this budget sufficient: under the
+    // old up-front quadratic charge it exhausted inside the join.
+    let pinned =
+        LogicalProduct::new(AffineEq::new(), UfDomain::new()).with_budget(Budget::fuel(spent));
+    assert_eq!(pinned.join(&el, &er), exact);
+    let report = pinned.budget().report();
+    assert!(
+        !report.degraded && !report.exhausted,
+        "budget of the actual spend still degraded: {report:?}"
+    );
+    // And the join is genuinely better than the syntactic fallback the old
+    // accounting forced: the shared equality chain survives.
+    let v10 = conj(&v, "x1 = x10");
+    for atom in &v10 {
+        assert!(unlimited.implies_atom(&exact, atom), "join = {exact}");
+    }
+}

@@ -115,6 +115,14 @@ struct Job {
 /// threads — the only values crossing thread boundaries are immutable
 /// [`Summary`] snapshots and finished [`ProcReport`]s.
 ///
+/// One domain instance serves a whole SCC job, so a domain with a
+/// cross-round memo — the logical product's split cache — amortizes its
+/// purification/saturation work across that component's Jacobi summary
+/// rounds and the recording pass. A factory may also close over a shared
+/// `SplitCache` (it is `Sync`) to carry the memo across jobs and worker
+/// threads; the cache is semantically invisible, so verdicts stay
+/// identical for every thread count.
+///
 /// ```
 /// use cai_driver::Driver;
 /// use cai_interp::parse_module;

@@ -327,3 +327,66 @@ fn domain_le_is_used_not_structural_equality() {
     let a = affine().analyze(&m);
     assert!(!a.report("swap2").expect("swap2").diverged);
 }
+
+#[test]
+fn shared_split_cache_is_deterministic_across_thread_counts() {
+    // A factory may close over one `SplitCache`/`JoinStats` pair so every
+    // worker's logical product shares the purification memo. The cache is
+    // semantically invisible, so the verdicts must be identical whatever
+    // the thread count or hit pattern — and a loop-heavy module must
+    // actually hit it.
+    use cai_core::{JoinStats, LogicalProduct, SplitCache};
+    use cai_uf::UfDomain;
+
+    let m = module(
+        "proc sum(n) {
+             a := 0; s := 0; t := 0;
+             while (*) { d := F(a); s := s + d; t := t + F(a); a := a + 1; }
+             assert(s = t);
+             ret := s;
+         }
+         proc main(n) {
+             x := call sum(n);
+             b := 0; u := 0; w := 0;
+             while (*) { u := u + F(b); w := w + F(b); b := b + 1; }
+             assert(u = w);
+             ret := x;
+         }",
+    );
+
+    let run = |threads: usize, capacity: usize| {
+        let cache: SplitCache<_, _> = SplitCache::with_capacity(capacity);
+        let stats = JoinStats::new();
+        let driver = Driver::new({
+            let cache = cache.clone();
+            let stats = stats.clone();
+            move |b: &Budget| {
+                LogicalProduct::new(AffineEq::new(), UfDomain::new())
+                    .with_budget(b.clone())
+                    .with_split_cache(cache.clone())
+                    .with_stats(stats.clone())
+            }
+        })
+        .threads(threads);
+        let a = driver.analyze(&m);
+        (
+            verdicts(&a, "sum"),
+            verdicts(&a, "main"),
+            stats.snapshot().cache_hits,
+        )
+    };
+
+    let (sum1, main1, hits1) = run(1, 1024);
+    assert_eq!(sum1, [true]);
+    assert_eq!(main1, [true]);
+    assert!(hits1 > 0, "loop-heavy module produced no cache hits");
+
+    for threads in [2, 4] {
+        let (s, m_, _) = run(threads, 1024);
+        assert_eq!((s, m_), (sum1.clone(), main1.clone()), "{threads} threads");
+    }
+    // And with the cache disabled the verdicts are still the same.
+    let (s0, m0, hits0) = run(1, 0);
+    assert_eq!((s0, m0), (sum1, main1), "cache changed the verdicts");
+    assert_eq!(hits0, 0);
+}

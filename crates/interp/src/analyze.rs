@@ -318,6 +318,10 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
             }
             Stmt::While(c, body) => {
                 // Fixpoint iteration (paper §4.3): silent rounds first.
+                // Successive rounds (and the recording pass) revisit the
+                // same body states, so a domain with a cross-round memo —
+                // the logical product's split cache — amortizes its
+                // purification/saturation work across the whole fixpoint.
                 let mut inv = e;
                 let mut iterations = 0usize;
                 loop {

@@ -161,6 +161,12 @@ impl Atom {
     pub fn size(&self) -> usize {
         self.args().iter().map(|t| t.size()).sum()
     }
+
+    /// A structural fingerprint for in-process memo tables (see the
+    /// [`fingerprint`](crate::fingerprint) docs for the guarantees).
+    pub fn fingerprint(&self) -> u64 {
+        crate::fingerprint::fingerprint(self)
+    }
 }
 
 impl fmt::Display for Atom {
@@ -276,6 +282,13 @@ impl Conj {
     /// The total size (term nodes) of the conjunction.
     pub fn size(&self) -> usize {
         self.atoms.iter().map(Atom::size).sum()
+    }
+
+    /// A structural fingerprint of the conjunction, atom order included —
+    /// the cache key of the logical product's purification memo (see the
+    /// [`fingerprint`](crate::fingerprint) docs for the guarantees).
+    pub fn fingerprint(&self) -> u64 {
+        crate::fingerprint::fingerprint(self)
     }
 }
 

@@ -1,0 +1,54 @@
+//! Structural fingerprinting for cache keys.
+//!
+//! A fingerprint is a 64-bit FNV-1a hash of a term-layer value's structure
+//! (via its [`Hash`] implementation, which for every type in this crate
+//! hashes contents, not addresses). Equal values always fingerprint
+//! equally, so a fingerprint can key a memo table as long as the table
+//! guards against collisions by also comparing the stored value.
+//!
+//! Fingerprints are deterministic *within* a process. They are **not**
+//! stable across processes: interned symbol identifiers depend on
+//! interning order, and the hash consumes native-endian bytes. Use them
+//! for in-memory caches only.
+
+use std::hash::{Hash, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a [`Hasher`]. Deterministic and allocation-free; not
+/// collision-resistant against adversaries (callers must verify hits).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A hasher starting from the standard FNV offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// The FNV-1a fingerprint of any hashable value.
+pub fn fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = Fnv1a::new();
+    value.hash(&mut h);
+    h.finish()
+}

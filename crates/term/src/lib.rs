@@ -35,6 +35,7 @@
 //! ```
 
 mod atom;
+mod fingerprint;
 mod lin;
 pub mod parse;
 mod purify;
@@ -44,6 +45,7 @@ mod term;
 mod var;
 
 pub use atom::{Atom, Conj};
+pub use fingerprint::{fingerprint, Fnv1a};
 pub use lin::LinExpr;
 pub use purify::{purify, purify_term, Purified, Purifier, Side};
 pub use sig::{alien_terms, classify_atom, term_root, AtomSide, Sig, TermRoot};

@@ -240,6 +240,12 @@ impl Term {
             TermKind::Lin(e) => 1 + e.iter().map(|(a, _)| a.size()).sum::<usize>(),
         }
     }
+
+    /// A structural fingerprint for in-process memo tables (see the
+    /// [`fingerprint`](crate::fingerprint) docs for the guarantees).
+    pub fn fingerprint(&self) -> u64 {
+        crate::fingerprint::fingerprint(self)
+    }
 }
 
 impl From<Var> for Term {
