@@ -30,8 +30,11 @@ cargo test -q --workspace --offline
 echo "== driver tests (release) =="
 cargo test -q -p cai-driver --release --offline
 
-echo "== driver_eval smoke =="
-cargo run --release -p cai-bench --bin driver_eval --offline -- --smoke
+echo "== driver_eval smoke (with context-sensitivity checks) =="
+# --ctx-stats exits nonzero unless entry-keyed summaries are never less
+# precise than the insensitive ones, strictly more precise on the
+# reassigned-formal benchmark, and deterministic across thread counts.
+cargo run --release -p cai-bench --bin driver_eval --offline -- --smoke --ctx-stats
 
 echo "== paper_eval --join-stats smoke =="
 # Exits nonzero unless the split cache hits, saves ticks, and leaves the

@@ -6,10 +6,16 @@
 //! cargo run --release -p cai-bench --bin driver_eval                    # defaults
 //! cargo run --release -p cai-bench --bin driver_eval -- --procs 64 --threads 8
 //! cargo run --release -p cai-bench --bin driver_eval -- --smoke         # quick CI check
+//! cargo run --release -p cai-bench --bin driver_eval -- --ctx-stats     # context-sensitivity report
 //! ```
+//!
+//! `--ctx-stats` runs a benchmark whose callee reassigns its formal —
+//! invisible to context-insensitive summaries — and asserts the
+//! entry-keyed analysis is never less precise (and strictly more precise
+//! there), printing context and cache counters.
 
-use cai_core::{Budget, LogicalProduct};
-use cai_driver::{Driver, ModuleAnalysis, SummaryCache};
+use cai_core::{AbstractDomain, Budget, LogicalProduct};
+use cai_driver::{Driver, ModuleAnalysis, Summary, SummaryCache};
 use cai_interp::{parse_module, Module};
 use cai_linarith::AffineEq;
 use cai_term::parse::Vocab;
@@ -48,6 +54,40 @@ fn batch_module(n: usize, p0_variant: usize) -> Module {
     parse_module(&Vocab::standard(), &src).expect("generated module parses")
 }
 
+/// A module whose callee reassigns its formal, so the context-insensitive
+/// summary of `step` collapses to `true` (the exit constraint ranges over
+/// *stable* formals only) while entry-keyed specialization recovers
+/// `ret = k + 1` at each constant-argument call site.
+fn ctx_module(n: usize) -> Module {
+    let mut src = String::from(
+        "proc step(a) {
+             a := a + 1;
+             ret := a;
+         }\n",
+    );
+    for i in 0..n {
+        src.push_str(&format!(
+            "proc use{i}(b) {{
+                 x := call step({i});
+                 y := call step(x);
+                 assert(y = {});
+                 ret := y + b;
+             }}\n",
+            i + 2
+        ));
+    }
+    parse_module(&Vocab::standard(), &src).expect("generated module parses")
+}
+
+/// Exit-fact order: `a ⊑ b` under the product domain (None = ⊥).
+fn exit_le(d: &Product, a: &Summary, b: &Summary) -> bool {
+    match (&a.exit, &b.exit) {
+        (None, _) => true,
+        (Some(ca), None) => d.is_bottom(&d.from_conj(ca)),
+        (Some(ca), Some(cb)) => d.le(&d.from_conj(ca), &d.from_conj(cb)),
+    }
+}
+
 fn time_ms(mut f: impl FnMut() -> ModuleAnalysis) -> (f64, ModuleAnalysis) {
     let t = Instant::now();
     let a = f();
@@ -64,6 +104,7 @@ fn main() {
             .unwrap_or(default)
     };
     let smoke = args.iter().any(|a| a == "--smoke");
+    let ctx_stats = args.iter().any(|a| a == "--ctx-stats");
     let procs = flag_value("--procs", if smoke { 32 } else { 64 });
     let threads = flag_value("--threads", 4);
     let reps = if smoke { 1 } else { 3 };
@@ -124,6 +165,78 @@ fn main() {
         "  edit one procedure: {t_edit:>8.1} ms   {{reused: {}, recomputed: {}}}",
         inc.reused, inc.recomputed
     );
+
+    // --- context sensitivity ---------------------------------------------
+    if ctx_stats {
+        let callers = 4;
+        let cm = ctx_module(callers);
+        let d = LogicalProduct::new(AffineEq::new(), UfDomain::new());
+        let mut cache = SummaryCache::new();
+        let (t_sens, sens) = time_ms(|| {
+            product_driver()
+                .threads(threads)
+                .analyze_with_cache(&cm, &mut cache)
+        });
+        let (t_insens, insens) = time_ms(|| product_driver().context_cap(0).analyze(&cm));
+
+        // Hard guarantee: context-sensitive exit facts are ⊑ the
+        // insensitive ones on every procedure, strictly below on the
+        // reassigned-formal benchmark.
+        let mut strictly_better = 0usize;
+        for (s, i) in sens.iter().zip(&insens) {
+            assert_eq!(s.name, i.name);
+            assert!(
+                exit_le(&d, &s.summary, &i.summary),
+                "context-sensitive summary of `{}` must be at least as precise",
+                s.name
+            );
+            if !exit_le(&d, &i.summary, &s.summary) {
+                strictly_better += 1;
+            }
+        }
+        println!("  ctx benchmark ({callers} constant-argument callers of a reassigning callee):");
+        println!(
+            "    sensitive  : {t_sens:>6.1} ms   verified {}/{}   strictly more precise on {} proc(s)",
+            sens.verified_count(),
+            callers,
+            strictly_better
+        );
+        println!(
+            "    insensitive: {t_insens:>6.1} ms   verified {}/{}",
+            insens.verified_count(),
+            callers
+        );
+        println!("    ctx stats  : {}", sens.ctx);
+        println!("    cache stats: {}", cache.stats());
+        // Determinism of the context-sensitive schedule across thread
+        // counts rides along.
+        let s1 = product_driver().threads(1).analyze(&cm);
+        let s4 = product_driver().threads(4).analyze(&cm);
+        let ctx_identical = s1
+            .iter()
+            .zip(&s4)
+            .all(|(a, b)| a.summary == b.summary && a.summary.to_string() == b.summary.to_string());
+        println!(
+            "    determinism (1 vs 4 threads): {}",
+            if ctx_identical {
+                "identical"
+            } else {
+                "MISMATCH"
+            }
+        );
+        assert!(
+            ctx_identical,
+            "context-sensitive schedule must be deterministic"
+        );
+        assert!(
+            strictly_better > 0,
+            "entry-keyed summaries must be strictly more precise on the ctx benchmark"
+        );
+        assert!(
+            sens.verified_count() > insens.verified_count(),
+            "context sensitivity must verify more assertions on the ctx benchmark"
+        );
+    }
 
     if smoke {
         assert!(identical, "parallel schedule must be deterministic");

@@ -3,10 +3,17 @@
 //! the fingerprint-keyed incremental cache.
 
 use crate::callgraph::CallGraph;
-use crate::summary::{member_fingerprint, scc_fingerprint, summarize, Summary, SummaryResolver};
+use crate::context::{ContextResolver, CtxStats, CtxStatsSnapshot};
+use crate::summary::{
+    config_fingerprint, member_fingerprint, scc_fingerprint, summarize, Summary, SummaryResolver,
+};
 use cai_core::{AbstractDomain, Budget, DegradationReport};
-use cai_interp::{Analyzer, AssertionOutcome, Module, Procedure};
+use cai_interp::{Analysis, AnalysisConfig, Analyzer, AssertionOutcome, Module, Procedure};
 use std::collections::{BTreeMap, VecDeque};
+
+/// Per-job context specializations, tagged with the component index so
+/// the merge is deterministic regardless of completion order.
+type JobContexts = Vec<(usize, BTreeMap<String, Vec<Summary>>)>;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
@@ -16,7 +23,10 @@ use std::sync::{mpsc, Condvar, Mutex};
 pub struct ProcReport {
     /// The procedure name.
     pub name: String,
-    /// Its computed (or cache-reused) summary.
+    /// Its computed (or cache-reused) ⊤-entry summary. Under a nonzero
+    /// [`context cap`](Driver::context_cap) the exit constraint is
+    /// computed with context-sensitive call resolution inside the body,
+    /// so it is at least as strong as the insensitive one.
     pub summary: Summary,
     /// Assertion verdicts inside the body, in program order, checked
     /// under the final summaries of every callee.
@@ -39,12 +49,24 @@ pub struct ModuleAnalysis {
     /// The merged degradation report: the driver's own budget plus every
     /// worker slice.
     pub degradation: DegradationReport,
+    /// Context-sensitivity counters for this run (all zero under
+    /// [`Driver::context_cap`]`(0)`).
+    pub ctx: CtxStatsSnapshot,
 }
 
 impl ModuleAnalysis {
     /// The report for a procedure, by name.
     pub fn report(&self, name: &str) -> Option<&ProcReport> {
         self.reports.iter().find(|r| r.name == name)
+    }
+
+    /// All reports, in module declaration order. Callers that want every
+    /// procedure iterate here instead of probing [`report`] name by
+    /// name.
+    ///
+    /// [`report`]: ModuleAnalysis::report
+    pub fn iter(&self) -> std::slice::Iter<'_, ProcReport> {
+        self.reports.iter()
     }
 
     /// Total verified assertions across all procedures.
@@ -56,21 +78,65 @@ impl ModuleAnalysis {
     }
 }
 
+impl<'a> IntoIterator for &'a ModuleAnalysis {
+    type Item = &'a ProcReport;
+    type IntoIter = std::slice::Iter<'a, ProcReport>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.reports.iter()
+    }
+}
+
 #[derive(Clone, Debug)]
 struct CacheEntry {
     fingerprint: u64,
     report: ProcReport,
+    /// Entry-keyed specializations of this procedure, in entry-key
+    /// order, valid exactly as long as `fingerprint` matches.
+    contexts: Vec<Summary>,
+}
+
+/// Point-in-time counters of the [`SummaryCache`] — the same
+/// observability shape as `cai_core::JoinStats`: plain data, subtract
+/// two to meter a region.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Procedure reports reused across runs (fingerprint match).
+    pub hits: u64,
+    /// Procedure reports recomputed (cold or dirty cone).
+    pub misses: u64,
+    /// Entries dropped or replaced because the procedure left the
+    /// module or its fingerprint changed.
+    pub evictions: u64,
+    /// Entry-keyed context specializations currently stored.
+    pub contexts: u64,
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} evictions={} contexts={}",
+            self.hits, self.misses, self.evictions, self.contexts
+        )
+    }
 }
 
 /// The incremental cache: per-procedure summaries keyed by a stable
-/// fingerprint of the procedure's text and its transitive callee cone
-/// (see [`scc_fingerprint`]). Feed the same cache back into
-/// [`Driver::analyze_with_cache`] after editing a module and only the
-/// dirty cone — the edited procedures and everything that transitively
-/// calls them — is re-analyzed.
+/// fingerprint of the procedure's text, its transitive callee cone (see
+/// [`scc_fingerprint`]), and the driver's context configuration. Feed
+/// the same cache back into [`Driver::analyze_with_cache`] after editing
+/// a module and only the dirty cone — the edited procedures and
+/// everything that transitively calls them — is re-analyzed. Under a
+/// nonzero context cap it also memoizes every `(procedure, entry-key)`
+/// specialization, so re-analysis of a dirty caller reuses the entry
+/// contexts of its unchanged callees.
 #[derive(Clone, Debug, Default)]
 pub struct SummaryCache {
     entries: BTreeMap<String, CacheEntry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
 }
 
 impl SummaryCache {
@@ -88,6 +154,17 @@ impl SummaryCache {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Cumulative hit/miss/eviction counters plus the current number of
+    /// stored context specializations.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            contexts: self.entries.values().map(|e| e.contexts.len() as u64).sum(),
+        }
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -96,6 +173,7 @@ struct SolveCfg {
     max_iterations: usize,
     summary_widen_delay: usize,
     summary_rounds: usize,
+    context_cap: usize,
 }
 
 /// One unit of work for a worker: a strongly connected component plus a
@@ -123,6 +201,14 @@ struct Job {
 /// threads; the cache is semantically invisible, so verdicts stay
 /// identical for every thread count.
 ///
+/// With a nonzero [`context_cap`](Driver::context_cap) (the default),
+/// calls into already-final procedures are resolved *context-
+/// sensitively*: the caller's abstract state is projected onto the
+/// callee's formals and the callee is re-analyzed from that entry (see
+/// [`ContextResolver`]), memoized per `(procedure, entry-key)`.
+/// `context_cap(0)` reproduces the context-insensitive driver
+/// bit-for-bit.
+///
 /// ```
 /// use cai_driver::Driver;
 /// use cai_interp::parse_module;
@@ -145,11 +231,10 @@ where
 {
     factory: F,
     threads: usize,
-    widen_delay: usize,
-    max_iterations: usize,
+    cfg: AnalysisConfig,
     summary_widen_delay: usize,
     summary_rounds: usize,
-    budget: Budget,
+    context_cap: usize,
     _domain: PhantomData<fn() -> D>,
 }
 
@@ -166,11 +251,10 @@ where
         Driver {
             factory,
             threads: 1,
-            widen_delay: 4,
-            max_iterations: 60,
+            cfg: AnalysisConfig::new(),
             summary_widen_delay: 2,
             summary_rounds: 30,
-            budget: Budget::unlimited(),
+            context_cap: 8,
             _domain: PhantomData,
         }
     }
@@ -184,16 +268,30 @@ where
         self
     }
 
+    /// Replaces the intra-procedure [`AnalysisConfig`] (widening delay,
+    /// iteration cap, budget) wholesale — the same struct
+    /// `cai_interp::Analyzer` consumes, so the two entry points share
+    /// one set of knobs.
+    pub fn with_config(mut self, cfg: AnalysisConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The current intra-procedure configuration.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.cfg
+    }
+
     /// Sets the intra-procedure widening delay (see
     /// [`Analyzer::widen_delay`]).
     pub fn widen_delay(mut self, rounds: usize) -> Self {
-        self.widen_delay = rounds;
+        self.cfg.widen_delay = rounds;
         self
     }
 
     /// Sets the intra-procedure loop iteration cap.
     pub fn max_iterations(mut self, cap: usize) -> Self {
-        self.max_iterations = cap;
+        self.cfg.max_iterations = cap;
         self
     }
 
@@ -205,11 +303,22 @@ where
         self
     }
 
+    /// Sets the maximum number of distinct entry contexts memoized per
+    /// procedure. Entries beyond the cap are widened together into one
+    /// overflow context so polymorphic call sites and descending
+    /// recursion still terminate. `0` disables context sensitivity
+    /// entirely and reproduces the context-insensitive driver
+    /// bit-for-bit.
+    pub fn context_cap(mut self, n: usize) -> Self {
+        self.context_cap = n;
+        self
+    }
+
     /// Governs the whole batch by `budget`: split across workers when
     /// parallel, threaded into every analyzer, and handed to the domain
     /// factory.
     pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.budget = budget;
+        self.cfg.budget = budget;
         self
     }
 
@@ -227,13 +336,18 @@ where
         let n_sccs = graph.sccs.len();
 
         // Fingerprints, callee-first, so every component sees its
-        // external callees' fingerprints already computed.
+        // external callees' fingerprints already computed. The driver's
+        // context configuration joins each member fingerprint, so
+        // changing `context_cap` invalidates the whole cache.
         let mut proc_fps: BTreeMap<String, u64> = BTreeMap::new();
         for members in &graph.sccs {
             let procs: Vec<&Procedure> = members.iter().map(|&i| &module.procs[i]).collect();
             let fp = scc_fingerprint(&procs, &proc_fps);
             for p in &procs {
-                proc_fps.insert(p.name.clone(), member_fingerprint(fp, &p.name));
+                proc_fps.insert(
+                    p.name.clone(),
+                    config_fingerprint(member_fingerprint(fp, &p.name), self.context_cap),
+                );
             }
         }
 
@@ -249,6 +363,18 @@ where
                     .is_some_and(|e| Some(&e.fingerprint) == proc_fps.get(&p.name))
             });
         }
+
+        // Fingerprint-valid context specializations from the previous
+        // run seed every job's memo (read-only, identical for every
+        // thread count).
+        let seed: BTreeMap<String, Vec<Summary>> = cache
+            .entries
+            .iter()
+            .filter(|(name, e)| {
+                !e.contexts.is_empty() && proc_fps.get(*name) == Some(&e.fingerprint)
+            })
+            .map(|(name, e)| (name.clone(), e.contexts.clone()))
+            .collect();
 
         // Seed the summary table and reports with the reused entries.
         let mut summaries: BTreeMap<String, Summary> = BTreeMap::new();
@@ -272,30 +398,83 @@ where
         let todo: Vec<usize> = (0..n_sccs).filter(|&c| !reuse[c]).collect();
         let recomputed: usize = todo.iter().map(|&c| graph.sccs[c].len()).sum();
         let cfg = SolveCfg {
-            widen_delay: self.widen_delay,
-            max_iterations: self.max_iterations,
+            widen_delay: self.cfg.widen_delay,
+            max_iterations: self.cfg.max_iterations,
             summary_widen_delay: self.summary_widen_delay,
             summary_rounds: self.summary_rounds,
+            context_cap: self.context_cap,
         };
-        let mut degradation = if self.threads <= 1 || todo.len() <= 1 {
-            self.run_sequential(module, &graph, &todo, cfg, &mut summaries, &mut reports)
+        let ctx_stats = CtxStats::new();
+        let (mut degradation, job_contexts) = if self.threads <= 1 || todo.len() <= 1 {
+            self.run_sequential(
+                module,
+                &graph,
+                &todo,
+                cfg,
+                &seed,
+                &ctx_stats,
+                &mut summaries,
+                &mut reports,
+            )
         } else {
-            self.run_parallel(module, &graph, &todo, cfg, &mut summaries, &mut reports)
+            self.run_parallel(
+                module,
+                &graph,
+                &todo,
+                cfg,
+                &seed,
+                &ctx_stats,
+                &mut summaries,
+                &mut reports,
+            )
         };
-        degradation.merge(&self.budget.report());
+        degradation.merge(&self.cfg.budget.report());
+
+        // Merge context specializations deterministically: the seed
+        // first (it was every job's memo base), then each job's store in
+        // component order — first writer wins per (proc, entry-key).
+        let mut merged_contexts: BTreeMap<String, BTreeMap<u64, Summary>> = BTreeMap::new();
+        for (name, sums) in &seed {
+            let slot = merged_contexts.entry(name.clone()).or_default();
+            for s in sums {
+                slot.entry(s.entry_key()).or_insert_with(|| s.clone());
+            }
+        }
+        for (_, contexts) in job_contexts {
+            for (name, sums) in contexts {
+                let slot = merged_contexts.entry(name).or_default();
+                for s in sums {
+                    slot.entry(s.entry_key()).or_insert(s);
+                }
+            }
+        }
 
         // Refresh the cache: exactly the current module's procedures.
+        // Entries whose procedure left the module or whose fingerprint
+        // changed count as evictions.
+        cache.evictions += cache
+            .entries
+            .iter()
+            .filter(|(name, e)| proc_fps.get(*name) != Some(&e.fingerprint))
+            .count() as u64;
+        cache.hits += reused as u64;
+        cache.misses += recomputed as u64;
         cache.entries = module
             .procs
             .iter()
             .filter_map(|p| {
                 let fingerprint = proc_fps.get(&p.name).copied()?;
                 let report = reports.get(&p.name)?.clone();
+                let contexts: Vec<Summary> = merged_contexts
+                    .remove(&p.name)
+                    .map(|m| m.into_values().take(self.context_cap).collect())
+                    .unwrap_or_default();
                 Some((
                     p.name.clone(),
                     CacheEntry {
                         fingerprint,
                         report,
+                        contexts,
                     },
                 ))
             })
@@ -311,37 +490,45 @@ where
             reused,
             recomputed,
             degradation,
+            ctx: ctx_stats.snapshot(),
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // internal: mirrors run_parallel
     fn run_sequential(
         &self,
         module: &Module,
         graph: &CallGraph,
         todo: &[usize],
         cfg: SolveCfg,
+        seed: &BTreeMap<String, Vec<Summary>>,
+        ctx_stats: &CtxStats,
         summaries: &mut BTreeMap<String, Summary>,
         reports: &mut BTreeMap<String, ProcReport>,
-    ) -> DegradationReport {
-        let domain = (self.factory)(&self.budget);
+    ) -> (DegradationReport, JobContexts) {
+        let domain = (self.factory)(&self.cfg.budget);
+        let mut job_contexts = Vec::new();
         for &c in todo {
             let members = &graph.sccs[c];
             let external = external_snapshot(module, members, summaries);
-            let out = solve_scc(
+            let (out, contexts) = solve_scc(
                 &domain,
                 module,
                 members,
                 &external,
+                seed,
                 graph.is_recursive(c, module),
                 cfg,
-                &self.budget,
+                &self.cfg.budget,
+                ctx_stats,
             );
             for r in out {
                 summaries.insert(r.name.clone(), r.summary.clone());
                 reports.insert(r.name.clone(), r);
             }
+            job_contexts.push((c, contexts));
         }
-        DegradationReport::default()
+        (DegradationReport::default(), job_contexts)
     }
 
     /// The shared-nothing worklist: the main thread owns the summary
@@ -349,18 +536,24 @@ where
     /// domain instance and a budget slice each. Jobs (component + an
     /// immutable snapshot of its external callees' summaries) flow out
     /// through a mutex-guarded queue, finished reports flow back over a
-    /// channel, and completions unlock dependent components.
+    /// channel, and completions unlock dependent components. Context
+    /// memo seeds are read-only and shared; each job's computed contexts
+    /// come back with its results and are merged in component order, so
+    /// the merged store is identical for every thread count.
+    #[allow(clippy::too_many_arguments)] // internal: mirrors run_sequential
     fn run_parallel(
         &self,
         module: &Module,
         graph: &CallGraph,
         todo: &[usize],
         cfg: SolveCfg,
+        seed: &BTreeMap<String, Vec<Summary>>,
+        ctx_stats: &CtxStats,
         summaries: &mut BTreeMap<String, Summary>,
         reports: &mut BTreeMap<String, ProcReport>,
-    ) -> DegradationReport {
+    ) -> (DegradationReport, JobContexts) {
         let workers = self.threads.min(todo.len()).max(1);
-        let slices = self.budget.split(workers);
+        let slices = self.cfg.budget.split(workers);
 
         // Dependency counts among the to-be-computed components only;
         // reused dependencies are already in the summary table.
@@ -386,7 +579,8 @@ where
         let queue: Mutex<VecDeque<Job>> = Mutex::new(VecDeque::new());
         let ready = Condvar::new();
         let done = AtomicBool::new(false);
-        let (result_tx, result_rx) = mpsc::channel::<(usize, Vec<ProcReport>)>();
+        type JobResult = (usize, Vec<ProcReport>, BTreeMap<String, Vec<Summary>>);
+        let (result_tx, result_rx) = mpsc::channel::<JobResult>();
 
         let push_job = |c: usize, summaries: &BTreeMap<String, Summary>| {
             let members = graph.sccs[c].clone();
@@ -404,6 +598,7 @@ where
             ready.notify_one();
         };
 
+        let mut job_contexts = Vec::new();
         std::thread::scope(|s| {
             for slice in slices.iter().take(workers) {
                 let tx = result_tx.clone();
@@ -412,6 +607,7 @@ where
                 let done = &done;
                 let factory = &self.factory;
                 let slice = slice.clone();
+                let ctx_stats = ctx_stats.clone();
                 s.spawn(move || loop {
                     let job = {
                         let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
@@ -426,16 +622,18 @@ where
                         }
                     };
                     let domain = factory(&slice);
-                    let out = solve_scc(
+                    let (out, contexts) = solve_scc(
                         &domain,
                         module,
                         &job.members,
                         &job.external,
+                        seed,
                         job.recursive,
                         cfg,
                         &slice,
+                        &ctx_stats,
                     );
-                    if tx.send((job.scc, out)).is_err() {
+                    if tx.send((job.scc, out, contexts)).is_err() {
                         return;
                     }
                 });
@@ -449,7 +647,7 @@ where
             }
             let mut remaining = todo.len();
             while remaining > 0 {
-                let Ok((c, out)) = result_rx.recv() else {
+                let Ok((c, out, contexts)) = result_rx.recv() else {
                     break; // all workers gone — nothing more will arrive
                 };
                 remaining -= 1;
@@ -457,6 +655,7 @@ where
                     summaries.insert(r.name.clone(), r.summary.clone());
                     reports.insert(r.name.clone(), r);
                 }
+                job_contexts.push((c, contexts));
                 if let Some(deps) = dependents.get(&c) {
                     for &dep in deps {
                         if let Some(count) = indegree.get_mut(&dep) {
@@ -472,29 +671,52 @@ where
             ready.notify_all();
         });
 
+        // Completion order is scheduling-dependent; merge order must not
+        // be.
+        job_contexts.sort_by_key(|(c, _)| *c);
+
         let mut degradation = DegradationReport::default();
         for slice in &slices {
             degradation.merge(&slice.report());
         }
-        degradation
+        (degradation, job_contexts)
     }
 }
 
-/// The summaries of every procedure the component calls outside itself
-/// (only those already present in the table — i.e. already final).
+/// The summaries of every procedure the component calls outside itself —
+/// transitively: context-sensitive resolution re-analyzes callee bodies,
+/// so the summaries of *their* callees must be on hand too. Only
+/// procedures already present in the table (i.e. already final) are
+/// included; the SCC condensation guarantees that covers the whole
+/// external cone.
 fn external_snapshot(
     module: &Module,
     members: &[usize],
     summaries: &BTreeMap<String, Summary>,
 ) -> BTreeMap<String, Summary> {
     let mut out = BTreeMap::new();
+    let mut work: Vec<String> = Vec::new();
     for &i in members {
         for callee in module.procs[i].callees() {
             if members.iter().any(|&j| module.procs[j].name == callee) {
                 continue;
             }
-            if let Some(s) = summaries.get(&callee) {
-                out.insert(callee, s.clone());
+            work.push(callee);
+        }
+    }
+    while let Some(name) = work.pop() {
+        if out.contains_key(&name) {
+            continue;
+        }
+        let Some(s) = summaries.get(&name) else {
+            continue;
+        };
+        out.insert(name.clone(), s.clone());
+        if let Some(p) = module.get(&name) {
+            for callee in p.callees() {
+                if !out.contains_key(&callee) {
+                    work.push(callee);
+                }
             }
         }
     }
@@ -524,6 +746,7 @@ fn summary_combine<D: AbstractDomain>(d: &D, old: &Summary, new: &Summary, widen
     };
     Summary {
         params: new.params.clone(),
+        entry: new.entry.clone(),
         exit,
     }
 }
@@ -534,26 +757,68 @@ fn summary_combine<D: AbstractDomain>(d: &D, old: &Summary, new: &Summary, widen
 /// widening after — and force every member to ⊤ (flagging divergence) if
 /// the round cap is hit. A final recording pass under the stable
 /// summaries collects assertion verdicts.
+///
+/// Under a nonzero context cap, calls to *external* (already final)
+/// procedures resolve through a [`ContextResolver`] that specializes the
+/// callee on the caller's entry condition; calls within the component
+/// keep reading the Jacobi iterates context-insensitively. The job's
+/// computed specializations are returned for the incremental cache.
+#[allow(clippy::too_many_arguments)] // internal solver shared by both schedulers
 fn solve_scc<D: AbstractDomain>(
     d: &D,
     module: &Module,
     members: &[usize],
     external: &BTreeMap<String, Summary>,
+    seed: &BTreeMap<String, Vec<Summary>>,
     recursive: bool,
     cfg: SolveCfg,
     budget: &Budget,
-) -> Vec<ProcReport> {
-    let run = |proc: &Procedure, table: &BTreeMap<String, Summary>| {
-        let resolver = SummaryResolver::new(table);
-        let analyzer = Analyzer::new(d)
-            .with_calls(&resolver)
-            .with_budget(budget.clone())
-            .widen_delay(cfg.widen_delay)
-            .max_iterations(cfg.max_iterations);
-        analyzer.run(&proc.body)
+    ctx_stats: &CtxStats,
+) -> (Vec<ProcReport>, BTreeMap<String, Vec<Summary>>) {
+    let acfg = AnalysisConfig {
+        widen_delay: cfg.widen_delay,
+        max_iterations: cfg.max_iterations,
+        budget: budget.clone(),
+    };
+    let ctx_resolver = (cfg.context_cap > 0).then(|| {
+        ContextResolver::new(
+            d,
+            module,
+            external,
+            seed,
+            cfg.context_cap,
+            acfg.clone(),
+            ctx_stats.clone(),
+        )
+    });
+
+    // `local` holds the component members' summaries only (the Jacobi
+    // iterates); external summaries are final and read separately.
+    let run = |proc: &Procedure, local: &BTreeMap<String, Summary>| -> Analysis<D::Elem> {
+        match &ctx_resolver {
+            Some(resolver) => {
+                resolver.set_local(local.clone());
+                Analyzer::new(d)
+                    .with_calls(resolver)
+                    .with_config(acfg.clone())
+                    .run(&proc.body)
+            }
+            None => {
+                let mut table = external.clone();
+                for (k, v) in local.iter() {
+                    table.insert(k.clone(), v.clone());
+                }
+                let resolver = SummaryResolver::new(&table);
+                let analysis = Analyzer::new(d)
+                    .with_calls(&resolver)
+                    .with_config(acfg.clone())
+                    .run(&proc.body);
+                analysis
+            }
+        }
     };
 
-    let mut table = external.clone();
+    let mut local: BTreeMap<String, Summary> = BTreeMap::new();
     let mut scc_diverged = false;
 
     if !recursive {
@@ -561,7 +826,7 @@ fn solve_scc<D: AbstractDomain>(
         let mut out = Vec::with_capacity(members.len());
         for &i in members {
             let proc = &module.procs[i];
-            let analysis = run(proc, &table);
+            let analysis = run(proc, &local);
             let summary = summarize(d, &analysis.exit, proc);
             out.push(ProcReport {
                 name: proc.name.clone(),
@@ -570,12 +835,12 @@ fn solve_scc<D: AbstractDomain>(
                 diverged: analysis.diverged,
             });
         }
-        return out;
+        return (out, take_contexts(ctx_resolver));
     }
 
     for &i in members {
         let proc = &module.procs[i];
-        table.insert(proc.name.clone(), Summary::bottom(proc.params.clone()));
+        local.insert(proc.name.clone(), Summary::bottom(proc.params.clone()));
     }
     let mut round = 0usize;
     loop {
@@ -585,12 +850,12 @@ fn solve_scc<D: AbstractDomain>(
         let mut next: Vec<(String, Summary)> = Vec::with_capacity(members.len());
         for &i in members {
             let proc = &module.procs[i];
-            let analysis = run(proc, &table);
+            let analysis = run(proc, &local);
             next.push((proc.name.clone(), summarize(d, &analysis.exit, proc)));
         }
         let stable = next
             .iter()
-            .all(|(name, new)| table.get(name).is_some_and(|old| summary_le(d, new, old)));
+            .all(|(name, new)| local.get(name).is_some_and(|old| summary_le(d, new, old)));
         if stable {
             break;
         }
@@ -601,24 +866,24 @@ fn solve_scc<D: AbstractDomain>(
             );
             for &i in members {
                 let proc = &module.procs[i];
-                table.insert(proc.name.clone(), Summary::top(proc.params.clone()));
+                local.insert(proc.name.clone(), Summary::top(proc.params.clone()));
             }
             scc_diverged = true;
             break;
         }
         let widen = round > cfg.summary_widen_delay;
         for (name, new) in next {
-            let combined = match table.get(&name) {
+            let combined = match local.get(&name) {
                 Some(old) => summary_combine(d, old, &new, widen),
                 None => new,
             };
-            table.insert(name, combined);
+            local.insert(name, combined);
         }
         if budget.is_exhausted() {
             // Sound bail-out mirroring the intra-procedure loops.
             for &i in members {
                 let proc = &module.procs[i];
-                table.insert(proc.name.clone(), Summary::top(proc.params.clone()));
+                local.insert(proc.name.clone(), Summary::top(proc.params.clone()));
             }
             scc_diverged = true;
             break;
@@ -629,8 +894,8 @@ fn solve_scc<D: AbstractDomain>(
     let mut out = Vec::with_capacity(members.len());
     for &i in members {
         let proc = &module.procs[i];
-        let analysis = run(proc, &table);
-        let summary = match table.get(&proc.name) {
+        let analysis = run(proc, &local);
+        let summary = match local.get(&proc.name) {
             Some(s) => s.clone(),
             None => summarize(d, &analysis.exit, proc),
         };
@@ -641,5 +906,14 @@ fn solve_scc<D: AbstractDomain>(
             diverged: analysis.diverged || scc_diverged,
         });
     }
-    out
+    (out, take_contexts(ctx_resolver))
+}
+
+fn take_contexts<D: AbstractDomain>(
+    resolver: Option<ContextResolver<'_, D>>,
+) -> BTreeMap<String, Vec<Summary>> {
+    match resolver {
+        Some(r) => r.into_contexts(),
+        None => BTreeMap::new(),
+    }
 }

@@ -5,26 +5,43 @@
 //!
 //! - [`CallGraph`] condenses a [`Module`](cai_interp::Module)'s call
 //!   graph into strongly connected components, scheduled callee-first;
-//! - [`Summary`] is a context-insensitive procedure summary — the exit
-//!   constraint over the stable formals and `ret`, stored as a
-//!   domain-independent [`Conj`](cai_term::Conj) — applied at call sites
-//!   by [`SummaryResolver`] through the
-//!   [`CallResolver`](cai_interp::CallResolver) hook;
+//! - [`Summary`] is an entry-keyed procedure summary — an entry
+//!   condition over the formals plus the exit constraint over the stable
+//!   formals and `ret`, both stored as domain-independent
+//!   [`Conj`](cai_term::Conj)s — applied at call sites through the
+//!   [`CallResolver`](cai_interp::CallResolver) hook. The empty entry is
+//!   ⊤, i.e. the classic context-insensitive summary, applied by
+//!   [`SummaryResolver`];
+//! - [`ContextResolver`] adds context sensitivity: at each call into an
+//!   already-final procedure it projects the caller's abstract state
+//!   onto the callee's formals ([`entry_context`]), re-analyzes the
+//!   callee from that entry, and memoizes the specialization per
+//!   `(procedure, entry-key)` — capped per procedure, with overflow
+//!   entries widened together so analysis still terminates;
 //! - [`Driver`] runs the batch: sequentially, or farming independent
 //!   components to a fixed pool of shared-nothing worker threads (each
 //!   owns its domain instance and [`Budget`](cai_core::Budget) slice;
 //!   only immutable summaries cross threads, so results are identical
-//!   for every thread count under an unlimited budget);
+//!   for every thread count under an unlimited budget). Its
+//!   [`context_cap`](Driver::context_cap) knob bounds per-procedure
+//!   contexts; `context_cap(0)` reproduces the context-insensitive
+//!   driver bit-for-bit;
 //! - [`SummaryCache`] makes re-analysis incremental: procedures are
-//!   fingerprinted over their text and transitive callee cone, and an
-//!   edit re-analyzes only its dirty cone
+//!   fingerprinted over their text, transitive callee cone, and context
+//!   configuration; an edit re-analyzes only its dirty cone
 //!   ([`ModuleAnalysis::reused`] / [`ModuleAnalysis::recomputed`] count
-//!   the split).
+//!   the split) and fingerprint-valid context specializations are
+//!   reused across runs ([`SummaryCache::stats`]).
 
 mod callgraph;
+mod context;
 mod engine;
 mod summary;
 
 pub use callgraph::CallGraph;
-pub use engine::{Driver, ModuleAnalysis, ProcReport, SummaryCache};
-pub use summary::{member_fingerprint, scc_fingerprint, summarize, Summary, SummaryResolver};
+pub use context::{ContextResolver, CtxStats, CtxStatsSnapshot};
+pub use engine::{CacheStats, Driver, ModuleAnalysis, ProcReport, SummaryCache};
+pub use summary::{
+    config_fingerprint, entry_context, entry_key, instantiate_summary, member_fingerprint,
+    scc_fingerprint, summarize, Summary, SummaryResolver,
+};

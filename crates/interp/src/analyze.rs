@@ -76,6 +76,73 @@ impl<E> Analysis<E> {
 /// Herbrand view).
 type TermView<'d> = Box<dyn Fn(&Term) -> Term + 'd>;
 
+/// The knobs shared by every fixpoint entry point — the intra-procedure
+/// [`Analyzer`] and the interprocedural driver both consume one of
+/// these, so the two layers cannot drift apart.
+#[derive(Clone, Debug)]
+pub struct AnalysisConfig {
+    /// Plain-join rounds before a loop fixpoint switches to widening.
+    pub widen_delay: usize,
+    /// Hard cap on fixpoint iterations per loop.
+    pub max_iterations: usize,
+    /// The governing budget: statement transfers tick it, and governed
+    /// loops degrade soundly when it is exhausted.
+    pub budget: Budget,
+}
+
+impl AnalysisConfig {
+    /// The default configuration: widening after 4 rounds, iteration cap
+    /// 60, unlimited budget.
+    pub fn new() -> AnalysisConfig {
+        AnalysisConfig {
+            widen_delay: 4,
+            max_iterations: 60,
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Sets the widening delay.
+    pub fn widen_delay(mut self, rounds: usize) -> Self {
+        self.widen_delay = rounds;
+        self
+    }
+
+    /// Sets the iteration cap.
+    pub fn max_iterations(mut self, cap: usize) -> Self {
+        self.max_iterations = cap;
+        self
+    }
+
+    /// Sets the governing budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig::new()
+    }
+}
+
+/// One `dst := call name(args)` statement, bundled with the caller's
+/// abstract state at the site. Resolvers receive the whole site — not
+/// just the callee name and argument terms — so a context-sensitive
+/// resolver can project what the caller knows onto the callee's formals
+/// and specialize the callee on that entry condition.
+pub struct CallSite<'c, D: AbstractDomain> {
+    /// The caller's abstract state immediately before the call.
+    pub state: D::Elem,
+    /// The destination variable (its pre-state value may still be
+    /// mentioned by the arguments).
+    pub dst: Var,
+    /// The callee name.
+    pub name: &'c str,
+    /// The argument terms, already rewritten by the expression view.
+    pub args: &'c [Term],
+}
+
 /// Resolves `x := call f(…)` statements for the analyzer.
 ///
 /// The interprocedural driver implements this over its procedure
@@ -83,39 +150,41 @@ type TermView<'d> = Box<dyn Fn(&Term) -> Term + 'd>;
 /// havocs the destination (sound for call-by-value calls, whose only
 /// effect is on `x`).
 pub trait CallResolver<D: AbstractDomain> {
-    /// The abstract state after `dst := call name(args)` from state `e`,
-    /// or `None` to fall back to the analyzer's conservative havoc.
-    fn resolve_call(
-        &self,
-        domain: &D,
-        e: D::Elem,
-        dst: Var,
-        name: &str,
-        args: &[Term],
-    ) -> Option<D::Elem>;
+    /// The abstract state after the call described by `site`, or `None`
+    /// to fall back to the analyzer's conservative havoc.
+    fn resolve_call(&self, domain: &D, site: CallSite<'_, D>) -> Option<D::Elem>;
 }
 
 pub struct Analyzer<'d, D: AbstractDomain> {
     domain: &'d D,
     view: Option<TermView<'d>>,
     calls: Option<&'d dyn CallResolver<D>>,
-    widen_delay: usize,
-    max_iterations: usize,
-    budget: Budget,
+    cfg: AnalysisConfig,
 }
 
 impl<'d, D: AbstractDomain> Analyzer<'d, D> {
-    /// Creates an analyzer over `domain` with default settings
-    /// (widening after 4 rounds, iteration cap 60, unlimited budget).
+    /// Creates an analyzer over `domain` with the default
+    /// [`AnalysisConfig`] (widening after 4 rounds, iteration cap 60,
+    /// unlimited budget).
     pub fn new(domain: &'d D) -> Analyzer<'d, D> {
         Analyzer {
             domain,
             view: None,
             calls: None,
-            widen_delay: 4,
-            max_iterations: 60,
-            budget: Budget::unlimited(),
+            cfg: AnalysisConfig::new(),
         }
+    }
+
+    /// Replaces the whole configuration at once (the driver shares one
+    /// [`AnalysisConfig`] across every analyzer it spawns).
+    pub fn with_config(mut self, cfg: AnalysisConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.cfg
     }
 
     /// Governs the analysis by `budget`: each statement transfer ticks it,
@@ -125,13 +194,13 @@ impl<'d, D: AbstractDomain> Analyzer<'d, D> {
     /// budget into the domain (see e.g. `Polyhedra::with_budget`) to bound
     /// the *whole* analysis with one fuel counter.
     pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.budget = budget;
+        self.cfg.budget = budget;
         self
     }
 
     /// The governing budget.
     pub fn budget(&self) -> &Budget {
-        &self.budget
+        &self.cfg.budget
     }
 
     /// Installs an expression view applied to every term before transfer.
@@ -150,13 +219,13 @@ impl<'d, D: AbstractDomain> Analyzer<'d, D> {
 
     /// Sets the number of plain-join rounds before widening kicks in.
     pub fn widen_delay(mut self, rounds: usize) -> Self {
-        self.widen_delay = rounds;
+        self.cfg.widen_delay = rounds;
         self
     }
 
     /// Sets the hard cap on fixpoint iterations per loop.
     pub fn max_iterations(mut self, cap: usize) -> Self {
-        self.max_iterations = cap;
+        self.cfg.max_iterations = cap;
         self
     }
 
@@ -181,7 +250,7 @@ impl<'d, D: AbstractDomain> Analyzer<'d, D> {
             loop_iterations: ctx.loop_iterations,
             diverged: ctx.diverged,
             stats: ctx.stats,
-            degradation: self.budget.report(),
+            degradation: self.cfg.budget.report(),
         }
     }
 
@@ -274,7 +343,7 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
         // statement sequence is finite, and pressing on keeps the
         // assertion record complete — the governed loops below (and the
         // budgeted domain operations) are where exhaustion cuts work.
-        self.analyzer.budget.tick(1);
+        self.analyzer.cfg.budget.tick(1);
         match stmt {
             Stmt::Assign(x, rhs) => {
                 let x0 = Var::fresh(&format!("{}0", x.name()));
@@ -325,11 +394,12 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                 let mut inv = e;
                 let mut iterations = 0usize;
                 loop {
-                    if self.analyzer.budget.is_exhausted() {
+                    if self.analyzer.cfg.budget.is_exhausted() {
                         // ⊤ is an invariant of any loop, so stopping here
                         // is sound; it is also stable, so the recording
                         // pass below still terminates.
                         self.analyzer
+                            .cfg
                             .budget
                             .degrade("analyzer/while", "forced the loop invariant to top");
                         inv = d.top();
@@ -339,7 +409,7 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                     iterations += 1;
                     let enter = self.assume_cond(inv.clone(), c, true);
                     let after = self.exec_seq(body, enter, false);
-                    let next = if iterations <= self.analyzer.widen_delay {
+                    let next = if iterations <= self.analyzer.cfg.widen_delay {
                         self.stats.joins += 1;
                         d.join(&inv, &after)
                     } else {
@@ -353,13 +423,13 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                         // or forced-to-top) joins/widenings rather than a
                         // genuine fixpoint, so flag it as divergence too
                         // (not only the iteration cap or the entry check).
-                        if self.analyzer.budget.is_exhausted() {
+                        if self.analyzer.cfg.budget.is_exhausted() {
                             self.diverged = true;
                         }
                         break;
                     }
                     inv = next;
-                    if iterations >= self.analyzer.max_iterations {
+                    if iterations >= self.analyzer.cfg.max_iterations {
                         self.diverged = true;
                         break;
                     }
@@ -375,10 +445,17 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
             }
             Stmt::Call(x, name, args) => {
                 let viewed: Vec<Term> = args.iter().map(|a| self.analyzer.apply_view(a)).collect();
-                let resolved = self
-                    .analyzer
-                    .calls
-                    .and_then(|r| r.resolve_call(d, e.clone(), *x, name, &viewed));
+                let resolved = self.analyzer.calls.and_then(|r| {
+                    r.resolve_call(
+                        d,
+                        CallSite {
+                            state: e.clone(),
+                            dst: *x,
+                            name,
+                            args: &viewed,
+                        },
+                    )
+                });
                 match resolved {
                     Some(out) => out,
                     None => {

@@ -31,7 +31,10 @@ mod ast;
 mod herbrand;
 mod parse;
 
-pub use analyze::{implies_all, Analysis, Analyzer, AssertionOutcome, CallResolver, OpStats};
+pub use analyze::{
+    implies_all, Analysis, AnalysisConfig, Analyzer, AssertionOutcome, CallResolver, CallSite,
+    OpStats,
+};
 pub use ast::{Cond, Module, Procedure, Program, Stmt, RETURN_VAR};
 pub use herbrand::herbrand_view;
 pub use parse::{parse_module, parse_program, ProgramParseError};
