@@ -12,6 +12,18 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== supervision boundary gate =="
+# catch_unwind is reserved for the driver's supervisor module: one
+# audited boundary, not scattered ad-hoc recovery. (Tests detect panics
+# via thread::spawn().join().is_err() instead.)
+strays=$(grep -rn "catch_unwind(" crates --include="*.rs" \
+    | grep -v "^crates/driver/src/supervisor.rs:" || true)
+if [ -n "$strays" ]; then
+    echo "catch_unwind outside the supervisor boundary:"
+    echo "$strays"
+    exit 1
+fi
+
 echo "== fmt check =="
 cargo fmt --all -- --check
 
@@ -30,11 +42,16 @@ cargo test -q --workspace --offline
 echo "== driver tests (release) =="
 cargo test -q -p cai-driver --release --offline
 
-echo "== driver_eval smoke (with context-sensitivity checks) =="
+echo "== driver_eval smoke (context-sensitivity + supervised chaos) =="
 # --ctx-stats exits nonzero unless entry-keyed summaries are never less
 # precise than the insensitive ones, strictly more precise on the
 # reassigned-formal benchmark, and deterministic across thread counts.
-cargo run --release -p cai-bench --bin driver_eval --offline -- --smoke --ctx-stats
+# --chaos (fixed seed) exits nonzero unless the supervised driver
+# absorbs injected panics with no abort — retries recover at the gentle
+# rate, zero-retry quarantines pin to the sound top summary — and both
+# phases are bit-identical across thread counts.
+cargo run --release -p cai-bench --bin driver_eval --offline -- \
+    --smoke --ctx-stats --chaos --chaos-seed 7
 
 echo "== paper_eval --join-stats smoke =="
 # Exits nonzero unless the split cache hits, saves ticks, and leaves the

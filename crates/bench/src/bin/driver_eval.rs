@@ -7,14 +7,22 @@
 //! cargo run --release -p cai-bench --bin driver_eval -- --procs 64 --threads 8
 //! cargo run --release -p cai-bench --bin driver_eval -- --smoke         # quick CI check
 //! cargo run --release -p cai-bench --bin driver_eval -- --ctx-stats     # context-sensitivity report
+//! cargo run --release -p cai-bench --bin driver_eval -- --chaos         # supervised fault drill
 //! ```
 //!
 //! `--ctx-stats` runs a benchmark whose callee reassigns its formal —
 //! invisible to context-insensitive summaries — and asserts the
 //! entry-keyed analysis is never less precise (and strictly more precise
 //! there), printing context and cache counters.
+//!
+//! `--chaos` wraps every job's domain in a seeded fault injector
+//! (`--chaos-seed N`, default 7) that panics mid-operation, then asserts
+//! the supervised driver survives: the batch completes with no abort,
+//! caught panics / retries / quarantines are reported, quarantined
+//! procedures pin to the sound ⊤ summary, and the outcome is
+//! bit-identical across 1 vs `--threads` threads.
 
-use cai_core::{AbstractDomain, Budget, LogicalProduct};
+use cai_core::{AbstractDomain, Budget, ChaosConfig, ChaosDomain, LogicalProduct};
 use cai_driver::{Driver, ModuleAnalysis, Summary, SummaryCache};
 use cai_interp::{parse_module, Module};
 use cai_linarith::AffineEq;
@@ -94,6 +102,135 @@ fn time_ms(mut f: impl FnMut() -> ModuleAnalysis) -> (f64, ModuleAnalysis) {
     (t.elapsed().as_secs_f64() * 1e3, a)
 }
 
+/// One comparable line per observable fact of a run, for the chaos
+/// determinism check (summaries, verdicts, flags, supervision counters,
+/// incident log).
+fn run_fingerprint(a: &ModuleAnalysis) -> String {
+    let mut s = String::new();
+    for r in a {
+        let verdicts: Vec<bool> = r.assertions.iter().map(|o| o.verified).collect();
+        s.push_str(&format!(
+            "{} | {} | {verdicts:?} | diverged={} quarantined={}\n",
+            r.name, r.summary, r.diverged, r.quarantined
+        ));
+    }
+    s.push_str(&format!("sup={:?}\n", a.supervision));
+    for i in &a.degradation.incidents {
+        s.push_str(&format!(
+            "{} `{}` attempt {}\n",
+            i.kind, i.subject, i.attempt
+        ));
+    }
+    s
+}
+
+/// `--chaos`: run the standard batch under an injector that panics with
+/// probability `panic_permille`/1000 per abstract operation, supervised.
+/// Two phases: a gentle rate where caught panics are absorbed (retried
+/// or quarantined), and a harsh zero-retry pass where procedures
+/// quarantine to the sound ⊤ summary. Rates escalate deterministically
+/// until each phase's fault actually fires for the given seed. Both
+/// phases must finish with no abort, bit-identically across 1 vs
+/// `threads` threads.
+fn chaos_drill(procs: usize, threads: usize, seed: u64, panic_permille: u32) {
+    let m = batch_module(procs, 0);
+    let chaos_driver = |rate: u32| {
+        Driver::new(move |b: &Budget| {
+            ChaosDomain::new(LogicalProduct::new(AffineEq::new(), UfDomain::new()), seed)
+                .with_config(ChaosConfig {
+                    panic_permille: rate,
+                    ..ChaosConfig::quiet()
+                })
+                .with_budget(b.clone())
+        })
+    };
+    let check_deterministic = |par: &ModuleAnalysis, mk: &dyn Fn() -> ModuleAnalysis| {
+        let seq = mk();
+        let identical = run_fingerprint(&seq) == run_fingerprint(par);
+        println!(
+            "    determinism (1 vs {threads} threads): {}",
+            if identical { "identical" } else { "MISMATCH" }
+        );
+        assert!(
+            identical,
+            "supervised chaos run must be schedule-independent"
+        );
+    };
+    println!("  chaos drill: seed {seed}, {procs} procedures");
+
+    // --- phase 1: transient faults, absorbed by retry ---------------------
+    // The whole run is a deterministic function of (seed, rate), so if the
+    // starting rate happens to fire nothing for this seed, escalate — the
+    // drill must demonstrate survived faults, not a lucky fault-free run.
+    let mut rate = panic_permille.max(1);
+    let (mut t1, mut gentle) = time_ms(|| chaos_driver(rate).threads(threads).analyze(&m));
+    while gentle.supervision.panics_caught == 0 && rate < 1000 {
+        rate = (rate * 2).min(1000);
+        (t1, gentle) = time_ms(|| chaos_driver(rate).threads(threads).analyze(&m));
+    }
+    let sup = gentle.supervision;
+    println!("    [{rate}permille panics, retries on]");
+    println!("      completed in {t1:>6.1} ms with no abort; survived faults: {sup}");
+    assert!(
+        sup.panics_caught > 0,
+        "the drill must actually inject panics (none fired at seed {seed} up to {rate}permille)"
+    );
+    assert!(
+        sup.recovered + sup.quarantined > 0,
+        "every caught panic ends in recovery or quarantine"
+    );
+    check_deterministic(&gentle, &|| chaos_driver(rate).threads(1).analyze(&m));
+
+    // --- phase 2: persistent faults, quarantined to ⊤ ---------------------
+    // Zero retries: the first caught panic quarantines. Escalate the same
+    // way until the seed actually forces a quarantine.
+    let mut harsh = (rate * 20).max(40);
+    let (mut t2, mut q) = time_ms(|| {
+        chaos_driver(harsh)
+            .max_retries(0)
+            .threads(threads)
+            .analyze(&m)
+    });
+    while q.quarantined_count() == 0 && harsh < 1000 {
+        harsh = (harsh * 2).min(1000);
+        (t2, q) = time_ms(|| {
+            chaos_driver(harsh)
+                .max_retries(0)
+                .threads(threads)
+                .analyze(&m)
+        });
+    }
+    let sup = q.supervision;
+    println!("    [{harsh}permille panics, retries off]");
+    println!("      completed in {t2:>6.1} ms with no abort; survived faults: {sup}");
+    println!(
+        "      quarantined procedures: {} (each pinned to the sound top summary)",
+        q.quarantined_count()
+    );
+    // Quarantined procedures must report exactly ⊤ — never a stale or
+    // partial iterate from the crashed attempt.
+    for r in &q {
+        if r.quarantined {
+            assert!(
+                r.summary.entry.is_empty() && r.summary.exit.as_ref().is_some_and(|c| c.is_empty()),
+                "quarantined `{}` must report the top summary, got `{}`",
+                r.name,
+                r.summary
+            );
+        }
+    }
+    assert!(q.quarantined_count() > 0, "the harsh rate must quarantine");
+    assert_eq!(
+        sup.quarantined as usize,
+        q.quarantined_count(),
+        "supervision counter and per-procedure reports must agree"
+    );
+    check_deterministic(&q, &|| {
+        chaos_driver(harsh).max_retries(0).threads(1).analyze(&m)
+    });
+    println!("  chaos drill OK");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag_value = |name: &str, default: usize| {
@@ -105,8 +242,11 @@ fn main() {
     };
     let smoke = args.iter().any(|a| a == "--smoke");
     let ctx_stats = args.iter().any(|a| a == "--ctx-stats");
+    let chaos = args.iter().any(|a| a == "--chaos");
     let procs = flag_value("--procs", if smoke { 32 } else { 64 });
     let threads = flag_value("--threads", 4);
+    let chaos_seed = flag_value("--chaos-seed", 7) as u64;
+    let chaos_panic = flag_value("--chaos-panic", 2) as u32;
     let reps = if smoke { 1 } else { 3 };
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -236,6 +376,11 @@ fn main() {
             sens.verified_count() > insens.verified_count(),
             "context sensitivity must verify more assertions on the ctx benchmark"
         );
+    }
+
+    // --- supervised fault drill ------------------------------------------
+    if chaos {
+        chaos_drill(procs, threads, chaos_seed, chaos_panic);
     }
 
     if smoke {

@@ -38,6 +38,10 @@ const DEADLINE_CHECK_PERIOD: u64 = 256;
 /// counter so an exhausted analysis cannot itself exhaust memory.
 const MAX_EVENTS: usize = 64;
 
+/// Cap on stored [`Incident`]s, for the same reason: a chaos run that
+/// panics thousands of times must not turn the report into the leak.
+const MAX_INCIDENTS: usize = 64;
+
 /// A typed failure of the analysis engine.
 ///
 /// Most governed operations never return this — they degrade to a sound
@@ -91,6 +95,64 @@ impl fmt::Display for Degradation {
     }
 }
 
+/// What kind of failure an [`Incident`] records. Unlike a
+/// [`Degradation`] — a *planned* precision loss inside a governed loop —
+/// an incident is an engine-level fault the supervision layer absorbed:
+/// the math never produces these, the messy world does.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum IncidentKind {
+    /// A per-procedure analysis panicked and was caught at the
+    /// supervision boundary.
+    Panic,
+    /// The straggler watchdog fired: a procedure overran its deadline and
+    /// its budget slice was exhausted to turn the hang into the graceful
+    /// degradation path.
+    Stall,
+    /// A cached artifact failed its checksum and was rejected (then
+    /// recomputed from scratch).
+    CacheCorruption,
+    /// A procedure exhausted its retry allowance and was pinned to the
+    /// sound ⊤ summary for the rest of the batch.
+    Quarantine,
+}
+
+impl fmt::Display for IncidentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IncidentKind::Panic => "panic",
+            IncidentKind::Stall => "stall",
+            IncidentKind::CacheCorruption => "cache-corruption",
+            IncidentKind::Quarantine => "quarantine",
+        })
+    }
+}
+
+/// One structured record of a fault the supervision layer survived. The
+/// contract mirrors [`Degradation`]: an incident never implies wrong
+/// results, only that exactness was traded for survival somewhere.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Incident {
+    /// What happened.
+    pub kind: IncidentKind,
+    /// Where — a procedure or cache-entry name, not a code location.
+    pub subject: String,
+    /// Free-form diagnostics (panic message, deadline, checksum pair).
+    pub detail: String,
+    /// Which supervised attempt observed it (0 = first try).
+    pub attempt: u32,
+}
+
+impl fmt::Display for Incident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in `{}` (attempt {}): {}",
+            self.kind, self.subject, self.attempt, self.detail
+        )
+    }
+}
+
 /// A summary of everything a budget observed: whether any governed
 /// operation gave up, and where.
 #[derive(Clone, Debug, Default)]
@@ -105,17 +167,26 @@ pub struct DegradationReport {
     pub events: Vec<Degradation>,
     /// Events beyond the storage cap (recorded only as a count).
     pub dropped_events: usize,
+    /// Supervision incidents — caught panics, watchdog stalls, cache
+    /// corruption, quarantines — oldest first (at most [`MAX_INCIDENTS`]
+    /// kept).
+    pub incidents: Vec<Incident>,
+    /// Incidents beyond the storage cap (recorded only as a count).
+    pub dropped_incidents: usize,
 }
 
 impl DegradationReport {
     /// Folds another report into this one (used when merging the
-    /// per-worker budget slices of a parallel analysis): flags are OR-ed,
-    /// fuel adds up, and events concatenate up to the storage cap (the
-    /// rest only bump [`dropped_events`](DegradationReport::dropped_events)).
+    /// per-job budget slices of a parallel analysis): flags are OR-ed,
+    /// fuel adds up, and events/incidents concatenate up to their storage
+    /// caps. Entries that do not fit — whether they overflow *this*
+    /// report's cap or were already dropped by `other` — are preserved as
+    /// counts, so merging N slices neither grows the logs unboundedly nor
+    /// loses how much was cut.
     pub fn merge(&mut self, other: &DegradationReport) {
         self.degraded |= other.degraded;
         self.exhausted |= other.exhausted;
-        self.fuel_spent += other.fuel_spent;
+        self.fuel_spent = self.fuel_spent.saturating_add(other.fuel_spent);
         for ev in &other.events {
             if self.events.len() < MAX_EVENTS {
                 self.events.push(ev.clone());
@@ -124,6 +195,19 @@ impl DegradationReport {
             }
         }
         self.dropped_events += other.dropped_events;
+        for inc in &other.incidents {
+            if self.incidents.len() < MAX_INCIDENTS {
+                self.incidents.push(inc.clone());
+            } else {
+                self.dropped_incidents += 1;
+            }
+        }
+        self.dropped_incidents += other.dropped_incidents;
+    }
+
+    /// Incidents of one kind, for counters and assertions.
+    pub fn incidents_of(&self, kind: IncidentKind) -> impl Iterator<Item = &Incident> {
+        self.incidents.iter().filter(move |i| i.kind == kind)
     }
 }
 
@@ -131,6 +215,25 @@ impl DegradationReport {
 struct Log {
     events: Vec<Degradation>,
     dropped: usize,
+    incidents: Vec<Incident>,
+    dropped_incidents: usize,
+}
+
+/// The *observation* side of a budget — degradation flags and the event/
+/// incident log. Split out so a [`child`](Budget::child) budget can keep
+/// its own fuel/deadline restriction while recording everything it
+/// observes straight onto its parent's log: the supervisor hands each
+/// retry attempt a fresh restriction, and every attempt's events still
+/// land in the one report the driver merges.
+#[derive(Debug, Default)]
+struct Obs {
+    degraded: AtomicBool,
+    /// Monotonic count of every `degrade` call (including events past the
+    /// storage cap). Lets callers detect whether a computation degraded by
+    /// comparing snapshots before and after — the memo layer uses this to
+    /// refuse to cache results produced by a starved run.
+    degrade_events: AtomicU64,
+    log: Mutex<Log>,
 }
 
 #[derive(Debug)]
@@ -143,13 +246,71 @@ struct BudgetInner {
     /// Sticky exhaustion flag: once out, always out, so one governed loop
     /// bailing makes every later loop bail immediately.
     exhausted: AtomicBool,
-    degraded: AtomicBool,
-    /// Monotonic count of every `degrade` call (including events past the
-    /// storage cap). Lets callers detect whether a computation degraded by
-    /// comparing snapshots before and after — the memo layer uses this to
-    /// refuse to cache results produced by a starved run.
-    degrade_events: AtomicU64,
-    log: Mutex<Log>,
+    /// The budget this one is nested inside, if any. Work ticked here is
+    /// charged to the parent too ([`child`](Budget::child)) or not
+    /// ([`split`](Budget::split) slices, which own an independent fuel
+    /// share), but in both cases parent exhaustion propagates down:
+    /// cancelling the root budget cancels every slice and sub-task.
+    parent: Option<Arc<BudgetInner>>,
+    /// Whether ticks are forwarded to `parent` (true for `child`, false
+    /// for `split` slices).
+    charge_parent: bool,
+    obs: Arc<Obs>,
+}
+
+impl BudgetInner {
+    /// Whether this budget or any ancestor has been flagged exhausted
+    /// (flags only — deadlines are checked by the owning [`Budget`]).
+    fn lineage_exhausted(&self) -> bool {
+        if self.exhausted.load(Ordering::Relaxed) {
+            return true;
+        }
+        match &self.parent {
+            Some(p) => p.lineage_exhausted(),
+            None => false,
+        }
+    }
+
+    fn tick(&self, cost: u64) -> bool {
+        if self.lineage_exhausted() {
+            self.exhausted.store(true, Ordering::Relaxed);
+            return false;
+        }
+        if self.charge_parent {
+            if let Some(parent) = &self.parent {
+                // Charge the enclosing budget first: a child is a
+                // *restriction*, its work is the parent's work, and the
+                // parent running dry stops the child immediately.
+                if !parent.tick(cost) {
+                    self.exhausted.store(true, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+        let spent = self.spent.fetch_add(cost, Ordering::Relaxed) + cost;
+        if let Some(left) = &self.fuel_left {
+            // Saturating decrement: `fetch_update` loops only under
+            // contention, and the counter never wraps below zero.
+            let out = left
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                    Some(cur.saturating_sub(cost))
+                })
+                .unwrap_or(0);
+            if out < cost {
+                self.exhausted.store(true, Ordering::Relaxed);
+                return false;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            // Amortize the clock read; the first tick always checks.
+            if (spent <= cost || spent % DEADLINE_CHECK_PERIOD < cost) && Instant::now() >= deadline
+            {
+                self.exhausted.store(true, Ordering::Relaxed);
+                return false;
+            }
+        }
+        true
+    }
 }
 
 /// A shared fuel counter and optional wall-clock deadline governing the
@@ -165,15 +326,26 @@ impl Budget {
     }
 
     fn build_at(fuel: Option<u64>, deadline: Option<Instant>, exhausted: bool) -> Budget {
+        Budget::assemble(fuel, deadline, exhausted, None, false, Arc::default())
+    }
+
+    fn assemble(
+        fuel: Option<u64>,
+        deadline: Option<Instant>,
+        exhausted: bool,
+        parent: Option<Arc<BudgetInner>>,
+        charge_parent: bool,
+        obs: Arc<Obs>,
+    ) -> Budget {
         Budget {
             inner: Arc::new(BudgetInner {
                 fuel_left: fuel.map(AtomicU64::new),
                 spent: AtomicU64::new(0),
                 deadline,
                 exhausted: AtomicBool::new(exhausted),
-                degraded: AtomicBool::new(false),
-                degrade_events: AtomicU64::new(0),
-                log: Mutex::new(Log::default()),
+                parent,
+                charge_parent,
+                obs,
             }),
         }
     }
@@ -201,33 +373,7 @@ impl Budget {
     /// Consumes `cost` ticks. Returns `true` while within budget; once it
     /// returns `false` it returns `false` forever (exhaustion is sticky).
     pub fn tick(&self, cost: u64) -> bool {
-        let inner = &*self.inner;
-        if inner.exhausted.load(Ordering::Relaxed) {
-            return false;
-        }
-        let spent = inner.spent.fetch_add(cost, Ordering::Relaxed) + cost;
-        if let Some(left) = &inner.fuel_left {
-            // Saturating decrement: `fetch_update` loops only under
-            // contention, and the counter never wraps below zero.
-            let out = left
-                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
-                    Some(cur.saturating_sub(cost))
-                })
-                .unwrap_or(0);
-            if out < cost {
-                inner.exhausted.store(true, Ordering::Relaxed);
-                return false;
-            }
-        }
-        if let Some(deadline) = inner.deadline {
-            // Amortize the clock read; the first tick always checks.
-            if (spent <= cost || spent % DEADLINE_CHECK_PERIOD < cost) && Instant::now() >= deadline
-            {
-                inner.exhausted.store(true, Ordering::Relaxed);
-                return false;
-            }
-        }
-        true
+        self.inner.tick(cost)
     }
 
     /// Exhausts the budget immediately (cooperative cancellation; also
@@ -238,9 +384,12 @@ impl Budget {
         self.inner.exhausted.store(true, Ordering::Relaxed);
     }
 
-    /// Whether the budget has run out (fuel or deadline).
+    /// Whether the budget has run out (fuel or deadline), or any budget
+    /// it is nested inside has — cancelling a parent cancels the whole
+    /// subtree at its next check.
     pub fn is_exhausted(&self) -> bool {
-        if self.inner.exhausted.load(Ordering::Relaxed) {
+        if self.inner.lineage_exhausted() {
+            self.inner.exhausted.store(true, Ordering::Relaxed);
             return true;
         }
         if let Some(deadline) = self.inner.deadline {
@@ -270,9 +419,10 @@ impl Budget {
     /// Records that a governed operation substituted a sound
     /// over-approximation for its exact result.
     pub fn degrade(&self, site: &'static str, detail: impl Into<String>) {
-        self.inner.degraded.store(true, Ordering::Relaxed);
-        self.inner.degrade_events.fetch_add(1, Ordering::Relaxed);
-        let mut log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
+        let obs = &*self.inner.obs;
+        obs.degraded.store(true, Ordering::Relaxed);
+        obs.degrade_events.fetch_add(1, Ordering::Relaxed);
+        let mut log = obs.log.lock().unwrap_or_else(|e| e.into_inner());
         if log.events.len() < MAX_EVENTS {
             log.events.push(Degradation {
                 site,
@@ -283,16 +433,44 @@ impl Budget {
         }
     }
 
+    /// Records a supervision [`Incident`] — a caught panic, a watchdog
+    /// stall, rejected cache corruption, or a quarantine. Like
+    /// [`degrade`](Budget::degrade) this lands in the shared observation
+    /// log ([`child`](Budget::child) budgets report onto their parent)
+    /// and is capped in storage, never in count.
+    pub fn incident(&self, incident: Incident) {
+        // Deliberately does NOT set the `degraded` flag: a caught panic
+        // whose retry succeeded produced the *exact* result. Supervision
+        // paths that do lose precision (quarantine, stall) additionally
+        // call [`degrade`](Budget::degrade).
+        let obs = &*self.inner.obs;
+        let mut log = obs.log.lock().unwrap_or_else(|e| e.into_inner());
+        if log.incidents.len() < MAX_INCIDENTS {
+            log.incidents.push(incident);
+        } else {
+            log.dropped_incidents += 1;
+        }
+    }
+
     /// `true` if any governed operation has degraded under this budget.
     pub fn degraded(&self) -> bool {
-        self.inner.degraded.load(Ordering::Relaxed)
+        self.inner.obs.degraded.load(Ordering::Relaxed)
     }
 
     /// Monotonic count of [`degrade`](Budget::degrade) calls so far
     /// (including events beyond the storage cap). Compare snapshots taken
     /// around a computation to learn whether *that* computation degraded.
     pub fn degrade_count(&self) -> u64 {
-        self.inner.degrade_events.load(Ordering::Relaxed)
+        self.inner.obs.degrade_events.load(Ordering::Relaxed)
+    }
+
+    /// The fuel still available, or `None` for unlimited. (A snapshot:
+    /// concurrent workers may be draining it.)
+    pub fn remaining_fuel(&self) -> Option<u64> {
+        self.inner
+            .fuel_left
+            .as_ref()
+            .map(|l| l.load(Ordering::Relaxed))
     }
 
     /// Splits the budget into `ways` *independent* slices for
@@ -301,9 +479,19 @@ impl Budget {
     /// its own spent counter and degradation log, and the *same absolute*
     /// wall-clock deadline, so no worker outlives the parent's deadline.
     /// An unlimited parent yields unlimited slices; an already-exhausted
-    /// parent yields already-exhausted slices. The parent keeps its own
-    /// counters untouched — merge the slices' [`report`](Budget::report)s
-    /// back with [`DegradationReport::merge`].
+    /// parent yields already-exhausted slices, and exhausting the parent
+    /// *later* (cooperative cancellation) stops every slice at its next
+    /// check. The parent keeps its own counters untouched — merge the
+    /// slices' [`report`](Budget::report)s back with
+    /// [`DegradationReport::merge`].
+    ///
+    /// Fuel invariant: when the remaining fuel `r` covers every slice
+    /// (`r ≥ ways`), the slices' shares sum to exactly `r`. When it does
+    /// not (`0 < r < ways`), every slice is still floored at 1 fuel — a
+    /// deliberate overshoot totalling `ways` — so no slice is born
+    /// exhausted and degrades before doing any work; the parent's own
+    /// pool is untouched either way. `r = 0` yields slices with no fuel
+    /// at all.
     pub fn split(&self, ways: usize) -> Vec<Budget> {
         let remaining = self
             .inner
@@ -315,26 +503,64 @@ impl Budget {
             .map(|i| {
                 let share = remaining.map(|r| {
                     let each = r / ways as u64;
-                    if i == 0 {
-                        each + r % ways as u64
+                    let each = if i == 0 { each + r % ways as u64 } else { each };
+                    // The minimum-viable-slice floor: a positive pool
+                    // never produces a zero-fuel (born-degraded) slice.
+                    if r > 0 {
+                        each.max(1)
                     } else {
                         each
                     }
                 });
-                Budget::build_at(share, self.inner.deadline, exhausted)
+                Budget::assemble(
+                    share,
+                    self.inner.deadline,
+                    exhausted,
+                    Some(self.inner.clone()),
+                    false,
+                    Arc::default(),
+                )
             })
             .collect()
     }
 
+    /// A *restriction* of this budget for one supervised sub-task: at
+    /// most `fuel` further ticks (`None` = no extra fuel cap) and at most
+    /// `deadline` from now (`None` = no extra deadline), on top of
+    /// everything this budget already enforces. Work ticked on the child
+    /// is charged to this budget too; exhausting the child — including
+    /// by a watchdog calling [`exhaust`](Budget::exhaust) on it — leaves
+    /// this budget usable for the next attempt, while exhausting *this*
+    /// budget stops the child at its next check. Degradations and
+    /// incidents recorded on the child land in this budget's log, so one
+    /// [`report`](Budget::report) covers every attempt.
+    pub fn child(&self, fuel: Option<u64>, deadline: Option<Duration>) -> Budget {
+        let child_deadline = deadline.map(|d| Instant::now() + d);
+        let deadline = match (self.inner.deadline, child_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        Budget::assemble(
+            fuel,
+            deadline,
+            self.is_exhausted(),
+            Some(self.inner.clone()),
+            true,
+            self.inner.obs.clone(),
+        )
+    }
+
     /// A snapshot of everything observed so far.
     pub fn report(&self) -> DegradationReport {
-        let log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
+        let log = self.inner.obs.log.lock().unwrap_or_else(|e| e.into_inner());
         DegradationReport {
             degraded: self.degraded(),
             exhausted: self.inner.exhausted.load(Ordering::Relaxed),
             fuel_spent: self.spent(),
             events: log.events.clone(),
             dropped_events: log.dropped,
+            incidents: log.incidents.clone(),
+            dropped_incidents: log.dropped_incidents,
         }
     }
 }
@@ -409,6 +635,147 @@ mod tests {
         assert!(kids[1].tick(2) && !kids[1].tick(1));
         assert!(kids[2].tick(2) && !kids[2].tick(1));
         assert!(!parent.is_exhausted(), "children don't drain the parent");
+    }
+
+    #[test]
+    fn split_floors_every_slice_at_one_fuel() {
+        // Remaining fuel (2) is positive but smaller than the number of
+        // slices (4): every slice must still get at least 1 fuel so no
+        // worker is born degraded. The total deliberately overshoots.
+        let parent = Budget::fuel(2);
+        let kids = parent.split(4);
+        for k in &kids {
+            assert!(!k.is_exhausted(), "no slice is born exhausted");
+            assert!(k.tick(1), "every slice can do at least one unit of work");
+        }
+        // The documented invariant: sum = remaining when remaining >= ways…
+        let wide = Budget::fuel(10).split(3);
+        let total: u64 = wide.iter().map(|k| k.remaining_fuel().unwrap()).sum();
+        assert_eq!(total, 10);
+        // …and sum = ways (each slice exactly 1) when 0 < remaining < ways.
+        let narrow = Budget::fuel(2).split(4);
+        let total: u64 = narrow.iter().map(|k| k.remaining_fuel().unwrap()).sum();
+        assert_eq!(
+            total, 5,
+            "first slice keeps share+remainder, rest floor at 1"
+        );
+        // A drained pool still yields fuel-less slices.
+        let dry = Budget::fuel(0).split(3);
+        assert!(dry.iter().all(|k| k.remaining_fuel() == Some(0)));
+    }
+
+    #[test]
+    fn exhausting_the_parent_cancels_its_slices() {
+        let parent = Budget::unlimited();
+        let kids = parent.split(2);
+        assert!(kids[0].tick(1));
+        parent.exhaust();
+        assert!(
+            kids[0].is_exhausted(),
+            "cancellation reaches running slices"
+        );
+        assert!(!kids[1].tick(1));
+    }
+
+    #[test]
+    fn child_is_a_restriction_charged_to_the_parent() {
+        let parent = Budget::fuel(10);
+        let child = parent.child(Some(3), None);
+        assert!(child.tick(2));
+        assert_eq!(
+            parent.remaining_fuel(),
+            Some(8),
+            "child work drains the parent"
+        );
+        assert!(!child.tick(2), "child cap (3) binds before parent fuel");
+        assert!(child.is_exhausted());
+        assert!(
+            !parent.is_exhausted(),
+            "an exhausted child leaves the parent usable for the next attempt"
+        );
+        // A second child sees the parent's remaining pool.
+        let retry = parent.child(Some(4), None);
+        assert!(retry.tick(4));
+        // And exhausting the parent stops any live child.
+        let live = parent.child(None, None);
+        parent.exhaust();
+        assert!(live.is_exhausted());
+        assert!(!live.tick(1));
+    }
+
+    #[test]
+    fn child_observations_land_in_the_parent_report() {
+        let parent = Budget::unlimited();
+        let child = parent.child(None, None);
+        child.degrade("test/child", "gave up");
+        child.incident(Incident {
+            kind: IncidentKind::Panic,
+            subject: "p0".into(),
+            detail: "injected".into(),
+            attempt: 1,
+        });
+        let r = parent.report();
+        assert!(r.degraded);
+        assert_eq!(r.events.len(), 1);
+        assert_eq!(r.incidents.len(), 1);
+        assert_eq!(r.incidents[0].kind, IncidentKind::Panic);
+        assert_eq!(parent.degrade_count(), child.degrade_count());
+    }
+
+    #[test]
+    fn incidents_do_not_flag_degradation_by_themselves() {
+        // A caught-and-recovered panic produced the exact result; only
+        // the explicit degrade() paths may claim precision loss.
+        let b = Budget::unlimited();
+        b.incident(Incident {
+            kind: IncidentKind::Panic,
+            subject: "p".into(),
+            detail: "recovered on retry".into(),
+            attempt: 0,
+        });
+        assert!(!b.degraded());
+        assert!(b.report().incidents.len() == 1);
+    }
+
+    #[test]
+    fn merge_caps_incidents_and_keeps_drop_counts() {
+        let mk = |n: usize, dropped: usize| DegradationReport {
+            incidents: (0..n)
+                .map(|i| Incident {
+                    kind: IncidentKind::Stall,
+                    subject: format!("p{i}"),
+                    detail: "slow".into(),
+                    attempt: 0,
+                })
+                .collect(),
+            dropped_incidents: dropped,
+            ..DegradationReport::default()
+        };
+        let mut merged = DegradationReport::default();
+        for _ in 0..3 {
+            merged.merge(&mk(40, 2));
+        }
+        assert_eq!(merged.incidents.len(), MAX_INCIDENTS);
+        // 120 offered, 64 stored, 56 overflowed here, plus 3×2 already
+        // dropped upstream: no incident is ever silently lost.
+        assert_eq!(merged.dropped_incidents, 120 - MAX_INCIDENTS + 6);
+        assert_eq!(
+            merged.incidents_of(IncidentKind::Stall).count(),
+            MAX_INCIDENTS
+        );
+        assert_eq!(merged.incidents_of(IncidentKind::Panic).count(), 0);
+    }
+
+    #[test]
+    fn incident_displays() {
+        let i = Incident {
+            kind: IncidentKind::Quarantine,
+            subject: "loop_forever".into(),
+            detail: "2 retries exhausted".into(),
+            attempt: 2,
+        };
+        let s = i.to_string();
+        assert!(s.contains("quarantine") && s.contains("loop_forever") && s.contains("attempt 2"));
     }
 
     #[test]

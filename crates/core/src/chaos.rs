@@ -15,13 +15,25 @@
 //!   violating the operator contract — the product's runtime check must
 //!   skip these rather than trust them),
 //! - **denied implications** (`implies_atom` answering "unknown"),
-//! - **fuel exhaustion** of an attached [`Budget`] at a chosen tick.
+//! - **fuel exhaustion** of an attached [`Budget`] at a chosen tick,
+//! - **panics** (`panic_permille`: an operation unwinds instead of
+//!   returning — the crash-failure mode the driver's supervision layer
+//!   must isolate, retry, and quarantine), and
+//! - **stalls** (`stall_permille`: an operation spins until the attached
+//!   budget is exhausted — a cooperative hang only a straggler watchdog
+//!   or a budget deadline can break).
 //!
-//! Every injected fault *over-approximates* the exact answer, so a correct
-//! combination engine must stay sound under any schedule of them: results
-//! may only move up the lattice. The property tests in
+//! The sound-misbehaviour faults *over-approximate* the exact answer, so
+//! a correct combination engine must stay sound under any schedule of
+//! them: results may only move up the lattice. The property tests in
 //! `tests/chaos.rs` (and the full-analyzer tests in `cai-interp`) assert
-//! exactly that, plus no-panic and bounded termination.
+//! exactly that, plus no-panic and bounded termination. Panics and stalls
+//! are different: they model *engine-level* crash/hang failures and are
+//! disabled by default — only a supervised harness (`cai-driver`'s
+//! engine, or a test that joins a sacrificial worker thread) should
+//! switch them on, and the contract it must then uphold is "no process
+//! abort, quarantined results are ⊤-sound, outcomes deterministic for a
+//! fixed seed".
 //!
 //! Determinism matters: a failing seed is a reproducible bug report.
 
@@ -56,10 +68,28 @@ pub struct ChaosConfig {
     /// Any operation exhausts the attached budget (see
     /// [`ChaosDomain::with_budget`]) before running.
     pub exhaust_budget_permille: u32,
+    /// Any operation panics instead of returning. **Off by default**:
+    /// this is a crash fault, not a sound misbehaviour — only run it
+    /// under a supervisor that catches unwinds (the driver's engine) or
+    /// on a sacrificial thread. The panic fires *before* the wrapped
+    /// domain mutates anything, so a caught unwind leaves the domain
+    /// reusable; the PRNG state has already advanced, which is what makes
+    /// a deterministic retry able to succeed.
+    pub panic_permille: u32,
+    /// Any operation stalls — spins, yielding, until the attached budget
+    /// (see [`ChaosDomain::with_budget`]) reports exhaustion — before
+    /// proceeding degraded. **Off by default.** Models a hung component
+    /// that only cooperative cancellation (a straggler watchdog
+    /// exhausting the budget, or the budget's own deadline) can break.
+    /// Without an attached budget the fault is skipped rather than
+    /// hanging the process unrecoverably.
+    pub stall_permille: u32,
 }
 
 impl Default for ChaosConfig {
-    /// Moderate chaos: every fault fires at 10% (budget exhaustion at 1%).
+    /// Moderate chaos: every *sound* fault fires at 10% (budget
+    /// exhaustion at 1%); the crash/hang faults (`panic_permille`,
+    /// `stall_permille`) stay off and must be opted into.
     fn default() -> ChaosConfig {
         ChaosConfig {
             top_join_permille: 100,
@@ -70,6 +100,8 @@ impl Default for ChaosConfig {
             skip_meet_permille: 100,
             deny_implies_permille: 100,
             exhaust_budget_permille: 10,
+            panic_permille: 0,
+            stall_permille: 0,
         }
     }
 }
@@ -86,6 +118,8 @@ impl ChaosConfig {
             skip_meet_permille: 0,
             deny_implies_permille: 0,
             exhaust_budget_permille: 0,
+            panic_permille: 0,
+            stall_permille: 0,
         }
     }
 }
@@ -155,12 +189,36 @@ impl<D> ChaosDomain<D> {
         fire
     }
 
-    /// Runs the budget-exhaustion fault shared by every operation.
-    fn maybe_exhaust(&self) {
+    /// Runs the operation-prelude faults shared by every operation:
+    /// budget exhaustion, injected panic, injected stall — in that fixed
+    /// order, so fault schedules are a pure function of the seed and the
+    /// operation sequence. Each roll is skipped (without advancing the
+    /// PRNG) when its rate is 0, so enabling a new fault mode does not
+    /// perturb the schedule of runs that never used it.
+    fn maybe_fault(&self) {
         if let Some(budget) = &self.budget {
             if self.roll(self.config.exhaust_budget_permille) {
                 budget.exhaust();
             }
+        }
+        if self.roll(self.config.panic_permille) {
+            // Fires before the wrapped domain touches anything, so a
+            // supervisor that catches this unwind can keep using the
+            // domain instance for the retry.
+            panic!("cai-chaos: injected panic (seeded fault, supervised harness expected)");
+        }
+        if self.config.stall_permille > 0 && self.roll(self.config.stall_permille) {
+            if let Some(budget) = &self.budget {
+                // A cooperative hang: make no progress until someone —
+                // the straggler watchdog, the budget's own deadline, or
+                // a cancelled parent budget — exhausts the budget. Then
+                // continue, degraded like any starved operation.
+                while !budget.is_exhausted() {
+                    std::thread::yield_now();
+                }
+            }
+            // No attached budget: nothing could ever break the hang, so
+            // the fault is skipped (documented on `stall_permille`).
         }
     }
 }
@@ -192,7 +250,7 @@ impl<D: AbstractDomain> AbstractDomain for ChaosDomain<D> {
     }
 
     fn meet_atom(&self, e: &D::Elem, atom: &Atom) -> D::Elem {
-        self.maybe_exhaust();
+        self.maybe_fault();
         if self.roll(self.config.skip_meet_permille) {
             // e alone over-approximates e ∧ atom.
             return e.clone();
@@ -201,7 +259,7 @@ impl<D: AbstractDomain> AbstractDomain for ChaosDomain<D> {
     }
 
     fn implies_atom(&self, e: &D::Elem, atom: &Atom) -> bool {
-        self.maybe_exhaust();
+        self.maybe_fault();
         if self.roll(self.config.deny_implies_permille) {
             // "Unknown" is always a sound answer to an implication query.
             return false;
@@ -210,7 +268,7 @@ impl<D: AbstractDomain> AbstractDomain for ChaosDomain<D> {
     }
 
     fn join(&self, a: &D::Elem, b: &D::Elem) -> D::Elem {
-        self.maybe_exhaust();
+        self.maybe_fault();
         if self.roll(self.config.top_join_permille) {
             return self.inner.top();
         }
@@ -218,7 +276,7 @@ impl<D: AbstractDomain> AbstractDomain for ChaosDomain<D> {
     }
 
     fn exists(&self, e: &D::Elem, vars: &VarSet) -> D::Elem {
-        self.maybe_exhaust();
+        self.maybe_fault();
         if self.roll(self.config.top_exists_permille) {
             // ⊤ is implied by e and mentions no variable at all.
             return self.inner.top();
@@ -227,7 +285,7 @@ impl<D: AbstractDomain> AbstractDomain for ChaosDomain<D> {
     }
 
     fn var_equalities(&self, e: &D::Elem) -> Partition {
-        self.maybe_exhaust();
+        self.maybe_fault();
         let full = self.inner.var_equalities(e);
         if self.config.drop_equality_permille == 0 {
             return full;
@@ -244,7 +302,7 @@ impl<D: AbstractDomain> AbstractDomain for ChaosDomain<D> {
     }
 
     fn alternate(&self, e: &D::Elem, y: Var, avoid: &VarSet) -> Option<Term> {
-        self.maybe_exhaust();
+        self.maybe_fault();
         if self.roll(self.config.drop_alternate_permille) {
             // `None` ("no definition found") is always within contract.
             return None;
@@ -263,7 +321,7 @@ impl<D: AbstractDomain> AbstractDomain for ChaosDomain<D> {
         targets: &VarSet,
         avoid: &VarSet,
     ) -> std::collections::BTreeMap<Var, Term> {
-        self.maybe_exhaust();
+        self.maybe_fault();
         let mut out = self.inner.alternates(e, targets, avoid);
         if self.config.drop_alternate_permille > 0 {
             out.retain(|_, _| !self.roll(self.config.drop_alternate_permille));
@@ -280,7 +338,7 @@ impl<D: AbstractDomain> AbstractDomain for ChaosDomain<D> {
     }
 
     fn widen(&self, a: &D::Elem, b: &D::Elem) -> D::Elem {
-        self.maybe_exhaust();
+        self.maybe_fault();
         if self.roll(self.config.top_join_permille) {
             // ⊤ is a stable point of any widening, so termination of the
             // enclosing fixpoint is preserved.
@@ -299,7 +357,7 @@ impl<D: AbstractDomain> AbstractDomain for ChaosDomain<D> {
     }
 
     fn meet_all(&self, e: &D::Elem, atoms: &[Atom]) -> D::Elem {
-        self.maybe_exhaust();
+        self.maybe_fault();
         if self.roll(self.config.skip_meet_permille) {
             // Drop one batched meet entirely.
             return e.clone();
@@ -389,6 +447,104 @@ mod tests {
             assert!(d.implies_atom(&e, &atom));
         }
         assert_eq!(d.injected(), 0);
+    }
+
+    /// Runs `f` on a sacrificial thread and reports whether it panicked
+    /// (join returns `Err` for a panicked thread — no `catch_unwind`
+    /// needed, which CI reserves for the driver's supervisor module).
+    fn panics(f: impl FnOnce() + Send + 'static) -> bool {
+        // Serialize hook swapping: the panic hook is process-global and
+        // tests run in parallel.
+        static HOOK_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = HOOK_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        // Silence the default "thread panicked" stderr noise for the
+        // duration: chaos tests inject panics on purpose.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = std::thread::spawn(f).join().is_err();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn injected_panics_are_deterministic_per_seed() {
+        let schedule = |seed: u64| -> Vec<bool> {
+            (0..40)
+                .map(|i| {
+                    panics(move || {
+                        let d = ChaosDomain::new(Free, seed).with_config(ChaosConfig {
+                            panic_permille: 300,
+                            ..ChaosConfig::quiet()
+                        });
+                        let atom = Atom::var_eq(Var::named("x"), Var::named("y"));
+                        // Advance the stream to the i-th decision.
+                        for _ in 0..=i {
+                            let _ = d.implies_atom(&Conj::new(), &atom);
+                        }
+                    })
+                })
+                .collect()
+        };
+        let a = schedule(11);
+        assert_eq!(a, schedule(11), "same seed, same panic schedule");
+        assert!(a.iter().any(|p| *p), "rate 300‰ fires within 40 ops");
+        assert!(!a.iter().all(|p| *p), "rate 300‰ also spares some ops");
+    }
+
+    #[test]
+    fn panic_fires_before_the_wrapped_domain_runs() {
+        // With panic at 1000‰ every operation unwinds, so the wrapped
+        // domain is never consulted and stays reusable afterwards.
+        assert!(panics(|| {
+            let d = ChaosDomain::new(Free, 5).with_config(ChaosConfig {
+                panic_permille: 1000,
+                ..ChaosConfig::quiet()
+            });
+            let _ = d.join(&Conj::new(), &Conj::new());
+        }));
+    }
+
+    #[test]
+    fn stall_spins_until_the_budget_is_exhausted() {
+        let budget = Budget::unlimited();
+        let d = std::sync::Arc::new(
+            ChaosDomain::new(Free, 9)
+                .with_config(ChaosConfig {
+                    stall_permille: 1000,
+                    ..ChaosConfig::quiet()
+                })
+                .with_budget(budget.clone()),
+        );
+        let worker = {
+            let d = d.clone();
+            std::thread::spawn(move || {
+                let atom = Atom::var_eq(Var::named("x"), Var::named("y"));
+                d.meet_atom(&Conj::new(), &atom) // stalls until cancelled
+            })
+        };
+        // The "watchdog": cancel the hung operation via its budget.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!worker.is_finished(), "operation is genuinely hung");
+        budget.exhaust();
+        let out = worker.join().expect("stalled op completes after cancel");
+        assert_eq!(
+            out.iter().count(),
+            1,
+            "op proceeds (degraded) after the stall"
+        );
+    }
+
+    #[test]
+    fn stall_without_a_budget_is_skipped() {
+        // No attached budget: nothing could break the hang, so the fault
+        // must not fire at all.
+        let d = ChaosDomain::new(Free, 9).with_config(ChaosConfig {
+            stall_permille: 1000,
+            ..ChaosConfig::quiet()
+        });
+        let atom = Atom::var_eq(Var::named("x"), Var::named("y"));
+        let out = d.meet_atom(&Conj::new(), &atom);
+        assert_eq!(out.iter().count(), 1);
     }
 
     #[test]

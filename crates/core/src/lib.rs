@@ -36,7 +36,7 @@ pub mod reduce;
 mod reduced;
 mod saturate;
 
-pub use budget::{Budget, CaiError, Degradation, DegradationReport};
+pub use budget::{Budget, CaiError, Degradation, DegradationReport, Incident, IncidentKind};
 pub use chaos::{ChaosConfig, ChaosDomain};
 pub use direct::{DirectProduct, Pair};
 pub use domain::{combination_precision, AbstractDomain, Precision, TheoryProps};

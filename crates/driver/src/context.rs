@@ -194,6 +194,17 @@ impl<'a, D: AbstractDomain> ContextResolver<'a, D> {
         *self.local.borrow_mut() = table;
     }
 
+    /// Clears the in-flight specialization stack. The supervisor calls
+    /// this before every attempt: a panic that unwound mid-specialization
+    /// leaves stale in-progress markers behind, and those would make
+    /// later resolutions treat the same contexts as cyclic demand and
+    /// degrade to the ⊤-entry summary — sound, but an avoidable
+    /// precision loss for the retry. The memo store needs no such reset:
+    /// it only ever holds fully computed specializations.
+    pub fn reset_in_flight(&self) {
+        self.in_progress.borrow_mut().clear();
+    }
+
     /// Drains the specializations computed (or seeded and reused) by
     /// this job, per procedure in entry-key order, for merging back into
     /// the incremental cache. Overflow contexts are job-local artifacts

@@ -5,11 +5,14 @@
 use crate::callgraph::CallGraph;
 use crate::context::{ContextResolver, CtxStats, CtxStatsSnapshot};
 use crate::summary::{
-    config_fingerprint, member_fingerprint, scc_fingerprint, summarize, Summary, SummaryResolver,
+    config_fingerprint, member_fingerprint, scc_fingerprint, summarize, Fnv64, Summary,
+    SummaryResolver,
 };
-use cai_core::{AbstractDomain, Budget, DegradationReport};
-use cai_interp::{Analysis, AnalysisConfig, Analyzer, AssertionOutcome, Module, Procedure};
-use std::collections::{BTreeMap, VecDeque};
+use crate::supervisor::{self, SupStats, SupStatsSnapshot, Supervised, SupervisorCfg, Watchdog};
+use cai_core::{AbstractDomain, Budget, DegradationReport, Incident, IncidentKind};
+use cai_interp::{AnalysisConfig, Analyzer, AssertionOutcome, Module, Procedure};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Duration;
 
 /// Per-job context specializations, tagged with the component index so
 /// the merge is deterministic regardless of completion order.
@@ -35,6 +38,11 @@ pub struct ProcReport {
     /// fixpoint of the procedure's recursive component — failed to
     /// stabilize and was forced to a sound over-approximation.
     pub diverged: bool,
+    /// Whether the supervisor pinned this procedure to the sound ⊤
+    /// summary after its analysis panicked past the retry allowance.
+    /// Quarantined reports carry no assertion verdicts and are never
+    /// persisted to the [`SummaryCache`].
+    pub quarantined: bool,
 }
 
 /// The result of analyzing a [`Module`].
@@ -52,6 +60,10 @@ pub struct ModuleAnalysis {
     /// Context-sensitivity counters for this run (all zero under
     /// [`Driver::context_cap`]`(0)`).
     pub ctx: CtxStatsSnapshot,
+    /// Supervision counters for this run: caught panics, retries,
+    /// recoveries, watchdog stalls, quarantines. All zero on a
+    /// fault-free run.
+    pub supervision: SupStatsSnapshot,
 }
 
 impl ModuleAnalysis {
@@ -76,6 +88,11 @@ impl ModuleAnalysis {
             .map(|r| r.assertions.iter().filter(|a| a.verified).count())
             .sum()
     }
+
+    /// Procedures quarantined to the sound ⊤ summary this run.
+    pub fn quarantined_count(&self) -> usize {
+        self.reports.iter().filter(|r| r.quarantined).count()
+    }
 }
 
 impl<'a> IntoIterator for &'a ModuleAnalysis {
@@ -94,6 +111,50 @@ struct CacheEntry {
     /// Entry-keyed specializations of this procedure, in entry-key
     /// order, valid exactly as long as `fingerprint` matches.
     contexts: Vec<Summary>,
+    /// [`Fnv64`] digest of every reusable field above, computed when the
+    /// entry is stored and verified before any reuse decision. An entry
+    /// whose content no longer matches its checksum — bit rot, a bad
+    /// deserializer, a scribbling bug — is rejected and recomputed,
+    /// never reused.
+    checksum: u64,
+}
+
+/// Digests one summary into an entry checksum.
+fn summary_digest(h: &mut Fnv64, s: &Summary) {
+    h.write_u64(s.params.len() as u64);
+    for v in &s.params {
+        h.write_str(v.name());
+    }
+    h.write_u64(s.entry.fingerprint());
+    match &s.exit {
+        None => h.write_u64(0),
+        Some(c) => {
+            h.write_u64(1);
+            h.write_u64(c.fingerprint());
+        }
+    }
+}
+
+/// The integrity checksum of a cache entry: every field a later run
+/// could reuse, digested with the same length-prefixed [`Fnv64`] stream
+/// the fingerprints use.
+fn entry_checksum(fingerprint: u64, report: &ProcReport, contexts: &[Summary]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(fingerprint);
+    h.write_str(&report.name);
+    summary_digest(&mut h, &report.summary);
+    h.write_u64(report.assertions.len() as u64);
+    for a in &report.assertions {
+        h.write_str(&a.atom.to_string());
+        h.write_u64(u64::from(a.verified));
+    }
+    h.write_u64(u64::from(report.diverged));
+    h.write_u64(u64::from(report.quarantined));
+    h.write_u64(contexts.len() as u64);
+    for c in contexts {
+        summary_digest(&mut h, c);
+    }
+    h.finish()
 }
 
 /// Point-in-time counters of the [`SummaryCache`] — the same
@@ -108,6 +169,10 @@ pub struct CacheStats {
     /// Entries dropped or replaced because the procedure left the
     /// module or its fingerprint changed.
     pub evictions: u64,
+    /// Entries rejected because their content failed the integrity
+    /// checksum (each also counts as an eviction, and the procedure is
+    /// recomputed).
+    pub corruptions: u64,
     /// Entry-keyed context specializations currently stored.
     pub contexts: u64,
 }
@@ -116,8 +181,8 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "hits={} misses={} evictions={} contexts={}",
-            self.hits, self.misses, self.evictions, self.contexts
+            "hits={} misses={} evictions={} corruptions={} contexts={}",
+            self.hits, self.misses, self.evictions, self.corruptions, self.contexts
         )
     }
 }
@@ -137,6 +202,7 @@ pub struct SummaryCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    corruptions: u64,
 }
 
 impl SummaryCache {
@@ -162,7 +228,52 @@ impl SummaryCache {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
+            corruptions: self.corruptions,
             contexts: self.entries.values().map(|e| e.contexts.len() as u64).sum(),
+        }
+    }
+
+    /// Drops every entry whose content fails its integrity checksum and
+    /// records the rejected procedure names on `budget` as
+    /// [`IncidentKind::CacheCorruption`] incidents. Called by the driver
+    /// before any reuse decision; corrupted procedures are simply
+    /// recomputed.
+    fn reject_corrupt(&mut self, budget: &Budget) {
+        let corrupt: Vec<String> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.checksum != entry_checksum(e.fingerprint, &e.report, &e.contexts))
+            .map(|(name, _)| name.clone())
+            .collect();
+        for name in corrupt {
+            self.entries.remove(&name);
+            self.corruptions += 1;
+            self.evictions += 1;
+            budget.incident(Incident {
+                kind: IncidentKind::CacheCorruption,
+                subject: name,
+                detail: "cache entry failed its integrity checksum; rejected and recomputed"
+                    .to_string(),
+                attempt: 0,
+            });
+        }
+    }
+
+    /// Test hook: silently corrupts the stored entry for `name` without
+    /// refreshing its checksum, simulating bit rot in a persisted cache.
+    /// The corruption chosen is the dangerous kind — the summary's exit
+    /// flips to ⊥ ("this call never returns"), which blind reuse would
+    /// propagate into dependents as unsound dead-code verdicts. Returns
+    /// whether an entry existed.
+    #[doc(hidden)]
+    pub fn corrupt_entry(&mut self, name: &str) -> bool {
+        match self.entries.get_mut(name) {
+            Some(e) => {
+                e.report.summary.exit = None;
+                e.report.diverged = !e.report.diverged;
+                true
+            }
+            None => false,
         }
     }
 }
@@ -174,24 +285,31 @@ struct SolveCfg {
     summary_widen_delay: usize,
     summary_rounds: usize,
     context_cap: usize,
+    sup: SupervisorCfg,
 }
 
 /// One unit of work for a worker: a strongly connected component plus a
-/// snapshot of its external callees' (already final) summaries.
+/// snapshot of its external callees' (already final) summaries and the
+/// component's own budget slice (slices are per *job*, not per worker,
+/// so the fuel a component sees — and therefore every retry and
+/// quarantine decision — is independent of which thread runs it).
 struct Job {
     scc: usize,
     members: Vec<usize>,
     external: BTreeMap<String, Summary>,
     recursive: bool,
+    slice: Budget,
 }
 
 /// The interprocedural batch driver.
 ///
-/// Built around a *domain factory* rather than a domain: every worker
-/// thread constructs its own domain instance (and receives its own
-/// [`Budget`] slice), so no abstract-domain state is ever shared between
-/// threads — the only values crossing thread boundaries are immutable
-/// [`Summary`] snapshots and finished [`ProcReport`]s.
+/// Built around a *domain factory* rather than a domain: every SCC job
+/// constructs its own domain instance and receives its own [`Budget`]
+/// slice, so no abstract-domain state is ever shared between threads —
+/// the only values crossing thread boundaries are immutable [`Summary`]
+/// snapshots and finished [`ProcReport`]s — and the fuel (hence every
+/// degradation, retry, and quarantine decision) a component sees is the
+/// same whether the batch ran on one thread or eight.
 ///
 /// One domain instance serves a whole SCC job, so a domain with a
 /// cross-round memo — the logical product's split cache — amortizes its
@@ -200,6 +318,14 @@ struct Job {
 /// `SplitCache` (it is `Sync`) to carry the memo across jobs and worker
 /// threads; the cache is semantically invisible, so verdicts stay
 /// identical for every thread count.
+///
+/// Every per-procedure analysis runs *supervised* (see the
+/// [`supervisor`](crate::SupStatsSnapshot) layer): a panicking analysis
+/// is caught, retried up to [`max_retries`](Driver::max_retries) times
+/// with halved fuel, then quarantined to the sound ⊤ summary; an
+/// optional [`proc_deadline`](Driver::proc_deadline) watchdog turns
+/// hangs into budget exhaustion. A faulty procedure costs precision,
+/// never the batch.
 ///
 /// With a nonzero [`context_cap`](Driver::context_cap) (the default),
 /// calls into already-final procedures are resolved *context-
@@ -235,6 +361,7 @@ where
     summary_widen_delay: usize,
     summary_rounds: usize,
     context_cap: usize,
+    supervisor: SupervisorCfg,
     _domain: PhantomData<fn() -> D>,
 }
 
@@ -244,9 +371,9 @@ where
     F: Fn(&Budget) -> D + Sync,
 {
     /// Creates a driver from a domain factory. The factory is called once
-    /// per worker job with that worker's budget slice, so budget-aware
-    /// domains (e.g. `Polyhedra::with_budget`) can wire it in; factories
-    /// for unbudgeted domains just ignore the argument.
+    /// per component job with that job's budget slice, so budget-aware
+    /// domains (e.g. a chaos wrapper) can wire it in; factories for
+    /// unbudgeted domains just ignore the argument.
     pub fn new(factory: F) -> Driver<D, F> {
         Driver {
             factory,
@@ -255,14 +382,16 @@ where
             summary_widen_delay: 2,
             summary_rounds: 30,
             context_cap: 8,
+            supervisor: SupervisorCfg::default(),
             _domain: PhantomData,
         }
     }
 
-    /// Sets the worker-thread count (minimum 1). With an *unlimited*
-    /// budget the analysis result is identical for every thread count;
-    /// under a finite budget the per-worker fuel slices differ, so
-    /// degradation (never soundness) may vary.
+    /// Sets the worker-thread count (minimum 1). Budget slices are per
+    /// component job, not per worker, so the analysis result — including
+    /// degradation, retry, and quarantine outcomes — is identical for
+    /// every thread count (the [`proc_deadline`](Driver::proc_deadline)
+    /// watchdog, being wall-clock, is the one exception).
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
         self
@@ -314,9 +443,29 @@ where
         self
     }
 
-    /// Governs the whole batch by `budget`: split across workers when
-    /// parallel, threaded into every analyzer, and handed to the domain
-    /// factory.
+    /// Sets how many times a panicking procedure analysis is retried
+    /// (each retry under a halved fuel allowance) before the supervisor
+    /// quarantines it to the sound ⊤ summary. Default 2; `0` quarantines
+    /// on the first caught panic.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.supervisor.max_retries = n;
+        self
+    }
+
+    /// Arms the straggler watchdog with a per-procedure wall-clock
+    /// deadline: a procedure analysis overrunning it has its job's
+    /// budget slice exhausted, so the hang degrades into the ordinary
+    /// budget-exhaustion path instead of stalling the batch. Off by
+    /// default (and the only supervision feature that makes outcomes
+    /// wall-clock-dependent — leave it off when bit-identical runs
+    /// matter more than liveness).
+    pub fn proc_deadline(mut self, d: Duration) -> Self {
+        self.supervisor.proc_deadline = Some(d);
+        self
+    }
+
+    /// Governs the whole batch by `budget`: split into per-job slices,
+    /// threaded into every analyzer, and handed to the domain factory.
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.cfg.budget = budget;
         self
@@ -332,6 +481,10 @@ where
     /// still match and refreshing the cache with this run's results.
     /// Entries for procedures no longer in the module are pruned.
     pub fn analyze_with_cache(&self, module: &Module, cache: &mut SummaryCache) -> ModuleAnalysis {
+        // Integrity first: a corrupted entry must be rejected before any
+        // reuse decision looks at it (recompute, never wrong reuse).
+        cache.reject_corrupt(&self.cfg.budget);
+
         let graph = CallGraph::build(module);
         let n_sccs = graph.sccs.len();
 
@@ -403,8 +556,10 @@ where
             summary_widen_delay: self.summary_widen_delay,
             summary_rounds: self.summary_rounds,
             context_cap: self.context_cap,
+            sup: self.supervisor,
         };
         let ctx_stats = CtxStats::new();
+        let sup_stats = SupStats::new();
         let (mut degradation, job_contexts) = if self.threads <= 1 || todo.len() <= 1 {
             self.run_sequential(
                 module,
@@ -413,6 +568,7 @@ where
                 cfg,
                 &seed,
                 &ctx_stats,
+                &sup_stats,
                 &mut summaries,
                 &mut reports,
             )
@@ -424,6 +580,7 @@ where
                 cfg,
                 &seed,
                 &ctx_stats,
+                &sup_stats,
                 &mut summaries,
                 &mut reports,
             )
@@ -465,16 +622,24 @@ where
             .filter_map(|p| {
                 let fingerprint = proc_fps.get(&p.name).copied()?;
                 let report = reports.get(&p.name)?.clone();
+                if report.quarantined {
+                    // Never persist a quarantined result: the ⊤ pin is a
+                    // this-run survival measure, and the next run should
+                    // recompute the real summary.
+                    return None;
+                }
                 let contexts: Vec<Summary> = merged_contexts
                     .remove(&p.name)
                     .map(|m| m.into_values().take(self.context_cap).collect())
                     .unwrap_or_default();
+                let checksum = entry_checksum(fingerprint, &report, &contexts);
                 Some((
                     p.name.clone(),
                     CacheEntry {
                         fingerprint,
                         report,
                         contexts,
+                        checksum,
                     },
                 ))
             })
@@ -491,6 +656,7 @@ where
             recomputed,
             degradation,
             ctx: ctx_stats.snapshot(),
+            supervision: sup_stats.snapshot(),
         }
     }
 
@@ -503,24 +669,30 @@ where
         cfg: SolveCfg,
         seed: &BTreeMap<String, Vec<Summary>>,
         ctx_stats: &CtxStats,
+        sup_stats: &SupStats,
         summaries: &mut BTreeMap<String, Summary>,
         reports: &mut BTreeMap<String, ProcReport>,
     ) -> (DegradationReport, JobContexts) {
-        let domain = (self.factory)(&self.cfg.budget);
+        // The same per-job slices the parallel scheduler hands out, in
+        // the same (component-index) order, so the fuel each component
+        // sees — and every supervision decision derived from it — is
+        // identical for every thread count.
+        let slices = self.cfg.budget.split(todo.len().max(1));
         let mut job_contexts = Vec::new();
-        for &c in todo {
+        for (&c, slice) in todo.iter().zip(&slices) {
             let members = &graph.sccs[c];
             let external = external_snapshot(module, members, summaries);
-            let (out, contexts) = solve_scc(
-                &domain,
+            let (out, contexts) = run_job(
+                &self.factory,
                 module,
                 members,
                 &external,
                 seed,
                 graph.is_recursive(c, module),
                 cfg,
-                &self.cfg.budget,
+                slice,
                 ctx_stats,
+                sup_stats,
             );
             for r in out {
                 summaries.insert(r.name.clone(), r.summary.clone());
@@ -528,18 +700,24 @@ where
             }
             job_contexts.push((c, contexts));
         }
-        (DegradationReport::default(), job_contexts)
+        let mut degradation = DegradationReport::default();
+        for slice in &slices {
+            degradation.merge(&slice.report());
+        }
+        (degradation, job_contexts)
     }
 
     /// The shared-nothing worklist: the main thread owns the summary
-    /// table and the condensation's dependency counts; workers own a
-    /// domain instance and a budget slice each. Jobs (component + an
-    /// immutable snapshot of its external callees' summaries) flow out
-    /// through a mutex-guarded queue, finished reports flow back over a
-    /// channel, and completions unlock dependent components. Context
-    /// memo seeds are read-only and shared; each job's computed contexts
-    /// come back with its results and are merged in component order, so
-    /// the merged store is identical for every thread count.
+    /// table and the condensation's dependency counts; workers pull jobs
+    /// (component + an immutable snapshot of its external callees'
+    /// summaries + the component's budget slice) from a mutex-guarded
+    /// queue, finished reports flow back over a channel, and completions
+    /// unlock dependent components. Budget slices and domain instances
+    /// are per *job*, not per worker, so outcomes cannot depend on which
+    /// thread ran a component. Context memo seeds are read-only and
+    /// shared; each job's computed contexts come back with its results
+    /// and are merged in component order, so the merged store is
+    /// identical for every thread count.
     #[allow(clippy::too_many_arguments)] // internal: mirrors run_sequential
     fn run_parallel(
         &self,
@@ -549,11 +727,14 @@ where
         cfg: SolveCfg,
         seed: &BTreeMap<String, Vec<Summary>>,
         ctx_stats: &CtxStats,
+        sup_stats: &SupStats,
         summaries: &mut BTreeMap<String, Summary>,
         reports: &mut BTreeMap<String, ProcReport>,
     ) -> (DegradationReport, JobContexts) {
         let workers = self.threads.min(todo.len()).max(1);
-        let slices = self.cfg.budget.split(workers);
+        let slices = self.cfg.budget.split(todo.len().max(1));
+        let job_slices: BTreeMap<usize, Budget> =
+            todo.iter().copied().zip(slices.iter().cloned()).collect();
 
         // Dependency counts among the to-be-computed components only;
         // reused dependencies are already in the summary table.
@@ -590,6 +771,7 @@ where
                 members,
                 external,
                 recursive: graph.is_recursive(c, module),
+                slice: job_slices[&c].clone(),
             };
             queue
                 .lock()
@@ -600,14 +782,14 @@ where
 
         let mut job_contexts = Vec::new();
         std::thread::scope(|s| {
-            for slice in slices.iter().take(workers) {
+            for _ in 0..workers {
                 let tx = result_tx.clone();
                 let queue = &queue;
                 let ready = &ready;
                 let done = &done;
                 let factory = &self.factory;
-                let slice = slice.clone();
                 let ctx_stats = ctx_stats.clone();
+                let sup_stats = sup_stats.clone();
                 s.spawn(move || loop {
                     let job = {
                         let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
@@ -621,17 +803,21 @@ where
                             q = ready.wait(q).unwrap_or_else(|e| e.into_inner());
                         }
                     };
-                    let domain = factory(&slice);
-                    let (out, contexts) = solve_scc(
-                        &domain,
+                    // run_job never unwinds (its crash path quarantines
+                    // instead), so the result send below always happens
+                    // and the main thread's `remaining` count never
+                    // deadlocks on a lost worker.
+                    let (out, contexts) = run_job(
+                        factory,
                         module,
                         &job.members,
                         &job.external,
                         seed,
                         job.recursive,
                         cfg,
-                        &slice,
+                        &job.slice,
                         &ctx_stats,
+                        &sup_stats,
                     );
                     if tx.send((job.scc, out, contexts)).is_err() {
                         return;
@@ -751,6 +937,121 @@ fn summary_combine<D: AbstractDomain>(d: &D, old: &Summary, new: &Summary, widen
     }
 }
 
+/// One supervised per-procedure pass: everything a single analysis
+/// attempt of one procedure produces. The summary here is always the
+/// freshly summarized exit; the recursive recording pass substitutes the
+/// stable fixpoint summary afterwards.
+struct ProcPass {
+    summary: Summary,
+    assertions: Vec<AssertionOutcome>,
+    diverged: bool,
+}
+
+/// The sound result for a quarantined procedure: the ⊤ summary (callers
+/// havoc), no assertion verdicts, divergence flagged.
+fn quarantined_pass(proc: &Procedure) -> ProcPass {
+    ProcPass {
+        summary: Summary::top(proc.params.clone()),
+        assertions: Vec::new(),
+        diverged: true,
+    }
+}
+
+/// Runs one component job under crash supervision. The per-procedure
+/// [`supervisor::supervise`] boundary inside [`solve_scc`] absorbs the
+/// expected faults; this wrapper is the belt-and-braces layer for a
+/// panic in the solver machinery itself: the whole solve gets one fresh
+/// re-dispatch, and if that crashes too, every member is quarantined to
+/// the sound ⊤ summary so dependents can still be scheduled. Keeping the
+/// re-dispatch *inside* the job — rather than replacing worker threads —
+/// makes the outcome a pure function of the job's inputs and its budget
+/// slice, so it cannot depend on which thread ran the component.
+#[allow(clippy::too_many_arguments)] // internal solver shared by both schedulers
+fn run_job<D, F>(
+    factory: &F,
+    module: &Module,
+    members: &[usize],
+    external: &BTreeMap<String, Summary>,
+    seed: &BTreeMap<String, Vec<Summary>>,
+    recursive: bool,
+    cfg: SolveCfg,
+    slice: &Budget,
+    ctx_stats: &CtxStats,
+    sup_stats: &SupStats,
+) -> (Vec<ProcReport>, BTreeMap<String, Vec<Summary>>)
+where
+    D: AbstractDomain,
+    F: Fn(&Budget) -> D + Sync,
+{
+    for attempt in 0..2u32 {
+        // Each dispatch accounts into a transactional local counter set,
+        // committed only on success: a wholesale crash abandons the
+        // dispatch's results, so counting its retries/quarantines would
+        // leave the batch stats disagreeing with the final reports.
+        let local_stats = SupStats::new();
+        let outcome = supervisor::guard(|| {
+            solve_scc(
+                factory,
+                module,
+                members,
+                external,
+                seed,
+                recursive,
+                cfg,
+                slice,
+                ctx_stats,
+                &local_stats,
+            )
+        });
+        match outcome {
+            Ok(result) => {
+                sup_stats.absorb(&local_stats);
+                return result;
+            }
+            Err(message) => {
+                sup_stats.note_panic();
+                for &i in members {
+                    slice.incident(Incident {
+                        kind: IncidentKind::Panic,
+                        subject: module.procs[i].name.clone(),
+                        detail: format!("escaped per-procedure supervision: {message}"),
+                        attempt,
+                    });
+                }
+                if attempt == 0 {
+                    sup_stats.note_retry();
+                }
+            }
+        }
+    }
+    slice.degrade(
+        "driver/supervisor",
+        "component solve crashed twice; every member quarantined to \u{22a4}",
+    );
+    let out = members
+        .iter()
+        .map(|&i| {
+            let proc = &module.procs[i];
+            sup_stats.note_quarantined();
+            slice.incident(Incident {
+                kind: IncidentKind::Quarantine,
+                subject: proc.name.clone(),
+                detail: "component-level crash; summary pinned to \u{22a4}".to_string(),
+                attempt: 1,
+            });
+            let pass = quarantined_pass(proc);
+            ProcReport {
+                name: proc.name.clone(),
+                summary: pass.summary,
+                assertions: pass.assertions,
+                diverged: pass.diverged,
+                quarantined: true,
+            }
+        })
+        .collect();
+    (out, BTreeMap::new())
+}
+
 /// Solves one strongly connected component: non-recursive components
 /// take a single pass; recursive ones iterate a Jacobi-style summary
 /// fixpoint from optimistic ⊥ summaries — join for the first rounds,
@@ -758,14 +1059,22 @@ fn summary_combine<D: AbstractDomain>(d: &D, old: &Summary, new: &Summary, widen
 /// the round cap is hit. A final recording pass under the stable
 /// summaries collects assertion verdicts.
 ///
+/// Every per-procedure pass runs under [`supervisor::supervise`]: a
+/// panicking analysis is caught, retried with halved fuel, and — past
+/// the retry allowance — quarantined, after which the member contributes
+/// the sound ⊤ summary to every later round and its report. The SCC
+/// fixpoint still converges (⊤ is the lattice top: joins and the
+/// stability check are unaffected) and the other members' summaries
+/// remain sound, just weaker where they call the quarantined one.
+///
 /// Under a nonzero context cap, calls to *external* (already final)
 /// procedures resolve through a [`ContextResolver`] that specializes the
 /// callee on the caller's entry condition; calls within the component
 /// keep reading the Jacobi iterates context-insensitively. The job's
 /// computed specializations are returned for the incremental cache.
 #[allow(clippy::too_many_arguments)] // internal solver shared by both schedulers
-fn solve_scc<D: AbstractDomain>(
-    d: &D,
+fn solve_scc<D, F>(
+    factory: &F,
     module: &Module,
     members: &[usize],
     external: &BTreeMap<String, Summary>,
@@ -774,7 +1083,18 @@ fn solve_scc<D: AbstractDomain>(
     cfg: SolveCfg,
     budget: &Budget,
     ctx_stats: &CtxStats,
-) -> (Vec<ProcReport>, BTreeMap<String, Vec<Summary>>) {
+    sup_stats: &SupStats,
+) -> (Vec<ProcReport>, BTreeMap<String, Vec<Summary>>)
+where
+    D: AbstractDomain,
+    F: Fn(&Budget) -> D + Sync,
+{
+    let domain = factory(budget);
+    let d = &domain;
+    let watchdog = cfg
+        .sup
+        .proc_deadline
+        .map(|deadline| Watchdog::arm(budget.clone(), deadline, sup_stats.clone()));
     let acfg = AnalysisConfig {
         widen_delay: cfg.widen_delay,
         max_iterations: cfg.max_iterations,
@@ -792,32 +1112,78 @@ fn solve_scc<D: AbstractDomain>(
         )
     });
 
-    // `local` holds the component members' summaries only (the Jacobi
-    // iterates); external summaries are final and read separately.
-    let run = |proc: &Procedure, local: &BTreeMap<String, Summary>| -> Analysis<D::Elem> {
-        match &ctx_resolver {
-            Some(resolver) => {
-                resolver.set_local(local.clone());
-                Analyzer::new(d)
-                    .with_calls(resolver)
-                    .with_config(acfg.clone())
-                    .run(&proc.body)
-            }
-            None => {
-                let mut table = external.clone();
-                for (k, v) in local.iter() {
-                    table.insert(k.clone(), v.clone());
+    // One *attempt* at one procedure: analyze the body (transfers ticking
+    // the attempt's budget restriction) and summarize the exit. `local`
+    // holds the component members' summaries only (the Jacobi iterates);
+    // external summaries are final and read separately.
+    let attempt_pass =
+        |proc: &Procedure, local: &BTreeMap<String, Summary>, ab: &Budget| -> ProcPass {
+            let attempt_cfg = AnalysisConfig {
+                widen_delay: cfg.widen_delay,
+                max_iterations: cfg.max_iterations,
+                budget: ab.clone(),
+            };
+            let analysis = match &ctx_resolver {
+                Some(resolver) => {
+                    resolver.set_local(local.clone());
+                    Analyzer::new(d)
+                        .with_calls(resolver)
+                        .with_config(attempt_cfg)
+                        .run(&proc.body)
                 }
-                let resolver = SummaryResolver::new(&table);
-                let analysis = Analyzer::new(d)
-                    .with_calls(&resolver)
-                    .with_config(acfg.clone())
-                    .run(&proc.body);
-                analysis
+                None => {
+                    let mut table = external.clone();
+                    for (k, v) in local.iter() {
+                        table.insert(k.clone(), v.clone());
+                    }
+                    let resolver = SummaryResolver::new(&table);
+                    let analysis = Analyzer::new(d)
+                        .with_calls(&resolver)
+                        .with_config(attempt_cfg)
+                        .run(&proc.body);
+                    analysis
+                }
+            };
+            ProcPass {
+                summary: summarize(d, &analysis.exit, proc),
+                assertions: analysis.assertions,
+                diverged: analysis.diverged,
+            }
+        };
+
+    // One *supervised* pass: catch/retry/quarantine around the attempt.
+    // A member already quarantined earlier in this job skips re-analysis
+    // and keeps contributing its ⊤ pin.
+    let supervised_pass = |proc: &Procedure,
+                           local: &BTreeMap<String, Summary>,
+                           quarantined: &mut BTreeSet<String>|
+     -> ProcPass {
+        if quarantined.contains(&proc.name) {
+            return quarantined_pass(proc);
+        }
+        let outcome = supervisor::supervise(
+            &proc.name,
+            &cfg.sup,
+            budget,
+            sup_stats,
+            watchdog.as_ref(),
+            |ab| {
+                if let Some(resolver) = &ctx_resolver {
+                    resolver.reset_in_flight();
+                }
+                attempt_pass(proc, local, ab)
+            },
+        );
+        match outcome {
+            Supervised::Done(pass) => pass,
+            Supervised::Quarantined => {
+                quarantined.insert(proc.name.clone());
+                quarantined_pass(proc)
             }
         }
     };
 
+    let mut quarantined: BTreeSet<String> = BTreeSet::new();
     let mut local: BTreeMap<String, Summary> = BTreeMap::new();
     let mut scc_diverged = false;
 
@@ -826,13 +1192,13 @@ fn solve_scc<D: AbstractDomain>(
         let mut out = Vec::with_capacity(members.len());
         for &i in members {
             let proc = &module.procs[i];
-            let analysis = run(proc, &local);
-            let summary = summarize(d, &analysis.exit, proc);
+            let pass = supervised_pass(proc, &local, &mut quarantined);
             out.push(ProcReport {
                 name: proc.name.clone(),
-                summary,
-                assertions: analysis.assertions,
-                diverged: analysis.diverged,
+                summary: pass.summary,
+                assertions: pass.assertions,
+                diverged: pass.diverged,
+                quarantined: quarantined.contains(&proc.name),
             });
         }
         return (out, take_contexts(ctx_resolver));
@@ -850,8 +1216,8 @@ fn solve_scc<D: AbstractDomain>(
         let mut next: Vec<(String, Summary)> = Vec::with_capacity(members.len());
         for &i in members {
             let proc = &module.procs[i];
-            let analysis = run(proc, &local);
-            next.push((proc.name.clone(), summarize(d, &analysis.exit, proc)));
+            let pass = supervised_pass(proc, &local, &mut quarantined);
+            next.push((proc.name.clone(), pass.summary));
         }
         let stable = next
             .iter()
@@ -894,16 +1260,27 @@ fn solve_scc<D: AbstractDomain>(
     let mut out = Vec::with_capacity(members.len());
     for &i in members {
         let proc = &module.procs[i];
-        let analysis = run(proc, &local);
-        let summary = match local.get(&proc.name) {
-            Some(s) => s.clone(),
-            None => summarize(d, &analysis.exit, proc),
+        let pass = supervised_pass(proc, &local, &mut quarantined);
+        let is_quarantined = quarantined.contains(&proc.name);
+        let summary = if is_quarantined {
+            // The ⊤ pin wins over any stale Jacobi iterate: a quarantine
+            // during the fixpoint leaves ⊤ in `local` anyway, and one in
+            // the recording pass must still report ⊤ (it is ⊒ the
+            // converged summary, so dependents computed against the
+            // iterate stay sound).
+            Summary::top(proc.params.clone())
+        } else {
+            match local.get(&proc.name) {
+                Some(s) => s.clone(),
+                None => pass.summary,
+            }
         };
         out.push(ProcReport {
             name: proc.name.clone(),
             summary,
-            assertions: analysis.assertions,
-            diverged: analysis.diverged || scc_diverged,
+            assertions: pass.assertions,
+            diverged: pass.diverged || scc_diverged,
+            quarantined: is_quarantined,
         });
     }
     (out, take_contexts(ctx_resolver))

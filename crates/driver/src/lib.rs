@@ -19,10 +19,16 @@
 //!   `(procedure, entry-key)` — capped per procedure, with overflow
 //!   entries widened together so analysis still terminates;
 //! - [`Driver`] runs the batch: sequentially, or farming independent
-//!   components to a fixed pool of shared-nothing worker threads (each
-//!   owns its domain instance and [`Budget`](cai_core::Budget) slice;
-//!   only immutable summaries cross threads, so results are identical
-//!   for every thread count under an unlimited budget). Its
+//!   components to a fixed pool of shared-nothing worker threads (every
+//!   component job owns its domain instance and
+//!   [`Budget`](cai_core::Budget) slice; only immutable summaries cross
+//!   threads, so results are identical for every thread count). Each
+//!   per-procedure analysis runs *supervised*: panics are caught and
+//!   retried with halved fuel ([`Driver::max_retries`]), stragglers are
+//!   cancelled by a wall-clock watchdog ([`Driver::proc_deadline`]), and
+//!   procedures past their retry allowance are quarantined to the sound
+//!   ⊤ summary ([`ProcReport::quarantined`],
+//!   [`ModuleAnalysis::supervision`]). Its
 //!   [`context_cap`](Driver::context_cap) knob bounds per-procedure
 //!   contexts; `context_cap(0)` reproduces the context-insensitive
 //!   driver bit-for-bit;
@@ -37,6 +43,7 @@ mod callgraph;
 mod context;
 mod engine;
 mod summary;
+mod supervisor;
 
 pub use callgraph::CallGraph;
 pub use context::{ContextResolver, CtxStats, CtxStatsSnapshot};
@@ -45,3 +52,4 @@ pub use summary::{
     config_fingerprint, entry_context, entry_key, instantiate_summary, member_fingerprint,
     scc_fingerprint, summarize, Summary, SummaryResolver,
 };
+pub use supervisor::{SupStats, SupStatsSnapshot};

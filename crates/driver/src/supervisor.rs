@@ -1,0 +1,635 @@
+//! Supervised execution: the layer that keeps one faulty procedure from
+//! taking down a batch.
+//!
+//! The combination algorithms promise "never panic, only lose precision"
+//! for *budget exhaustion*; this module extends the same contract to the
+//! failure modes the math ignores — a panicking domain component, a
+//! procedure whose fixpoint stalls, garbage from a corrupted cache. The
+//! policy, end to end:
+//!
+//! 1. **Isolate.** Every per-procedure analysis runs inside
+//!    [`supervise`], the one `catch_unwind` boundary of the workspace
+//!    (`ci.sh` greps for strays). A panic is caught, recorded as a
+//!    structured [`Incident`] on the job's budget slice, and silenced
+//!    from stderr while inside the boundary (the quiet hook below) so a
+//!    chaos run does not drown the logs.
+//! 2. **Retry with backoff.** A panicked procedure is re-attempted up to
+//!    [`SupervisorCfg::max_retries`] times, each attempt under a
+//!    [`Budget::child`] restriction holding *half* the fuel the previous
+//!    attempt saw — a crash loop burns out quickly instead of consuming
+//!    the batch's budget.
+//! 3. **Quarantine to ⊤.** When retries are exhausted the procedure is
+//!    pinned to the sound [`Summary::top`](crate::Summary::top): callers
+//!    havoc on its results, SCC fixpoints still converge, dependents
+//!    stay sound. Quarantined results are never persisted to the
+//!    incremental cache.
+//! 4. **Watch for stragglers.** An optional [`Watchdog`] holds a
+//!    per-procedure wall-clock deadline; overrunning it exhausts the
+//!    job's budget slice, which turns a hang or a stall into the
+//!    already-tested graceful-degradation path — every governed loop
+//!    bails at its next check and the batch moves on.
+//!
+//! Determinism: supervision decisions depend only on the supervised
+//! computation itself (which panics are injected deterministically by
+//! seed in chaos runs) and on the per-job budget slice — never on which
+//! worker thread ran the job — so retry and quarantine outcomes are
+//! bit-identical across thread counts. The watchdog is the one
+//! deliberately wall-clock-dependent piece and is off by default.
+
+use cai_core::{Budget, Incident, IncidentKind};
+use std::cell::Cell;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Once};
+use std::time::{Duration, Instant};
+
+/// Supervision policy knobs, carried by the driver into every job.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisorCfg {
+    /// Retries granted to a panicking procedure before quarantine (so a
+    /// procedure gets `max_retries + 1` attempts in total).
+    pub max_retries: u32,
+    /// Per-procedure wall-clock deadline; `None` (the default) disarms
+    /// the watchdog.
+    pub proc_deadline: Option<Duration>,
+}
+
+impl Default for SupervisorCfg {
+    fn default() -> SupervisorCfg {
+        SupervisorCfg {
+            max_retries: 2,
+            proc_deadline: None,
+        }
+    }
+}
+
+/// Shared supervision counters — the same observability shape as
+/// [`CtxStats`](crate::CtxStats): cloning shares the counters, so one
+/// `SupStats` aggregates over every job of a batch.
+#[derive(Clone, Debug, Default)]
+pub struct SupStats {
+    inner: Arc<SupStatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct SupStatsInner {
+    panics_caught: AtomicU64,
+    retries: AtomicU64,
+    recovered: AtomicU64,
+    stalls: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+impl SupStats {
+    /// Fresh counters, all zero.
+    pub fn new() -> SupStats {
+        SupStats::default()
+    }
+
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a panic that escaped per-procedure supervision and was
+    /// caught by the job-level [`guard`] instead.
+    pub(crate) fn note_panic(&self) {
+        SupStats::bump(&self.inner.panics_caught);
+    }
+
+    /// Records a job-level re-dispatch after an escaped panic.
+    pub(crate) fn note_retry(&self) {
+        SupStats::bump(&self.inner.retries);
+    }
+
+    /// Records one procedure quarantined outside [`supervise`] (the
+    /// whole-component crash path).
+    pub(crate) fn note_quarantined(&self) {
+        SupStats::bump(&self.inner.quarantined);
+    }
+
+    /// Folds `other`'s counts into this set. The engine gives each job
+    /// dispatch a transactional local `SupStats` and commits it here only
+    /// when the dispatch returns: a wholesale crash abandons the
+    /// dispatch's results, so its retry/quarantine accounting must not
+    /// leak into the batch counters (the incident log, by contrast,
+    /// keeps the full event trace including abandoned dispatches).
+    pub(crate) fn absorb(&self, other: &SupStats) {
+        let o = other.snapshot();
+        let add = |c: &AtomicU64, n: u64| {
+            c.fetch_add(n, Ordering::Relaxed);
+        };
+        add(&self.inner.panics_caught, o.panics_caught);
+        add(&self.inner.retries, o.retries);
+        add(&self.inner.recovered, o.recovered);
+        add(&self.inner.stalls, o.stalls);
+        add(&self.inner.quarantined, o.quarantined);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> SupStatsSnapshot {
+        let i = &*self.inner;
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        SupStatsSnapshot {
+            panics_caught: get(&i.panics_caught),
+            retries: get(&i.retries),
+            recovered: get(&i.recovered),
+            stalls: get(&i.stalls),
+            quarantined: get(&i.quarantined),
+        }
+    }
+}
+
+/// A point-in-time copy of [`SupStats`]. Plain data: subtract two
+/// snapshots field-wise to meter a region.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupStatsSnapshot {
+    /// Panics caught at the supervision boundary (every attempt counts).
+    pub panics_caught: u64,
+    /// Retry attempts granted after a caught panic.
+    pub retries: u64,
+    /// Procedures that panicked and then completed on a retry.
+    pub recovered: u64,
+    /// Watchdog firings (procedure overran its deadline; job slice
+    /// exhausted).
+    pub stalls: u64,
+    /// Procedures pinned to the sound ⊤ summary after exhausting their
+    /// retry allowance (component-wide crashes count each member).
+    pub quarantined: u64,
+}
+
+impl fmt::Display for SupStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "panics caught={} retries={} recovered={} stalls={} quarantined={}",
+            self.panics_caught, self.retries, self.recovered, self.stalls, self.quarantined
+        )
+    }
+}
+
+thread_local! {
+    /// Nesting depth of supervised regions on this thread; nonzero means
+    /// a panic here will be caught (and should not spam stderr).
+    static SUPERVISED_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// RAII marker for "panics on this thread are being supervised".
+struct SupervisedRegion;
+
+impl SupervisedRegion {
+    fn enter() -> SupervisedRegion {
+        SUPERVISED_DEPTH.with(|d| d.set(d.get() + 1));
+        SupervisedRegion
+    }
+}
+
+impl Drop for SupervisedRegion {
+    fn drop(&mut self) {
+        SUPERVISED_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    }
+}
+
+/// Installs (once per process) a panic hook that stays silent for
+/// supervised panics and defers to the previous hook for everything
+/// else. A chaos run injects thousands of panics by design; without
+/// this, every one would print a backtrace banner for an event the
+/// supervisor absorbs by contract.
+fn install_quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if SUPERVISED_DEPTH.with(|d| d.get()) == 0 {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Renders a caught panic payload for incident records.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` with panics caught and silenced, returning the panic message
+/// on unwind. This is the job-level safety net of the engine: the
+/// per-procedure [`supervise`] boundary inside `f` absorbs expected
+/// faults, so `guard` only trips on a panic escaping the solver itself.
+///
+/// Unwind-safety audit for the `AssertUnwindSafe` below: `f` closes over
+/// the job's domain instance, context resolver, and budget slice. On
+/// unwind (a) `RefCell` borrows are released by their guards, and the
+/// resolver's memo store only ever holds *fully computed* summaries —
+/// partial state lives on the unwound stack; (b) the domain's shared
+/// memo (`SplitCache`) is poison-recovered and inserts complete entries
+/// atomically; (c) budget counters are atomics, always consistent; (d)
+/// the engine's summary/report tables are only written after a
+/// successful return. No broken invariant outlives the unwind.
+pub(crate) fn guard<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_quiet_hook();
+    let _region = SupervisedRegion::enter();
+    panic::catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_message(p.as_ref()))
+}
+
+/// The outcome of a supervised per-procedure analysis.
+pub(crate) enum Supervised<T> {
+    /// An attempt completed (possibly after caught panics and retries).
+    Done(T),
+    /// Every attempt panicked; the caller must pin the procedure to the
+    /// sound ⊤ summary.
+    Quarantined,
+}
+
+/// Runs one per-procedure analysis under the full supervision policy:
+/// catch panics, retry with halved-fuel backoff, quarantine when the
+/// allowance is spent. `attempt` receives the budget restriction for
+/// that attempt (a [`Budget::child`] of `slice`, so its fuel is charged
+/// to the job and its observations land in the job's report).
+///
+/// The `AssertUnwindSafe` here is the same audited boundary as
+/// [`guard`]'s — see the audit note there; `attempt` closes over strictly
+/// less state (one procedure's analysis rather than the whole job).
+pub(crate) fn supervise<T>(
+    subject: &str,
+    cfg: &SupervisorCfg,
+    slice: &Budget,
+    stats: &SupStats,
+    watchdog: Option<&Watchdog>,
+    mut attempt: impl FnMut(&Budget) -> T,
+) -> Supervised<T> {
+    install_quiet_hook();
+    for k in 0..=cfg.max_retries {
+        if let Some(wd) = watchdog {
+            wd.watch(subject);
+        }
+        // Attempt 0 runs under the slice's own limits (plus the
+        // per-procedure deadline); attempt k > 0 may use at most 1/2^k of
+        // the fuel still in the slice, so a deterministic crash loop
+        // decays geometrically instead of draining the batch.
+        let fuel = if k == 0 {
+            None
+        } else {
+            slice.remaining_fuel().map(|f| (f >> k).max(1))
+        };
+        let attempt_budget = slice.child(fuel, cfg.proc_deadline);
+        let outcome = {
+            let _region = SupervisedRegion::enter();
+            panic::catch_unwind(AssertUnwindSafe(|| attempt(&attempt_budget)))
+        };
+        if let Some(wd) = watchdog {
+            wd.pause();
+        }
+        match outcome {
+            Ok(value) => {
+                if k > 0 {
+                    SupStats::bump(&stats.inner.recovered);
+                }
+                return Supervised::Done(value);
+            }
+            Err(payload) => {
+                SupStats::bump(&stats.inner.panics_caught);
+                slice.incident(Incident {
+                    kind: IncidentKind::Panic,
+                    subject: subject.to_string(),
+                    detail: panic_message(payload.as_ref()),
+                    attempt: k,
+                });
+                if k < cfg.max_retries {
+                    SupStats::bump(&stats.inner.retries);
+                }
+            }
+        }
+    }
+    SupStats::bump(&stats.inner.quarantined);
+    slice.degrade(
+        "driver/supervisor",
+        format!(
+            "`{subject}` quarantined to the \u{22a4} summary after {} panicking attempts",
+            cfg.max_retries + 1
+        ),
+    );
+    slice.incident(Incident {
+        kind: IncidentKind::Quarantine,
+        subject: subject.to_string(),
+        detail: format!(
+            "all {} attempts panicked; summary pinned to \u{22a4}",
+            cfg.max_retries + 1
+        ),
+        attempt: cfg.max_retries,
+    });
+    Supervised::Quarantined
+}
+
+/// Clock subject while no single procedure is on it: the SCC glue
+/// between attempts (joins, entailment checks, the recording pass).
+const GLUE_SUBJECT: &str = "<scc glue>";
+
+#[derive(Debug)]
+struct WatchState {
+    /// The subject currently on the clock and its absolute deadline.
+    /// `None` only after a stop request.
+    watching: Option<(String, Instant)>,
+    stop: bool,
+    fired: bool,
+}
+
+#[derive(Debug)]
+struct WatchShared {
+    budget: Budget,
+    deadline: Duration,
+    stats: SupStats,
+    state: Mutex<WatchState>,
+    wake: Condvar,
+}
+
+/// The cooperative straggler watchdog for one job: a helper thread that
+/// waits out each procedure's wall-clock deadline and, on overrun,
+/// exhausts the job's budget slice — turning a stalled or hung analysis
+/// into the ordinary graceful-degradation path (every governed loop,
+/// including [`ChaosDomain`](cai_core::ChaosDomain) stall-fault spins,
+/// checks the budget and bails). The supervisor restarts the clock via
+/// [`watch`](Watchdog::watch) before each attempt and hands it back to
+/// the between-procedures sentinel via [`pause`](Watchdog::pause) after
+/// — the clock never goes dark while the job is live, because the SCC
+/// glue (summary joins and entailment checks between attempts) runs the
+/// same domain and can stall just as well as a procedure body. It fires
+/// at most once, because a fired slice is already dead for the rest of
+/// the job.
+#[derive(Debug)]
+pub(crate) struct Watchdog {
+    shared: Arc<WatchShared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Spawns the watchdog thread for one job slice.
+    pub(crate) fn arm(budget: Budget, deadline: Duration, stats: SupStats) -> Watchdog {
+        let shared = Arc::new(WatchShared {
+            budget,
+            deadline,
+            stats,
+            state: Mutex::new(WatchState {
+                watching: Some((GLUE_SUBJECT.to_string(), Instant::now() + deadline)),
+                stop: false,
+                fired: false,
+            }),
+            wake: Condvar::new(),
+        });
+        let thread_shared = shared.clone();
+        let handle = std::thread::spawn(move || Watchdog::run(&thread_shared));
+        Watchdog {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    fn run(shared: &WatchShared) {
+        let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.stop {
+                return;
+            }
+            match state.watching.clone() {
+                None => {
+                    state = shared.wake.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+                Some((subject, due)) => {
+                    let now = Instant::now();
+                    if now < due {
+                        let (next, _) = shared
+                            .wake
+                            .wait_timeout(state, due - now)
+                            .unwrap_or_else(|e| e.into_inner());
+                        state = next;
+                        continue;
+                    }
+                    state.fired = true;
+                    state.watching = None;
+                    drop(state);
+                    shared.budget.degrade(
+                        "driver/supervisor",
+                        format!(
+                            "`{subject}` overran the {:?} procedure deadline; watchdog exhausted the job slice",
+                            shared.deadline
+                        ),
+                    );
+                    shared.budget.incident(Incident {
+                        kind: IncidentKind::Stall,
+                        subject,
+                        detail: format!(
+                            "exceeded the {:?} procedure deadline; budget slice exhausted",
+                            shared.deadline
+                        ),
+                        attempt: 0,
+                    });
+                    SupStats::bump(&shared.stats.inner.stalls);
+                    shared.budget.exhaust();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Puts `subject` on the clock: the deadline restarts from now.
+    pub(crate) fn watch(&self, subject: &str) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.watching = Some((subject.to_string(), Instant::now() + self.shared.deadline));
+        drop(state);
+        self.shared.wake.notify_all();
+    }
+
+    /// Hands the clock back to the between-procedures sentinel (attempt
+    /// finished). The deadline restarts: glue work gets the same
+    /// allowance as a procedure body, and a stall there is caught too.
+    pub(crate) fn pause(&self) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.watching = Some((
+            GLUE_SUBJECT.to_string(),
+            Instant::now() + self.shared.deadline,
+        ));
+        drop(state);
+        self.shared.wake.notify_all();
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.stop = true;
+        }
+        self.shared.wake.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_passes_through_untouched() {
+        let stats = SupStats::new();
+        let slice = Budget::fuel(100);
+        let out = supervise("ok", &SupervisorCfg::default(), &slice, &stats, None, |b| {
+            assert!(b.tick(1));
+            42
+        });
+        assert!(matches!(out, Supervised::Done(42)));
+        let snap = stats.snapshot();
+        assert_eq!(snap, SupStatsSnapshot::default());
+        assert!(slice.report().incidents.is_empty());
+    }
+
+    #[test]
+    fn one_panic_then_recovery_is_counted_and_logged() {
+        let stats = SupStats::new();
+        let slice = Budget::fuel(1000);
+        let mut calls = 0u32;
+        let out = supervise(
+            "flaky",
+            &SupervisorCfg::default(),
+            &slice,
+            &stats,
+            None,
+            |_| {
+                calls += 1;
+                if calls == 1 {
+                    panic!("injected once");
+                }
+                "fine"
+            },
+        );
+        assert!(matches!(out, Supervised::Done("fine")));
+        let snap = stats.snapshot();
+        assert_eq!(snap.panics_caught, 1);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.recovered, 1);
+        assert_eq!(snap.quarantined, 0);
+        let report = slice.report();
+        assert_eq!(report.incidents_of(IncidentKind::Panic).count(), 1);
+        assert!(report.incidents[0].detail.contains("injected once"));
+        assert!(
+            !report.degraded,
+            "a recovered panic produced the exact result"
+        );
+    }
+
+    #[test]
+    fn persistent_panics_quarantine_with_halved_fuel_attempts() {
+        let stats = SupStats::new();
+        let slice = Budget::fuel(64);
+        let mut seen_fuel: Vec<Option<u64>> = Vec::new();
+        let out = supervise(
+            "doomed",
+            &SupervisorCfg::default(),
+            &slice,
+            &stats,
+            None,
+            |b| -> () {
+                seen_fuel.push(b.remaining_fuel());
+                panic!("always");
+            },
+        );
+        assert!(matches!(out, Supervised::Quarantined));
+        // Attempt 0 is uncapped (parent fuel binds); retries are capped at
+        // half, then a quarter, of the fuel left in the slice.
+        assert_eq!(seen_fuel.len(), 3);
+        assert_eq!(seen_fuel[0], None);
+        let h1 = seen_fuel[1].expect("retry 1 is fuel-capped");
+        let h2 = seen_fuel[2].expect("retry 2 is fuel-capped");
+        assert!((1..=32).contains(&h1));
+        assert!(h2 <= h1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.panics_caught, 3);
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.recovered, 0);
+        assert_eq!(snap.quarantined, 1);
+        let report = slice.report();
+        assert!(report.degraded, "quarantine is a real precision loss");
+        assert_eq!(report.incidents_of(IncidentKind::Quarantine).count(), 1);
+    }
+
+    #[test]
+    fn max_retries_zero_quarantines_on_first_panic() {
+        let stats = SupStats::new();
+        let slice = Budget::unlimited();
+        let cfg = SupervisorCfg {
+            max_retries: 0,
+            ..SupervisorCfg::default()
+        };
+        let out = supervise("strict", &cfg, &slice, &stats, None, |_| -> () {
+            panic!("once is enough")
+        });
+        assert!(matches!(out, Supervised::Quarantined));
+        let snap = stats.snapshot();
+        assert_eq!(snap.panics_caught, 1);
+        assert_eq!(snap.retries, 0);
+        assert_eq!(snap.quarantined, 1);
+    }
+
+    #[test]
+    fn watchdog_exhausts_a_stalling_slice() {
+        let stats = SupStats::new();
+        let slice = Budget::unlimited();
+        let watchdog = Watchdog::arm(slice.clone(), Duration::from_millis(20), stats.clone());
+        let out = supervise(
+            "spinner",
+            &SupervisorCfg::default(),
+            &slice,
+            &stats,
+            Some(&watchdog),
+            |b| {
+                // A cooperative stall: spins until cancelled, exactly like
+                // the chaos stall fault.
+                while !b.is_exhausted() {
+                    std::thread::yield_now();
+                }
+                "unstuck"
+            },
+        );
+        assert!(matches!(out, Supervised::Done("unstuck")));
+        drop(watchdog);
+        assert_eq!(stats.snapshot().stalls, 1);
+        let report = slice.report();
+        assert_eq!(report.incidents_of(IncidentKind::Stall).count(), 1);
+        assert!(report.degraded && report.exhausted);
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_for_fast_procedures() {
+        let stats = SupStats::new();
+        let slice = Budget::unlimited();
+        let watchdog = Watchdog::arm(slice.clone(), Duration::from_secs(60), stats.clone());
+        for name in ["a", "b", "c"] {
+            let out = supervise(
+                name,
+                &SupervisorCfg::default(),
+                &slice,
+                &stats,
+                Some(&watchdog),
+                |_| name,
+            );
+            assert!(matches!(out, Supervised::Done(_)));
+        }
+        drop(watchdog);
+        assert_eq!(stats.snapshot().stalls, 0);
+        assert!(!slice.is_exhausted());
+    }
+
+    #[test]
+    fn guard_reports_the_panic_message() {
+        assert_eq!(guard(|| 7), Ok(7));
+        let err = guard(|| -> u32 { panic!("solver bug {}", 3) }).unwrap_err();
+        assert!(err.contains("solver bug 3"));
+    }
+}
