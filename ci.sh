@@ -24,6 +24,21 @@ if [ -n "$strays" ]; then
     exit 1
 fi
 
+echo "== observability confinement gate =="
+# All logging and wall-clock reads go through cai-obs (spans, counters,
+# clock::now). A stray eprintln! is invisible to the exporters; a stray
+# Instant::now() risks wall-clock creeping into analysis decisions and
+# breaking the bit-identical determinism contract (DESIGN.md section 10).
+# crates/obs implements the door; crates/bench is the timing/report
+# harness and may do both.
+strays=$(grep -rn "eprintln!\|Instant::now" crates --include="*.rs" \
+    | grep -v "^crates/obs/" | grep -v "^crates/bench/" || true)
+if [ -n "$strays" ]; then
+    echo "eprintln!/Instant::now outside crates/obs and crates/bench:"
+    echo "$strays"
+    exit 1
+fi
+
 echo "== fmt check =="
 cargo fmt --all -- --check
 
@@ -57,5 +72,26 @@ echo "== paper_eval --join-stats smoke =="
 # Exits nonzero unless the split cache hits, saves ticks, and leaves the
 # analysis results bit-identical.
 cargo run --release -p cai-bench --bin paper_eval --offline -- --join-stats
+
+echo "== observability smoke (--trace-out / --obs-report) =="
+# The exported Chrome trace must be parseable, non-empty JSON, and the
+# counter report must cover every instrumented layer.
+obs_trace=$(mktemp /tmp/cai-trace.XXXXXX.json)
+obs_log=$(mktemp /tmp/cai-obs-report.XXXXXX.log)
+cargo run --release -p cai-bench --bin driver_eval --offline -- \
+    --smoke --trace-out "$obs_trace" --obs-report | tee "$obs_log"
+python3 - "$obs_trace" <<'PY'
+import json, sys
+events = json.load(open(sys.argv[1]))
+assert isinstance(events, list) and events, "trace must be a non-empty array"
+for e in events:
+    assert e["ph"] in ("X", "i") and "ts" in e and "name" in e, e
+print(f"trace OK: {len(events)} events")
+PY
+for prefix in core/ uf/ interp/ driver/; do
+    grep -q "^$prefix" "$obs_log" || {
+        echo "obs report is missing the $prefix layer"; exit 1; }
+done
+rm -f "$obs_trace" "$obs_log"
 
 echo "CI OK"

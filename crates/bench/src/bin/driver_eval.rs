@@ -8,12 +8,20 @@
 //! cargo run --release -p cai-bench --bin driver_eval -- --smoke         # quick CI check
 //! cargo run --release -p cai-bench --bin driver_eval -- --ctx-stats     # context-sensitivity report
 //! cargo run --release -p cai-bench --bin driver_eval -- --chaos         # supervised fault drill
+//! cargo run --release -p cai-bench --bin driver_eval -- --obs-report    # counter registry dump
+//! cargo run --release -p cai-bench --bin driver_eval -- --trace-out prof.json  # Chrome trace
 //! ```
 //!
 //! `--ctx-stats` runs a benchmark whose callee reassigns its formal —
 //! invisible to context-insensitive summaries — and asserts the
 //! entry-keyed analysis is never less precise (and strictly more precise
 //! there), printing context and cache counters.
+//!
+//! `--obs-report` prints the global `cai-obs` counter registry at exit
+//! (plus the run's shared join stats under `core/join/…`); `--trace-out
+//! FILE` enables the span tracer and writes a Chrome `trace_event` JSON
+//! profile loadable in `chrome://tracing` or Perfetto. Neither changes
+//! any analysis result.
 //!
 //! `--chaos` wraps every job's domain in a seeded fault injector
 //! (`--chaos-seed N`, default 7) that panics mid-operation, then asserts
@@ -22,7 +30,7 @@
 //! procedures pin to the sound ⊤ summary, and the outcome is
 //! bit-identical across 1 vs `--threads` threads.
 
-use cai_core::{AbstractDomain, Budget, ChaosConfig, ChaosDomain, LogicalProduct};
+use cai_core::{AbstractDomain, Budget, ChaosConfig, ChaosDomain, JoinStats, LogicalProduct};
 use cai_driver::{Driver, ModuleAnalysis, Summary, SummaryCache};
 use cai_interp::{parse_module, Module};
 use cai_linarith::AffineEq;
@@ -34,6 +42,15 @@ type Product = LogicalProduct<AffineEq, UfDomain>;
 
 fn product_driver() -> Driver<Product, impl Fn(&Budget) -> Product + Sync> {
     Driver::new(|_: &Budget| LogicalProduct::new(AffineEq::new(), UfDomain::new()))
+}
+
+/// Like [`product_driver`], but every job's product shares `stats`, so
+/// one `--obs-report` line set aggregates the whole batch.
+fn product_driver_with(stats: &JoinStats) -> Driver<Product, impl Fn(&Budget) -> Product + Sync> {
+    let stats = stats.clone();
+    Driver::new(move |_: &Budget| {
+        LogicalProduct::new(AffineEq::new(), UfDomain::new()).with_stats(stats.clone())
+    })
 }
 
 /// A batch of `n` independent procedures, each with a loop and alien
@@ -240,9 +257,20 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     };
+    let flag_str = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
     let smoke = args.iter().any(|a| a == "--smoke");
     let ctx_stats = args.iter().any(|a| a == "--ctx-stats");
     let chaos = args.iter().any(|a| a == "--chaos");
+    let obs_report = args.iter().any(|a| a == "--obs-report");
+    let trace_out = flag_str("--trace-out");
+    if trace_out.is_some() {
+        cai_obs::trace::set_enabled(true);
+    }
     let procs = flag_value("--procs", if smoke { 32 } else { 64 });
     let threads = flag_value("--threads", 4);
     let chaos_seed = flag_value("--chaos-seed", 7) as u64;
@@ -254,11 +282,12 @@ fn main() {
 
     println!("driver_eval: {procs} independent procedures, {threads} threads, {cpus} CPU(s)");
     let m = batch_module(procs, 0);
+    let join_stats = JoinStats::new();
 
     // --- parallel speedup -------------------------------------------------
     let best = |t: usize| {
         (0..reps)
-            .map(|_| time_ms(|| product_driver().threads(t).analyze(&m)).0)
+            .map(|_| time_ms(|| product_driver_with(&join_stats).threads(t).analyze(&m)).0)
             .fold(f64::INFINITY, f64::min)
     };
     let t_seq = best(1);
@@ -269,8 +298,10 @@ fn main() {
 
     // Determinism check rides along: the parallel schedule must produce
     // bit-identical summaries and verdicts.
-    let seq = product_driver().threads(1).analyze(&m);
-    let par = product_driver().threads(threads).analyze(&m);
+    let seq = product_driver_with(&join_stats).threads(1).analyze(&m);
+    let par = product_driver_with(&join_stats)
+        .threads(threads)
+        .analyze(&m);
     let identical = seq.reports.iter().zip(par.reports.iter()).all(|(a, b)| {
         a.summary == b.summary
             && a.summary.to_string() == b.summary.to_string()
@@ -283,7 +314,7 @@ fn main() {
     );
 
     // --- warm-cache incremental re-analysis -------------------------------
-    let driver = product_driver().threads(threads);
+    let driver = product_driver_with(&join_stats).threads(threads);
     let mut cache = SummaryCache::new();
     let (t_cold, cold) = time_ms(|| driver.analyze_with_cache(&m, &mut cache));
     let (t_warm, warm) = time_ms(|| driver.analyze_with_cache(&m, &mut cache));
@@ -401,5 +432,27 @@ fn main() {
             "a one-procedure edit must recompute exactly that procedure"
         );
         println!("driver_eval smoke OK");
+    }
+
+    // --- observability exports (report + trace last, so they see it all) --
+    if obs_report {
+        let mut snap = cai_obs::global().snapshot();
+        join_stats.export_into(&mut snap, "core/join");
+        println!("\nobs report:");
+        println!("{snap}");
+    }
+    if let Some(path) = trace_out {
+        let trace = cai_obs::trace::drain();
+        match std::fs::write(&path, trace.to_chrome_json()) {
+            Ok(()) => println!(
+                "wrote {} trace event(s) to {path} (dropped {})",
+                trace.events.len(),
+                trace.dropped
+            ),
+            Err(e) => {
+                eprintln!("failed to write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -16,6 +16,9 @@
 //! split cache on vs. off, checks the results are bit-identical, prints
 //! both tick totals and the cache counters, and exits nonzero unless the
 //! cache hit and saved ticks.
+//!
+//! `--obs-report` dumps the global `cai-obs` counter registry after the
+//! selected items have run. Purely additive: it changes no result.
 
 use cai_bench::{fig1_family, thm6_family, ConjGen, FIG1, FIG4, FIG8};
 use cai_core::reduce::{EncodeMode, UnaryEncoder};
@@ -51,6 +54,12 @@ fn main() {
             return;
         }
     }
+    let obs_report = if let Some(i) = args.iter().position(|a| a == "--obs-report") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
@@ -86,6 +95,10 @@ fn main() {
     }
     if want("compare") {
         compare();
+    }
+    if obs_report {
+        println!("\nobs report:");
+        println!("{}", cai_obs::global().snapshot());
     }
 }
 

@@ -30,8 +30,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// How often (in ticks) the wall-clock deadline is re-checked; checking
-/// `Instant::now()` on every tick would dominate the hot loops.
+use cai_obs::clock;
+
+/// How often (in ticks) the wall-clock deadline is re-checked; reading the
+/// clock on every tick would dominate the hot loops. (The clock is read via
+/// [`cai_obs::clock::now`], the stack's single audited wall-clock door.)
 const DEADLINE_CHECK_PERIOD: u64 = 256;
 
 /// Cap on stored [`Degradation`] events; further events only bump a
@@ -303,8 +306,7 @@ impl BudgetInner {
         }
         if let Some(deadline) = self.deadline {
             // Amortize the clock read; the first tick always checks.
-            if (spent <= cost || spent % DEADLINE_CHECK_PERIOD < cost) && Instant::now() >= deadline
-            {
+            if (spent <= cost || spent % DEADLINE_CHECK_PERIOD < cost) && clock::now() >= deadline {
                 self.exhausted.store(true, Ordering::Relaxed);
                 return false;
             }
@@ -322,7 +324,7 @@ pub struct Budget {
 
 impl Budget {
     fn build(fuel: Option<u64>, deadline: Option<Duration>) -> Budget {
-        Budget::build_at(fuel, deadline.map(|d| Instant::now() + d), false)
+        Budget::build_at(fuel, deadline.map(|d| clock::now() + d), false)
     }
 
     fn build_at(fuel: Option<u64>, deadline: Option<Instant>, exhausted: bool) -> Budget {
@@ -393,7 +395,7 @@ impl Budget {
             return true;
         }
         if let Some(deadline) = self.inner.deadline {
-            if Instant::now() >= deadline {
+            if clock::now() >= deadline {
                 self.inner.exhausted.store(true, Ordering::Relaxed);
                 return true;
             }
@@ -535,7 +537,7 @@ impl Budget {
     /// incidents recorded on the child land in this budget's log, so one
     /// [`report`](Budget::report) covers every attempt.
     pub fn child(&self, fuel: Option<u64>, deadline: Option<Duration>) -> Budget {
-        let child_deadline = deadline.map(|d| Instant::now() + d);
+        let child_deadline = deadline.map(|d| clock::now() + d);
         let deadline = match (self.inner.deadline, child_deadline) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),

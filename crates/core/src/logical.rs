@@ -37,66 +37,73 @@
 //!   `Alternate` definition can mention them, so dropping them is exact).
 //!
 //! [`JoinStats`] exposes counters for all of the above; set `CAI_TRACE`
-//! for per-phase timings, or run `paper_eval --join-stats` for an
-//! end-to-end report.
+//! (or enable the `cai-obs` tracer programmatically) for per-phase span
+//! timings, or run `paper_eval --join-stats` for an end-to-end report.
 
 use crate::budget::Budget;
 use crate::domain::{combination_precision, AbstractDomain, Precision, TheoryProps};
 use crate::partition::Partition;
 use crate::saturate::{no_saturate_budgeted, Saturated};
+use cai_obs::CounterFamily;
 use cai_term::{purify, Atom, AtomSide, Conj, Purified, Purifier, Sig, Term, Var, VarSet};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
-/// Returns `true` when `CAI_TRACE` is set: the logical product then prints
-/// per-phase timings of its join and quantification pipelines to stderr.
-fn tracing() -> bool {
-    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ON.get_or_init(|| std::env::var_os("CAI_TRACE").is_some())
-}
+/// [`JoinStats`] counter names, in cell order (indices in [`jc`]).
+const JOIN_COUNTERS: &[&str] = &[
+    "cache_hits",
+    "cache_misses",
+    "cache_skips",
+    "cache_evictions",
+    "pairs_considered",
+    "pairs_generated",
+    "pairs_pruned",
+    "saturation_rounds",
+    "qsat_rounds",
+    "defs_found",
+    "defs_rejected",
+    "joins",
+    "widens",
+    "exists_ops",
+    "fallbacks",
+];
 
-macro_rules! trace_phase {
-    ($label:expr, $body:expr) => {{
-        if tracing() {
-            let start = Instant::now();
-            let out = $body;
-            eprintln!("[cai-trace] {}: {:?}", $label, start.elapsed());
-            out
-        } else {
-            $body
-        }
-    }};
+/// Cell indices into [`JOIN_COUNTERS`].
+mod jc {
+    pub const CACHE_HITS: usize = 0;
+    pub const CACHE_MISSES: usize = 1;
+    pub const CACHE_SKIPS: usize = 2;
+    pub const CACHE_EVICTIONS: usize = 3;
+    pub const PAIRS_CONSIDERED: usize = 4;
+    pub const PAIRS_GENERATED: usize = 5;
+    pub const PAIRS_PRUNED: usize = 6;
+    pub const SATURATION_ROUNDS: usize = 7;
+    pub const QSAT_ROUNDS: usize = 8;
+    pub const DEFS_FOUND: usize = 9;
+    pub const DEFS_REJECTED: usize = 10;
+    pub const JOINS: usize = 11;
+    pub const WIDENS: usize = 12;
+    pub const EXISTS_OPS: usize = 13;
+    pub const FALLBACKS: usize = 14;
 }
 
 /// Shared observability counters for the logical product's join and
-/// quantification pipelines. Cloning shares the underlying counters, so
+/// quantification pipelines — a thin facade over a
+/// [`cai_obs::CounterFamily`]. Cloning shares the underlying counters, so
 /// one `JoinStats` can aggregate over many products (e.g. every worker of
 /// a parallel driver run).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct JoinStats {
-    inner: Arc<JoinStatsInner>,
+    fam: CounterFamily,
 }
 
-#[derive(Debug, Default)]
-struct JoinStatsInner {
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    cache_skips: AtomicU64,
-    cache_evictions: AtomicU64,
-    pairs_considered: AtomicU64,
-    pairs_generated: AtomicU64,
-    pairs_pruned: AtomicU64,
-    saturation_rounds: AtomicU64,
-    qsat_rounds: AtomicU64,
-    defs_found: AtomicU64,
-    defs_rejected: AtomicU64,
-    joins: AtomicU64,
-    widens: AtomicU64,
-    exists_ops: AtomicU64,
-    fallbacks: AtomicU64,
+impl Default for JoinStats {
+    fn default() -> JoinStats {
+        JoinStats {
+            fam: CounterFamily::new(JOIN_COUNTERS),
+        }
+    }
 }
 
 impl JoinStats {
@@ -105,30 +112,36 @@ impl JoinStats {
         JoinStats::default()
     }
 
-    fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    fn add(&self, idx: usize, n: u64) {
+        self.fam.add(idx, n);
+    }
+
+    /// Merge current values into an observability [`cai_obs::Snapshot`]
+    /// under `"{prefix}/{counter}"` keys — how `--obs-report` folds the
+    /// join pipeline into the process-wide table.
+    pub fn export_into(&self, snap: &mut cai_obs::Snapshot, prefix: &str) {
+        self.fam.export_into(snap, prefix);
     }
 
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> JoinStatsSnapshot {
-        let i = &*self.inner;
-        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let get = |idx: usize| self.fam.get(idx);
         JoinStatsSnapshot {
-            cache_hits: get(&i.cache_hits),
-            cache_misses: get(&i.cache_misses),
-            cache_skips: get(&i.cache_skips),
-            cache_evictions: get(&i.cache_evictions),
-            pairs_considered: get(&i.pairs_considered),
-            pairs_generated: get(&i.pairs_generated),
-            pairs_pruned: get(&i.pairs_pruned),
-            saturation_rounds: get(&i.saturation_rounds),
-            qsat_rounds: get(&i.qsat_rounds),
-            defs_found: get(&i.defs_found),
-            defs_rejected: get(&i.defs_rejected),
-            joins: get(&i.joins),
-            widens: get(&i.widens),
-            exists_ops: get(&i.exists_ops),
-            fallbacks: get(&i.fallbacks),
+            cache_hits: get(jc::CACHE_HITS),
+            cache_misses: get(jc::CACHE_MISSES),
+            cache_skips: get(jc::CACHE_SKIPS),
+            cache_evictions: get(jc::CACHE_EVICTIONS),
+            pairs_considered: get(jc::PAIRS_CONSIDERED),
+            pairs_generated: get(jc::PAIRS_GENERATED),
+            pairs_pruned: get(jc::PAIRS_PRUNED),
+            saturation_rounds: get(jc::SATURATION_ROUNDS),
+            qsat_rounds: get(jc::QSAT_ROUNDS),
+            defs_found: get(jc::DEFS_FOUND),
+            defs_rejected: get(jc::DEFS_REJECTED),
+            joins: get(jc::JOINS),
+            widens: get(jc::WIDENS),
+            exists_ops: get(jc::EXISTS_OPS),
+            fallbacks: get(jc::FALLBACKS),
         }
     }
 }
@@ -497,10 +510,10 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
         }
         let fp = e.fingerprint();
         if let Some(hit) = self.cache.get(fp, e) {
-            JoinStats::add(&self.stats.inner.cache_hits, 1);
+            self.stats.add(jc::CACHE_HITS, 1);
             return hit;
         }
-        JoinStats::add(&self.stats.inner.cache_misses, 1);
+        self.stats.add(jc::CACHE_MISSES, 1);
         let degrades_before = self.budget.degrade_count();
         let out = self.split_uncached(e);
         // Never cache a split computed under duress: an under-saturated or
@@ -509,12 +522,12 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
             || self.budget.is_exhausted()
             || self.budget.degrade_count() != degrades_before;
         if degraded {
-            JoinStats::add(&self.stats.inner.cache_skips, 1);
+            self.stats.add(jc::CACHE_SKIPS, 1);
         } else if self
             .cache
             .insert(fp, e.clone(), out.0.clone(), out.1.clone())
         {
-            JoinStats::add(&self.stats.inner.cache_evictions, 1);
+            self.stats.add(jc::CACHE_EVICTIONS, 1);
         }
         out
     }
@@ -524,7 +537,7 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
         let e1 = self.d1.from_conj(&p.left);
         let e2 = self.d2.from_conj(&p.right);
         let s = no_saturate_budgeted(&self.d1, e1, &self.d2, e2, &self.budget);
-        JoinStats::add(&self.stats.inner.saturation_rounds, s.rounds as u64);
+        self.stats.add(jc::SATURATION_ROUNDS, s.rounds as u64);
         (p, s)
     }
 
@@ -576,6 +589,7 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
         let mut v2 = v1.clone();
         let mut defs: Vec<(Var, Term)> = Vec::new();
         loop {
+            cai_obs::counter!("fuel/core.qsat").add(1 + v2.len() as u64);
             if !self.budget.tick(1 + v2.len() as u64) {
                 // Sound early exit: the variables still in V2 are simply
                 // quantified component-wise instead of being substituted.
@@ -584,7 +598,7 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
                 });
                 return (v2, defs);
             }
-            JoinStats::add(&self.stats.inner.qsat_rounds, 1);
+            self.stats.add(jc::QSAT_ROUNDS, 1);
             let mut changed = false;
             // One batched Alternate pass per component per round; as
             // variables leave V2, later rounds may find more definitions.
@@ -597,13 +611,13 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
                         continue;
                     }
                     if t.as_var() == Some(y) || t.mentions_any(&v2) {
-                        JoinStats::add(&self.stats.inner.defs_rejected, 1);
+                        self.stats.add(jc::DEFS_REJECTED, 1);
                         self.budget.degrade("logical-product/q-saturation", {
                             format!("skipped defective Alternate definition {y} = {t}")
                         });
                         continue;
                     }
-                    JoinStats::add(&self.stats.inner.defs_found, 1);
+                    self.stats.add(jc::DEFS_FOUND, 1);
                     defs.push((y, t));
                     v2.remove(&y);
                     changed = true;
@@ -626,6 +640,7 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
         if defs.is_empty() {
             return c;
         }
+        cai_obs::counter!("fuel/core.subst").add(1 + c.len() as u64 + defs.len() as u64);
         if !self.budget.tick(1 + c.len() as u64 + defs.len() as u64) {
             self.budget.degrade(
                 "logical-product/subst-defs",
@@ -652,29 +667,23 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
         v1: &VarSet,
         label: &'static str,
     ) -> Conj {
-        let (v2, defs) = trace_phase!(
+        let (v2, defs) = cai_obs::spanned!(
             format!("{label}/qsat"),
             self.q_saturation(&s.left, &s.right, v1)
         );
-        let e12 = trace_phase!(format!("{label}/q1"), self.d1.exists(&s.left, &v2));
-        let e22 = trace_phase!(format!("{label}/q2"), self.d2.exists(&s.right, &v2));
+        let e12 = cai_obs::spanned!(format!("{label}/q1"), self.d1.exists(&s.left, &v2));
+        let e22 = cai_obs::spanned!(format!("{label}/q2"), self.d2.exists(&s.right, &v2));
         let mixed = self.d1.to_conj(&e12).and(&self.d2.to_conj(&e22));
-        trace_phase!(format!("{label}/subst-defs"), self.subst_defs(mixed, &defs))
+        cai_obs::spanned!(format!("{label}/subst-defs"), self.subst_defs(mixed, &defs))
     }
 
     /// The shared implementation of join and widening (the paper constructs
     /// the widening operator "in exactly the same way" as the join).
     fn join_impl(&self, el: &Conj, er: &Conj, widen: bool) -> Conj {
-        JoinStats::add(
-            if widen {
-                &self.stats.inner.widens
-            } else {
-                &self.stats.inner.joins
-            },
-            1,
-        );
+        self.stats
+            .add(if widen { jc::WIDENS } else { jc::JOINS }, 1);
         if self.budget.is_exhausted() {
-            JoinStats::add(&self.stats.inner.fallbacks, 1);
+            self.stats.add(jc::FALLBACKS, 1);
             self.budget.degrade(
                 "logical-product/join",
                 "fell back to syntactic intersection",
@@ -682,11 +691,11 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
             return self.fallback_join(el, er);
         }
         // Figure 6, lines 1–4.
-        let (pl, sl) = trace_phase!("join/split-left", self.split(el));
+        let (pl, sl) = cai_obs::spanned!("join/split-left", self.split(el));
         if sl.bottom {
             return er.clone();
         }
-        let (pr, sr) = trace_phase!("join/split-right", self.split(er));
+        let (pr, sr) = cai_obs::spanned!("join/split-right", self.split(er));
         if sr.bottom {
             return el.clone();
         }
@@ -699,10 +708,8 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
         lvars.extend(pl.fresh.iter().copied());
         let mut rvars: VarSet = er.vars();
         rvars.extend(pr.fresh.iter().copied());
-        JoinStats::add(
-            &self.stats.inner.pairs_considered,
-            (lvars.len() * rvars.len()) as u64,
-        );
+        self.stats
+            .add(jc::PAIRS_CONSIDERED, (lvars.len() * rvars.len()) as u64);
         let lreps = class_reps(&lvars, &sl.equalities);
         let rreps = class_reps(&rvars, &sr.equalities);
         // The pair-variable set is the quadratic heart of Figure 6 —
@@ -710,8 +717,9 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
         // class-pair set, not the raw |Vℓ|·|Vr| square), and degrade to
         // the syntactic join if the budget cannot afford it.
         let npairs = (lreps.len() * rreps.len()) as u64;
+        cai_obs::counter!("fuel/core.join-pairs").add(npairs);
         if !self.budget.tick(npairs) {
-            JoinStats::add(&self.stats.inner.fallbacks, 1);
+            self.stats.add(jc::FALLBACKS, 1);
             self.budget.degrade("logical-product/join", {
                 format!(
                     "pair-variable set of {}x{} classes exceeded the budget",
@@ -721,7 +729,7 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
             });
             return self.fallback_join(el, er);
         }
-        JoinStats::add(&self.stats.inner.pairs_generated, npairs);
+        self.stats.add(jc::PAIRS_GENERATED, npairs);
         let mut pair_vars = VarSet::new();
         let mut atoms_l: Vec<Atom> = Vec::new();
         let mut atoms_r: Vec<Atom> = Vec::new();
@@ -735,20 +743,20 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
                 atoms_r.push(Atom::var_eq(y, v));
             }
         }
-        let e1l = trace_phase!("join/meet-pairs-1l", self.d1.meet_all(&sl.left, &atoms_l));
-        let e2l = trace_phase!("join/meet-pairs-2l", self.d2.meet_all(&sl.right, &atoms_l));
-        let e1r = trace_phase!("join/meet-pairs-1r", self.d1.meet_all(&sr.left, &atoms_r));
-        let e2r = trace_phase!("join/meet-pairs-2r", self.d2.meet_all(&sr.right, &atoms_r));
+        let e1l = cai_obs::spanned!("join/meet-pairs-1l", self.d1.meet_all(&sl.left, &atoms_l));
+        let e2l = cai_obs::spanned!("join/meet-pairs-2l", self.d2.meet_all(&sl.right, &atoms_l));
+        let e1r = cai_obs::spanned!("join/meet-pairs-1r", self.d1.meet_all(&sr.left, &atoms_r));
+        let e2r = cai_obs::spanned!("join/meet-pairs-2r", self.d2.meet_all(&sr.right, &atoms_r));
         // Lines 8–9: component joins (or widenings).
         let (j1, j2) = if widen {
             (
-                trace_phase!("join/widen-1", self.d1.widen(&e1l, &e1r)),
-                trace_phase!("join/widen-2", self.d2.widen(&e2l, &e2r)),
+                cai_obs::spanned!("join/widen-1", self.d1.widen(&e1l, &e1r)),
+                cai_obs::spanned!("join/widen-2", self.d2.widen(&e2l, &e2r)),
             )
         } else {
             (
-                trace_phase!("join/join-1", self.d1.join(&e1l, &e1r)),
-                trace_phase!("join/join-2", self.d2.join(&e2l, &e2r)),
+                cai_obs::spanned!("join/join-1", self.d1.join(&e1l, &e1r)),
+                cai_obs::spanned!("join/join-2", self.d2.join(&e2l, &e2r)),
             )
         };
         // Line 10: E := Q_{L1⋈L2}(E1 ∧ E2, V) — performed directly on the
@@ -773,11 +781,11 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
         } else {
             self.d2.meet_all(&j2, &cross2)
         };
-        let s = trace_phase!(
+        let s = cai_obs::spanned!(
             "join/saturate",
             no_saturate_budgeted(&self.d1, j1, &self.d2, j2, &self.budget)
         );
-        JoinStats::add(&self.stats.inner.saturation_rounds, s.rounds as u64);
+        self.stats.add(jc::SATURATION_ROUNDS, s.rounds as u64);
         if s.bottom {
             return self.bottom();
         }
@@ -797,23 +805,18 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
         occurring.extend(c2.vars());
         let all_pairs = pair_vars.len();
         pair_vars.retain(|v| occurring.contains(v));
-        JoinStats::add(
-            &self.stats.inner.pairs_pruned,
-            (all_pairs - pair_vars.len()) as u64,
+        self.stats
+            .add(jc::PAIRS_PRUNED, (all_pairs - pair_vars.len()) as u64);
+        cai_obs::instant!(
+            "join/sizes pairs={} pruned={} mixed_atoms={}",
+            all_pairs,
+            all_pairs - pair_vars.len(),
+            c1.len() + c2.len()
         );
-        if tracing() {
-            eprintln!(
-                "[cai-trace] join/sizes: pairs={} pruned={} mixed_atoms={}",
-                all_pairs,
-                all_pairs - pair_vars.len(),
-                c1.len() + c2.len()
-            );
-            eprintln!("[cai-trace] join/stats: {}", self.stats.snapshot());
-        }
         if pair_vars.is_empty() {
             return c1.and(&c2);
         }
-        let out = trace_phase!("join/eliminate", self.eliminate(&s, &pair_vars, "join"));
+        let out = cai_obs::spanned!("join/eliminate", self.eliminate(&s, &pair_vars, "join"));
         // Safety net: the output may only mention the inputs' variables —
         // every pair variable and purification name must be gone. If a
         // component element carried a pruned variable that its
@@ -901,9 +904,9 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for LogicalProduct<D
     }
 
     fn exists(&self, e: &Conj, vars: &VarSet) -> Conj {
-        JoinStats::add(&self.stats.inner.exists_ops, 1);
+        self.stats.add(jc::EXISTS_OPS, 1);
         if self.budget.is_exhausted() {
-            JoinStats::add(&self.stats.inner.fallbacks, 1);
+            self.stats.add(jc::FALLBACKS, 1);
             self.budget.degrade(
                 "logical-product/exists",
                 "fell back to syntactic projection",
@@ -911,7 +914,7 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for LogicalProduct<D
             return Self::fallback_exists(e, vars);
         }
         // Figure 7, left-hand algorithm.
-        let (p, s) = trace_phase!("exists/split", self.split(e));
+        let (p, s) = cai_obs::spanned!("exists/split", self.split(e));
         if s.bottom {
             return self.bottom();
         }
@@ -922,10 +925,8 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for LogicalProduct<D
         let evars = e.vars();
         let requested = vars.len();
         let mut v1: VarSet = vars.iter().copied().filter(|v| evars.contains(v)).collect();
-        JoinStats::add(
-            &self.stats.inner.pairs_pruned,
-            (requested - v1.len()) as u64,
-        );
+        self.stats
+            .add(jc::PAIRS_PRUNED, (requested - v1.len()) as u64);
         v1.extend(p.fresh.iter().copied());
         if v1.is_empty() {
             return e.clone();

@@ -24,12 +24,11 @@
 use crate::summary::{entry_context, entry_key, instantiate_summary, summarize, Summary};
 use cai_core::AbstractDomain;
 use cai_interp::{AnalysisConfig, Analyzer, CallResolver, CallSite, Module, Procedure};
+use cai_obs::{write_kv, CounterFamily};
 use cai_term::Conj;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Hard ceiling on nested demand-specializations, defending against
 /// pathological mutual-recursion chains the per-key cycle check and the
@@ -40,20 +39,37 @@ const MAX_SPECIALIZE_DEPTH: usize = 64;
 /// new entries widen into it before it degrades to the ⊤-entry summary.
 const OVERFLOW_RECOMPUTE_CAP: usize = 8;
 
-/// Shared observability counters for context-sensitive resolution, the
-/// same shape as `cai_core::JoinStats`: cloning shares the counters, so
-/// one `CtxStats` aggregates over every worker of a parallel run.
-#[derive(Clone, Debug, Default)]
-pub struct CtxStats {
-    inner: Arc<CtxStatsInner>,
+/// [`CtxStats`] counter names, in cell order (indices in [`cc`]).
+const CTX_COUNTERS: &[&str] = &[
+    "contexts_created",
+    "memo_hits",
+    "cap_widenings",
+    "top_fallbacks",
+];
+
+/// Cell indices into [`CTX_COUNTERS`].
+mod cc {
+    pub const CONTEXTS_CREATED: usize = 0;
+    pub const MEMO_HITS: usize = 1;
+    pub const CAP_WIDENINGS: usize = 2;
+    pub const TOP_FALLBACKS: usize = 3;
 }
 
-#[derive(Debug, Default)]
-struct CtxStatsInner {
-    contexts_created: AtomicU64,
-    memo_hits: AtomicU64,
-    cap_widenings: AtomicU64,
-    top_fallbacks: AtomicU64,
+/// Shared observability counters for context-sensitive resolution — like
+/// `cai_core::JoinStats`, a thin facade over a [`cai_obs::CounterFamily`]:
+/// cloning shares the counters, so one `CtxStats` aggregates over every
+/// worker of a parallel run.
+#[derive(Clone, Debug)]
+pub struct CtxStats {
+    fam: CounterFamily,
+}
+
+impl Default for CtxStats {
+    fn default() -> CtxStats {
+        CtxStats {
+            fam: CounterFamily::new(CTX_COUNTERS),
+        }
+    }
 }
 
 impl CtxStats {
@@ -62,19 +78,17 @@ impl CtxStats {
         CtxStats::default()
     }
 
-    fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    fn add(&self, idx: usize, n: u64) {
+        self.fam.add(idx, n);
     }
 
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> CtxStatsSnapshot {
-        let i = &*self.inner;
-        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         CtxStatsSnapshot {
-            contexts_created: get(&i.contexts_created),
-            memo_hits: get(&i.memo_hits),
-            cap_widenings: get(&i.cap_widenings),
-            top_fallbacks: get(&i.top_fallbacks),
+            contexts_created: self.fam.get(cc::CONTEXTS_CREATED),
+            memo_hits: self.fam.get(cc::MEMO_HITS),
+            cap_widenings: self.fam.get(cc::CAP_WIDENINGS),
+            top_fallbacks: self.fam.get(cc::TOP_FALLBACKS),
         }
     }
 }
@@ -99,10 +113,14 @@ pub struct CtxStatsSnapshot {
 
 impl fmt::Display for CtxStatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
+        write_kv(
             f,
-            "contexts created={} memo hits={} cap widenings={} top fallbacks={}",
-            self.contexts_created, self.memo_hits, self.cap_widenings, self.top_fallbacks
+            [
+                ("contexts_created", self.contexts_created),
+                ("memo_hits", self.memo_hits),
+                ("cap_widenings", self.cap_widenings),
+                ("top_fallbacks", self.top_fallbacks),
+            ],
         )
     }
 }
@@ -227,7 +245,7 @@ impl<'a, D: AbstractDomain> ContextResolver<'a, D> {
             let store = self.store.borrow();
             if let Some(s) = store.get(&proc.name).and_then(|pc| pc.entries.get(&key)) {
                 if s.entry == entry {
-                    CtxStats::add(&self.stats.inner.memo_hits, 1);
+                    self.stats.add(cc::MEMO_HITS, 1);
                     return Some(s.clone());
                 }
                 // A fingerprint collision between distinct entries:
@@ -236,7 +254,7 @@ impl<'a, D: AbstractDomain> ContextResolver<'a, D> {
                     "driver/context",
                     "entry fingerprint collision; using the ⊤-entry summary",
                 );
-                CtxStats::add(&self.stats.inner.top_fallbacks, 1);
+                self.stats.add(cc::TOP_FALLBACKS, 1);
                 return None;
             }
         }
@@ -248,7 +266,7 @@ impl<'a, D: AbstractDomain> ContextResolver<'a, D> {
         {
             // A cyclic demand through this exact context: the final
             // ⊤-entry summary is the sound bottom-out.
-            CtxStats::add(&self.stats.inner.top_fallbacks, 1);
+            self.stats.add(cc::TOP_FALLBACKS, 1);
             return None;
         }
         let over_cap = self
@@ -266,7 +284,7 @@ impl<'a, D: AbstractDomain> ContextResolver<'a, D> {
             .or_default()
             .entries
             .insert(key, sum.clone());
-        CtxStats::add(&self.stats.inner.contexts_created, 1);
+        self.stats.add(cc::CONTEXTS_CREATED, 1);
         Some(sum)
     }
 
@@ -278,7 +296,7 @@ impl<'a, D: AbstractDomain> ContextResolver<'a, D> {
     /// recompute allowance (degrade to the ⊤-entry summary).
     fn overflow_summary(&self, proc: &Procedure, entry: Conj) -> Option<Summary> {
         let d = self.domain;
-        CtxStats::add(&self.stats.inner.cap_widenings, 1);
+        self.stats.add(cc::CAP_WIDENINGS, 1);
         let (prev, recomputes) = {
             let store = self.store.borrow();
             let pc = store.get(&proc.name)?;
@@ -303,7 +321,7 @@ impl<'a, D: AbstractDomain> ContextResolver<'a, D> {
                 .get(&proc.name)
                 .and_then(|pc| pc.overflow.clone())
             {
-                CtxStats::add(&self.stats.inner.memo_hits, 1);
+                self.stats.add(cc::MEMO_HITS, 1);
                 return Some(s);
             }
         }
@@ -312,7 +330,7 @@ impl<'a, D: AbstractDomain> ContextResolver<'a, D> {
                 "driver/context",
                 "overflow context kept widening; degraded to the ⊤-entry summary",
             );
-            CtxStats::add(&self.stats.inner.top_fallbacks, 1);
+            self.stats.add(cc::TOP_FALLBACKS, 1);
             return None;
         }
         if let Some(pc) = self.store.borrow_mut().get_mut(&proc.name) {
@@ -323,7 +341,7 @@ impl<'a, D: AbstractDomain> ContextResolver<'a, D> {
         if let Some(pc) = self.store.borrow_mut().get_mut(&proc.name) {
             pc.overflow = Some(sum.clone());
         }
-        CtxStats::add(&self.stats.inner.contexts_created, 1);
+        self.stats.add(cc::CONTEXTS_CREATED, 1);
         Some(sum)
     }
 
@@ -338,7 +356,7 @@ impl<'a, D: AbstractDomain> ContextResolver<'a, D> {
                 "driver/context",
                 "specialization degraded to the ⊤-entry summary: budget exhausted",
             );
-            CtxStats::add(&self.stats.inner.top_fallbacks, 1);
+            self.stats.add(cc::TOP_FALLBACKS, 1);
             return None;
         }
         if self.in_progress.borrow().len() >= MAX_SPECIALIZE_DEPTH {
@@ -346,7 +364,7 @@ impl<'a, D: AbstractDomain> ContextResolver<'a, D> {
                 "driver/context",
                 "specialization depth cap hit; using the ⊤-entry summary",
             );
-            CtxStats::add(&self.stats.inner.top_fallbacks, 1);
+            self.stats.add(cc::TOP_FALLBACKS, 1);
             return None;
         }
         self.in_progress.borrow_mut().push((proc.name.clone(), key));
@@ -382,7 +400,7 @@ impl<D: AbstractDomain> CallResolver<D> for ContextResolver<'_, D> {
                 "driver/context",
                 "entry-context computation skipped: budget exhausted",
             );
-            CtxStats::add(&self.stats.inner.top_fallbacks, 1);
+            self.stats.add(cc::TOP_FALLBACKS, 1);
             None
         } else {
             self.module

@@ -249,6 +249,7 @@ impl SummaryCache {
             self.entries.remove(&name);
             self.corruptions += 1;
             self.evictions += 1;
+            cai_obs::instant!("incident/cache-corruption {name}");
             budget.incident(Incident {
                 kind: IncidentKind::CacheCorruption,
                 subject: name,
@@ -481,6 +482,8 @@ where
     /// still match and refreshing the cache with this run's results.
     /// Entries for procedures no longer in the module are pruned.
     pub fn analyze_with_cache(&self, module: &Module, cache: &mut SummaryCache) -> ModuleAnalysis {
+        let _span = cai_obs::span!("driver/analyze-module");
+        let cache_before = cache.stats();
         // Integrity first: a corrupted entry must be rejected before any
         // reuse decision looks at it (recompute, never wrong reuse).
         cache.reject_corrupt(&self.cfg.budget);
@@ -650,13 +653,16 @@ where
             .iter()
             .filter_map(|p| reports.remove(&p.name))
             .collect();
+        let ctx = ctx_stats.snapshot();
+        let supervision = sup_stats.snapshot();
+        export_run_counters(&cache.stats(), &cache_before, &ctx, &supervision);
         ModuleAnalysis {
             reports: ordered,
             reused,
             recomputed,
             degradation,
-            ctx: ctx_stats.snapshot(),
-            supervision: sup_stats.snapshot(),
+            ctx,
+            supervision,
         }
     }
 
@@ -983,6 +989,12 @@ where
     D: AbstractDomain,
     F: Fn(&Budget) -> D + Sync,
 {
+    let _span = cai_obs::span!(format!(
+        "driver/solve-scc/{}",
+        members
+            .first()
+            .map_or("<empty>", |&i| module.procs[i].name.as_str())
+    ));
     for attempt in 0..2u32 {
         // Each dispatch accounts into a transactional local counter set,
         // committed only on success: a wholesale crash abandons the
@@ -1161,6 +1173,7 @@ where
         if quarantined.contains(&proc.name) {
             return quarantined_pass(proc);
         }
+        let _span = cai_obs::span!(format!("analyze/{}", proc.name));
         let outcome = supervisor::supervise(
             &proc.name,
             &cfg.sup,
@@ -1211,6 +1224,7 @@ where
     let mut round = 0usize;
     loop {
         round += 1;
+        cai_obs::counter!("driver/jacobi/rounds").incr();
         // Jacobi iteration: every member reads the previous round's
         // table, so the result is independent of member order.
         let mut next: Vec<(String, Summary)> = Vec::with_capacity(members.len());
@@ -1284,6 +1298,34 @@ where
         });
     }
     (out, take_contexts(ctx_resolver))
+}
+
+/// Mirrors one run's summary-cache traffic and the ctx/sup facade
+/// snapshots into the global `cai-obs` registry, so an `--obs-report`
+/// sees the driver layer without threading the registry through the
+/// schedulers. Cache counters are cumulative across runs, hence the
+/// before/after delta.
+fn export_run_counters(
+    now: &CacheStats,
+    before: &CacheStats,
+    ctx: &CtxStatsSnapshot,
+    sup: &SupStatsSnapshot,
+) {
+    let delta = |a: u64, b: u64| a.saturating_sub(b);
+    cai_obs::counter!("driver/summary-cache/hits").add(delta(now.hits, before.hits));
+    cai_obs::counter!("driver/summary-cache/misses").add(delta(now.misses, before.misses));
+    cai_obs::counter!("driver/summary-cache/evictions").add(delta(now.evictions, before.evictions));
+    cai_obs::counter!("driver/summary-cache/corruptions")
+        .add(delta(now.corruptions, before.corruptions));
+    cai_obs::counter!("driver/context/contexts-created").add(ctx.contexts_created);
+    cai_obs::counter!("driver/context/memo-hits").add(ctx.memo_hits);
+    cai_obs::counter!("driver/context/cap-widenings").add(ctx.cap_widenings);
+    cai_obs::counter!("driver/context/top-fallbacks").add(ctx.top_fallbacks);
+    cai_obs::counter!("driver/supervision/panics-caught").add(sup.panics_caught);
+    cai_obs::counter!("driver/supervision/retries").add(sup.retries);
+    cai_obs::counter!("driver/supervision/recovered").add(sup.recovered);
+    cai_obs::counter!("driver/supervision/stalls").add(sup.stalls);
+    cai_obs::counter!("driver/supervision/quarantined").add(sup.quarantined);
 }
 
 fn take_contexts<D: AbstractDomain>(

@@ -37,10 +37,10 @@
 //! deliberately wall-clock-dependent piece and is off by default.
 
 use cai_core::{Budget, Incident, IncidentKind};
+use cai_obs::{clock, write_kv, CounterFamily};
 use std::cell::Cell;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Once};
 use std::time::{Duration, Instant};
 
@@ -64,21 +64,39 @@ impl Default for SupervisorCfg {
     }
 }
 
-/// Shared supervision counters — the same observability shape as
-/// [`CtxStats`](crate::CtxStats): cloning shares the counters, so one
-/// `SupStats` aggregates over every job of a batch.
-#[derive(Clone, Debug, Default)]
-pub struct SupStats {
-    inner: Arc<SupStatsInner>,
+/// [`SupStats`] counter names, in cell order (indices in [`sc`]).
+const SUP_COUNTERS: &[&str] = &[
+    "panics_caught",
+    "retries",
+    "recovered",
+    "stalls",
+    "quarantined",
+];
+
+/// Cell indices into [`SUP_COUNTERS`].
+mod sc {
+    pub const PANICS_CAUGHT: usize = 0;
+    pub const RETRIES: usize = 1;
+    pub const RECOVERED: usize = 2;
+    pub const STALLS: usize = 3;
+    pub const QUARANTINED: usize = 4;
 }
 
-#[derive(Debug, Default)]
-struct SupStatsInner {
-    panics_caught: AtomicU64,
-    retries: AtomicU64,
-    recovered: AtomicU64,
-    stalls: AtomicU64,
-    quarantined: AtomicU64,
+/// Shared supervision counters — the same observability shape as
+/// [`CtxStats`](crate::CtxStats), a thin facade over a
+/// [`cai_obs::CounterFamily`]: cloning shares the counters, so one
+/// `SupStats` aggregates over every job of a batch.
+#[derive(Clone, Debug)]
+pub struct SupStats {
+    fam: CounterFamily,
+}
+
+impl Default for SupStats {
+    fn default() -> SupStats {
+        SupStats {
+            fam: CounterFamily::new(SUP_COUNTERS),
+        }
+    }
 }
 
 impl SupStats {
@@ -87,25 +105,21 @@ impl SupStats {
         SupStats::default()
     }
 
-    fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
     /// Records a panic that escaped per-procedure supervision and was
     /// caught by the job-level [`guard`] instead.
     pub(crate) fn note_panic(&self) {
-        SupStats::bump(&self.inner.panics_caught);
+        self.fam.bump(sc::PANICS_CAUGHT);
     }
 
     /// Records a job-level re-dispatch after an escaped panic.
     pub(crate) fn note_retry(&self) {
-        SupStats::bump(&self.inner.retries);
+        self.fam.bump(sc::RETRIES);
     }
 
     /// Records one procedure quarantined outside [`supervise`] (the
     /// whole-component crash path).
     pub(crate) fn note_quarantined(&self) {
-        SupStats::bump(&self.inner.quarantined);
+        self.fam.bump(sc::QUARANTINED);
     }
 
     /// Folds `other`'s counts into this set. The engine gives each job
@@ -115,27 +129,17 @@ impl SupStats {
     /// leak into the batch counters (the incident log, by contrast,
     /// keeps the full event trace including abandoned dispatches).
     pub(crate) fn absorb(&self, other: &SupStats) {
-        let o = other.snapshot();
-        let add = |c: &AtomicU64, n: u64| {
-            c.fetch_add(n, Ordering::Relaxed);
-        };
-        add(&self.inner.panics_caught, o.panics_caught);
-        add(&self.inner.retries, o.retries);
-        add(&self.inner.recovered, o.recovered);
-        add(&self.inner.stalls, o.stalls);
-        add(&self.inner.quarantined, o.quarantined);
+        self.fam.absorb(&other.fam);
     }
 
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> SupStatsSnapshot {
-        let i = &*self.inner;
-        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         SupStatsSnapshot {
-            panics_caught: get(&i.panics_caught),
-            retries: get(&i.retries),
-            recovered: get(&i.recovered),
-            stalls: get(&i.stalls),
-            quarantined: get(&i.quarantined),
+            panics_caught: self.fam.get(sc::PANICS_CAUGHT),
+            retries: self.fam.get(sc::RETRIES),
+            recovered: self.fam.get(sc::RECOVERED),
+            stalls: self.fam.get(sc::STALLS),
+            quarantined: self.fam.get(sc::QUARANTINED),
         }
     }
 }
@@ -160,10 +164,15 @@ pub struct SupStatsSnapshot {
 
 impl fmt::Display for SupStatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
+        write_kv(
             f,
-            "panics caught={} retries={} recovered={} stalls={} quarantined={}",
-            self.panics_caught, self.retries, self.recovered, self.stalls, self.quarantined
+            [
+                ("panics_caught", self.panics_caught),
+                ("retries", self.retries),
+                ("recovered", self.recovered),
+                ("stalls", self.stalls),
+                ("quarantined", self.quarantined),
+            ],
         )
     }
 }
@@ -289,12 +298,13 @@ pub(crate) fn supervise<T>(
         match outcome {
             Ok(value) => {
                 if k > 0 {
-                    SupStats::bump(&stats.inner.recovered);
+                    stats.fam.bump(sc::RECOVERED);
                 }
                 return Supervised::Done(value);
             }
             Err(payload) => {
-                SupStats::bump(&stats.inner.panics_caught);
+                stats.fam.bump(sc::PANICS_CAUGHT);
+                cai_obs::instant!("incident/panic {subject} attempt={k}");
                 slice.incident(Incident {
                     kind: IncidentKind::Panic,
                     subject: subject.to_string(),
@@ -302,12 +312,13 @@ pub(crate) fn supervise<T>(
                     attempt: k,
                 });
                 if k < cfg.max_retries {
-                    SupStats::bump(&stats.inner.retries);
+                    stats.fam.bump(sc::RETRIES);
                 }
             }
         }
     }
-    SupStats::bump(&stats.inner.quarantined);
+    stats.fam.bump(sc::QUARANTINED);
+    cai_obs::instant!("incident/quarantine {subject}");
     slice.degrade(
         "driver/supervisor",
         format!(
@@ -376,7 +387,7 @@ impl Watchdog {
             deadline,
             stats,
             state: Mutex::new(WatchState {
-                watching: Some((GLUE_SUBJECT.to_string(), Instant::now() + deadline)),
+                watching: Some((GLUE_SUBJECT.to_string(), clock::now() + deadline)),
                 stop: false,
                 fired: false,
             }),
@@ -401,7 +412,7 @@ impl Watchdog {
                     state = shared.wake.wait(state).unwrap_or_else(|e| e.into_inner());
                 }
                 Some((subject, due)) => {
-                    let now = Instant::now();
+                    let now = clock::now();
                     if now < due {
                         let (next, _) = shared
                             .wake
@@ -413,6 +424,7 @@ impl Watchdog {
                     state.fired = true;
                     state.watching = None;
                     drop(state);
+                    cai_obs::instant!("incident/stall {subject}");
                     shared.budget.degrade(
                         "driver/supervisor",
                         format!(
@@ -429,7 +441,7 @@ impl Watchdog {
                         ),
                         attempt: 0,
                     });
-                    SupStats::bump(&shared.stats.inner.stalls);
+                    shared.stats.fam.bump(sc::STALLS);
                     shared.budget.exhaust();
                     return;
                 }
@@ -440,7 +452,7 @@ impl Watchdog {
     /// Puts `subject` on the clock: the deadline restarts from now.
     pub(crate) fn watch(&self, subject: &str) {
         let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
-        state.watching = Some((subject.to_string(), Instant::now() + self.shared.deadline));
+        state.watching = Some((subject.to_string(), clock::now() + self.shared.deadline));
         drop(state);
         self.shared.wake.notify_all();
     }
@@ -452,7 +464,7 @@ impl Watchdog {
         let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
         state.watching = Some((
             GLUE_SUBJECT.to_string(),
-            Instant::now() + self.shared.deadline,
+            clock::now() + self.shared.deadline,
         ));
         drop(state);
         self.shared.wake.notify_all();

@@ -343,6 +343,7 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
         // statement sequence is finite, and pressing on keeps the
         // assertion record complete — the governed loops below (and the
         // budgeted domain operations) are where exhaustion cuts work.
+        cai_obs::counter!("fuel/interp.transfer").incr();
         self.analyzer.cfg.budget.tick(1);
         match stmt {
             Stmt::Assign(x, rhs) => {
@@ -393,6 +394,7 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                 // purification/saturation work across the whole fixpoint.
                 let mut inv = e;
                 let mut iterations = 0usize;
+                let _span = cai_obs::span!("interp/loop-fixpoint");
                 loop {
                     if self.analyzer.cfg.budget.is_exhausted() {
                         // ⊤ is an invariant of any loop, so stopping here
@@ -407,13 +409,16 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                         break;
                     }
                     iterations += 1;
+                    cai_obs::counter!("interp/fixpoint/iterations").incr();
                     let enter = self.assume_cond(inv.clone(), c, true);
                     let after = self.exec_seq(body, enter, false);
                     let next = if iterations <= self.analyzer.cfg.widen_delay {
                         self.stats.joins += 1;
+                        cai_obs::counter!("interp/fixpoint/joins").incr();
                         d.join(&inv, &after)
                     } else {
                         self.stats.widens += 1;
+                        cai_obs::counter!("interp/fixpoint/widenings").incr();
                         d.widen(&inv, &after)
                     };
                     if d.le(&next, &inv) {
@@ -434,7 +439,10 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                         break;
                     }
                 }
+                drop(_span);
                 self.loop_iterations.push(iterations);
+                cai_obs::histogram!("interp/fixpoint/iterations-per-loop")
+                    .observe(iterations as u64);
                 if record {
                     // One recording pass through the body under the stable
                     // invariant.

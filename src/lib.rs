@@ -12,5 +12,6 @@ pub use cai_linarith as linarith;
 pub use cai_lists as lists;
 pub use cai_num as num;
 pub use cai_numeric as numeric;
+pub use cai_obs as obs;
 pub use cai_term as term;
 pub use cai_uf as uf;
