@@ -68,6 +68,26 @@ echo "== driver_eval smoke (context-sensitivity + supervised chaos) =="
 cargo run --release -p cai-bench --bin driver_eval --offline -- \
     --smoke --ctx-stats --chaos --chaos-seed 7
 
+echo "== budget-policy smoke (adaptive slices + narrowing recovery) =="
+# paper_eval --budget-policy exits nonzero unless the adaptive policy's
+# narrowing pass strictly recovers precision (narrowed ⊑ widened) on the
+# canonical widening-loss loop, including under a starved fuel pool.
+# driver_eval --budget-policy exits nonzero unless adaptive slices are
+# per-procedure no less precise than flat ones (strictly better on the
+# starved procedure) and the chaos-wrapped adaptive run completes with
+# no abort, bit-identically across thread counts. The obs report must
+# cover the core, interp (incl. the narrowing counters), and driver
+# layers.
+cargo run --release -p cai-bench --bin paper_eval --offline -- --budget-policy
+policy_log=$(mktemp /tmp/cai-policy-report.XXXXXX.log)
+cargo run --release -p cai-bench --bin driver_eval --offline -- \
+    --smoke --budget-policy --chaos-seed 7 --obs-report | tee "$policy_log"
+for prefix in core/ interp/ interp/narrow/ driver/; do
+    grep -q "^$prefix" "$policy_log" || {
+        echo "budget-policy obs report is missing the $prefix layer"; exit 1; }
+done
+rm -f "$policy_log"
+
 echo "== paper_eval --join-stats smoke =="
 # Exits nonzero unless the split cache hits, saves ticks, and leaves the
 # analysis results bit-identical.

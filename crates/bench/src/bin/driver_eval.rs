@@ -29,11 +29,22 @@
 //! caught panics / retries / quarantines are reported, quarantined
 //! procedures pin to the sound ⊤ summary, and the outcome is
 //! bit-identical across 1 vs `--threads` threads.
+//!
+//! `--budget-policy` runs the adaptive-budget drill: a mixed-size batch
+//! under a fuel pool calibrated so equal (flat) shares starve the big
+//! procedure while size-proportional (adaptive) shares feed everyone.
+//! Asserts the adaptive run is per-procedure no less precise than the
+//! flat one (strictly better on the starved procedure), that narrowing
+//! recovers the widened loop bound, and that the same drill survives a
+//! chaos-wrapped domain with no abort, bit-identically across threads.
 
-use cai_core::{AbstractDomain, Budget, ChaosConfig, ChaosDomain, JoinStats, LogicalProduct};
+use cai_core::{
+    AbstractDomain, Budget, BudgetPolicy, ChaosConfig, ChaosDomain, JoinStats, LogicalProduct,
+};
 use cai_driver::{Driver, ModuleAnalysis, Summary, SummaryCache};
 use cai_interp::{parse_module, Module};
 use cai_linarith::AffineEq;
+use cai_linarith::Polyhedra;
 use cai_term::parse::Vocab;
 use cai_uf::UfDomain;
 use std::time::Instant;
@@ -248,6 +259,149 @@ fn chaos_drill(procs: usize, threads: usize, seed: u64, panic_permille: u32) {
     println!("  chaos drill OK");
 }
 
+/// `a ⊑ b` on exit constraints under a polyhedra domain (None = ⊥).
+fn poly_exit_le(d: &Polyhedra, a: &Summary, b: &Summary) -> bool {
+    match (&a.exit, &b.exit) {
+        (None, _) => true,
+        (Some(ca), None) => d.is_bottom(&d.from_conj(ca)),
+        (Some(ca), Some(cb)) => d.le(&d.from_conj(ca), &d.from_conj(cb)),
+    }
+}
+
+/// The `--budget-policy` workload: one loop-heavy procedure beside many
+/// trivial ones — the shape where equal fuel shares starve the big
+/// procedure while size-proportional shares feed everyone.
+fn mixed_module(smalls: usize) -> Module {
+    let mut src = String::new();
+    for i in 0..smalls {
+        src.push_str(&format!(
+            "proc small{i}(a) {{ y := a + {i}; assert(y >= a); ret := y; }}\n"
+        ));
+    }
+    src.push_str(
+        "proc big(n) {
+             x := 0;
+             s := 0;
+             while (x < 60) { x := x + 1; s := s + 2; }
+             assert(x >= 60);
+             assert(x <= 60);
+             ret := s;
+         }",
+    );
+    parse_module(&Vocab::standard(), &src).expect("generated module parses")
+}
+
+/// `--budget-policy`: the adaptive-budget drill (see the module docs).
+fn budget_policy_drill(threads: usize, seed: u64) {
+    println!("  budget-policy drill: size-proportional slices + narrowing recovery");
+    let smalls = 6usize;
+    let m = mixed_module(smalls);
+    let jobs = (smalls + 1) as u64;
+    let poly_driver = || Driver::new(|_: &Budget| Polyhedra::new());
+
+    // Calibrate the pool from what the procedures actually cost (spent
+    // fuel is tracked even under an unlimited budget): the proportional
+    // big-share just covers the big procedure, so the equal share
+    // provably starves it.
+    let single = |name: &str| {
+        parse_module(&Vocab::standard(), &m.get(name).expect("proc").to_string())
+            .expect("single parses")
+    };
+    let cost_big = poly_driver()
+        .budget_policy(BudgetPolicy::adaptive())
+        .analyze(&single("big"))
+        .degradation
+        .fuel_spent;
+    let policy = BudgetPolicy::adaptive();
+    let weight = |name: &str| policy.job_weight(&m.get(name).expect("proc").measures(), 0);
+    let total_w = weight("big") + smalls as u64 * weight("small0");
+    let fuel = (cost_big * total_w).div_ceil(weight("big")) + jobs;
+    assert!(
+        fuel / jobs < cost_big,
+        "calibration: the flat share must starve the big procedure"
+    );
+
+    let flat = poly_driver()
+        .threads(threads)
+        .with_budget(Budget::fuel(fuel))
+        .analyze(&m);
+    let adaptive = poly_driver()
+        .threads(threads)
+        .with_budget(Budget::fuel(fuel))
+        .budget_policy(BudgetPolicy::adaptive())
+        .analyze(&m);
+    println!(
+        "    fuel {fuel}: flat verified {}/{} (exhausted: {}), adaptive verified {}/{}",
+        flat.verified_count(),
+        smalls + 2,
+        flat.degradation.exhausted,
+        adaptive.verified_count(),
+        smalls + 2,
+    );
+
+    // Per procedure, adaptive ⊑ flat — strictly better on `big`, whose
+    // loop the flat share cut short and whose widened bound the
+    // narrowing pass then recovered.
+    let d = Polyhedra::new();
+    for (a, f) in adaptive.reports.iter().zip(flat.reports.iter()) {
+        assert_eq!(a.name, f.name);
+        assert!(
+            poly_exit_le(&d, &a.summary, &f.summary),
+            "adaptive summary of `{}` must be at least as precise as flat",
+            a.name
+        );
+    }
+    let a_big = &adaptive.report("big").expect("big").summary;
+    let f_big = &flat.report("big").expect("big").summary;
+    assert!(
+        !poly_exit_le(&d, f_big, a_big),
+        "adaptive must be strictly more precise on the starved procedure"
+    );
+    assert!(
+        adaptive.verified_count() > flat.verified_count(),
+        "adaptive must verify strictly more assertions on this workload"
+    );
+    println!("    precision: adaptive \u{2291} flat per procedure, strict on `big`");
+
+    // The same drill under an injected-fault domain: the batch must
+    // complete with no abort and be bit-identical across thread counts.
+    let chaos_adaptive = |rate: u32, t: usize| {
+        Driver::new(move |b: &Budget| {
+            ChaosDomain::new(Polyhedra::new(), seed)
+                .with_config(ChaosConfig {
+                    panic_permille: rate,
+                    ..ChaosConfig::quiet()
+                })
+                .with_budget(b.clone())
+        })
+        .threads(t)
+        .with_budget(Budget::fuel(fuel))
+        .budget_policy(BudgetPolicy::adaptive())
+        .analyze(&m)
+    };
+    let mut rate = 2u32;
+    let mut faulted = chaos_adaptive(rate, threads);
+    while faulted.supervision.panics_caught == 0 && rate < 1000 {
+        rate = (rate * 2).min(1000);
+        faulted = chaos_adaptive(rate, threads);
+    }
+    println!(
+        "    chaos ({rate}permille panics): no abort; survived faults: {}",
+        faulted.supervision
+    );
+    assert!(
+        faulted.supervision.panics_caught > 0,
+        "the chaos leg must actually inject faults (seed {seed})"
+    );
+    let identical = run_fingerprint(&faulted) == run_fingerprint(&chaos_adaptive(rate, 1));
+    println!(
+        "    determinism (1 vs {threads} threads): {}",
+        if identical { "identical" } else { "MISMATCH" }
+    );
+    assert!(identical, "adaptive chaos run must be schedule-independent");
+    println!("  budget-policy drill OK");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag_value = |name: &str, default: usize| {
@@ -266,6 +420,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let ctx_stats = args.iter().any(|a| a == "--ctx-stats");
     let chaos = args.iter().any(|a| a == "--chaos");
+    let budget_policy = args.iter().any(|a| a == "--budget-policy");
     let obs_report = args.iter().any(|a| a == "--obs-report");
     let trace_out = flag_str("--trace-out");
     if trace_out.is_some() {
@@ -412,6 +567,11 @@ fn main() {
     // --- supervised fault drill ------------------------------------------
     if chaos {
         chaos_drill(procs, threads, chaos_seed, chaos_panic);
+    }
+
+    // --- adaptive budget policy + narrowing recovery ----------------------
+    if budget_policy {
+        budget_policy_drill(threads, chaos_seed);
     }
 
     if smoke {

@@ -17,12 +17,21 @@
 //! both tick totals and the cache counters, and exits nonzero unless the
 //! cache hit and saved ticks.
 //!
+//! `--budget-policy` runs the canonical widening-loss loop under the
+//! flat vs. the adaptive [`BudgetPolicy`]: the adaptive run's bounded
+//! narrowing pass must recover the upper bound widening discarded
+//! (strictly more verified assertions, narrowed exit ⊑ widened exit) —
+//! including when the main fuel pool is starved — or the run exits
+//! nonzero.
+//!
 //! `--obs-report` dumps the global `cai-obs` counter registry after the
 //! selected items have run. Purely additive: it changes no result.
 
 use cai_bench::{fig1_family, thm6_family, ConjGen, FIG1, FIG4, FIG8};
 use cai_core::reduce::{EncodeMode, UnaryEncoder};
-use cai_core::{no_saturate, AbstractDomain, Budget, LogicalProduct, Precision, ReducedProduct};
+use cai_core::{
+    no_saturate, AbstractDomain, Budget, BudgetPolicy, LogicalProduct, Precision, ReducedProduct,
+};
 use cai_interp::{herbrand_view, parse_program, Analyzer, Program};
 use cai_linarith::{AffineEq, Polyhedra};
 use cai_numeric::{ParityDomain, SignDomain};
@@ -50,6 +59,13 @@ fn main() {
     if let Some(i) = args.iter().position(|a| a == "--join-stats") {
         args.remove(i);
         join_stats();
+        if args.is_empty() {
+            return;
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--budget-policy") {
+        args.remove(i);
+        budget_policy();
         if args.is_empty() {
             return;
         }
@@ -154,6 +170,69 @@ fn deadline(ms: u64) {
     if report.events.is_empty() {
         println!("  (no degradation events — the deadline was generous)");
     }
+}
+
+/// `--budget-policy`: the narrowing-recovery report. The canonical
+/// widening-loss loop (`x` counts to 100; widening extrapolates the
+/// upper bound away) is analyzed under the flat and the adaptive
+/// policy; the adaptive run's bounded descending pass must recover
+/// `x <= 100` without ever dipping below the widened invariant's
+/// soundness bracket, with or without fuel pressure on the main pool.
+fn budget_policy() {
+    header("--budget-policy — post-widening narrowing recovery");
+    let vocab = Vocab::standard();
+    let p = parse_program(
+        &vocab,
+        "x := 0;
+         while (x < 100) { x := x + 1; }
+         assert(x >= 100);
+         assert(0 <= x);
+         assert(x <= 100);",
+    )
+    .expect("counter loop parses");
+    let d = Polyhedra::new();
+
+    let flat = Analyzer::new(&d).run(&p);
+    let adaptive = Analyzer::new(&d)
+        .with_policy(BudgetPolicy::adaptive())
+        .run(&p);
+    let show = |name: &str, a: &cai_interp::Analysis<_>| {
+        println!(
+            "{name:>9}: {}/{} verified   narrow rounds {}, loops recovered {}",
+            a.verified_count(),
+            a.assertions.len(),
+            a.stats.narrow_rounds,
+            a.stats.narrow_recoveries
+        );
+    };
+    show("flat", &flat);
+    show("adaptive", &adaptive);
+
+    if !d.le(&adaptive.exit, &flat.exit) {
+        eprintln!("--budget-policy: narrowed exit escaped the widened bracket (unsound)");
+        std::process::exit(1);
+    }
+    if adaptive.verified_count() <= flat.verified_count() || adaptive.stats.narrow_recoveries == 0 {
+        eprintln!("--budget-policy: the narrowing pass failed to recover precision");
+        std::process::exit(1);
+    }
+
+    // Fuel pressure: the ascending fixpoint is cut short by exhaustion,
+    // yet the recovery slice (independent fuel) still narrows.
+    let starved = Analyzer::new(&d)
+        .with_budget(Budget::fuel(40))
+        .with_policy(BudgetPolicy::adaptive())
+        .run(&p);
+    show("starved", &starved);
+    if !d.le(&starved.exit, &flat.exit) {
+        eprintln!("--budget-policy: starved narrowing escaped the widened bracket (unsound)");
+        std::process::exit(1);
+    }
+    if starved.verified_count() <= flat.verified_count() {
+        eprintln!("--budget-policy: recovery must survive a starved main pool");
+        std::process::exit(1);
+    }
+    println!("recovery OK: narrowed \u{2291} widened, strictly more assertions verified");
 }
 
 /// `--join-stats`: the split cache + batched elimination report. Each

@@ -258,6 +258,12 @@ struct BudgetInner {
     /// Whether ticks are forwarded to `parent` (true for `child`, false
     /// for `split` slices).
     charge_parent: bool,
+    /// Cost accumulated since the wall-clock deadline was last checked.
+    /// Starts at [`DEADLINE_CHECK_PERIOD`] so the first tick always
+    /// checks; tracking cost-since-last-check (rather than a phase of the
+    /// total `spent`) guarantees at most one period of work between clock
+    /// reads even when a single tick's cost exceeds the period.
+    since_deadline_check: AtomicU64,
     obs: Arc<Obs>,
 }
 
@@ -279,18 +285,7 @@ impl BudgetInner {
             self.exhausted.store(true, Ordering::Relaxed);
             return false;
         }
-        if self.charge_parent {
-            if let Some(parent) = &self.parent {
-                // Charge the enclosing budget first: a child is a
-                // *restriction*, its work is the parent's work, and the
-                // parent running dry stops the child immediately.
-                if !parent.tick(cost) {
-                    self.exhausted.store(true, Ordering::Relaxed);
-                    return false;
-                }
-            }
-        }
-        let spent = self.spent.fetch_add(cost, Ordering::Relaxed) + cost;
+        self.spent.fetch_add(cost, Ordering::Relaxed);
         if let Some(left) = &self.fuel_left {
             // Saturating decrement: `fetch_update` loops only under
             // contention, and the counter never wraps below zero.
@@ -304,11 +299,31 @@ impl BudgetInner {
                 return false;
             }
         }
+        if self.charge_parent {
+            if let Some(parent) = &self.parent {
+                // Charge the enclosing budget only after this budget's own
+                // pool accepted the tick: a child is a *restriction*, and a
+                // tick the child itself refuses is work that never happens,
+                // so it must not cost the parent fuel. The parent running
+                // dry still stops the child immediately.
+                if !parent.tick(cost) {
+                    self.exhausted.store(true, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
         if let Some(deadline) = self.deadline {
-            // Amortize the clock read; the first tick always checks.
-            if (spent <= cost || spent % DEADLINE_CHECK_PERIOD < cost) && clock::now() >= deadline {
-                self.exhausted.store(true, Ordering::Relaxed);
-                return false;
+            // Amortize the clock read on cost-since-last-check (the
+            // counter starts at the period, so the first tick always
+            // checks): at most one period of work passes between clock
+            // reads, even when a single cost exceeds the whole period.
+            let acc = self.since_deadline_check.fetch_add(cost, Ordering::Relaxed) + cost;
+            if acc >= DEADLINE_CHECK_PERIOD {
+                self.since_deadline_check.store(0, Ordering::Relaxed);
+                if clock::now() >= deadline {
+                    self.exhausted.store(true, Ordering::Relaxed);
+                    return false;
+                }
             }
         }
         true
@@ -347,6 +362,7 @@ impl Budget {
                 exhausted: AtomicBool::new(exhausted),
                 parent,
                 charge_parent,
+                since_deadline_check: AtomicU64::new(DEADLINE_CHECK_PERIOD),
                 obs,
             }),
         }
@@ -477,15 +493,16 @@ impl Budget {
 
     /// Splits the budget into `ways` *independent* slices for
     /// shared-nothing parallel workers: each slice gets an equal share of
-    /// the fuel remaining right now (the first also gets the remainder),
-    /// its own spent counter and degradation log, and the *same absolute*
-    /// wall-clock deadline, so no worker outlives the parent's deadline.
-    /// An unlimited parent yields unlimited slices; an already-exhausted
-    /// parent yields already-exhausted slices, and exhausting the parent
-    /// *later* (cooperative cancellation) stops every slice at its next
-    /// check. The parent keeps its own counters untouched — merge the
-    /// slices' [`report`](Budget::report)s back with
-    /// [`DegradationReport::merge`].
+    /// the fuel remaining right now (the remainder is spread round-robin,
+    /// one extra tick to each of the first `r mod ways` slices, so shares
+    /// differ by at most 1), its own spent counter and degradation log,
+    /// and the *same absolute* wall-clock deadline, so no worker outlives
+    /// the parent's deadline. An unlimited parent yields unlimited
+    /// slices; an already-exhausted parent yields already-exhausted
+    /// slices, and exhausting the parent *later* (cooperative
+    /// cancellation) stops every slice at its next check. The parent
+    /// keeps its own counters untouched — merge the slices'
+    /// [`report`](Budget::report)s back with [`DegradationReport::merge`].
     ///
     /// Fuel invariant: when the remaining fuel `r` covers every slice
     /// (`r ≥ ways`), the slices' shares sum to exactly `r`. When it does
@@ -504,8 +521,8 @@ impl Budget {
         (0..ways)
             .map(|i| {
                 let share = remaining.map(|r| {
-                    let each = r / ways as u64;
-                    let each = if i == 0 { each + r % ways as u64 } else { each };
+                    let ways = ways as u64;
+                    let each = r / ways + u64::from((i as u64) < r % ways);
                     // The minimum-viable-slice floor: a positive pool
                     // never produces a zero-fuel (born-degraded) slice.
                     if r > 0 {
@@ -524,6 +541,86 @@ impl Budget {
                 )
             })
             .collect()
+    }
+
+    /// The weighted analogue of [`split`](Budget::split): one independent
+    /// slice per entry of `weights`, each allotted remaining fuel in
+    /// proportion to its weight (a weight of 0 is treated as 1 so every
+    /// slice stays viable). The rounding leftover — always fewer ticks
+    /// than there are slices — goes one tick apiece to the slices with
+    /// the largest discarded fractional share, ties broken by index, so
+    /// the allocation is a pure deterministic function of the remaining
+    /// fuel and the weight vector. All the [`split`](Budget::split)
+    /// invariants hold: shares sum to the remaining fuel `r` whenever the
+    /// ≥1-fuel floor does not force an overshoot, an all-equal weight
+    /// vector reproduces `split(weights.len())` exactly, and slices share
+    /// the parent's absolute deadline and exhaustion lineage.
+    pub fn split_weighted(&self, weights: &[u64]) -> Vec<Budget> {
+        let remaining = self
+            .inner
+            .fuel_left
+            .as_ref()
+            .map(|l| l.load(Ordering::Relaxed));
+        let exhausted = self.is_exhausted();
+        let w: Vec<u128> = weights.iter().map(|&w| u128::from(w.max(1))).collect();
+        let total: u128 = w.iter().sum::<u128>().max(1);
+        let shares: Option<Vec<u64>> = remaining.map(|r| {
+            let r_wide = u128::from(r);
+            // Largest-remainder apportionment in u128 so `r * w` cannot
+            // overflow: floor every proportional share, then hand the
+            // leftover ticks to the largest fractional parts (stable sort
+            // = ties by index).
+            let mut shares: Vec<u64> = w
+                .iter()
+                .map(|wi| u64::try_from(r_wide * wi / total).unwrap_or(u64::MAX))
+                .collect();
+            let assigned: u64 = shares.iter().sum();
+            let leftover = r.saturating_sub(assigned) as usize;
+            let mut order: Vec<usize> = (0..w.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(r_wide * w[i] % total));
+            for &i in order.iter().take(leftover) {
+                shares[i] += 1;
+            }
+            if r > 0 {
+                for s in &mut shares {
+                    *s = (*s).max(1);
+                }
+            }
+            shares
+        });
+        (0..weights.len())
+            .map(|i| {
+                Budget::assemble(
+                    shares.as_ref().map(|s| s[i]),
+                    self.inner.deadline,
+                    exhausted,
+                    Some(self.inner.clone()),
+                    false,
+                    Arc::default(),
+                )
+            })
+            .collect()
+    }
+
+    /// An *independent* allowance for a bounded recovery pass (the
+    /// post-widening narrowing iteration): `fuel` ticks of its own, this
+    /// budget's absolute wall-clock deadline, and this budget's
+    /// observation log. Unlike [`child`](Budget::child) it is
+    /// deliberately *not* linked to this budget's fuel pool or exhaustion
+    /// flag — recovery runs precisely when the main pool has run dry
+    /// (budget-forced widening), re-earning precision under a fresh,
+    /// strictly bounded allowance. The wall-clock deadline still binds,
+    /// so the anytime contract survives: a deadline-exhausted analysis
+    /// never starts a recovery pass.
+    pub fn recovery_slice(&self, fuel: u64) -> Budget {
+        Budget::assemble(
+            Some(fuel),
+            self.inner.deadline,
+            false,
+            None,
+            false,
+            self.inner.obs.clone(),
+        )
     }
 
     /// A *restriction* of this budget for one supervised sub-task: at
@@ -632,7 +729,7 @@ mod tests {
         assert!(parent.tick(3)); // 7 remaining
         let kids = parent.split(3);
         assert_eq!(kids.len(), 3);
-        // Shares: 3 (2 + remainder 1), 2, 2 — and they are independent.
+        // Shares: 3 (2 + one remainder tick), 2, 2 — and independent.
         assert!(kids[0].tick(3) && !kids[0].tick(1));
         assert!(kids[1].tick(2) && !kids[1].tick(1));
         assert!(kids[2].tick(2) && !kids[2].tick(1));
@@ -657,13 +754,139 @@ mod tests {
         // …and sum = ways (each slice exactly 1) when 0 < remaining < ways.
         let narrow = Budget::fuel(2).split(4);
         let total: u64 = narrow.iter().map(|k| k.remaining_fuel().unwrap()).sum();
-        assert_eq!(
-            total, 5,
-            "first slice keeps share+remainder, rest floor at 1"
-        );
+        assert_eq!(total, 4, "remainder spreads, then every slice floors at 1");
         // A drained pool still yields fuel-less slices.
         let dry = Budget::fuel(0).split(3);
         assert!(dry.iter().all(|k| k.remaining_fuel() == Some(0)));
+    }
+
+    #[test]
+    fn split_spreads_the_remainder_round_robin() {
+        // 10 fuel over 4 slices: 3, 3, 2, 2 — never 4, 2, 2, 2. Shares
+        // differ by at most one tick, so no worker is systematically
+        // favoured by its slice index.
+        let shares: Vec<u64> = Budget::fuel(10)
+            .split(4)
+            .iter()
+            .map(|k| k.remaining_fuel().unwrap())
+            .collect();
+        assert_eq!(shares, vec![3, 3, 2, 2]);
+        for ways in 1..=9 {
+            let shares: Vec<u64> = Budget::fuel(23)
+                .split(ways)
+                .iter()
+                .map(|k| k.remaining_fuel().unwrap())
+                .collect();
+            assert_eq!(shares.iter().sum::<u64>(), 23);
+            let (lo, hi) = (shares.iter().min().unwrap(), shares.iter().max().unwrap());
+            assert!(hi - lo <= 1, "shares {shares:?} differ by more than 1");
+        }
+    }
+
+    #[test]
+    fn split_weighted_is_proportional_and_deterministic() {
+        let shares: Vec<u64> = Budget::fuel(100)
+            .split_weighted(&[1, 2, 7])
+            .iter()
+            .map(|k| k.remaining_fuel().unwrap())
+            .collect();
+        assert_eq!(shares, vec![10, 20, 70]);
+        // Rounding leftovers go to the largest fractional parts, ties by
+        // index; the total is exact.
+        let shares: Vec<u64> = Budget::fuel(10)
+            .split_weighted(&[1, 1, 1])
+            .iter()
+            .map(|k| k.remaining_fuel().unwrap())
+            .collect();
+        assert_eq!(shares.iter().sum::<u64>(), 10);
+        // Equal weights reproduce split() exactly (the flat-policy
+        // bit-identity contract).
+        for (w, s) in Budget::fuel(23)
+            .split_weighted(&[1; 5])
+            .iter()
+            .zip(Budget::fuel(23).split(5))
+        {
+            assert_eq!(w.remaining_fuel(), s.remaining_fuel());
+        }
+        // Zero weights stay viable, and a positive pool floors at 1.
+        let shares: Vec<u64> = Budget::fuel(8)
+            .split_weighted(&[0, 1000])
+            .iter()
+            .map(|k| k.remaining_fuel().unwrap())
+            .collect();
+        assert!(shares[0] >= 1 && shares.iter().sum::<u64>() >= 8);
+        // An unlimited parent yields unlimited slices.
+        assert!(Budget::unlimited()
+            .split_weighted(&[3, 1])
+            .iter()
+            .all(|k| k.remaining_fuel().is_none()));
+    }
+
+    #[test]
+    fn child_refused_tick_does_not_charge_the_parent() {
+        // Regression: the child's own pool is checked *first*, so a tick
+        // the child refuses is work that never happens and must leave the
+        // parent's fuel and spent counter untouched.
+        let parent = Budget::fuel(100);
+        let child = parent.child(Some(2), None);
+        assert!(!child.tick(5), "child cap (2) refuses the tick");
+        assert_eq!(parent.remaining_fuel(), Some(100), "parent fuel intact");
+        assert_eq!(parent.report().fuel_spent, 0, "parent spent nothing");
+        // Accepted ticks still charge through.
+        let child = parent.child(Some(10), None);
+        assert!(child.tick(4));
+        assert_eq!(parent.remaining_fuel(), Some(96));
+        assert_eq!(parent.report().fuel_spent, 4);
+    }
+
+    #[test]
+    fn deadline_recheck_tracks_cost_since_last_check() {
+        // Regression: the clock re-check amortizes on cost accumulated
+        // since the last check, so a short deadline is detected promptly
+        // even when individual costs exceed the whole check period.
+        let b = Budget::deadline(Duration::from_millis(40));
+        assert!(b.tick(1), "first tick always checks; deadline is ahead");
+        std::thread::sleep(Duration::from_millis(90));
+        assert!(
+            !b.tick(DEADLINE_CHECK_PERIOD * 8),
+            "a single oversized cost crosses the period and re-checks"
+        );
+        assert!(b.is_exhausted());
+        // And small costs re-check within one period of accumulated work.
+        let b = Budget::deadline(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(20));
+        let mut refused = false;
+        for _ in 0..=DEADLINE_CHECK_PERIOD {
+            if !b.tick(1) {
+                refused = true;
+                break;
+            }
+        }
+        assert!(refused, "at most one period of cost passes between checks");
+    }
+
+    #[test]
+    fn recovery_slice_is_fresh_fuel_with_the_shared_log() {
+        let parent = Budget::fuel(1);
+        assert!(!parent.tick(2));
+        assert!(parent.is_exhausted());
+        // Recovery runs precisely when the main pool is dry: the slice is
+        // born usable, with its own strictly bounded allowance…
+        let rec = parent.recovery_slice(3);
+        assert!(!rec.is_exhausted());
+        assert!(rec.tick(3));
+        assert!(!rec.tick(1), "…which still exhausts on its own");
+        // …and its degradations land in the parent's report.
+        rec.degrade("test/narrow", "ran dry");
+        assert!(parent
+            .report()
+            .events
+            .iter()
+            .any(|e| e.site == "test/narrow"));
+        // A deadline-exhausted budget yields a deadline-exhausted slice:
+        // the anytime contract survives recovery.
+        let timed = Budget::deadline(Duration::ZERO);
+        assert!(timed.recovery_slice(10).is_exhausted());
     }
 
     #[test]

@@ -347,6 +347,14 @@ impl<D: AbstractDomain> AbstractDomain for ChaosDomain<D> {
         self.inner.widen(a, b)
     }
 
+    fn narrow(&self, a: &D::Elem, b: &D::Elem) -> D::Elem {
+        // Delegate without fault injection: a chaotic narrowing could
+        // only be rejected by the engine's bracket check anyway, and the
+        // wrapper must not make recovery behave differently from the
+        // wrapped domain.
+        self.inner.narrow(a, b)
+    }
+
     fn to_conj(&self, e: &D::Elem) -> Conj {
         self.inner.to_conj(e)
     }

@@ -165,6 +165,15 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for DirectProduct<D1
         }
     }
 
+    fn narrow(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        // Component-wise, like every other operation of the direct
+        // product: each component recovers what its own narrowing can.
+        Pair {
+            left: self.d1.narrow(&a.left, &b.left),
+            right: self.d2.narrow(&a.right, &b.right),
+        }
+    }
+
     fn to_conj(&self, e: &Self::Elem) -> Conj {
         self.d1.to_conj(&e.left).and(&self.d2.to_conj(&e.right))
     }

@@ -132,6 +132,22 @@ pub trait AbstractDomain {
         self.join(a, b)
     }
 
+    /// Narrowing `Δ` — the precision-recovery companion to
+    /// [`widen`](AbstractDomain::widen). Called with a post-fixpoint `a`
+    /// (typically a widened loop invariant) and a descended iterate `b`
+    /// with `b ⊑ a`; returns an element `r` with `b ⊑ r ⊑ a`. The engine
+    /// bounds the number of narrowing rounds by fuel, so implementations
+    /// need not guarantee chain stabilization themselves — but they must
+    /// stay inside the `[b, a]` interval (the engine re-verifies the
+    /// bracket and inductiveness before adopting a narrowed invariant, so
+    /// a defective implementation costs precision, never soundness).
+    ///
+    /// Defaults to the identity (`a`): sound for every domain, recovers
+    /// nothing.
+    fn narrow(&self, a: &Self::Elem, _b: &Self::Elem) -> Self::Elem {
+        a.clone()
+    }
+
     /// Renders the element as a conjunction of atomic facts over the
     /// domain's signature (its concretization's syntactic presentation).
     fn to_conj(&self, e: &Self::Elem) -> Conj;

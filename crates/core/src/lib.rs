@@ -32,6 +32,7 @@ mod direct;
 mod domain;
 mod logical;
 mod partition;
+mod policy;
 pub mod reduce;
 mod reduced;
 mod saturate;
@@ -44,5 +45,6 @@ pub use logical::{
     JoinStats, JoinStatsSnapshot, LogicalProduct, SplitCache, DEFAULT_SPLIT_CACHE_CAPACITY,
 };
 pub use partition::Partition;
+pub use policy::{BudgetPolicy, SizeMeasures};
 pub use reduced::ReducedProduct;
 pub use saturate::{no_saturate, no_saturate_budgeted, Saturated};

@@ -994,6 +994,15 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for LogicalProduct<D
         self.join_impl(a, b, true)
     }
 
+    fn narrow(&self, _a: &Conj, b: &Conj) -> Conj {
+        // Descending-iteration narrowing: adopt the descended iterate.
+        // The engine calls this with `b ⊑ a`, re-verifies the bracket and
+        // inductiveness before adopting the result, and bounds the rounds
+        // by its own fuel slice — so taking `b` recovers every fact the
+        // widened join dropped without risking termination or soundness.
+        b.clone()
+    }
+
     fn to_conj(&self, e: &Conj) -> Conj {
         e.clone()
     }

@@ -204,6 +204,16 @@ impl<D1: AbstractDomain, D2: AbstractDomain> AbstractDomain for ReducedProduct<D
         }
     }
 
+    fn narrow(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        // Component-wise narrowing, no reduction afterwards: the engine
+        // re-verifies the `[b, a]` bracket, and a reduction step could
+        // strengthen the result below `b`.
+        Pair {
+            left: self.d1.narrow(&a.left, &b.left),
+            right: self.d2.narrow(&a.right, &b.right),
+        }
+    }
+
     fn to_conj(&self, e: &Self::Elem) -> Conj {
         self.d1.to_conj(&e.left).and(&self.d2.to_conj(&e.right))
     }

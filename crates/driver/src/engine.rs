@@ -9,7 +9,9 @@ use crate::summary::{
     SummaryResolver,
 };
 use crate::supervisor::{self, SupStats, SupStatsSnapshot, Supervised, SupervisorCfg, Watchdog};
-use cai_core::{AbstractDomain, Budget, DegradationReport, Incident, IncidentKind};
+use cai_core::{
+    AbstractDomain, Budget, BudgetPolicy, DegradationReport, Incident, IncidentKind, SizeMeasures,
+};
 use cai_interp::{AnalysisConfig, Analyzer, AssertionOutcome, Module, Procedure};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Duration;
@@ -199,6 +201,12 @@ impl std::fmt::Display for CacheStats {
 #[derive(Clone, Debug, Default)]
 pub struct SummaryCache {
     entries: BTreeMap<String, CacheEntry>,
+    /// Exponentially decayed per-procedure incident counts (panics,
+    /// stalls, quarantines, cache corruptions) from recent runs. The
+    /// adaptive [`BudgetPolicy`] damps a procedure's scheduling weight by
+    /// this, so chronically faulty procedures stop soaking up fuel that
+    /// healthy ones could convert into precision.
+    incidents: BTreeMap<String, u64>,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -260,6 +268,27 @@ impl SummaryCache {
         }
     }
 
+    /// The decayed incident count remembered for a procedure (0 for a
+    /// procedure with no recent incidents). Feeds
+    /// [`BudgetPolicy::job_weight`] when the driver apportions fuel.
+    pub fn incident_count(&self, name: &str) -> u64 {
+        self.incidents.get(name).copied().unwrap_or(0)
+    }
+
+    /// Folds one run's incidents into the history: existing counts are
+    /// halved first (so the history is *recent* — an incident from k runs
+    /// ago weighs 2⁻ᵏ), then each of this run's incidents adds one to its
+    /// subject. Deterministic: depends only on the incidents fed in.
+    fn absorb_incidents<'a>(&mut self, incidents: impl Iterator<Item = &'a Incident>) {
+        for count in self.incidents.values_mut() {
+            *count /= 2;
+        }
+        self.incidents.retain(|_, count| *count > 0);
+        for incident in incidents {
+            *self.incidents.entry(incident.subject.clone()).or_insert(0) += 1;
+        }
+    }
+
     /// Test hook: silently corrupts the stored entry for `name` without
     /// refreshing its checksum, simulating bit rot in a persisted cache.
     /// The corruption chosen is the dangerous kind — the summary's exit
@@ -286,6 +315,7 @@ struct SolveCfg {
     summary_widen_delay: usize,
     summary_rounds: usize,
     context_cap: usize,
+    policy: BudgetPolicy,
     sup: SupervisorCfg,
 }
 
@@ -472,6 +502,19 @@ where
         self
     }
 
+    /// Sets the [`BudgetPolicy`]. Under [`BudgetPolicy::Adaptive`] the
+    /// batch budget is apportioned across component jobs proportionally
+    /// to their size ([`Procedure::measures`] summed over members),
+    /// damped by each member's recent incident history from the
+    /// [`SummaryCache`]; inside each job, loop fixpoints run under
+    /// size-derived slices and widened invariants get a bounded
+    /// narrowing recovery pass. The default [`BudgetPolicy::Flat`]
+    /// reproduces the pre-policy driver bit for bit.
+    pub fn budget_policy(mut self, policy: BudgetPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
     /// Analyzes every procedure of `module` from scratch.
     pub fn analyze(&self, module: &Module) -> ModuleAnalysis {
         let mut cache = SummaryCache::new();
@@ -484,6 +527,10 @@ where
     pub fn analyze_with_cache(&self, module: &Module, cache: &mut SummaryCache) -> ModuleAnalysis {
         let _span = cai_obs::span!("driver/analyze-module");
         let cache_before = cache.stats();
+        // The driver budget's incident log persists across runs; remember
+        // where it stood so only *this run's* incidents feed the cache's
+        // decayed history.
+        let prior_incidents = self.cfg.budget.report().incidents.len();
         // Integrity first: a corrupted entry must be rejected before any
         // reuse decision looks at it (recompute, never wrong reuse).
         cache.reject_corrupt(&self.cfg.budget);
@@ -553,12 +600,37 @@ where
         // Schedule the components that need (re)computation.
         let todo: Vec<usize> = (0..n_sccs).filter(|&c| !reuse[c]).collect();
         let recomputed: usize = todo.iter().map(|&c| graph.sccs[c].len()).sum();
+        // Per-job scheduling weights, in component-index order: the
+        // component's summed size measures damped by its members' recent
+        // incident history. A pure function of the module text and the
+        // cache, so the apportionment — hence every degradation decision
+        // downstream — is identical for every thread count. The flat
+        // policy ignores the values and splits equally.
+        let weights: Vec<u64> = todo
+            .iter()
+            .map(|&c| {
+                let size = graph.sccs[c]
+                    .iter()
+                    .fold(SizeMeasures::default(), |acc, &i| {
+                        acc.plus(&module.procs[i].measures())
+                    });
+                let incidents = graph.sccs[c]
+                    .iter()
+                    .map(|&i| cache.incident_count(&module.procs[i].name))
+                    .sum();
+                self.cfg.policy.job_weight(&size, incidents)
+            })
+            .collect();
+        if self.cfg.policy.is_adaptive() {
+            cai_obs::counter!("driver/policy/weighted-jobs").add(todo.len() as u64);
+        }
         let cfg = SolveCfg {
             widen_delay: self.cfg.widen_delay,
             max_iterations: self.cfg.max_iterations,
             summary_widen_delay: self.summary_widen_delay,
             summary_rounds: self.summary_rounds,
             context_cap: self.context_cap,
+            policy: self.cfg.policy,
             sup: self.supervisor,
         };
         let ctx_stats = CtxStats::new();
@@ -568,6 +640,7 @@ where
                 module,
                 &graph,
                 &todo,
+                &weights,
                 cfg,
                 &seed,
                 &ctx_stats,
@@ -580,6 +653,7 @@ where
                 module,
                 &graph,
                 &todo,
+                &weights,
                 cfg,
                 &seed,
                 &ctx_stats,
@@ -588,7 +662,14 @@ where
                 &mut reports,
             )
         };
-        degradation.merge(&self.cfg.budget.report());
+        let main_report = self.cfg.budget.report();
+        cache.absorb_incidents(
+            degradation
+                .incidents
+                .iter()
+                .chain(main_report.incidents.iter().skip(prior_incidents)),
+        );
+        degradation.merge(&main_report);
 
         // Merge context specializations deterministically: the seed
         // first (it was every job's memo base), then each job's store in
@@ -672,6 +753,7 @@ where
         module: &Module,
         graph: &CallGraph,
         todo: &[usize],
+        weights: &[u64],
         cfg: SolveCfg,
         seed: &BTreeMap<String, Vec<Summary>>,
         ctx_stats: &CtxStats,
@@ -683,7 +765,7 @@ where
         // the same (component-index) order, so the fuel each component
         // sees — and every supervision decision derived from it — is
         // identical for every thread count.
-        let slices = self.cfg.budget.split(todo.len().max(1));
+        let slices = job_slices(&self.cfg.policy, &self.cfg.budget, weights, todo.len());
         let mut job_contexts = Vec::new();
         for (&c, slice) in todo.iter().zip(&slices) {
             let members = &graph.sccs[c];
@@ -730,6 +812,7 @@ where
         module: &Module,
         graph: &CallGraph,
         todo: &[usize],
+        weights: &[u64],
         cfg: SolveCfg,
         seed: &BTreeMap<String, Vec<Summary>>,
         ctx_stats: &CtxStats,
@@ -738,7 +821,7 @@ where
         reports: &mut BTreeMap<String, ProcReport>,
     ) -> (DegradationReport, JobContexts) {
         let workers = self.threads.min(todo.len()).max(1);
-        let slices = self.cfg.budget.split(todo.len().max(1));
+        let slices = job_slices(&self.cfg.policy, &self.cfg.budget, weights, todo.len());
         let job_slices: BTreeMap<usize, Budget> =
             todo.iter().copied().zip(slices.iter().cloned()).collect();
 
@@ -873,6 +956,18 @@ where
         }
         (degradation, job_contexts)
     }
+}
+
+/// The per-job budget slices for one batch, `weights` and the returned
+/// vector both in `todo` (component-index) order. Delegates to
+/// [`BudgetPolicy::job_slices`]; an empty batch still carves one unused
+/// slice, matching the pre-policy `split(len.max(1))` exactly so the
+/// parent budget's accounting is bit-identical under the flat policy.
+fn job_slices(policy: &BudgetPolicy, budget: &Budget, weights: &[u64], jobs: usize) -> Vec<Budget> {
+    if jobs == 0 {
+        return budget.split(1);
+    }
+    policy.job_slices(budget, weights)
 }
 
 /// The summaries of every procedure the component calls outside itself —
@@ -1111,6 +1206,7 @@ where
         widen_delay: cfg.widen_delay,
         max_iterations: cfg.max_iterations,
         budget: budget.clone(),
+        policy: cfg.policy,
     };
     let ctx_resolver = (cfg.context_cap > 0).then(|| {
         ContextResolver::new(
@@ -1134,6 +1230,7 @@ where
                 widen_delay: cfg.widen_delay,
                 max_iterations: cfg.max_iterations,
                 budget: ab.clone(),
+                policy: cfg.policy,
             };
             let analysis = match &ctx_resolver {
                 Some(resolver) => {

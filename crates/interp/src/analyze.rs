@@ -2,8 +2,8 @@
 //! flowchart nodes of the paper's Figure 5, with loop fixpoints and
 //! widening (§4.3).
 
-use crate::ast::{Cond, Program, Stmt};
-use cai_core::{AbstractDomain, Budget, DegradationReport};
+use crate::ast::{stmt_measures, Cond, Program, Stmt};
+use cai_core::{AbstractDomain, Budget, BudgetPolicy, DegradationReport, SizeMeasures};
 use cai_term::{Atom, Conj, Term, Var, VarSet};
 use std::collections::BTreeMap;
 
@@ -27,6 +27,12 @@ pub struct OpStats {
     pub exists: usize,
     /// Atom meets performed.
     pub meets: usize,
+    /// Narrowing (descending) rounds run after widened loop fixpoints.
+    pub narrow_rounds: usize,
+    /// Loops whose widened invariant the narrowing pass strictly
+    /// tightened (the adopted candidate passed the inductiveness
+    /// re-check).
+    pub narrow_recoveries: usize,
 }
 
 /// The result of analyzing a program.
@@ -88,16 +94,22 @@ pub struct AnalysisConfig {
     /// The governing budget: statement transfers tick it, and governed
     /// loops degrade soundly when it is exhausted.
     pub budget: Budget,
+    /// How fuel is apportioned and whether widened loop invariants get a
+    /// narrowing recovery pass. [`BudgetPolicy::Flat`] (the default)
+    /// reproduces the pre-policy engine bit for bit: loops share the
+    /// budget directly and no narrowing runs.
+    pub policy: BudgetPolicy,
 }
 
 impl AnalysisConfig {
     /// The default configuration: widening after 4 rounds, iteration cap
-    /// 60, unlimited budget.
+    /// 60, unlimited budget, flat (non-adaptive) policy.
     pub fn new() -> AnalysisConfig {
         AnalysisConfig {
             widen_delay: 4,
             max_iterations: 60,
             budget: Budget::unlimited(),
+            policy: BudgetPolicy::Flat,
         }
     }
 
@@ -116,6 +128,12 @@ impl AnalysisConfig {
     /// Sets the governing budget.
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Sets the budget policy (see [`BudgetPolicy`]).
+    pub fn with_policy(mut self, policy: BudgetPolicy) -> Self {
+        self.policy = policy;
         self
     }
 }
@@ -203,6 +221,16 @@ impl<'d, D: AbstractDomain> Analyzer<'d, D> {
         &self.cfg.budget
     }
 
+    /// Sets the budget policy: [`BudgetPolicy::Adaptive`] gives every
+    /// loop fixpoint its own size-derived fuel slice and runs a bounded
+    /// narrowing recovery pass after widened (especially budget-forced)
+    /// invariants; [`BudgetPolicy::Flat`] is the pre-policy behaviour,
+    /// bit for bit.
+    pub fn with_policy(mut self, policy: BudgetPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
     /// Installs an expression view applied to every term before transfer.
     pub fn with_view(mut self, view: impl Fn(&Term) -> Term + 'd) -> Self {
         self.view = Some(Box::new(view));
@@ -238,6 +266,7 @@ impl<'d, D: AbstractDomain> Analyzer<'d, D> {
     pub fn run_from(&self, program: &Program, entry: D::Elem) -> Analysis<D::Elem> {
         let mut ctx = Ctx {
             analyzer: self,
+            budget: self.cfg.budget.clone(),
             assertions: Vec::new(),
             loop_iterations: Vec::new(),
             diverged: false,
@@ -276,6 +305,13 @@ impl<'d, D: AbstractDomain> Analyzer<'d, D> {
 
 struct Ctx<'a, 'd, D: AbstractDomain> {
     analyzer: &'a Analyzer<'d, D>,
+    /// The budget currently governing statement transfers. Starts as a
+    /// clone of the configured budget (same shared counter — the flat
+    /// policy is bit-identical to ticking the config budget directly);
+    /// the adaptive policy swaps in a per-loop [`Budget::child`] slice
+    /// for each fixpoint and a [`Budget::recovery_slice`] for each
+    /// narrowing pass, so nested loops nest their slices too.
+    budget: Budget,
     assertions: Vec<AssertionOutcome>,
     loop_iterations: Vec<usize>,
     diverged: bool,
@@ -337,6 +373,83 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
         e
     }
 
+    /// The bounded narrowing pass: descending iteration from a widened
+    /// loop invariant, recovering precision the widening (especially a
+    /// budget-forced ⊤) destroyed. Runs under its own
+    /// [`Budget::recovery_slice`] — deliberately independent of the
+    /// (possibly dry) loop pool, still bound by the wall-clock deadline.
+    ///
+    /// Soundness does not rest on the domain: a candidate is adopted only
+    /// after (1) the descending step actually descended, (2) the
+    /// [`narrow`](AbstractDomain::narrow) result sits inside the
+    /// `[iterate, invariant]` bracket, and (3) a full body re-execution
+    /// confirms the candidate is inductive (`entry ⊔ F(candidate ∧ c) ⊑
+    /// candidate`), i.e. it over-approximates every reachable state of
+    /// the loop. A defective narrowing costs recovery, never soundness.
+    fn narrow_loop(
+        &mut self,
+        c: &Cond,
+        body: &[Stmt],
+        entry: &D::Elem,
+        widened: D::Elem,
+        body_size: &SizeMeasures,
+    ) -> D::Elem {
+        let d = self.domain();
+        let policy = &self.analyzer.cfg.policy;
+        cai_obs::counter!("interp/narrow/loops-attempted").incr();
+        let _span = cai_obs::span!("interp/narrow-pass");
+        let slice = self.budget.recovery_slice(policy.narrow_fuel(body_size));
+        let outer_budget = std::mem::replace(&mut self.budget, slice.clone());
+        let mut cur = widened;
+        let mut adopted = false;
+        for _ in 0..policy.narrow_rounds() {
+            if !slice.tick(1) {
+                slice.degrade("analyzer/narrow", "stopped the recovery pass early");
+                break;
+            }
+            cai_obs::counter!("interp/narrow/rounds").incr();
+            self.stats.narrow_rounds += 1;
+            // One descending iterate: y = entry ⊔ F(cur ∧ c).
+            let enter = self.assume_cond(cur.clone(), c, true);
+            let after = self.exec_seq(body, enter, false);
+            self.stats.joins += 1;
+            let y = d.join(entry, &after);
+            if !d.le(&y, &cur) {
+                // Not a descent (e.g. degraded domain operations under a
+                // starved slice): keep what we have.
+                break;
+            }
+            let candidate = d.narrow(&cur, &y);
+            if !(d.le(&y, &candidate) && d.le(&candidate, &cur)) {
+                slice.degrade("analyzer/narrow", "rejected an out-of-bracket narrowing");
+                break;
+            }
+            if d.equal_elems(&candidate, &cur) {
+                break; // stabilized: further rounds cannot make progress
+            }
+            // Adopt only verified-inductive candidates.
+            let enter = self.assume_cond(candidate.clone(), c, true);
+            let after = self.exec_seq(body, enter, false);
+            self.stats.joins += 1;
+            let check = d.join(entry, &after);
+            if !d.le(&check, &candidate) {
+                slice.degrade(
+                    "analyzer/narrow",
+                    "candidate failed the inductiveness re-check",
+                );
+                break;
+            }
+            cur = candidate;
+            adopted = true;
+        }
+        self.budget = outer_budget;
+        if adopted {
+            cai_obs::counter!("interp/narrow/loops-recovered").incr();
+            self.stats.narrow_recoveries += 1;
+        }
+        cur
+    }
+
     fn exec(&mut self, stmt: &Stmt, e: D::Elem, record: bool) -> D::Elem {
         let d = self.domain();
         // Charge one tick per statement transfer. No bail-out here: a
@@ -344,7 +457,7 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
         // assertion record complete — the governed loops below (and the
         // budgeted domain operations) are where exhaustion cuts work.
         cai_obs::counter!("fuel/interp.transfer").incr();
-        self.analyzer.cfg.budget.tick(1);
+        self.budget.tick(1);
         match stmt {
             Stmt::Assign(x, rhs) => {
                 let x0 = Var::fresh(&format!("{}0", x.name()));
@@ -392,20 +505,35 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                 // same body states, so a domain with a cross-round memo —
                 // the logical product's split cache — amortizes its
                 // purification/saturation work across the whole fixpoint.
+                //
+                // Under the adaptive policy the fixpoint runs on its own
+                // size-derived fuel slice, so one runaway loop drains its
+                // slice (and degrades) without starving every later loop;
+                // nested loops slice the enclosing slice in turn. The
+                // flat policy keeps the shared pool, bit for bit.
+                let body_size = stmt_measures(body);
+                let loop_budget = match self.analyzer.cfg.policy.loop_fuel(&body_size) {
+                    Some(fuel) => self.budget.child(Some(fuel), None),
+                    None => self.budget.clone(),
+                };
+                let outer_budget = std::mem::replace(&mut self.budget, loop_budget);
+                let entry = e.clone();
                 let mut inv = e;
                 let mut iterations = 0usize;
+                let mut widened = false;
+                let mut forced_top = false;
                 let _span = cai_obs::span!("interp/loop-fixpoint");
                 loop {
-                    if self.analyzer.cfg.budget.is_exhausted() {
+                    if self.budget.is_exhausted() {
                         // ⊤ is an invariant of any loop, so stopping here
                         // is sound; it is also stable, so the recording
                         // pass below still terminates.
-                        self.analyzer
-                            .cfg
-                            .budget
+                        self.budget
                             .degrade("analyzer/while", "forced the loop invariant to top");
+                        cai_obs::counter!("interp/fixpoint/budget-forced-top").incr();
                         inv = d.top();
                         self.diverged = true;
+                        forced_top = true;
                         break;
                     }
                     iterations += 1;
@@ -419,6 +547,7 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                     } else {
                         self.stats.widens += 1;
                         cai_obs::counter!("interp/fixpoint/widenings").incr();
+                        widened = true;
                         d.widen(&inv, &after)
                     };
                     if d.le(&next, &inv) {
@@ -428,8 +557,9 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                         // or forced-to-top) joins/widenings rather than a
                         // genuine fixpoint, so flag it as divergence too
                         // (not only the iteration cap or the entry check).
-                        if self.analyzer.cfg.budget.is_exhausted() {
+                        if self.budget.is_exhausted() {
                             self.diverged = true;
+                            forced_top = true;
                         }
                         break;
                     }
@@ -443,6 +573,10 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                 self.loop_iterations.push(iterations);
                 cai_obs::histogram!("interp/fixpoint/iterations-per-loop")
                     .observe(iterations as u64);
+                if self.analyzer.cfg.policy.narrow_rounds() > 0 && (widened || forced_top) {
+                    inv = self.narrow_loop(c, body, &entry, inv, &body_size);
+                }
+                self.budget = outer_budget;
                 if record {
                     // One recording pass through the body under the stable
                     // invariant.

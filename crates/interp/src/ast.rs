@@ -162,6 +162,12 @@ impl Program {
         }
     }
 
+    /// Coarse size measures of the program, for the adaptive
+    /// [`BudgetPolicy`](cai_core::BudgetPolicy).
+    pub fn measures(&self) -> cai_core::SizeMeasures {
+        stmt_measures(&self.stmts)
+    }
+
     /// All variables assigned or havoced anywhere in the program.
     pub fn assigned_vars(&self) -> cai_term::VarSet {
         fn walk(stmts: &[Stmt], out: &mut cai_term::VarSet) {
@@ -237,6 +243,51 @@ impl Procedure {
         walk(&self.body.stmts, &mut out);
         out
     }
+
+    /// Coarse size measures of the procedure (body plus formals), for
+    /// the adaptive [`BudgetPolicy`](cai_core::BudgetPolicy)'s
+    /// size-proportional scheduling weights.
+    pub fn measures(&self) -> cai_core::SizeMeasures {
+        let mut m = self.body.measures();
+        m.variables += self.params.len() as u64;
+        m
+    }
+}
+
+/// Coarse, purely syntactic size measures of a statement sequence:
+/// statements counted recursively, loop headers, call sites, and
+/// distinct assigned variables (a cheap deterministic proxy for
+/// live-state width). These feed fuel apportionment, so they must be a
+/// pure function of the AST — never of analysis results or timing.
+pub fn stmt_measures(stmts: &[Stmt]) -> cai_core::SizeMeasures {
+    fn walk(stmts: &[Stmt], m: &mut cai_core::SizeMeasures, vars: &mut cai_term::VarSet) {
+        for s in stmts {
+            m.statements += 1;
+            match s {
+                Stmt::Assign(x, _) | Stmt::Havoc(x) => {
+                    vars.insert(*x);
+                }
+                Stmt::Call(x, ..) => {
+                    vars.insert(*x);
+                    m.calls += 1;
+                }
+                Stmt::If(_, t, e) => {
+                    walk(t, m, vars);
+                    walk(e, m, vars);
+                }
+                Stmt::While(_, b) => {
+                    m.loops += 1;
+                    walk(b, m, vars);
+                }
+                Stmt::Assume(_) | Stmt::Assert(_) => {}
+            }
+        }
+    }
+    let mut m = cai_core::SizeMeasures::default();
+    let mut vars = cai_term::VarSet::new();
+    walk(stmts, &mut m, &mut vars);
+    m.variables = vars.len() as u64;
+    m
 }
 
 impl fmt::Display for Procedure {

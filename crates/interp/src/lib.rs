@@ -35,6 +35,6 @@ pub use analyze::{
     implies_all, Analysis, AnalysisConfig, Analyzer, AssertionOutcome, CallResolver, CallSite,
     OpStats,
 };
-pub use ast::{Cond, Module, Procedure, Program, Stmt, RETURN_VAR};
+pub use ast::{stmt_measures, Cond, Module, Procedure, Program, Stmt, RETURN_VAR};
 pub use herbrand::herbrand_view;
 pub use parse::{parse_module, parse_program, ProgramParseError};

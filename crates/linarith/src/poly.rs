@@ -525,6 +525,17 @@ impl AbstractDomain for Polyhedra {
         PolyElem::assemble_budgeted(eqs, ineqs, &self.budget)
     }
 
+    fn narrow(&self, _a: &PolyElem, b: &PolyElem) -> PolyElem {
+        // Constraint narrowing by descending iteration: adopt the
+        // descended iterate wholesale. The engine calls this with
+        // `b ⊑ a`, so `b` already satisfies every constraint of `a` and
+        // re-tightens exactly the directions the constraint widening
+        // dropped (e.g. the upper bound of a counted loop). Termination
+        // does not rest on this operator — the engine bounds the number
+        // of narrowing rounds by its own fuel slice.
+        b.clone()
+    }
+
     fn to_conj(&self, e: &PolyElem) -> Conj {
         let Some(s) = &e.state else {
             return Conj::of(Atom::eq(Term::int(0), Term::int(1)));

@@ -320,6 +320,15 @@ impl AbstractDomain for ListDomain {
         ListElem::from_pairs(eqs, self.max_term_size, &self.budget)
     }
 
+    fn narrow(&self, _a: &ListElem, b: &ListElem) -> ListElem {
+        // Descending-iteration narrowing: adopt the descended iterate
+        // (`b ⊑ a` by the trait contract), recovering equalities a
+        // budget-starved join dropped. The engine re-verifies the bracket
+        // and bounds the rounds, so neither soundness nor termination
+        // rests on this operator.
+        b.clone()
+    }
+
     fn exists(&self, e: &ListElem, vars: &VarSet) -> ListElem {
         if e.is_bottom() {
             return ListElem::bottom();

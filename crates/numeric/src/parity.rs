@@ -354,6 +354,30 @@ impl AbstractDomain for ParityDomain {
         }
     }
 
+    fn narrow(&self, a: &ParityElem, b: &ParityElem) -> ParityElem {
+        // Mirror of the sign domain's narrowing: keep every parity `a`
+        // still knows, adopt the descended iterate `b`'s parity exactly
+        // where `a` was widened to ⊤, and accumulate both constraint
+        // sets (`b ⊑ a`, so `b` satisfies all of them). Stays inside the
+        // `[b, a]` bracket.
+        let (Some(sa), Some(sb)) = (&a.state, &b.state) else {
+            return b.clone();
+        };
+        let mut map = sa.map.clone();
+        for (v, p) in &sb.map {
+            map.entry(*v).or_insert(*p);
+        }
+        let mut constraints = sa.constraints.clone();
+        for c in &sb.constraints {
+            if !constraints.contains(c) {
+                constraints.push(c.clone());
+            }
+        }
+        ParityElem {
+            state: Some(State { map, constraints }),
+        }
+    }
+
     fn exists(&self, e: &ParityElem, vars: &VarSet) -> ParityElem {
         let Some(s) = &e.state else {
             return ParityElem::bottom();

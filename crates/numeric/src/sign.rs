@@ -389,6 +389,30 @@ impl AbstractDomain for SignDomain {
         }
     }
 
+    fn narrow(&self, a: &SignElem, b: &SignElem) -> SignElem {
+        // Recover only what widening destroyed: variables `a` still
+        // constrains keep `a`'s sign set; variables `a` lost to ⊤ adopt
+        // the descended iterate `b`'s set. Constraints accumulate from
+        // both sides — `b ⊑ a`, so `b` satisfies all of them. The result
+        // sits in the `[b, a]` bracket the trait contract requires.
+        let (Some(sa), Some(sb)) = (&a.state, &b.state) else {
+            return b.clone();
+        };
+        let mut map = sa.map.clone();
+        for (v, s) in &sb.map {
+            map.entry(*v).or_insert(*s);
+        }
+        let mut constraints = sa.constraints.clone();
+        for c in &sb.constraints {
+            if !constraints.contains(c) {
+                constraints.push(c.clone());
+            }
+        }
+        SignElem {
+            state: Some(State { map, constraints }),
+        }
+    }
+
     fn exists(&self, e: &SignElem, vars: &VarSet) -> SignElem {
         let Some(s) = &e.state else {
             return SignElem::bottom();
