@@ -90,8 +90,23 @@ rm -f "$policy_log"
 
 echo "== paper_eval --join-stats smoke =="
 # Exits nonzero unless the split cache hits, saves ticks, and leaves the
-# analysis results bit-identical.
-cargo run --release -p cai-bench --bin paper_eval --offline -- --join-stats
+# analysis results bit-identical — and, on the incremental-edit workload,
+# unless the sub-structural memo scores partial hits and saves saturation
+# rounds over the whole-conjunction memo while the cached driver runs stay
+# bit-identical to the uncached baseline at 1/2/4 threads. The report must
+# show a nonzero partial-hit rate and the identity verdicts.
+join_log=$(mktemp /tmp/cai-join-stats.XXXXXX.log)
+cargo run --release -p cai-bench --bin paper_eval --offline -- --join-stats | tee "$join_log"
+grep -q "partial-hit rate=" "$join_log" || {
+    echo "--join-stats report is missing the sub-structural partial-hit rate"; exit 1; }
+grep -q "partial-hit rate=0.0%" "$join_log" && {
+    echo "--join-stats: sub-structural partial-hit rate is zero"; exit 1; }
+idents=$(grep -c "identical to uncached baseline" "$join_log" || true)
+if [ "$idents" -ne 3 ]; then
+    echo "--join-stats: expected 3 cached-vs-uncached identity verdicts (1/2/4 threads), got $idents"
+    exit 1
+fi
+rm -f "$join_log"
 
 echo "== observability smoke (--trace-out / --obs-report) =="
 # The exported Chrome trace must be parseable, non-empty JSON, and the

@@ -38,6 +38,7 @@
 //! recovers the widened loop bound, and that the same drill survives a
 //! chaos-wrapped domain with no abort, bit-identically across threads.
 
+use cai_bench::{args::write_trace_out, Args};
 use cai_core::{
     AbstractDomain, Budget, BudgetPolicy, ChaosConfig, ChaosDomain, JoinStats, LogicalProduct,
 };
@@ -403,33 +404,20 @@ fn budget_policy_drill(threads: usize, seed: u64) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let flag_value = |name: &str, default: usize| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
-    };
-    let flag_str = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let ctx_stats = args.iter().any(|a| a == "--ctx-stats");
-    let chaos = args.iter().any(|a| a == "--chaos");
-    let budget_policy = args.iter().any(|a| a == "--budget-policy");
-    let obs_report = args.iter().any(|a| a == "--obs-report");
-    let trace_out = flag_str("--trace-out");
+    let mut args = Args::parse();
+    let smoke = args.flag("--smoke");
+    let ctx_stats = args.flag("--ctx-stats");
+    let chaos = args.flag("--chaos");
+    let budget_policy = args.flag("--budget-policy");
+    let obs_report = args.flag("--obs-report");
+    let trace_out = args.opt_str("--trace-out");
     if trace_out.is_some() {
         cai_obs::trace::set_enabled(true);
     }
-    let procs = flag_value("--procs", if smoke { 32 } else { 64 });
-    let threads = flag_value("--threads", 4);
-    let chaos_seed = flag_value("--chaos-seed", 7) as u64;
-    let chaos_panic = flag_value("--chaos-panic", 2) as u32;
+    let procs = args.value_or("--procs", if smoke { 32usize } else { 64 });
+    let threads = args.value_or("--threads", 4usize);
+    let chaos_seed = args.value_or("--chaos-seed", 7u64);
+    let chaos_panic = args.value_or("--chaos-panic", 2u32);
     let reps = if smoke { 1 } else { 3 };
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -602,17 +590,6 @@ fn main() {
         println!("{snap}");
     }
     if let Some(path) = trace_out {
-        let trace = cai_obs::trace::drain();
-        match std::fs::write(&path, trace.to_chrome_json()) {
-            Ok(()) => println!(
-                "wrote {} trace event(s) to {path} (dropped {})",
-                trace.events.len(),
-                trace.dropped
-            ),
-            Err(e) => {
-                eprintln!("failed to write trace to {path}: {e}");
-                std::process::exit(1);
-            }
-        }
+        write_trace_out(&path);
     }
 }

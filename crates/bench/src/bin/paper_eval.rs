@@ -15,7 +15,12 @@
 //! `--join-stats` re-analyzes the fig1 family with the logical product's
 //! split cache on vs. off, checks the results are bit-identical, prints
 //! both tick totals and the cache counters, and exits nonzero unless the
-//! cache hit and saved ticks.
+//! cache hit and saved ticks. Two further legs ride along: an
+//! incremental-edit workload (a conjunction grows one atom per step) that
+//! must score sub-structural *partial* hits and spend fewer saturation
+//! rounds than the whole-conjunction memo alone, and a driver leg that
+//! pins cached vs. uncached bit-identity at 1/2/4 threads over one shared
+//! split cache.
 //!
 //! `--budget-policy` runs the canonical widening-loss loop under the
 //! flat vs. the adaptive [`BudgetPolicy`]: the adaptive run's bounded
@@ -27,12 +32,14 @@
 //! `--obs-report` dumps the global `cai-obs` counter registry after the
 //! selected items have run. Purely additive: it changes no result.
 
-use cai_bench::{fig1_family, thm6_family, ConjGen, FIG1, FIG4, FIG8};
+use cai_bench::{args::write_trace_out, fig1_family, thm6_family, Args, ConjGen, FIG1, FIG4, FIG8};
 use cai_core::reduce::{EncodeMode, UnaryEncoder};
 use cai_core::{
-    no_saturate, AbstractDomain, Budget, BudgetPolicy, LogicalProduct, Precision, ReducedProduct,
+    no_saturate, AbstractDomain, Budget, BudgetPolicy, CacheConfig, LogicalProduct, Precision,
+    ReducedProduct, SplitCache,
 };
-use cai_interp::{herbrand_view, parse_program, Analyzer, Program};
+use cai_driver::{Driver, ModuleAnalysis};
+use cai_interp::{herbrand_view, parse_module, parse_program, Analyzer, Program};
 use cai_linarith::{AffineEq, Polyhedra};
 use cai_numeric::{ParityDomain, SignDomain};
 use cai_term::parse::Vocab;
@@ -41,80 +48,70 @@ use cai_uf::UfDomain;
 use std::time::{Duration, Instant};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(i) = args.iter().position(|a| a == "--deadline-ms") {
-        let ms = args
-            .get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                eprintln!("--deadline-ms needs a millisecond count");
-                std::process::exit(2);
-            });
-        args.drain(i..=i + 1);
+    let mut args = Args::parse();
+    let trace_out = args.opt_str("--trace-out");
+    if trace_out.is_some() {
+        cai_obs::trace::set_enabled(true);
+    }
+    let obs_report = args.flag("--obs-report");
+    let deadline_ms = args.opt_value::<u64>("--deadline-ms");
+    let join = args.flag("--join-stats");
+    let policy = args.flag("--budget-policy");
+    let ran_mode = deadline_ms.is_some() || join || policy;
+    if let Some(ms) = deadline_ms {
         deadline(ms);
-        if args.is_empty() {
-            return;
-        }
     }
-    if let Some(i) = args.iter().position(|a| a == "--join-stats") {
-        args.remove(i);
+    if join {
         join_stats();
-        if args.is_empty() {
-            return;
-        }
     }
-    if let Some(i) = args.iter().position(|a| a == "--budget-policy") {
-        args.remove(i);
+    if policy {
         budget_policy();
-        if args.is_empty() {
-            return;
-        }
     }
-    let obs_report = if let Some(i) = args.iter().position(|a| a == "--obs-report") {
-        args.remove(i);
-        true
-    } else {
-        false
-    };
-    let all = args.is_empty() || args.iter().any(|a| a == "all");
-    let want = |name: &str| all || args.iter().any(|a| a == name);
 
-    if want("fig1") {
-        fig1();
-    }
-    if want("fig2") {
-        fig2();
-    }
-    if want("fig3") {
-        fig3();
-    }
-    if want("fig4") {
-        fig4();
-    }
-    if want("fig6") {
-        fig6();
-    }
-    if want("fig7") {
-        fig7();
-    }
-    if want("fig8") {
-        fig8();
-    }
-    if want("thm6") {
-        thm6();
-    }
-    if want("sec5") {
-        sec5();
-    }
-    if want("complexity") {
-        complexity();
-    }
-    if want("compare") {
-        compare();
+    let items = args.rest();
+    if !ran_mode || !items.is_empty() {
+        let all = items.is_empty() || items.iter().any(|a| a == "all");
+        let want = |name: &str| all || items.iter().any(|a| a == name);
+        if want("fig1") {
+            fig1();
+        }
+        if want("fig2") {
+            fig2();
+        }
+        if want("fig3") {
+            fig3();
+        }
+        if want("fig4") {
+            fig4();
+        }
+        if want("fig6") {
+            fig6();
+        }
+        if want("fig7") {
+            fig7();
+        }
+        if want("fig8") {
+            fig8();
+        }
+        if want("thm6") {
+            thm6();
+        }
+        if want("sec5") {
+            sec5();
+        }
+        if want("complexity") {
+            complexity();
+        }
+        if want("compare") {
+            compare();
+        }
     }
     if obs_report {
         println!("\nobs report:");
         println!("{}", cai_obs::global().snapshot());
+    }
+    if let Some(path) = trace_out {
+        write_trace_out(&path);
     }
 }
 
@@ -253,9 +250,7 @@ fn join_stats() {
     );
     for k in 1..=3usize {
         let p = parse_program(&vocab, &fig1_family(k)).expect("family parses");
-        let run = |capacity: usize| {
-            let d = LogicalProduct::new(AffineEq::new(), UfDomain::new())
-                .with_split_cache_capacity(capacity);
+        let run = |d: LogicalProduct<AffineEq, UfDomain>| {
             let analyzer = Analyzer::new(&d);
             let first = analyzer.run(&p);
             let second = analyzer.run(&p);
@@ -269,9 +264,15 @@ fn join_stats() {
                 same_rounds,
             )
         };
-        let (va, ea, ticks_on, stats, stable) = run(cai_core::DEFAULT_SPLIT_CACHE_CAPACITY);
-        let (vb, eb, ticks_off, _, _) = run(0);
-        let identical = va == vb && ea == eb && stable;
+        let product = || LogicalProduct::new(AffineEq::new(), UfDomain::new());
+        let (va, ea, ticks_on, stats, stable) =
+            run(product().with_cache_config(&CacheConfig::default()));
+        let (vb, eb, ticks_off, _, _) = run(product().with_cache_config(&CacheConfig::disabled()));
+        // The pre-redesign builder must be an exact alias of the unified
+        // config (old-API vs. new-API bit-identity).
+        let (vc, ec, _, _, _) =
+            run(product().with_split_cache_capacity(cai_core::DEFAULT_SPLIT_CACHE_CAPACITY));
+        let identical = va == vb && ea == eb && stable && vc == va && ec == ea;
         failed |= !identical;
         total_hits += stats.cache_hits;
         total_cached_ticks += ticks_on;
@@ -306,6 +307,141 @@ fn join_stats() {
         );
         std::process::exit(1);
     }
+    incremental_edit(&vocab);
+    driver_identity(&vocab);
+}
+
+/// The incremental-edit leg: a conjunction grows one atom per step — the
+/// shape re-analysis of an edited procedure produces. The sub-structural
+/// memo must answer the grown conjunctions by resuming from the cached
+/// subset (partial hits > 0) and run strictly fewer NO-saturation rounds
+/// than the whole-conjunction memo alone, while results stay bit-identical
+/// across uncached / whole-only / sub-structural configurations.
+fn incremental_edit(vocab: &Vocab) {
+    println!("\nincremental-edit workload (one new conjunct per step):");
+    // Two interleaved mixed-theory chains from a shared root. Deriving
+    // `b_i = c_i` takes one NO-saturation round per theory alternation, so
+    // a from-scratch split of the grown conjunction costs rounds
+    // proportional to its depth — exactly what resuming from the cached
+    // one-atom-smaller base avoids.
+    let atoms: Vec<String> = {
+        let mut v = vec!["b0 = 0".to_string(), "c0 = 0".to_string()];
+        for i in 1..=3usize {
+            v.push(format!("a{i} = F(b{})", i - 1));
+            v.push(format!("d{i} = F(c{})", i - 1));
+            v.push(format!("b{i} = a{i} + 1"));
+            v.push(format!("c{i} = d{i} + 1"));
+        }
+        v
+    };
+    let grown = |k: usize| {
+        vocab
+            .parse_conj(&atoms[..k].join(" & "))
+            .expect("grown conjunction parses")
+    };
+    let other = vocab
+        .parse_conj("w = F(b0 + 5)")
+        .expect("other side parses");
+    let run = |cfg: &CacheConfig| {
+        let d = LogicalProduct::new(AffineEq::new(), UfDomain::new()).with_cache_config(cfg);
+        let results: Vec<String> = (2..=atoms.len())
+            .map(|k| d.join(&grown(k), &other).to_string())
+            .collect();
+        (results, d.budget().spent(), d.stats().snapshot())
+    };
+    let (r_off, t_off, _) = run(&CacheConfig::disabled());
+    let (r_whole, t_whole, s_whole) = run(&CacheConfig::whole_only());
+    let (r_sub, t_sub, s_sub) = run(&CacheConfig::default());
+    println!("  ticks: uncached {t_off}, whole-conjunction {t_whole}, sub-structural {t_sub}");
+    println!(
+        "  whole-conjunction: saturation rounds={} {s_whole}",
+        s_whole.saturation_rounds
+    );
+    println!(
+        "  sub-structural   : saturation rounds={} partial-hit rate={:.1}% {s_sub}",
+        s_sub.saturation_rounds,
+        100.0 * s_sub.cache_partial_hit_rate()
+    );
+    if r_off != r_whole || r_off != r_sub {
+        eprintln!("--join-stats: incremental-edit results differ across cache configs");
+        std::process::exit(1);
+    }
+    if s_sub.cache_partial_hits == 0 {
+        eprintln!("--join-stats: the sub-structural memo never scored a partial hit");
+        std::process::exit(1);
+    }
+    if s_sub.saturation_rounds >= s_whole.saturation_rounds {
+        eprintln!(
+            "--join-stats: sub-structural memo saved no saturation rounds ({} vs {})",
+            s_sub.saturation_rounds, s_whole.saturation_rounds
+        );
+        std::process::exit(1);
+    }
+}
+
+/// The driver leg: one shared split cache (clones share) serves 1-, 2- and
+/// 4-thread batch runs; every cached run must be bit-identical to the
+/// others and to the fully uncached baseline.
+fn driver_identity(vocab: &Vocab) {
+    println!("\ndriver leg (cached vs uncached, shared split cache, 1/2/4 threads):");
+    let mut src = String::new();
+    for i in 0..6 {
+        let _ = std::fmt::Write::write_fmt(
+            &mut src,
+            format_args!(
+                "proc p{i}(a) {{
+                     x := a + {i};
+                     y := F(x);
+                     while (*) {{ x := x + 1; y := F(x); }}
+                     assert(y = F(x));
+                     ret := x;
+                 }}\n"
+            ),
+        );
+    }
+    let m = parse_module(vocab, &src).expect("driver-leg module parses");
+    let run_fp = |a: &ModuleAnalysis| -> String {
+        let mut s = String::new();
+        for r in a {
+            let verdicts: Vec<bool> = r.assertions.iter().map(|o| o.verified).collect();
+            let _ = std::fmt::Write::write_fmt(
+                &mut s,
+                format_args!("{} | {} | {verdicts:?}\n", r.name, r.summary),
+            );
+        }
+        s
+    };
+    let baseline = run_fp(
+        &Driver::new(|_: &Budget| {
+            LogicalProduct::new(AffineEq::new(), UfDomain::new())
+                .with_cache_config(&CacheConfig::disabled())
+        })
+        .threads(1)
+        .analyze(&m),
+    );
+    let shared = SplitCache::with_config(&CacheConfig::default());
+    for threads in [1usize, 2, 4] {
+        let cache = shared.clone();
+        let a = Driver::new(move |_: &Budget| {
+            LogicalProduct::new(AffineEq::new(), UfDomain::new()).with_split_cache(cache.clone())
+        })
+        .threads(threads)
+        .analyze(&m);
+        let identical = run_fp(&a) == baseline;
+        println!(
+            "  {threads} thread(s): {}",
+            if identical {
+                "identical to uncached baseline"
+            } else {
+                "MISMATCH"
+            }
+        );
+        if !identical {
+            eprintln!("--join-stats: cached driver run diverged from the uncached baseline");
+            std::process::exit(1);
+        }
+    }
+    println!("  shared-cache stats: {}", shared.stats());
 }
 
 fn header(title: &str) {

@@ -1,6 +1,10 @@
 //! Workload generators and the paper's example programs, shared by the
 //! benchmarks and the `paper_eval` reproduction binary.
 
+pub mod args;
+
+pub use args::Args;
+
 use cai_num::SplitMix64;
 use cai_term::parse::Vocab;
 use cai_term::{Atom, Conj, Term, Var};

@@ -27,6 +27,7 @@
 //! linear arithmetic.
 
 mod budget;
+pub mod cache;
 pub mod chaos;
 mod direct;
 mod domain;
@@ -38,11 +39,15 @@ mod reduced;
 mod saturate;
 
 pub use budget::{Budget, CaiError, Degradation, DegradationReport, Incident, IncidentKind};
+pub use cache::{
+    Cache, CacheConfig, CacheStats, Eviction, StoreOutcome, TermMemo,
+    DEFAULT_SUMMARY_CACHE_CAPACITY, DEFAULT_TERM_MEMO_CAPACITY,
+};
 pub use chaos::{ChaosConfig, ChaosDomain};
 pub use direct::{DirectProduct, Pair};
 pub use domain::{combination_precision, AbstractDomain, Precision, TheoryProps};
 pub use logical::{
-    JoinStats, JoinStatsSnapshot, LogicalProduct, SplitCache, DEFAULT_SPLIT_CACHE_CAPACITY,
+    JoinStats, JoinStatsSnapshot, LogicalProduct, Split, SplitCache, DEFAULT_SPLIT_CACHE_CAPACITY,
 };
 pub use partition::Partition;
 pub use policy::{BudgetPolicy, SizeMeasures};

@@ -41,11 +41,15 @@
 //! timings, or run `paper_eval --join-stats` for an end-to-end report.
 
 use crate::budget::Budget;
+use crate::cache::{cs, Cache, CacheConfig, CacheStats, StoreOutcome, TermMemo};
 use crate::domain::{combination_precision, AbstractDomain, Precision, TheoryProps};
 use crate::partition::Partition;
 use crate::saturate::{no_saturate_budgeted, Saturated};
 use cai_obs::CounterFamily;
-use cai_term::{purify, Atom, AtomSide, Conj, Purified, Purifier, Sig, Term, Var, VarSet};
+use cai_term::{
+    fingerprint, purify, purify_memoized, Atom, AtomSide, Conj, Purified, Purifier, PurifyMemo,
+    Sig, Term, Var, VarSet,
+};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -67,6 +71,7 @@ const JOIN_COUNTERS: &[&str] = &[
     "widens",
     "exists_ops",
     "fallbacks",
+    "cache_partial_hits",
 ];
 
 /// Cell indices into [`JOIN_COUNTERS`].
@@ -86,6 +91,7 @@ mod jc {
     pub const WIDENS: usize = 12;
     pub const EXISTS_OPS: usize = 13;
     pub const FALLBACKS: usize = 14;
+    pub const CACHE_PARTIAL_HITS: usize = 15;
 }
 
 /// Shared observability counters for the logical product's join and
@@ -129,6 +135,7 @@ impl JoinStats {
         JoinStatsSnapshot {
             cache_hits: get(jc::CACHE_HITS),
             cache_misses: get(jc::CACHE_MISSES),
+            cache_partial_hits: get(jc::CACHE_PARTIAL_HITS),
             cache_skips: get(jc::CACHE_SKIPS),
             cache_evictions: get(jc::CACHE_EVICTIONS),
             pairs_considered: get(jc::PAIRS_CONSIDERED),
@@ -154,6 +161,10 @@ pub struct JoinStatsSnapshot {
     pub cache_hits: u64,
     /// Split-cache lookups that had to compute (and then stored).
     pub cache_misses: u64,
+    /// Split-cache lookups answered by resuming saturation from a cached
+    /// sub-structural base (a cached conjunction whose atoms are a subset
+    /// of the query's) on the delta atoms only.
+    pub cache_partial_hits: u64,
     /// Computed splits *not* stored because they were budget-degraded.
     pub cache_skips: u64,
     /// Times the cache was wiped because it reached capacity.
@@ -187,12 +198,24 @@ pub struct JoinStatsSnapshot {
 
 impl JoinStatsSnapshot {
     /// Cache hits as a fraction of all lookups (0 when there were none).
+    /// Partial hits count as lookups but not as full hits.
     pub fn cache_hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
+        let total = self.cache_hits + self.cache_partial_hits + self.cache_misses;
         if total == 0 {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Partial hits as a fraction of all lookups that were not full hits
+    /// (how often a miss was rescued by the sub-structural memo).
+    pub fn cache_partial_hit_rate(&self) -> f64 {
+        let total = self.cache_partial_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_partial_hits as f64 / total as f64
         }
     }
 }
@@ -201,7 +224,7 @@ impl fmt::Display for JoinStatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "joins={} widens={} exists={} fallbacks={} | cache hits={} misses={} \
+            "joins={} widens={} exists={} fallbacks={} | cache hits={} partial={} misses={} \
              skips={} evictions={} hit-rate={:.1}% | pairs considered={} generated={} \
              pruned={} | saturation rounds={} qsat rounds={} defs found={} rejected={}",
             self.joins,
@@ -209,6 +232,7 @@ impl fmt::Display for JoinStatsSnapshot {
             self.exists_ops,
             self.fallbacks,
             self.cache_hits,
+            self.cache_partial_hits,
             self.cache_misses,
             self.cache_skips,
             self.cache_evictions,
@@ -227,6 +251,9 @@ impl fmt::Display for JoinStatsSnapshot {
 /// Default capacity of a [`SplitCache`] (entries, not bytes).
 pub const DEFAULT_SPLIT_CACHE_CAPACITY: usize = 1024;
 
+/// A memoized split: the purified conjunction and its saturated elements.
+pub type Split<E1, E2> = (Purified, Saturated<E1, E2>);
+
 struct SplitEntry<E1, E2> {
     /// The exact conjunction this entry was computed from — compared on
     /// every hit, so a fingerprint collision degrades to a miss instead of
@@ -238,29 +265,72 @@ struct SplitEntry<E1, E2> {
 
 struct CacheShard<E1, E2> {
     map: HashMap<u64, SplitEntry<E1, E2>>,
+    /// Sub-structural index: fingerprint of an entry's *sorted atom set*
+    /// → the entry's whole-conjunction fingerprint. Lets a miss probe for
+    /// a cached conjunction whose atoms are a subset of the query's (the
+    /// query minus one atom, or a permutation of the query). Mappings can
+    /// go stale when entries are overwritten; every candidate is verified
+    /// by an actual set-inclusion check before use.
+    by_atoms: HashMap<u64, u64>,
     capacity: usize,
+    /// Fingerprint of the [`CacheConfig`] this cache was built with —
+    /// [`SplitCache::reconfigure`] invalidates everything when it changes.
+    config_fp: u64,
+}
+
+/// The result of probing the cache for a conjunction.
+enum SplitLookup<E1, E2> {
+    /// The exact conjunction was cached.
+    Hit(Split<E1, E2>),
+    /// A conjunction whose atom set is a subset of the probe's was cached;
+    /// saturation can resume from it on the delta atoms.
+    Partial(Split<E1, E2>),
+    /// Nothing usable was cached.
+    Miss,
+}
+
+/// Fingerprint of a conjunction's atoms *as a sorted set* — invariant
+/// under atom order and duplicates, unlike [`Conj::fingerprint`].
+fn atom_set_fp(atoms: &BTreeSet<&Atom>) -> u64 {
+    fingerprint(atoms)
 }
 
 /// Memo cache for the purify + NOSaturation front end of the logical
-/// product, keyed by [`Conj::fingerprint`].
+/// product, keyed by [`Conj::fingerprint`], with a sub-structural
+/// (per-alien-term) layer beneath it (see [`TermMemo`]).
 ///
-/// Cloning shares the underlying table; hand one cache to several products
-/// (or keep a product alive across analyzer fixpoint rounds) to amortize
-/// saturation across repeated conjunctions. Entries produced under a
-/// degraded budget are never stored — see
+/// # Sharing (the blessed way)
+///
+/// **`Clone` shares; it never snapshots.** A `SplitCache` is a handle to
+/// `Arc`-shared tables: clones observe each other's inserts, and handing
+/// clones of one cache to several products (or to every worker thread of a
+/// driver run) is *the* supported way to share memoized splits across
+/// rounds and threads. To start over, build a new cache (or call
+/// [`clear`](SplitCache::clear)); there is deliberately no deep-copy —
+/// a snapshot would silently stop receiving the other handles' work.
+///
+/// Entries produced under a degraded budget are never stored — see
 /// [`LogicalProduct::with_split_cache`] for the invalidation rules.
 ///
-/// Capacity 0 disables the cache. When the table reaches capacity it is
-/// cleared wholesale (the working set of a fixpoint is small and cyclic,
-/// so LRU bookkeeping is not worth its overhead).
+/// Capacity 0 disables the cache. When a table reaches capacity it is
+/// cleared wholesale ([`Eviction::ClearAll`](crate::cache::Eviction): the
+/// working set of a fixpoint is small and cyclic, so LRU bookkeeping is
+/// not worth its overhead).
 pub struct SplitCache<E1, E2> {
     inner: Arc<Mutex<CacheShard<E1, E2>>>,
+    /// The per-alien-term memo, sharing this cache's [`CacheStats`].
+    term_memo: Arc<TermMemo>,
+    stats: CacheStats,
 }
 
 impl<E1, E2> Clone for SplitCache<E1, E2> {
+    /// Shares the underlying tables (see the type docs); cloning never
+    /// copies entries.
     fn clone(&self) -> Self {
         SplitCache {
             inner: Arc::clone(&self.inner),
+            term_memo: Arc::clone(&self.term_memo),
+            stats: self.stats.clone(),
         }
     }
 }
@@ -271,6 +341,7 @@ impl<E1, E2> fmt::Debug for SplitCache<E1, E2> {
         f.debug_struct("SplitCache")
             .field("len", &shard.map.len())
             .field("capacity", &shard.capacity)
+            .field("term_memo", &self.term_memo)
             .finish()
     }
 }
@@ -282,18 +353,36 @@ impl<E1, E2> Default for SplitCache<E1, E2> {
 }
 
 impl<E1, E2> SplitCache<E1, E2> {
-    /// A cache with the [default capacity](DEFAULT_SPLIT_CACHE_CAPACITY).
+    /// A cache with the default [`CacheConfig`].
     pub fn new() -> SplitCache<E1, E2> {
-        SplitCache::with_capacity(DEFAULT_SPLIT_CACHE_CAPACITY)
+        SplitCache::with_config(&CacheConfig::default())
     }
 
-    /// A cache holding at most `capacity` splits; 0 disables caching.
+    /// A cache holding at most `capacity` whole-conjunction splits
+    /// (0 disables caching); the sub-structural layer keeps its default
+    /// capacity. Kept as a thin wrapper over [`SplitCache::with_config`].
     pub fn with_capacity(capacity: usize) -> SplitCache<E1, E2> {
+        SplitCache::with_config(&CacheConfig {
+            split_capacity: capacity,
+            ..CacheConfig::default()
+        })
+    }
+
+    /// A cache configured by `cfg` — the one constructor the others wrap.
+    pub fn with_config(cfg: &CacheConfig) -> SplitCache<E1, E2> {
+        let stats = CacheStats::new();
         SplitCache {
             inner: Arc::new(Mutex::new(CacheShard {
                 map: HashMap::new(),
-                capacity,
+                by_atoms: HashMap::new(),
+                capacity: cfg.split_capacity,
+                config_fp: cfg.fingerprint(),
             })),
+            term_memo: Arc::new(TermMemo::with_capacity_and_stats(
+                cfg.term_capacity,
+                stats.clone(),
+            )),
+            stats,
         }
     }
 
@@ -301,7 +390,7 @@ impl<E1, E2> SplitCache<E1, E2> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// The number of cached splits.
+    /// The number of cached whole-conjunction splits.
     pub fn len(&self) -> usize {
         self.lock().map.len()
     }
@@ -311,48 +400,205 @@ impl<E1, E2> SplitCache<E1, E2> {
         self.lock().map.is_empty()
     }
 
-    /// The capacity (0 means caching is disabled).
+    /// The whole-conjunction capacity (0 means caching is disabled).
     pub fn capacity(&self) -> usize {
         self.lock().capacity
     }
 
-    /// Drops every cached split.
+    /// The sub-structural payload capacity (0 means the per-term layer is
+    /// disabled and no partial hits are attempted).
+    pub fn term_capacity(&self) -> usize {
+        Cache::capacity(&*self.term_memo)
+    }
+
+    /// The per-alien-term memo beneath this cache.
+    pub fn term_memo(&self) -> &TermMemo {
+        &self.term_memo
+    }
+
+    /// This cache's shared counters (whole-conjunction *and* per-term —
+    /// the two layers deliberately share one [`CacheStats`]).
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Fingerprint of the [`CacheConfig`] this cache was built with.
+    pub fn config_fingerprint(&self) -> u64 {
+        self.lock().config_fp
+    }
+
+    /// Adopts `cfg`, invalidating every derived entry (whole-conjunction
+    /// splits, the subset index, and per-term payloads — the name map
+    /// persists, as names must) if and only if `cfg`'s fingerprint differs
+    /// from the one the cache was built with. The split-cache counterpart
+    /// of the driver's `config_fingerprint` invalidation.
+    pub fn reconfigure(&self, cfg: &CacheConfig) {
+        let mut shard = self.lock();
+        if shard.config_fp == cfg.fingerprint() {
+            return;
+        }
+        shard.map.clear();
+        shard.by_atoms.clear();
+        shard.capacity = cfg.split_capacity;
+        shard.config_fp = cfg.fingerprint();
+        drop(shard);
+        self.term_memo.set_capacity(cfg.term_capacity);
+        self.stats.bump(cs::INVALIDATIONS);
+    }
+
+    /// Drops every cached split and per-term payload (the per-term name
+    /// map persists — names are stable for the life of the cache).
     pub fn clear(&self) {
-        self.lock().map.clear();
+        let mut shard = self.lock();
+        shard.map.clear();
+        shard.by_atoms.clear();
+        drop(shard);
+        self.term_memo.clear_payloads();
+    }
+
+    /// The term memo as the trait object the purifier consumes.
+    fn memo_dyn(&self) -> Arc<dyn PurifyMemo> {
+        Arc::clone(&self.term_memo) as Arc<dyn PurifyMemo>
     }
 }
 
 impl<E1: Clone, E2: Clone> SplitCache<E1, E2> {
-    fn get(&self, fp: u64, key: &Conj) -> Option<(Purified, Saturated<E1, E2>)> {
+    /// Looks up `key`, optionally probing the sub-structural index for a
+    /// subset base on a whole-conjunction miss. Counts hits, partial hits
+    /// and misses on [`SplitCache::stats`].
+    fn probe(&self, fp: u64, key: &Conj, allow_partial: bool) -> SplitLookup<E1, E2> {
         let shard = self.lock();
-        let entry = shard.map.get(&fp)?;
-        if entry.key != *key {
-            return None;
+        if let Some(entry) = shard.map.get(&fp) {
+            if entry.key == *key {
+                let out = (entry.purified.clone(), entry.saturated.clone());
+                drop(shard);
+                self.stats.bump(cs::HITS);
+                return SplitLookup::Hit(out);
+            }
         }
-        Some((entry.purified.clone(), entry.saturated.clone()))
+        if allow_partial {
+            let atoms: BTreeSet<&Atom> = key.iter().collect();
+            // Deterministic probe order: the full atom set first (catches
+            // permutations and duplicate atoms), then each single-atom
+            // deletion in sorted-atom order. Any verified subset works —
+            // resumed saturation converges to the same canonical fixpoint
+            // from any of them.
+            let deletions = atoms.iter().map(|skip| {
+                let rest: BTreeSet<&Atom> = atoms.iter().filter(|a| *a != skip).copied().collect();
+                atom_set_fp(&rest)
+            });
+            let candidates: Vec<u64> = std::iter::once(atom_set_fp(&atoms))
+                .chain(deletions)
+                .collect();
+            for set_fp in candidates {
+                let Some(entry) = shard.by_atoms.get(&set_fp).and_then(|w| shard.map.get(w)) else {
+                    continue;
+                };
+                // Verify real set inclusion — the index is only a hint.
+                if entry.key.iter().all(|a| atoms.contains(a)) {
+                    let out = (entry.purified.clone(), entry.saturated.clone());
+                    drop(shard);
+                    self.stats.bump(cs::PARTIAL_HITS);
+                    return SplitLookup::Partial(out);
+                }
+            }
+        }
+        drop(shard);
+        self.stats.bump(cs::MISSES);
+        SplitLookup::Miss
     }
 
-    /// Stores a split; returns `true` if the table had to be cleared to
-    /// make room.
-    fn insert(&self, fp: u64, key: Conj, purified: Purified, saturated: Saturated<E1, E2>) -> bool {
+    /// Stores a split computed for `key` unless it was `degraded`
+    /// (degradation-aware invalidation), maintaining the subset index.
+    /// Counts skips and evictions on [`SplitCache::stats`].
+    fn store_split(
+        &self,
+        fp: u64,
+        key: &Conj,
+        split: &Split<E1, E2>,
+        degraded: bool,
+    ) -> StoreOutcome {
+        if degraded {
+            self.stats.bump(cs::SKIPS);
+            return StoreOutcome::SkippedDegraded;
+        }
         let mut shard = self.lock();
         if shard.capacity == 0 {
-            return false;
+            return StoreOutcome::Disabled;
         }
         let mut evicted = false;
         if shard.map.len() >= shard.capacity && !shard.map.contains_key(&fp) {
             shard.map.clear();
+            shard.by_atoms.clear();
             evicted = true;
         }
+        let set_fp = atom_set_fp(&key.iter().collect());
+        shard.by_atoms.entry(set_fp).or_insert(fp);
         shard.map.insert(
             fp,
             SplitEntry {
-                key,
-                purified,
-                saturated,
+                key: key.clone(),
+                purified: split.0.clone(),
+                saturated: split.1.clone(),
             },
         );
-        evicted
+        drop(shard);
+        if evicted {
+            self.stats.bump(cs::EVICTIONS);
+            StoreOutcome::StoredEvicting
+        } else {
+            StoreOutcome::Stored
+        }
+    }
+}
+
+impl<E1: Clone, E2: Clone> Cache for SplitCache<E1, E2> {
+    type Key = Conj;
+    type Value = Split<E1, E2>;
+
+    fn lookup(&self, key: &Conj) -> Option<Split<E1, E2>> {
+        match self.probe(key.fingerprint(), key, false) {
+            SplitLookup::Hit(out) => Some(out),
+            _ => None,
+        }
+    }
+
+    fn store(&mut self, key: Conj, value: Split<E1, E2>, degraded: bool) -> StoreOutcome {
+        self.store_split(key.fingerprint(), &key, &value, degraded)
+    }
+
+    fn invalidate(&mut self, key: &Conj) -> bool {
+        let mut shard = self.lock();
+        let fp = key.fingerprint();
+        match shard.map.get(&fp) {
+            Some(entry) if entry.key == *key => {
+                let set_fp = atom_set_fp(&entry.key.iter().collect());
+                shard.by_atoms.remove(&set_fp);
+                shard.map.remove(&fp);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn clear(&mut self) {
+        SplitCache::clear(self);
+    }
+
+    fn len(&self) -> usize {
+        SplitCache::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        SplitCache::capacity(self)
+    }
+
+    fn stats(&self) -> &CacheStats {
+        SplitCache::stats(self)
+    }
+
+    fn checksum(&self) -> u64 {
+        crate::cache::fold_checksum(self.lock().map.values().map(|e| e.key.fingerprint()))
     }
 }
 
@@ -416,7 +662,9 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
 
     /// Shares `cache` as this product's purification/saturation memo —
     /// e.g. one cache across the products of successive fixpoint rounds,
-    /// or across re-analyses of the same procedure.
+    /// or across re-analyses of the same procedure. Cloning a
+    /// [`SplitCache`] shares its tables, so handing clones of one cache to
+    /// many products is the blessed sharing idiom.
     ///
     /// Invalidation rules: a split computed while the budget degraded
     /// (its saturation stopped early, the budget exhausted, or *any*
@@ -430,11 +678,24 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
         self
     }
 
-    /// Replaces the split cache with one of the given capacity
-    /// (0 disables caching — used by A/B measurements).
+    /// Replaces the split cache with one built from `cfg` — the unified
+    /// configuration surface ([`CacheConfig`] rides through
+    /// `AnalysisConfig`). The legacy builders
+    /// ([`with_split_cache_capacity`](Self::with_split_cache_capacity))
+    /// are thin wrappers over this.
+    pub fn with_cache_config(self, cfg: &CacheConfig) -> Self {
+        self.with_split_cache(SplitCache::with_config(cfg))
+    }
+
+    /// Replaces the split cache with one of the given whole-conjunction
+    /// capacity (0 disables caching — used by A/B measurements). A thin
+    /// wrapper over [`with_cache_config`](Self::with_cache_config), kept
+    /// for source compatibility; results are identical either way.
     pub fn with_split_cache_capacity(self, capacity: usize) -> Self {
-        let cache = SplitCache::with_capacity(capacity);
-        self.with_split_cache(cache)
+        self.with_cache_config(&CacheConfig {
+            split_capacity: capacity,
+            ..CacheConfig::default()
+        })
     }
 
     /// The purification/saturation memo cache.
@@ -504,40 +765,122 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
 
     /// Lines 1–2 / 3–4 of Figure 6: purify a mixed conjunction into the
     /// component domains and NO-saturate — memoized in the [`SplitCache`].
-    fn split(&self, e: &Conj) -> (Purified, Saturated<D1::Elem, D2::Elem>) {
+    ///
+    /// Three outcomes, from cheapest to dearest: a *hit* replays the
+    /// stored split verbatim; a *partial hit* finds a cached conjunction
+    /// whose atoms are a subset of this one's, meets the delta atoms into
+    /// its saturated elements, and resumes the (monotone) saturation from
+    /// there — with ample budget this converges to the same canonical
+    /// fixpoint a from-scratch split reaches, in fewer rounds; a *miss*
+    /// computes from scratch. All three purify through the shared
+    /// [`TermMemo`] (when enabled), so alien-term names are stable across
+    /// entries — which is exactly what makes the delta well-defined.
+    fn split(&self, e: &Conj) -> Split<D1::Elem, D2::Elem> {
         if self.cache.capacity() == 0 {
             return self.split_uncached(e);
         }
+        let sub_structural = self.cache.term_capacity() > 0;
         let fp = e.fingerprint();
-        if let Some(hit) = self.cache.get(fp, e) {
-            self.stats.add(jc::CACHE_HITS, 1);
-            return hit;
-        }
-        self.stats.add(jc::CACHE_MISSES, 1);
         let degrades_before = self.budget.degrade_count();
-        let out = self.split_uncached(e);
+        let out = match self.cache.probe(fp, e, sub_structural) {
+            SplitLookup::Hit(hit) => {
+                self.stats.add(jc::CACHE_HITS, 1);
+                return hit;
+            }
+            SplitLookup::Partial(base) => {
+                self.stats.add(jc::CACHE_PARTIAL_HITS, 1);
+                cai_obs::spanned!("split/resume", self.split_resumed(e, base))
+            }
+            SplitLookup::Miss => {
+                self.stats.add(jc::CACHE_MISSES, 1);
+                self.split_fresh(e, sub_structural.then(|| self.cache.memo_dyn()))
+            }
+        };
         // Never cache a split computed under duress: an under-saturated or
         // otherwise degraded result must not outlive its starved round.
         let degraded = out.1.degraded
             || self.budget.is_exhausted()
             || self.budget.degrade_count() != degrades_before;
-        if degraded {
-            self.stats.add(jc::CACHE_SKIPS, 1);
-        } else if self
-            .cache
-            .insert(fp, e.clone(), out.0.clone(), out.1.clone())
-        {
-            self.stats.add(jc::CACHE_EVICTIONS, 1);
+        match self.cache.store_split(fp, e, &out, degraded) {
+            StoreOutcome::SkippedDegraded => self.stats.add(jc::CACHE_SKIPS, 1),
+            StoreOutcome::StoredEvicting => self.stats.add(jc::CACHE_EVICTIONS, 1),
+            StoreOutcome::Stored | StoreOutcome::Disabled => {}
         }
         out
     }
 
-    fn split_uncached(&self, e: &Conj) -> (Purified, Saturated<D1::Elem, D2::Elem>) {
-        let p = purify(e, &self.d1.sig(), &self.d2.sig());
+    fn split_uncached(&self, e: &Conj) -> Split<D1::Elem, D2::Elem> {
+        self.split_fresh(e, None)
+    }
+
+    fn split_fresh(
+        &self,
+        e: &Conj,
+        memo: Option<Arc<dyn PurifyMemo>>,
+    ) -> Split<D1::Elem, D2::Elem> {
+        let p = match memo {
+            Some(m) => purify_memoized(e, &self.d1.sig(), &self.d2.sig(), m),
+            None => purify(e, &self.d1.sig(), &self.d2.sig()),
+        };
         let e1 = self.d1.from_conj(&p.left);
         let e2 = self.d2.from_conj(&p.right);
         let s = no_saturate_budgeted(&self.d1, e1, &self.d2, e2, &self.budget);
         self.stats.add(jc::SATURATION_ROUNDS, s.rounds as u64);
+        (p, s)
+    }
+
+    /// Resumes a cached split on a superset conjunction: re-purifies `e`
+    /// through the shared term memo (names are stable, so the base's
+    /// purified atoms are a subset of `e`'s), meets only the *delta* atoms
+    /// into the base's already-saturated elements, and re-runs the
+    /// NOSaturation exchange to its fixpoint. Saturation is monotone and
+    /// both component representations are canonical, so with ample budget
+    /// the result is bit-identical to a from-scratch split — only cheaper,
+    /// because the base's equalities need no re-derivation. (Under
+    /// starvation results may differ from scratch, exactly as whole-cache
+    /// hits may; degraded results are never stored.)
+    fn split_resumed(
+        &self,
+        e: &Conj,
+        base: Split<D1::Elem, D2::Elem>,
+    ) -> Split<D1::Elem, D2::Elem> {
+        let (base_p, base_s) = base;
+        let mut p = purify_memoized(e, &self.d1.sig(), &self.d2.sig(), self.cache.memo_dyn());
+        let base_left: BTreeSet<&Atom> = base_p.left.iter().collect();
+        let base_right: BTreeSet<&Atom> = base_p.right.iter().collect();
+        let delta_l: Vec<Atom> = p
+            .left
+            .iter()
+            .filter(|a| !base_left.contains(a))
+            .cloned()
+            .collect();
+        let delta_r: Vec<Atom> = p
+            .right
+            .iter()
+            .filter(|a| !base_right.contains(a))
+            .cloned()
+            .collect();
+        let e1 = if delta_l.is_empty() {
+            base_s.left
+        } else {
+            self.d1.meet_all(&base_s.left, &delta_l)
+        };
+        let e2 = if delta_r.is_empty() {
+            base_s.right
+        } else {
+            self.d2.meet_all(&base_s.right, &delta_r)
+        };
+        let s = no_saturate_budgeted(&self.d1, e1, &self.d2, e2, &self.budget);
+        self.stats.add(jc::SATURATION_ROUNDS, s.rounds as u64);
+        // The resumed elements may mention the base's fresh names; make
+        // sure every one of them is scheduled for elimination downstream.
+        // (Shared atoms mean shared alien terms, so `p.fresh` already
+        // covers `base_p.fresh` — this is a defensive union.)
+        for v in &base_p.fresh {
+            if !p.fresh.contains(v) {
+                p.fresh.push(*v);
+            }
+        }
         (p, s)
     }
 

@@ -4,7 +4,8 @@
 //! the join's budget is charged for the deduplicated class-pair set it
 //! actually generates.
 
-use cai_core::{AbstractDomain, Budget, JoinStats, LogicalProduct, SplitCache};
+use cai_core::cache::cs;
+use cai_core::{AbstractDomain, Budget, Cache, CacheConfig, JoinStats, LogicalProduct, SplitCache};
 use cai_linarith::AffineEq;
 use cai_term::parse::Vocab;
 use cai_term::{Conj, VarSet};
@@ -120,6 +121,133 @@ fn degraded_round_never_poisons_the_cache() {
     let before = stats.snapshot().cache_hits;
     assert_eq!(funded.join(&e1, &e2), fresh.join(&e1, &e2));
     assert!(stats.snapshot().cache_hits > before);
+}
+
+/// Satellite contract for the unified cache API: `SplitCache::clone`
+/// *shares* — it never snapshots. Entries stored through one product are
+/// visible to a product holding a clone, and the shared [`cai_core::CacheStats`]
+/// aggregates across both handles.
+#[test]
+fn split_cache_clones_share_one_table() {
+    let v = Vocab::standard();
+    let shared: SplitCache<_, _> = SplitCache::with_config(&CacheConfig::default());
+    let a = LogicalProduct::new(AffineEq::new(), UfDomain::new()).with_split_cache(shared.clone());
+    let b = LogicalProduct::new(AffineEq::new(), UfDomain::new()).with_split_cache(shared.clone());
+    let e1 = conj(&v, "x = a & u = F(y + 1)");
+    let e2 = conj(&v, "x = b & u = F(y + 1)");
+    let r1 = a.join(&e1, &e2);
+    assert!(Cache::len(&shared) > 0, "join stored nothing");
+    let hits_before = shared.stats().get(cs::HITS);
+    let r2 = b.join(&e1, &e2);
+    assert_eq!(r1, r2);
+    assert!(
+        shared.stats().get(cs::HITS) > hits_before,
+        "a product holding a clone must hit entries the other stored"
+    );
+}
+
+/// Reconfiguring a split cache with a different [`CacheConfig`] must clear
+/// every derived entry (the cache's `config_fingerprint` invalidation,
+/// mirroring how the driver's summary cache invalidates when the context
+/// cap changes); reconfiguring with an identical config is a no-op.
+#[test]
+fn reconfigure_invalidates_exactly_on_config_change() {
+    let v = Vocab::standard();
+    let e1 = conj(&v, "x = a & u = F(y + 1)");
+    let e2 = conj(&v, "x = b & u = F(y + 1)");
+    let shared: SplitCache<_, _> = SplitCache::with_config(&CacheConfig::default());
+    let d = LogicalProduct::new(AffineEq::new(), UfDomain::new()).with_split_cache(shared.clone());
+    let first = d.join(&e1, &e2);
+    let len_before = Cache::len(&shared);
+    assert!(len_before > 0);
+
+    shared.reconfigure(&CacheConfig::default());
+    assert_eq!(
+        Cache::len(&shared),
+        len_before,
+        "an identical config must not invalidate"
+    );
+    assert_eq!(shared.stats().get(cs::INVALIDATIONS), 0);
+
+    let bigger = CacheConfig {
+        split_capacity: CacheConfig::default().split_capacity * 2,
+        ..CacheConfig::default()
+    };
+    shared.reconfigure(&bigger);
+    assert_eq!(
+        Cache::len(&shared),
+        0,
+        "a config-fingerprint change must clear derived entries"
+    );
+    assert_eq!(shared.stats().get(cs::INVALIDATIONS), 1);
+    assert_eq!(shared.config_fingerprint(), bigger.fingerprint());
+
+    // Recomputation after the invalidation is bit-identical.
+    let fresh = LogicalProduct::new(AffineEq::new(), UfDomain::new());
+    assert_eq!(d.join(&e1, &e2), first);
+    assert_eq!(d.join(&e1, &e2), fresh.join(&e1, &e2));
+}
+
+/// A starved round must not poison the *per-term* entries either: the
+/// sub-structural memo is written during purification, which consumes no
+/// fuel, so names and splits minted while the whole-conjunction split was
+/// degrading stay valid. A later well-funded product sharing the cache —
+/// including on a conjunction that only *shares terms* with the starved
+/// one — must match a completely fresh product bit-for-bit.
+#[test]
+fn starved_round_leaves_per_term_entries_healthy() {
+    let v = Vocab::standard();
+    let e1 = conj(&v, "x = a & y = b & u = F(y + 1)");
+    let e2 = conj(&v, "x = b & y = a & u = F(y + 1)");
+    // A superset of e1: resumes from e1's entry when that exists, and
+    // reuses e1's per-term splits either way.
+    let e3 = conj(&v, "x = a & y = b & u = F(y + 1) & w = F(u + 2)");
+
+    let shared: SplitCache<_, _> = SplitCache::with_config(&CacheConfig::default());
+    let starved = LogicalProduct::new(AffineEq::new(), UfDomain::new())
+        .with_budget(Budget::fuel(4))
+        .with_split_cache(shared.clone());
+    let _ = starved.join(&e1, &e2);
+    assert!(starved.budget().degraded(), "fuel 4 was expected to starve");
+    assert!(
+        shared.term_memo().names_len() > 0,
+        "the starved round should still have minted per-term names"
+    );
+
+    let funded =
+        LogicalProduct::new(AffineEq::new(), UfDomain::new()).with_split_cache(shared.clone());
+    let fresh = || LogicalProduct::new(AffineEq::new(), UfDomain::new());
+    assert_eq!(
+        funded.join(&e1, &e2),
+        fresh().join(&e1, &e2),
+        "a poisoned whole-conjunction entry leaked into a later round"
+    );
+    assert_eq!(
+        funded.join(&e3, &e2),
+        fresh().join(&e3, &e2),
+        "a poisoned per-term entry leaked into a sub-structural reuse"
+    );
+}
+
+/// A sub-structural partial hit — the query's atoms are a superset of a
+/// cached conjunction's — resumes saturation on the delta and must be
+/// bit-identical to the uncached computation.
+#[test]
+fn partial_hit_resume_is_bit_identical() {
+    let v = Vocab::standard();
+    let base = conj(&v, "b = 0 & c = 0 & p = F(b) & q = F(c)");
+    let grown = conj(&v, "b = 0 & c = 0 & p = F(b) & q = F(c) & r = p + 1");
+    let other = conj(&v, "w = F(b + 5)");
+    let d = cached();
+    let seeded = d.join(&base, &other);
+    assert_eq!(seeded, uncached().join(&base, &other));
+    let got = d.join(&grown, &other);
+    assert_eq!(got, uncached().join(&grown, &other));
+    let s = d.stats().snapshot();
+    assert!(
+        s.cache_partial_hits > 0,
+        "the grown conjunction should have resumed from the cached base: {s}"
+    );
 }
 
 /// Regression for the pair-budget accounting: the join charges the

@@ -9,8 +9,10 @@ use crate::summary::{
     SummaryResolver,
 };
 use crate::supervisor::{self, SupStats, SupStatsSnapshot, Supervised, SupervisorCfg, Watchdog};
+use cai_core::cache::{self as ccache, cs, Cache, StoreOutcome};
 use cai_core::{
-    AbstractDomain, Budget, BudgetPolicy, DegradationReport, Incident, IncidentKind, SizeMeasures,
+    AbstractDomain, Budget, BudgetPolicy, CacheConfig, DegradationReport, Incident, IncidentKind,
+    SizeMeasures,
 };
 use cai_interp::{AnalysisConfig, Analyzer, AssertionOutcome, Module, Procedure};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -106,8 +108,12 @@ impl<'a> IntoIterator for &'a ModuleAnalysis {
     }
 }
 
+/// One procedure's persisted analysis result — the [`SummaryCache`]'s
+/// value type under the unified [`Cache`] trait. Fields are sealed:
+/// [`CacheEntry::new`] computes the integrity checksum at construction,
+/// so an entry can only disagree with its checksum through corruption.
 #[derive(Clone, Debug)]
-struct CacheEntry {
+pub struct CacheEntry {
     fingerprint: u64,
     report: ProcReport,
     /// Entry-keyed specializations of this procedure, in entry-key
@@ -119,6 +125,37 @@ struct CacheEntry {
     /// deserializer, a scribbling bug — is rejected and recomputed,
     /// never reused.
     checksum: u64,
+}
+
+impl CacheEntry {
+    /// Seals a new entry, digesting every reusable field into the
+    /// integrity checksum that [`SummaryCache::reject_corrupt`] verifies
+    /// before any reuse decision.
+    pub fn new(fingerprint: u64, report: ProcReport, contexts: Vec<Summary>) -> CacheEntry {
+        let checksum = entry_checksum(fingerprint, &report, &contexts);
+        CacheEntry {
+            fingerprint,
+            report,
+            contexts,
+            checksum,
+        }
+    }
+
+    /// The configuration-joined procedure fingerprint this entry is
+    /// valid for.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The persisted procedure report.
+    pub fn report(&self) -> &ProcReport {
+        &self.report
+    }
+
+    /// The persisted context specializations, in entry-key order.
+    pub fn contexts(&self) -> &[Summary] {
+        &self.contexts
+    }
 }
 
 /// Digests one summary into an entry checksum.
@@ -198,7 +235,13 @@ impl std::fmt::Display for CacheStats {
 /// nonzero context cap it also memoizes every `(procedure, entry-key)`
 /// specialization, so re-analysis of a dirty caller reuses the entry
 /// contexts of its unchanged callees.
-#[derive(Clone, Debug, Default)]
+///
+/// Implements the unified [`Cache`] trait (`String` keys, [`CacheEntry`]
+/// values) and counts into a shared [`cai_core::CacheStats`] family.
+/// **Clone semantics**: cloning *snapshots* the entries (each clone owns
+/// its table — the opposite of `SplitCache`, whose clones share) but
+/// *shares* the counters, so stats aggregate across clones.
+#[derive(Clone, Debug)]
 pub struct SummaryCache {
     entries: BTreeMap<String, CacheEntry>,
     /// Exponentially decayed per-procedure incident counts (panics,
@@ -207,16 +250,34 @@ pub struct SummaryCache {
     /// this, so chronically faulty procedures stop soaking up fuel that
     /// healthy ones could convert into precision.
     incidents: BTreeMap<String, u64>,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
-    corruptions: u64,
+    /// Entry capacity ([`CacheConfig::summary_capacity`]); 0 disables
+    /// persistence entirely.
+    capacity: usize,
+    stats: ccache::CacheStats,
+}
+
+impl Default for SummaryCache {
+    fn default() -> SummaryCache {
+        SummaryCache::with_config(&CacheConfig::default())
+    }
 }
 
 impl SummaryCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity.
     pub fn new() -> SummaryCache {
         SummaryCache::default()
+    }
+
+    /// An empty cache sized by [`CacheConfig::summary_capacity`] — the
+    /// constructor [`Driver::analyze`] uses, fed from
+    /// `AnalysisConfig::cache`.
+    pub fn with_config(cfg: &CacheConfig) -> SummaryCache {
+        SummaryCache {
+            entries: BTreeMap::new(),
+            incidents: BTreeMap::new(),
+            capacity: cfg.summary_capacity,
+            stats: ccache::CacheStats::new(),
+        }
     }
 
     /// The number of cached procedures.
@@ -230,13 +291,16 @@ impl SummaryCache {
     }
 
     /// Cumulative hit/miss/eviction counters plus the current number of
-    /// stored context specializations.
+    /// stored context specializations. A plain-data snapshot of the
+    /// unified counter family, kept for callers that diff two snapshots
+    /// to meter a region.
     pub fn stats(&self) -> CacheStats {
+        let snap = self.stats.snapshot();
         CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            evictions: self.evictions,
-            corruptions: self.corruptions,
+            hits: snap.get(cs::HITS),
+            misses: snap.get(cs::MISSES),
+            evictions: snap.get(cs::EVICTIONS),
+            corruptions: snap.get(cs::CORRUPTIONS),
             contexts: self.entries.values().map(|e| e.contexts.len() as u64).sum(),
         }
     }
@@ -255,8 +319,8 @@ impl SummaryCache {
             .collect();
         for name in corrupt {
             self.entries.remove(&name);
-            self.corruptions += 1;
-            self.evictions += 1;
+            self.stats.bump(cs::CORRUPTIONS);
+            self.stats.bump(cs::EVICTIONS);
             cai_obs::instant!("incident/cache-corruption {name}");
             budget.incident(Incident {
                 kind: IncidentKind::CacheCorruption,
@@ -308,10 +372,80 @@ impl SummaryCache {
     }
 }
 
+impl Cache for SummaryCache {
+    type Key = String;
+    type Value = CacheEntry;
+
+    fn lookup(&self, key: &String) -> Option<CacheEntry> {
+        // BTreeMap keys on the full string — no fingerprint shortcut, so
+        // every hit is trivially verified.
+        self.entries.get(key).cloned()
+    }
+
+    fn store(&mut self, key: String, value: CacheEntry, degraded: bool) -> StoreOutcome {
+        if degraded {
+            // Quarantined results reach here with `degraded = true`: the
+            // ⊤ pin is a this-run survival measure and must never poison
+            // a later run (degradation-aware invalidation).
+            self.stats.bump(cs::SKIPS);
+            return StoreOutcome::SkippedDegraded;
+        }
+        if self.capacity == 0 {
+            return StoreOutcome::Disabled;
+        }
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            self.entries.clear();
+            self.stats.bump(cs::EVICTIONS);
+            self.entries.insert(key, value);
+            return StoreOutcome::StoredEvicting;
+        }
+        self.entries.insert(key, value);
+        StoreOutcome::Stored
+    }
+
+    fn invalidate(&mut self, key: &String) -> bool {
+        let removed = self.entries.remove(key).is_some();
+        if removed {
+            self.stats.bump(cs::EVICTIONS);
+        }
+        removed
+    }
+
+    fn clear(&mut self) {
+        // Entries go; the decayed incident history is observational
+        // state, not derived from the entries, and survives the clear —
+        // a chronically faulty procedure stays damped.
+        if !self.entries.is_empty() {
+            self.stats.bump(cs::INVALIDATIONS);
+        }
+        self.entries.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> &ccache::CacheStats {
+        &self.stats
+    }
+
+    fn checksum(&self) -> u64 {
+        // Folds the entries' own integrity digests (each covers its key
+        // via the report name), so the table checksum doubles as a
+        // content audit, not just a key census.
+        ccache::fold_checksum(self.entries.values().map(|e| e.checksum))
+    }
+}
+
 #[derive(Clone, Copy)]
 struct SolveCfg {
     widen_delay: usize,
     max_iterations: usize,
+    cache: CacheConfig,
     summary_widen_delay: usize,
     summary_rounds: usize,
     context_cap: usize,
@@ -517,7 +651,7 @@ where
 
     /// Analyzes every procedure of `module` from scratch.
     pub fn analyze(&self, module: &Module) -> ModuleAnalysis {
-        let mut cache = SummaryCache::new();
+        let mut cache = SummaryCache::with_config(&self.cfg.cache);
         self.analyze_with_cache(module, &mut cache)
     }
 
@@ -627,6 +761,7 @@ where
         let cfg = SolveCfg {
             widen_delay: self.cfg.widen_delay,
             max_iterations: self.cfg.max_iterations,
+            cache: self.cfg.cache,
             summary_widen_delay: self.summary_widen_delay,
             summary_rounds: self.summary_rounds,
             context_cap: self.context_cap,
@@ -693,41 +828,34 @@ where
         // Refresh the cache: exactly the current module's procedures.
         // Entries whose procedure left the module or whose fingerprint
         // changed count as evictions.
-        cache.evictions += cache
+        let stale = cache
             .entries
             .iter()
             .filter(|(name, e)| proc_fps.get(*name) != Some(&e.fingerprint))
             .count() as u64;
-        cache.hits += reused as u64;
-        cache.misses += recomputed as u64;
-        cache.entries = module
-            .procs
-            .iter()
-            .filter_map(|p| {
-                let fingerprint = proc_fps.get(&p.name).copied()?;
-                let report = reports.get(&p.name)?.clone();
-                if report.quarantined {
-                    // Never persist a quarantined result: the ⊤ pin is a
-                    // this-run survival measure, and the next run should
-                    // recompute the real summary.
-                    return None;
-                }
-                let contexts: Vec<Summary> = merged_contexts
-                    .remove(&p.name)
-                    .map(|m| m.into_values().take(self.context_cap).collect())
-                    .unwrap_or_default();
-                let checksum = entry_checksum(fingerprint, &report, &contexts);
-                Some((
-                    p.name.clone(),
-                    CacheEntry {
-                        fingerprint,
-                        report,
-                        contexts,
-                        checksum,
-                    },
-                ))
-            })
-            .collect();
+        cache.stats.add(cs::EVICTIONS, stale);
+        cache.stats.add(cs::HITS, reused as u64);
+        cache.stats.add(cs::MISSES, recomputed as u64);
+        cache.entries.clear();
+        for p in &module.procs {
+            let Some(&fingerprint) = proc_fps.get(&p.name) else {
+                continue;
+            };
+            let Some(report) = reports.get(&p.name).cloned() else {
+                continue;
+            };
+            // A quarantined result is stored as degraded, which the
+            // unified contract drops: the ⊤ pin is a this-run survival
+            // measure, and the next run should recompute the real
+            // summary.
+            let quarantined = report.quarantined;
+            let contexts: Vec<Summary> = merged_contexts
+                .remove(&p.name)
+                .map(|m| m.into_values().take(self.context_cap).collect())
+                .unwrap_or_default();
+            let entry = CacheEntry::new(fingerprint, report, contexts);
+            Cache::store(cache, p.name.clone(), entry, quarantined);
+        }
 
         let ordered: Vec<ProcReport> = module
             .procs
@@ -1207,6 +1335,7 @@ where
         max_iterations: cfg.max_iterations,
         budget: budget.clone(),
         policy: cfg.policy,
+        cache: cfg.cache,
     };
     let ctx_resolver = (cfg.context_cap > 0).then(|| {
         ContextResolver::new(
@@ -1231,6 +1360,7 @@ where
                 max_iterations: cfg.max_iterations,
                 budget: ab.clone(),
                 policy: cfg.policy,
+                cache: cfg.cache,
             };
             let analysis = match &ctx_resolver {
                 Some(resolver) => {

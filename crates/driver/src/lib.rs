@@ -47,7 +47,7 @@ mod supervisor;
 
 pub use callgraph::CallGraph;
 pub use context::{ContextResolver, CtxStats, CtxStatsSnapshot};
-pub use engine::{CacheStats, Driver, ModuleAnalysis, ProcReport, SummaryCache};
+pub use engine::{CacheEntry, CacheStats, Driver, ModuleAnalysis, ProcReport, SummaryCache};
 pub use summary::{
     config_fingerprint, entry_context, entry_key, instantiate_summary, member_fingerprint,
     scc_fingerprint, summarize, Summary, SummaryResolver,

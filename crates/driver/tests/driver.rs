@@ -284,6 +284,59 @@ fn summary_cache_reports_its_size() {
 }
 
 #[test]
+fn disabled_summary_cache_persists_nothing() {
+    use cai_core::CacheConfig;
+    let m = module(
+        "proc f(a) { ret := a + 1; }
+         proc g(b) { r := call f(b); ret := r; }",
+    );
+    let mut cache = SummaryCache::with_config(&CacheConfig::disabled());
+    let first = affine().analyze_with_cache(&m, &mut cache);
+    assert!(cache.is_empty(), "capacity 0 must disable persistence");
+    // A second run over the empty cache recomputes everything — with
+    // results identical to a cached driver's.
+    let second = affine().analyze_with_cache(&m, &mut cache);
+    assert_eq!((second.reused, second.recomputed), (0, 2));
+    let cached = affine().analyze(&m);
+    for (a, b) in first.reports.iter().zip(cached.reports.iter()) {
+        assert_eq!(a.summary, b.summary);
+    }
+}
+
+#[test]
+fn summary_cache_unified_trait_surface() {
+    use cai_core::{Cache, StoreOutcome};
+    let m = module(
+        "proc f(a) { ret := a + 1; }
+         proc g(b) { r := call f(b); ret := r; }",
+    );
+    let mut cache = SummaryCache::new();
+    affine().analyze_with_cache(&m, &mut cache);
+    assert_eq!(Cache::len(&cache), 2);
+
+    // Verified lookup: present key round-trips, absent key misses.
+    let entry = Cache::lookup(&cache, &"f".to_string()).expect("f is cached");
+    assert_eq!(entry.report().name, "f");
+    assert!(Cache::lookup(&cache, &"missing".to_string()).is_none());
+
+    // The checksum is content-derived: invalidating an entry changes it.
+    let sum_before = Cache::checksum(&cache);
+    assert!(Cache::invalidate(&mut cache, &"f".to_string()));
+    assert!(!Cache::invalidate(&mut cache, &"f".to_string()));
+    assert_ne!(Cache::checksum(&cache), sum_before);
+
+    // Degradation-aware invalidation: a degraded store is dropped.
+    assert_eq!(
+        Cache::store(&mut cache, "f".to_string(), entry, true),
+        StoreOutcome::SkippedDegraded
+    );
+    assert!(Cache::lookup(&cache, &"f".to_string()).is_none());
+
+    Cache::clear(&mut cache);
+    assert!(Cache::is_empty(&cache));
+}
+
+#[test]
 fn bottom_summaries_mark_unreachable_exits() {
     let m = module(
         "proc stuck(a) { assume(0 = 1); ret := a; }

@@ -130,6 +130,22 @@ impl FamilySnapshot {
         self.names.iter().copied().zip(self.values.iter().copied())
     }
 
+    /// `num / (num + den)` over the counters at the two indices, as a
+    /// fraction in `[0, 1]` — the conventional hit-rate shape (`0.0` when
+    /// both are zero). Used by the cache stats facades.
+    #[must_use]
+    pub fn ratio(&self, num: usize, den: usize) -> f64 {
+        let n = self.get(num);
+        let total = n + self.get(den);
+        if total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            n as f64 / total as f64
+        }
+    }
+
     /// Field-wise saturating subtraction (`self - baseline`).
     #[must_use]
     pub fn diff(&self, baseline: &FamilySnapshot) -> FamilySnapshot {

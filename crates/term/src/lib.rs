@@ -47,7 +47,9 @@ mod var;
 pub use atom::{Atom, Conj};
 pub use fingerprint::{fingerprint, Fnv1a};
 pub use lin::LinExpr;
-pub use purify::{purify, purify_term, Purified, Purifier, Side};
+pub use purify::{
+    purify, purify_memoized, purify_term, Purified, Purifier, PurifyMemo, Side, TermDef, TermSplit,
+};
 pub use sig::{alien_terms, classify_atom, term_root, AtomSide, Sig, TermRoot};
 pub use sym::{FnSym, PredSym, TheoryTag};
 pub use term::{Term, TermKind};

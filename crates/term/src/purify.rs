@@ -5,9 +5,11 @@ use crate::sig::{classify_atom, AtomSide, Sig};
 use crate::term::{Term, TermKind};
 use crate::var::Var;
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
 
 /// Which half of a two-signature split a term is being purified for.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Side {
     /// The first signature.
     Left,
@@ -63,14 +65,88 @@ impl Purified {
     }
 }
 
+/// One emitted alien-term definition, as recorded by a memoized purifier:
+/// the alien term, its stable fresh name, the side that owns (and receives)
+/// the definition, and the purified right-hand side of the definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TermDef {
+    /// The original (mixed) alien term being named.
+    pub term: Term,
+    /// The fresh variable naming it.
+    pub name: Var,
+    /// The side whose signature owns the term's root — the definition
+    /// `name = pure` is emitted on this side.
+    pub side: Side,
+    /// The purified form of the term (may mention earlier entries' names).
+    pub pure: Term,
+}
+
+/// The self-contained, replayable purification of one alien term: the
+/// definitions of all of its transitive alien subterms followed by its own,
+/// in first-encounter (post-)order. Replaying the entries into any purifier
+/// that shares the same name map reproduces exactly what purifying the term
+/// from scratch would have emitted.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TermSplit {
+    /// `(term, name, side, pure)` per definition; the final entry is the
+    /// memoized term itself.
+    pub entries: Vec<TermDef>,
+}
+
+impl TermSplit {
+    /// The fresh name of the memoized term (the final entry's name).
+    pub fn name(&self) -> Option<Var> {
+        self.entries.last().map(|d| d.name)
+    }
+}
+
+/// A shared memo consulted by [`Purifier`] for alien terms.
+///
+/// Implementations live above this crate (the logical product's term memo);
+/// the contract they must uphold for purification to stay deterministic:
+///
+/// - [`name_for`](PurifyMemo::name_for) mints a fresh variable the first
+///   time it sees a term and returns **the same variable forever after** —
+///   names are never evicted, so a recomputed [`TermSplit`] is bit-identical
+///   to the evicted one it replaces.
+/// - [`lookup`](PurifyMemo::lookup) must verify the stored term equals `t`
+///   (the fingerprint is only a table key; collisions must read as misses).
+/// - [`store`](PurifyMemo::store) may drop the payload at will (capacity);
+///   dropping payloads is always safe because names persist.
+pub trait PurifyMemo: Send + Sync {
+    /// The stable fresh name for alien term `t`.
+    fn name_for(&self, t: &Term) -> Var;
+    /// The memoized split for `t` (keyed by `fp = t.fingerprint()`), if any.
+    fn lookup(&self, fp: u64, t: &Term) -> Option<TermSplit>;
+    /// Offers the freshly computed split of `t` for memoization.
+    fn store(&self, fp: u64, t: &Term, split: &TermSplit);
+}
+
 /// Incremental purifier. Useful when an element and a query atom must share
 /// the same alien-term naming (as in the combined implication check).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Purifier {
     sig1: Sig,
     sig2: Sig,
     cache: BTreeMap<Term, Var>,
     out: Purified,
+    memo: Option<Arc<dyn PurifyMemo>>,
+    /// Definitions actually emitted, in order — only maintained in memo
+    /// mode, where it is how a nested purifier's work is captured into a
+    /// self-contained [`TermSplit`].
+    record: Vec<TermDef>,
+}
+
+impl fmt::Debug for Purifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Purifier")
+            .field("sig1", &self.sig1)
+            .field("sig2", &self.sig2)
+            .field("cache", &self.cache)
+            .field("out", &self.out)
+            .field("memoized", &self.memo.is_some())
+            .finish()
+    }
 }
 
 impl Purifier {
@@ -81,7 +157,19 @@ impl Purifier {
             sig2: sig2.clone(),
             cache: BTreeMap::new(),
             out: Purified::default(),
+            memo: None,
+            record: Vec::new(),
         }
+    }
+
+    /// Attaches a shared alien-term memo. Alien names are then minted by
+    /// [`PurifyMemo::name_for`] (stable across purifier instances) and the
+    /// per-term splits are looked up/stored through the memo instead of
+    /// being recomputed. Without a memo, behavior is byte-identical to the
+    /// plain purifier.
+    pub fn memoized(mut self, memo: Arc<dyn PurifyMemo>) -> Purifier {
+        self.memo = Some(memo);
+        self
     }
 
     fn sig(&self, side: Side) -> &Sig {
@@ -137,6 +225,22 @@ impl Purifier {
             self.sig1,
             self.sig2
         );
+        if let Some(memo) = self.memo.clone() {
+            let fp = t.fingerprint();
+            let split = match memo.lookup(fp, t) {
+                Some(split) => split,
+                None => {
+                    let split = self.compute_split(t, owner, &memo);
+                    memo.store(fp, t, &split);
+                    split
+                }
+            };
+            if let Some(v) = self.replay(&split) {
+                return Term::var(v);
+            }
+            // Defensive: an empty split (a defective memo) falls through to
+            // the unmemoized path below.
+        }
         let pure = self.purify_term(t, owner);
         let v = Var::fresh("t");
         self.cache.insert(t.clone(), v);
@@ -144,6 +248,43 @@ impl Purifier {
         self.out.defs.insert(v, pure.clone());
         self.push_def(owner, Atom::eq(Term::var(v), pure));
         Term::var(v)
+    }
+
+    /// Computes the self-contained split of alien term `t` in a scratch
+    /// purifier (so the entry list carries the definitions of *all*
+    /// transitive alien subterms, even ones this purifier has already
+    /// emitted — a later replay into a fresh purifier must not find holes).
+    fn compute_split(&self, t: &Term, owner: Side, memo: &Arc<dyn PurifyMemo>) -> TermSplit {
+        let mut sub = Purifier::new(&self.sig1, &self.sig2).memoized(Arc::clone(memo));
+        let pure = sub.purify_term(t, owner);
+        let name = memo.name_for(t);
+        let mut entries = sub.record;
+        entries.push(TermDef {
+            term: t.clone(),
+            name,
+            side: owner,
+            pure,
+        });
+        TermSplit { entries }
+    }
+
+    /// Replays a memoized split into this purifier, emitting exactly the
+    /// definitions the unmemoized purifier would have emitted here: entries
+    /// already named locally are skipped, the rest are emitted in the
+    /// split's (first-encounter) order. Returns the name of the split's own
+    /// term.
+    fn replay(&mut self, split: &TermSplit) -> Option<Var> {
+        for d in &split.entries {
+            if self.cache.contains_key(&d.term) {
+                continue;
+            }
+            self.cache.insert(d.term.clone(), d.name);
+            self.out.fresh.push(d.name);
+            self.out.defs.insert(d.name, d.pure.clone());
+            self.push_def(d.side, Atom::eq(Term::var(d.name), d.pure.clone()));
+            self.record.push(d.clone());
+        }
+        split.name()
     }
 
     /// Purifies one atomic fact, appending the result (and any definitions)
@@ -223,6 +364,16 @@ impl Purifier {
 /// of `E`.
 pub fn purify(e: &Conj, sig1: &Sig, sig2: &Sig) -> Purified {
     let mut p = Purifier::new(sig1, sig2);
+    p.add_conj(e);
+    p.finish()
+}
+
+/// [`purify`] with a shared alien-term memo: fresh names come from the
+/// memo's stable name map and per-term splits are reused across calls. The
+/// output is the same as `purify` up to the choice of fresh names (which
+/// are internal — callers eliminate them before results escape).
+pub fn purify_memoized(e: &Conj, sig1: &Sig, sig2: &Sig, memo: Arc<dyn PurifyMemo>) -> Purified {
+    let mut p = Purifier::new(sig1, sig2).memoized(memo);
     p.add_conj(e);
     p.finish()
 }
