@@ -106,6 +106,19 @@ pub fn write_trace_out(path: &str) {
     }
 }
 
+/// Writes the `--blame-out FILE` JSON artifact — the shared tail of the
+/// blame drills, mirroring [`write_trace_out`]. Exits 1 when the file
+/// cannot be written.
+pub fn write_blame_out(path: &str, json: &str) {
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote blame report to {path}"),
+        Err(e) => {
+            eprintln!("failed to write blame report to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

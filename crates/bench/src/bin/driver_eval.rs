@@ -10,6 +10,8 @@
 //! cargo run --release -p cai-bench --bin driver_eval -- --chaos         # supervised fault drill
 //! cargo run --release -p cai-bench --bin driver_eval -- --obs-report    # counter registry dump
 //! cargo run --release -p cai-bench --bin driver_eval -- --trace-out prof.json  # Chrome trace
+//! cargo run --release -p cai-bench --bin driver_eval -- --blame        # provenance drill
+//! cargo run --release -p cai-bench --bin driver_eval -- --blame-out blame.json # + JSON export
 //! ```
 //!
 //! `--ctx-stats` runs a benchmark whose callee reassigns its formal —
@@ -37,8 +39,20 @@
 //! flat one (strictly better on the starved procedure), that narrowing
 //! recovers the widened loop bound, and that the same drill survives a
 //! chaos-wrapped domain with no abort, bit-identically across threads.
+//!
+//! `--blame` (and `--blame-out FILE`, which also writes the JSON export)
+//! runs the precision-provenance drill: the calibrated budget-policy
+//! workload plus a context-cap leg and a chaos leg under the blame
+//! layer, printing the ranked loss tables and the flat-vs-adaptive
+//! differential attribution ("assert N in `big` lost <= … at big/loop#0
+//! (analyzer/while) under flat policy"). Asserts ≥4 loss kinds are
+//! covered, the export is bit-identical at 1/2/4 threads, and results
+//! are unchanged with the layer off.
 
-use cai_bench::{args::write_trace_out, Args};
+use cai_bench::{
+    args::{write_blame_out, write_trace_out},
+    Args,
+};
 use cai_core::{
     AbstractDomain, Budget, BudgetPolicy, ChaosConfig, ChaosDomain, JoinStats, LogicalProduct,
 };
@@ -403,12 +417,238 @@ fn budget_policy_drill(threads: usize, seed: u64) {
     println!("  budget-policy drill OK");
 }
 
+/// `--blame` / `--blame-out FILE`: the precision-provenance drill.
+///
+/// Runs four legs of the calibrated workloads under the blame layer —
+/// the starved **flat** and the **adaptive** budget-policy legs on the
+/// mixed module, a **context** leg whose per-procedure cap overflows,
+/// and a **chaos** leg whose base domain injects panics and defective
+/// Alternate operators — then checks:
+///
+/// - the drained tables cover at least four [`LossKind`]s;
+/// - differential attribution pins the flat-vs-adaptive assertion delta
+///   on the starved widening site (`analyzer/while` inside `big`);
+/// - the exported JSON is bit-identical at 1, 2 and 4 threads;
+/// - analysis results are bit-identical with the layer on and off.
+fn blame_drill(threads: usize, seed: u64, out: Option<&str>) {
+    use cai_driver::{differential, DifferentialReport};
+    use cai_obs::provenance::{self, BlameTable};
+
+    println!("  blame drill: precision provenance + differential attribution");
+    let smalls = 6usize;
+    let m = mixed_module(smalls);
+    let jobs = (smalls + 1) as u64;
+    let poly_driver = || Driver::new(|_: &Budget| Polyhedra::new());
+
+    // Fuel calibration (same arithmetic as the budget-policy drill)
+    // runs before the layer is enabled, so it cannot pollute a table.
+    let single = |name: &str| {
+        parse_module(&Vocab::standard(), &m.get(name).expect("proc").to_string())
+            .expect("single parses")
+    };
+    let cost_big = poly_driver()
+        .budget_policy(BudgetPolicy::adaptive())
+        .analyze(&single("big"))
+        .degradation
+        .fuel_spent;
+    let policy = BudgetPolicy::adaptive();
+    let weight = |name: &str| policy.job_weight(&m.get(name).expect("proc").measures(), 0);
+    let total_w = weight("big") + smalls as u64 * weight("small0");
+    let fuel = (cost_big * total_w).div_ceil(weight("big")) + jobs;
+    assert!(
+        fuel / jobs < cost_big,
+        "calibration: the flat share must starve the big procedure"
+    );
+
+    // --- leg runners: each drains the table its run produced ---------
+    let run_flat = |t: usize| {
+        let mut cache = SummaryCache::new();
+        let a = poly_driver()
+            .threads(t)
+            .with_budget(Budget::fuel(fuel))
+            .analyze_with_cache(&m, &mut cache);
+        (a, provenance::drain())
+    };
+    let run_adaptive = |t: usize| {
+        let a = poly_driver()
+            .threads(t)
+            .with_budget(Budget::fuel(fuel))
+            .budget_policy(BudgetPolicy::adaptive())
+            .analyze(&m);
+        (a, provenance::drain())
+    };
+    let cm = ctx_module(4);
+    let run_ctx = |t: usize| {
+        let a = product_driver().context_cap(1).threads(t).analyze(&cm);
+        (a, provenance::drain())
+    };
+    let bm = batch_module(12, 0);
+    let run_chaos = |panic: u32, brk: u32, t: usize| {
+        let mut cache = SummaryCache::new();
+        let a = Driver::new(move |b: &Budget| {
+            // The *base* domain misbehaves, so the product's runtime
+            // Alternate-contract check (and its `alternate-skipped`
+            // blame event) actually fires.
+            LogicalProduct::new(
+                ChaosDomain::new(AffineEq::new(), seed)
+                    .with_config(ChaosConfig {
+                        panic_permille: panic,
+                        break_alternate_permille: brk,
+                        ..ChaosConfig::quiet()
+                    })
+                    .with_budget(b.clone()),
+                UfDomain::new(),
+            )
+        })
+        .max_retries(0)
+        .threads(t)
+        .analyze_with_cache(&bm, &mut cache);
+        (a, provenance::drain())
+    };
+
+    provenance::set_enabled(true);
+    let _ = provenance::drain();
+
+    // Escalate the chaos rates deterministically until the seed forces
+    // both a quarantine and a rejected defective Alternate — the drill
+    // must demonstrate those kinds, not a lucky fault-free run.
+    let mut panic_rate = 4u32;
+    let mut brk = 100u32;
+    let (mut chaos_probe, mut chaos_tab) = run_chaos(panic_rate, brk, threads);
+    while (chaos_probe.quarantined_count() == 0
+        || !chaos_tab.kinds().contains(&"alternate-skipped"))
+        && (panic_rate < 1000 || brk < 1000)
+    {
+        if chaos_probe.quarantined_count() == 0 {
+            panic_rate = (panic_rate * 2).min(1000);
+        }
+        if !chaos_tab.kinds().contains(&"alternate-skipped") {
+            brk = (brk * 2).min(1000);
+        }
+        (chaos_probe, chaos_tab) = run_chaos(panic_rate, brk, threads);
+    }
+    assert!(
+        chaos_probe.quarantined_count() > 0,
+        "the chaos leg must quarantine (seed {seed})"
+    );
+    println!("    chaos rates: {panic_rate}permille panics, {brk}permille defective alternates");
+
+    // One full pass = all four legs; returns the export JSON plus the
+    // pieces the assertions below need.
+    let full_pass = |t: usize| -> (String, DifferentialReport, BlameTable, Vec<&'static str>) {
+        let (flat, flat_tab) = run_flat(t);
+        let (adaptive, adaptive_tab) = run_adaptive(t);
+        let (_ctx, ctx_tab) = run_ctx(t);
+        let (_chaos, chaos_tab) = run_chaos(panic_rate, brk, t);
+        let diff = differential(
+            "adaptive policy",
+            (&adaptive, &adaptive_tab),
+            "flat policy",
+            (&flat, &flat_tab),
+        );
+        let mut kinds: Vec<&'static str> = [&flat_tab, &adaptive_tab, &ctx_tab, &chaos_tab]
+            .iter()
+            .flat_map(|tab| tab.kinds())
+            .collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        let kind_list = kinds
+            .iter()
+            .map(|k| format!("\"{k}\""))
+            .collect::<Vec<_>>()
+            .join(",");
+        let json = format!(
+            r#"{{"legs":{{"flat":{},"adaptive":{},"context":{},"chaos":{}}},"kinds":[{kind_list}],"differential":{}}}"#,
+            flat_tab.to_json(),
+            adaptive_tab.to_json(),
+            ctx_tab.to_json(),
+            chaos_tab.to_json(),
+            diff.to_json(),
+        );
+        (json, diff, flat_tab, kinds)
+    };
+
+    let (json, diff, flat_tab, kinds) = full_pass(threads);
+    println!("    loss kinds covered: {}", kinds.join(", "));
+    assert!(
+        kinds.len() >= 4,
+        "the drill must cover at least 4 loss kinds, got {kinds:?}"
+    );
+    for required in ["widen", "budget-degrade", "quarantine", "ctx-cap-overflow"] {
+        assert!(kinds.contains(&required), "missing loss kind `{required}`");
+    }
+
+    println!("    flat-policy blame table (top 5):");
+    for (i, e) in flat_tab.top(5).iter().enumerate() {
+        println!("      #{} {e}", i + 1);
+    }
+    print!("{}", indent(&diff.to_string(), "    "));
+    assert!(
+        !diff.is_empty(),
+        "the flat leg must lose at least one assertion to the adaptive leg"
+    );
+    let first = &diff.regressions[0];
+    assert_eq!(first.proc, "big", "the starved procedure regresses first");
+    let top_cause = first.causes.first().expect("a regression has causes");
+    assert_eq!(
+        top_cause.site, "analyzer/while",
+        "differential attribution must name the starved widening site first, got {top_cause:?}"
+    );
+
+    // --- schedule independence: identical export at 1/2/4 threads -----
+    let identical = [1usize, 2, 4].iter().all(|&t| full_pass(t).0 == json);
+    println!(
+        "    determinism (blame JSON at 1/2/4 threads): {}",
+        if identical { "identical" } else { "MISMATCH" }
+    );
+    assert!(identical, "blame export must be schedule-independent");
+
+    // --- the layer observes, never steers: off == on, bit for bit -----
+    let (flat_on, _) = run_flat(threads);
+    provenance::set_enabled(false);
+    let (flat_off, off_tab) = run_flat(threads);
+    provenance::set_enabled(true);
+    assert!(off_tab.is_empty(), "a disabled layer must record nothing");
+    let transparent = run_fingerprint(&flat_on) == run_fingerprint(&flat_off);
+    println!(
+        "    transparency (provenance on vs off): {}",
+        if transparent {
+            "bit-identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+    assert!(transparent, "the blame layer must not change any result");
+
+    provenance::set_enabled(false);
+    let _ = provenance::drain();
+    if let Some(path) = out {
+        write_blame_out(path, &json);
+    }
+    println!("  blame drill OK");
+}
+
+/// Prefixes every non-empty line of `s` (for nesting a report's Display).
+fn indent(s: &str, pad: &str) -> String {
+    s.lines()
+        .map(|l| {
+            if l.is_empty() {
+                String::from("\n")
+            } else {
+                format!("{pad}{l}\n")
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let mut args = Args::parse();
     let smoke = args.flag("--smoke");
     let ctx_stats = args.flag("--ctx-stats");
     let chaos = args.flag("--chaos");
     let budget_policy = args.flag("--budget-policy");
+    let blame = args.flag("--blame");
+    let blame_out = args.opt_str("--blame-out");
     let obs_report = args.flag("--obs-report");
     let trace_out = args.opt_str("--trace-out");
     if trace_out.is_some() {
@@ -562,6 +802,11 @@ fn main() {
         budget_policy_drill(threads, chaos_seed);
     }
 
+    // --- precision provenance + differential attribution ------------------
+    if blame || blame_out.is_some() {
+        blame_drill(threads, chaos_seed, blame_out.as_deref());
+    }
+
     if smoke {
         assert!(identical, "parallel schedule must be deterministic");
         if cpus >= threads {
@@ -584,6 +829,10 @@ fn main() {
 
     // --- observability exports (report + trace last, so they see it all) --
     if obs_report {
+        // Register the capped-merge drop counters so a clean run reports
+        // them as explicit zeroes rather than omitting the lines.
+        cai_obs::counter!("core/budget/events-dropped");
+        cai_obs::counter!("core/budget/incidents-dropped");
         let mut snap = cai_obs::global().snapshot();
         join_stats.export_into(&mut snap, "core/join");
         println!("\nobs report:");

@@ -29,6 +29,11 @@
 //! including when the main fuel pool is starved — or the run exits
 //! nonzero.
 //!
+//! `--blame` runs the canonical widening-loss loop under the precision
+//! provenance layer: the flat-policy run's lost `x <= 100` bound must be
+//! attributed (via the differential report) to the loop's widening site,
+//! or the run exits nonzero.
+//!
 //! `--obs-report` dumps the global `cai-obs` counter registry after the
 //! selected items have run. Purely additive: it changes no result.
 
@@ -57,7 +62,8 @@ fn main() {
     let deadline_ms = args.opt_value::<u64>("--deadline-ms");
     let join = args.flag("--join-stats");
     let policy = args.flag("--budget-policy");
-    let ran_mode = deadline_ms.is_some() || join || policy;
+    let blame_flag = args.flag("--blame");
+    let ran_mode = deadline_ms.is_some() || join || policy || blame_flag;
     if let Some(ms) = deadline_ms {
         deadline(ms);
     }
@@ -66,6 +72,9 @@ fn main() {
     }
     if policy {
         budget_policy();
+    }
+    if blame_flag {
+        blame();
     }
 
     let items = args.rest();
@@ -230,6 +239,56 @@ fn budget_policy() {
         std::process::exit(1);
     }
     println!("recovery OK: narrowed \u{2291} widened, strictly more assertions verified");
+}
+
+/// `--blame`: precision provenance on the canonical widening-loss loop.
+/// The flat-policy run widens `x <= 100` away and never narrows; the
+/// blame layer records the loss and the differential report attributes
+/// the flat-vs-adaptive assertion delta to the loop's widening site.
+fn blame() {
+    use cai_obs::provenance;
+    header("--blame — precision provenance on the canonical widening loss");
+    let vocab = Vocab::standard();
+    let m = parse_module(
+        &vocab,
+        "proc main(n) {
+             x := 0;
+             while (x < 100) { x := x + 1; }
+             assert(x >= 100);
+             assert(x <= 100);
+             ret := x;
+         }",
+    )
+    .expect("counter loop parses");
+    let driver = || Driver::new(|_: &Budget| Polyhedra::new());
+
+    provenance::set_enabled(true);
+    let _ = provenance::drain();
+    let flat = driver().analyze(&m);
+    let flat_tab = provenance::drain();
+    let adaptive = driver().budget_policy(BudgetPolicy::adaptive()).analyze(&m);
+    let adaptive_tab = provenance::drain();
+    provenance::set_enabled(false);
+
+    println!("flat-policy blame table:");
+    print!("{flat_tab}");
+    let diff = cai_driver::differential(
+        "adaptive policy",
+        (&adaptive, &adaptive_tab),
+        "flat policy",
+        (&flat, &flat_tab),
+    );
+    print!("{diff}");
+    if diff.is_empty() {
+        eprintln!("--blame: expected the flat run to lose an assertion to the adaptive run");
+        std::process::exit(1);
+    }
+    let cause = diff.regressions[0].causes.first();
+    if cause.map(|c| c.site) != Some("analyzer/while") {
+        eprintln!("--blame: expected the widening site to be blamed first, got {cause:?}");
+        std::process::exit(1);
+    }
+    println!("blame OK: the lost bound is attributed to the loop's widening site");
 }
 
 /// `--join-stats`: the split cache + batched elimination report. Each

@@ -30,12 +30,24 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use cai_obs::clock;
+use cai_obs::{clock, provenance};
 
 /// How often (in ticks) the wall-clock deadline is re-checked; reading the
 /// clock on every tick would dominate the hot loops. (The clock is read via
 /// [`cai_obs::clock::now`], the stack's single audited wall-clock door.)
 const DEADLINE_CHECK_PERIOD: u64 = 256;
+
+/// The domain path the blame layer attributes a degradation site to,
+/// derived from the site-string prefix convention (`"logical-product/…"`,
+/// `"analyzer/…"`, `"driver/…"`).
+fn domain_for_site(site: &str) -> &'static str {
+    match site.split('/').next() {
+        Some("logical-product") => "logical",
+        Some("analyzer") => "interp",
+        Some("driver") => "driver",
+        _ => "core",
+    }
+}
 
 /// Cap on stored [`Degradation`] events; further events only bump a
 /// counter so an exhausted analysis cannot itself exhaust memory.
@@ -195,6 +207,7 @@ impl DegradationReport {
                 self.events.push(ev.clone());
             } else {
                 self.dropped_events += 1;
+                cai_obs::counter!("core/budget/events-dropped").incr();
             }
         }
         self.dropped_events += other.dropped_events;
@@ -202,7 +215,12 @@ impl DegradationReport {
             if self.incidents.len() < MAX_INCIDENTS {
                 self.incidents.push(inc.clone());
             } else {
+                // The overflow incident is dropped from storage here; the
+                // global counter keeps the loss visible in `--obs-report`
+                // (`other`'s own pre-merge drops were already counted at
+                // their original drop points, so only the new ones count).
                 self.dropped_incidents += 1;
+                cai_obs::counter!("core/budget/incidents-dropped").incr();
             }
         }
         self.dropped_incidents += other.dropped_incidents;
@@ -448,7 +466,18 @@ impl Budget {
             });
         } else {
             log.dropped += 1;
+            cai_obs::counter!("core/budget/events-dropped").incr();
         }
+        drop(log);
+        // Every degradation is a precision loss: feed the blame layer
+        // (no-op, one relaxed load, when it is off). The logical round
+        // comes from the emitter's last `provenance::set_round`.
+        provenance::record_at_current_round(
+            provenance::LossKind::BudgetDegrade,
+            site,
+            domain_for_site(site),
+            self.spent(),
+        );
     }
 
     /// Records a supervision [`Incident`] — a caught panic, a watchdog
@@ -461,12 +490,39 @@ impl Budget {
         // whose retry succeeded produced the *exact* result. Supervision
         // paths that do lose precision (quarantine, stall) additionally
         // call [`degrade`](Budget::degrade).
+        //
+        // Every incident kind maps to one tagged tracer instant here —
+        // the single place the mapping lives — using the same kind
+        // strings the blame layer's JSON uses (`panic`, `stall`,
+        // `cache-corruption`, `quarantine`), so Chrome traces and blame
+        // reports cross-reference by name.
+        cai_obs::instant!(
+            "incident/{} {} attempt={}",
+            incident.kind,
+            incident.subject,
+            incident.attempt
+        );
+        if incident.kind == IncidentKind::Quarantine {
+            // A quarantine pins the procedure to the sound ⊤ summary:
+            // attribute the loss to the procedure itself (the incident
+            // is raised from the driver thread, outside the procedure's
+            // provenance scope).
+            provenance::record_scoped(
+                &incident.subject,
+                provenance::LossKind::Quarantine,
+                "driver/supervisor",
+                "driver",
+                0,
+                self.spent(),
+            );
+        }
         let obs = &*self.inner.obs;
         let mut log = obs.log.lock().unwrap_or_else(|e| e.into_inner());
         if log.incidents.len() < MAX_INCIDENTS {
             log.incidents.push(incident);
         } else {
             log.dropped_incidents += 1;
+            cai_obs::counter!("core/budget/incidents-dropped").incr();
         }
     }
 
@@ -976,6 +1032,9 @@ mod tests {
             dropped_incidents: dropped,
             ..DegradationReport::default()
         };
+        let before = cai_obs::global()
+            .snapshot()
+            .counter("core/budget/incidents-dropped");
         let mut merged = DegradationReport::default();
         for _ in 0..3 {
             merged.merge(&mk(40, 2));
@@ -984,6 +1043,15 @@ mod tests {
         // 120 offered, 64 stored, 56 overflowed here, plus 3×2 already
         // dropped upstream: no incident is ever silently lost.
         assert_eq!(merged.dropped_incidents, 120 - MAX_INCIDENTS + 6);
+        // The newly overflowed 56 also land on the global observability
+        // counter (`>=`: other tests in this binary may bump it too).
+        let after = cai_obs::global()
+            .snapshot()
+            .counter("core/budget/incidents-dropped");
+        assert!(
+            after >= before + (120 - MAX_INCIDENTS as u64),
+            "global drop counter must surface merge overflow: {before} -> {after}"
+        );
         assert_eq!(
             merged.incidents_of(IncidentKind::Stall).count(),
             MAX_INCIDENTS

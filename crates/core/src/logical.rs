@@ -45,7 +45,7 @@ use crate::cache::{cs, Cache, CacheConfig, CacheStats, StoreOutcome, TermMemo};
 use crate::domain::{combination_precision, AbstractDomain, Precision, TheoryProps};
 use crate::partition::Partition;
 use crate::saturate::{no_saturate_budgeted, Saturated};
-use cai_obs::CounterFamily;
+use cai_obs::{provenance, CounterFamily};
 use cai_term::{
     fingerprint, purify, purify_memoized, Atom, AtomSide, Conj, Purified, Purifier, PurifyMemo,
     Sig, Term, Var, VarSet,
@@ -520,6 +520,14 @@ impl<E1: Clone, E2: Clone> SplitCache<E1, E2> {
     ) -> StoreOutcome {
         if degraded {
             self.stats.bump(cs::SKIPS);
+            // Later rounds must re-purify and re-saturate from scratch —
+            // the skipped store is where that recomputation was lost.
+            provenance::record_at_current_round(
+                provenance::LossKind::CacheSkippedDegraded,
+                "logical-product/split-cache",
+                "logical",
+                0,
+            );
             return StoreOutcome::SkippedDegraded;
         }
         let mut shard = self.lock();
@@ -958,6 +966,14 @@ impl<D1: AbstractDomain, D2: AbstractDomain> LogicalProduct<D1, D2> {
                         self.budget.degrade("logical-product/q-saturation", {
                             format!("skipped defective Alternate definition {y} = {t}")
                         });
+                        // The definition the Alternate would have
+                        // transferred across the product is dropped.
+                        provenance::record_at_current_round(
+                            provenance::LossKind::AlternateSkipped,
+                            "logical-product/q-saturation",
+                            "logical.alt",
+                            self.budget.spent(),
+                        );
                         continue;
                     }
                     self.stats.add(jc::DEFS_FOUND, 1);

@@ -24,7 +24,7 @@
 use crate::summary::{entry_context, entry_key, instantiate_summary, summarize, Summary};
 use cai_core::AbstractDomain;
 use cai_interp::{AnalysisConfig, Analyzer, CallResolver, CallSite, Module, Procedure};
-use cai_obs::{write_kv, CounterFamily};
+use cai_obs::{provenance, write_kv, CounterFamily};
 use cai_term::Conj;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -297,6 +297,17 @@ impl<'a, D: AbstractDomain> ContextResolver<'a, D> {
     fn overflow_summary(&self, proc: &Procedure, entry: Conj) -> Option<Summary> {
         let d = self.domain;
         self.stats.add(cc::CAP_WIDENINGS, 1);
+        // The cap is where entry distinctions die: every overflow entry
+        // is widened into one context (or all the way to the ⊤-entry
+        // summary), so blame the loss on the overflowing procedure.
+        provenance::record_scoped(
+            &proc.name,
+            provenance::LossKind::CtxCapOverflow,
+            "driver/context",
+            "driver.context",
+            0,
+            self.cfg.budget.spent(),
+        );
         let (prev, recomputes) = {
             let store = self.store.borrow();
             let pc = store.get(&proc.name)?;
@@ -368,10 +379,14 @@ impl<'a, D: AbstractDomain> ContextResolver<'a, D> {
             return None;
         }
         self.in_progress.borrow_mut().push((proc.name.clone(), key));
+        // Losses inside the specialization belong to the callee, not to
+        // whatever caller scope demanded it.
+        let blame_scope = provenance::scope(|| format!("{}@ctx", proc.name));
         let analysis = Analyzer::new(d)
             .with_calls(self)
             .with_config(self.cfg.clone())
             .run_from(&proc.body, d.from_conj(entry));
+        drop(blame_scope);
         self.in_progress.borrow_mut().pop();
         Some(summarize(d, &analysis.exit, proc).with_entry(entry.clone()))
     }

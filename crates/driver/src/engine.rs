@@ -15,6 +15,7 @@ use cai_core::{
     SizeMeasures,
 };
 use cai_interp::{AnalysisConfig, Analyzer, AssertionOutcome, Module, Procedure};
+use cai_obs::provenance;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Duration;
 
@@ -321,7 +322,8 @@ impl SummaryCache {
             self.entries.remove(&name);
             self.stats.bump(cs::CORRUPTIONS);
             self.stats.bump(cs::EVICTIONS);
-            cai_obs::instant!("incident/cache-corruption {name}");
+            // `Budget::incident` emits the `incident/cache-corruption`
+            // tracer instant — one mapping for every incident kind.
             budget.incident(Incident {
                 kind: IncidentKind::CacheCorruption,
                 subject: name,
@@ -388,6 +390,14 @@ impl Cache for SummaryCache {
             // ⊤ pin is a this-run survival measure and must never poison
             // a later run (degradation-aware invalidation).
             self.stats.bump(cs::SKIPS);
+            provenance::record_scoped(
+                &key,
+                provenance::LossKind::CacheSkippedDegraded,
+                "driver/summary-cache",
+                "driver",
+                0,
+                0,
+            );
             return StoreOutcome::SkippedDegraded;
         }
         if self.capacity == 0 {
@@ -1401,6 +1411,9 @@ where
             return quarantined_pass(proc);
         }
         let _span = cai_obs::span!(format!("analyze/{}", proc.name));
+        // Blame scope: every loss the attempt records is attributed to
+        // this procedure (loops nest their `loop#N` labels below it).
+        let _blame_scope = provenance::scope(|| proc.name.clone());
         let outcome = supervisor::supervise(
             &proc.name,
             &cfg.sup,
@@ -1452,6 +1465,9 @@ where
     loop {
         round += 1;
         cai_obs::counter!("driver/jacobi/rounds").incr();
+        // Losses recorded at this level (e.g. the round-cap degrade
+        // below) carry the logical Jacobi round.
+        provenance::set_round(round as u64);
         // Jacobi iteration: every member reads the previous round's
         // table, so the result is independent of member order.
         let mut next: Vec<(String, Summary)> = Vec::with_capacity(members.len());

@@ -39,12 +39,14 @@
 //!   the split) and fingerprint-valid context specializations are
 //!   reused across runs ([`SummaryCache::stats`]).
 
+mod blame;
 mod callgraph;
 mod context;
 mod engine;
 mod summary;
 mod supervisor;
 
+pub use blame::{differential, AssertRegression, BlameCause, DifferentialReport};
 pub use callgraph::CallGraph;
 pub use context::{ContextResolver, CtxStats, CtxStatsSnapshot};
 pub use engine::{CacheEntry, CacheStats, Driver, ModuleAnalysis, ProcReport, SummaryCache};

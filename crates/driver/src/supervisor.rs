@@ -304,7 +304,8 @@ pub(crate) fn supervise<T>(
             }
             Err(payload) => {
                 stats.fam.bump(sc::PANICS_CAUGHT);
-                cai_obs::instant!("incident/panic {subject} attempt={k}");
+                // `Budget::incident` emits the tagged `incident/panic`
+                // tracer instant — the one mapping for every kind.
                 slice.incident(Incident {
                     kind: IncidentKind::Panic,
                     subject: subject.to_string(),
@@ -318,7 +319,6 @@ pub(crate) fn supervise<T>(
         }
     }
     stats.fam.bump(sc::QUARANTINED);
-    cai_obs::instant!("incident/quarantine {subject}");
     slice.degrade(
         "driver/supervisor",
         format!(
@@ -424,7 +424,6 @@ impl Watchdog {
                     state.fired = true;
                     state.watching = None;
                     drop(state);
-                    cai_obs::instant!("incident/stall {subject}");
                     shared.budget.degrade(
                         "driver/supervisor",
                         format!(

@@ -6,6 +6,7 @@ use crate::ast::{stmt_measures, Cond, Program, Stmt};
 use cai_core::{
     AbstractDomain, Budget, BudgetPolicy, CacheConfig, DegradationReport, SizeMeasures,
 };
+use cai_obs::provenance;
 use cai_term::{Atom, Conj, Term, Var, VarSet};
 use std::collections::BTreeMap;
 
@@ -284,6 +285,7 @@ impl<'d, D: AbstractDomain> Analyzer<'d, D> {
             budget: self.cfg.budget.clone(),
             assertions: Vec::new(),
             loop_iterations: Vec::new(),
+            next_loop_index: 0,
             diverged: false,
             stats: OpStats::default(),
         };
@@ -329,6 +331,11 @@ struct Ctx<'a, 'd, D: AbstractDomain> {
     budget: Budget,
     assertions: Vec<AssertionOutcome>,
     loop_iterations: Vec<usize>,
+    /// Index of the next `while` encountered at the current nesting
+    /// level — the `loop#N` label of the blame layer's scope. Reset to 0
+    /// for each pass over a loop body, so a syntactic loop keeps one
+    /// stable label no matter how many fixpoint rounds re-execute it.
+    next_loop_index: usize,
     diverged: bool,
     stats: OpStats,
 }
@@ -417,14 +424,26 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
         let outer_budget = std::mem::replace(&mut self.budget, slice.clone());
         let mut cur = widened;
         let mut adopted = false;
-        for _ in 0..policy.narrow_rounds() {
+        let narrow_failed = |round: usize| {
+            provenance::record(
+                provenance::LossKind::NarrowFailed,
+                "analyzer/narrow",
+                "interp",
+                round as u64,
+                slice.spent(),
+            );
+        };
+        for round in 1..=policy.narrow_rounds() as usize {
+            provenance::set_round(round as u64);
             if !slice.tick(1) {
                 slice.degrade("analyzer/narrow", "stopped the recovery pass early");
+                narrow_failed(round);
                 break;
             }
             cai_obs::counter!("interp/narrow/rounds").incr();
             self.stats.narrow_rounds += 1;
             // One descending iterate: y = entry ⊔ F(cur ∧ c).
+            self.next_loop_index = 0;
             let enter = self.assume_cond(cur.clone(), c, true);
             let after = self.exec_seq(body, enter, false);
             self.stats.joins += 1;
@@ -432,17 +451,20 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
             if !d.le(&y, &cur) {
                 // Not a descent (e.g. degraded domain operations under a
                 // starved slice): keep what we have.
+                narrow_failed(round);
                 break;
             }
             let candidate = d.narrow(&cur, &y);
             if !(d.le(&y, &candidate) && d.le(&candidate, &cur)) {
                 slice.degrade("analyzer/narrow", "rejected an out-of-bracket narrowing");
+                narrow_failed(round);
                 break;
             }
             if d.equal_elems(&candidate, &cur) {
                 break; // stabilized: further rounds cannot make progress
             }
             // Adopt only verified-inductive candidates.
+            self.next_loop_index = 0;
             let enter = self.assume_cond(candidate.clone(), c, true);
             let after = self.exec_seq(body, enter, false);
             self.stats.joins += 1;
@@ -452,6 +474,7 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                     "analyzer/narrow",
                     "candidate failed the inductiveness re-check",
                 );
+                narrow_failed(round);
                 break;
             }
             cur = candidate;
@@ -532,6 +555,12 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                     None => self.budget.clone(),
                 };
                 let outer_budget = std::mem::replace(&mut self.budget, loop_budget);
+                // Blame scope: this syntactic loop's stable label. Inner
+                // loops restart their numbering on every body pass, so the
+                // label never depends on how many rounds the fixpoint took.
+                let loop_index = self.next_loop_index;
+                self.next_loop_index += 1;
+                let _blame_scope = provenance::scope(|| format!("loop#{loop_index}"));
                 let entry = e.clone();
                 let mut inv = e;
                 let mut iterations = 0usize;
@@ -553,6 +582,8 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                     }
                     iterations += 1;
                     cai_obs::counter!("interp/fixpoint/iterations").incr();
+                    provenance::set_round(iterations as u64);
+                    self.next_loop_index = 0;
                     let enter = self.assume_cond(inv.clone(), c, true);
                     let after = self.exec_seq(body, enter, false);
                     let next = if iterations <= self.analyzer.cfg.widen_delay {
@@ -562,6 +593,13 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                     } else {
                         self.stats.widens += 1;
                         cai_obs::counter!("interp/fixpoint/widenings").incr();
+                        provenance::record(
+                            provenance::LossKind::Widen,
+                            "analyzer/while",
+                            "interp",
+                            iterations as u64,
+                            self.budget.spent(),
+                        );
                         widened = true;
                         d.widen(&inv, &after)
                     };
@@ -595,9 +633,12 @@ impl<'a, 'd, D: AbstractDomain> Ctx<'a, 'd, D> {
                 if record {
                     // One recording pass through the body under the stable
                     // invariant.
+                    self.next_loop_index = 0;
                     let enter = self.assume_cond(inv.clone(), c, true);
                     let _ = self.exec_seq(body, enter, true);
                 }
+                // Sibling loops continue the numbering at this level.
+                self.next_loop_index = loop_index + 1;
                 self.assume_cond(inv, c, false)
             }
             Stmt::Call(x, name, args) => {

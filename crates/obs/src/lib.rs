@@ -24,6 +24,12 @@
 //!   writing to per-thread ring buffers (no global mutex on the hot path) and
 //!   exporting Chrome `trace_event` JSON for `chrome://tracing` / Perfetto.
 //!   When disabled, a span is a single relaxed atomic load.
+//! * [`provenance`] — the precision blame layer: every precision-losing
+//!   operation (widening, budget degradation, context-cap overflow,
+//!   quarantine, skipped cache store, defective Alternate) records a loss
+//!   event under its procedure/loop scope, aggregated into a ranked,
+//!   deterministic [`BlameTable`] with JSON export. Same contract as the
+//!   tracer: one relaxed load when off, bit-identical results on or off.
 //!
 //! [`clock::now`] wraps `Instant::now` so governed components (budget
 //! deadlines, the supervisor watchdog) read the clock through one audited
@@ -32,8 +38,13 @@
 pub mod clock;
 pub mod family;
 pub mod metrics;
+pub mod provenance;
 pub mod trace;
 
 pub use family::{write_kv, CounterFamily, FamilySnapshot};
-pub use metrics::{global, Counter, Gauge, Histogram, HistogramSummary, Metrics, Snapshot, Value};
+pub use metrics::{
+    escape_metric_name, global, Counter, Gauge, Histogram, HistogramSummary, Metrics, Snapshot,
+    Value,
+};
+pub use provenance::{BlameEntry, BlameTable, LossKind};
 pub use trace::{EventKind, SpanGuard, Trace, TraceEvent};

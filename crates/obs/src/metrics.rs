@@ -78,12 +78,39 @@ impl Gauge {
     }
 }
 
+/// Bucket count for the log₂ histogram: bucket 0 holds the value 0,
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i - 1]`.
+const HIST_BUCKETS: usize = 65;
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Upper bound of bucket `i` — the representative value percentile
+/// estimation reports for observations that landed in it.
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
 #[derive(Debug)]
 struct HistInner {
     count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
 }
 
 impl Default for HistInner {
@@ -93,6 +120,7 @@ impl Default for HistInner {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -116,21 +144,52 @@ impl Histogram {
         self.inner.sum.fetch_add(v, Ordering::Relaxed);
         self.inner.min.fetch_min(v, Ordering::Relaxed);
         self.inner.max.fetch_max(v, Ordering::Relaxed);
+        self.inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Point-in-time summary.
+    /// Point-in-time summary. Percentiles come from the log₂ buckets:
+    /// each reports the upper bound of the bucket holding its rank,
+    /// clamped into `[min, max]`, so the estimate is within 2× of the
+    /// true quantile and exact for single-valued buckets.
     #[must_use]
     pub fn summary(&self) -> HistogramSummary {
         let count = self.inner.count.load(Ordering::Relaxed);
+        let min = if count == 0 {
+            0
+        } else {
+            self.inner.min.load(Ordering::Relaxed)
+        };
+        let max = self.inner.max.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self
+            .inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = buckets.iter().sum();
+        let percentile = |q: u64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            // Rank of the q-th percentile, 1-based: ceil(q% of total).
+            let rank = (total * q).div_ceil(100).max(1);
+            let mut seen = 0u64;
+            for (i, n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return bucket_upper(i).clamp(min, max);
+                }
+            }
+            max
+        };
         HistogramSummary {
             count,
             sum: self.inner.sum.load(Ordering::Relaxed),
-            min: if count == 0 {
-                0
-            } else {
-                self.inner.min.load(Ordering::Relaxed)
-            },
-            max: self.inner.max.load(Ordering::Relaxed),
+            min,
+            max,
+            p50: percentile(50),
+            p95: percentile(95),
+            p99: percentile(99),
         }
     }
 }
@@ -146,6 +205,12 @@ pub struct HistogramSummary {
     pub min: u64,
     /// Largest observed value (0 when empty).
     pub max: u64,
+    /// Estimated 50th-percentile value (log₂-bucket upper bound).
+    pub p50: u64,
+    /// Estimated 95th-percentile value (log₂-bucket upper bound).
+    pub p95: u64,
+    /// Estimated 99th-percentile value (log₂-bucket upper bound).
+    pub p99: u64,
 }
 
 impl HistogramSummary {
@@ -160,12 +225,15 @@ impl fmt::Display for HistogramSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "count={} sum={} min={} max={} mean={}",
+            "count={} sum={} min={} max={} mean={} p50={} p95={} p99={}",
             self.count,
             self.sum,
             self.min,
             self.max,
-            self.mean()
+            self.mean(),
+            self.p50,
+            self.p95,
+            self.p99
         )
     }
 }
@@ -376,11 +444,12 @@ impl Snapshot {
                         Value::Counter(a.saturating_sub(*b))
                     }
                     (Value::Histogram(a), Some(Value::Histogram(b))) => {
+                        // Counts and sums are cumulative and subtract;
+                        // min/max/percentiles are not and keep `self`'s.
                         Value::Histogram(HistogramSummary {
                             count: a.count.saturating_sub(b.count),
                             sum: a.sum.saturating_sub(b.sum),
-                            min: a.min,
-                            max: a.max,
+                            ..*a
                         })
                     }
                     _ => *value,
@@ -419,6 +488,30 @@ impl fmt::Display for Snapshot {
     }
 }
 
+/// Escapes a metric/scope name for use as a JSON key: ASCII
+/// alphanumerics and the punctuation metric names legitimately use
+/// (`/ - _ . # : ( ) = @` and space) pass through readable; everything
+/// else — quotes, backslashes, control characters, non-ASCII — is
+/// `\uXXXX`-escaped (surrogate pairs for non-BMP), so any name yields a
+/// valid, unambiguous JSON string.
+pub fn escape_metric_name(s: &str) -> String {
+    use fmt::Write as _;
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            c if c.is_ascii_alphanumeric() => out.push(c),
+            '/' | '-' | '_' | '.' | '#' | ':' | '(' | ')' | '=' | '@' | ' ' => out.push(ch),
+            c => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    let _ = write!(out, "\\u{unit:04x}");
+                }
+            }
+        }
+    }
+    out
+}
+
 pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for ch in s.chars() {
@@ -439,8 +532,9 @@ pub(crate) fn escape_json(s: &str) -> String {
 
 impl Snapshot {
     /// Render as a JSON object: counters and gauges as numbers, histograms as
-    /// `{count, sum, min, max}` objects. Keys are sorted, so the rendering is
-    /// stable.
+    /// `{count, sum, min, max, p50, p95, p99}` objects. Keys are sorted and
+    /// name-escaped ([`escape_metric_name`]), so the rendering is stable and
+    /// always valid JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
@@ -449,15 +543,15 @@ impl Snapshot {
                 out.push(',');
             }
             out.push('"');
-            out.push_str(&escape_json(name));
+            out.push_str(&escape_metric_name(name));
             out.push_str("\":");
             match value {
                 Value::Counter(v) => out.push_str(&v.to_string()),
                 Value::Gauge(v) => out.push_str(&v.to_string()),
                 Value::Histogram(h) => {
                     out.push_str(&format!(
-                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
-                        h.count, h.sum, h.min, h.max
+                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                        h.count, h.sum, h.min, h.max, h.p50, h.p95, h.p99
                     ));
                 }
             }
@@ -549,5 +643,52 @@ mod tests {
         h.observe(10);
         let s = h.summary();
         assert_eq!((s.count, s.sum, s.min, s.max, s.mean()), (2, 14, 4, 10, 7));
+    }
+
+    #[test]
+    fn histogram_percentiles_track_the_distribution() {
+        let h = Histogram::new();
+        // 98 fast observations, 2 slow ones: the p50 stays in the fast
+        // bucket, the p99 reaches the slow one, and everything clamps
+        // into [min, max].
+        for _ in 0..98 {
+            h.observe(3);
+        }
+        h.observe(1000);
+        h.observe(1000);
+        let s = h.summary();
+        assert_eq!(s.p50, 3, "median stays in the fast bucket");
+        assert_eq!(s.p95, 3);
+        assert_eq!(s.p99, 1000, "p99 reaches the slow tail (clamped to max)");
+        let rendered = s.to_string();
+        assert!(rendered.contains("p50=3"), "{rendered}");
+        assert!(rendered.contains("p99=1000"), "{rendered}");
+    }
+
+    #[test]
+    fn histogram_json_includes_percentiles() {
+        let m = Metrics::new();
+        m.histogram("lat").observe(7);
+        let json = m.snapshot().to_json();
+        assert_eq!(
+            json,
+            r#"{"lat":{"count":1,"sum":7,"min":7,"max":7,"p50":7,"p95":7,"p99":7}}"#
+        );
+    }
+
+    #[test]
+    fn metric_names_are_escaped_in_json() {
+        let m = Metrics::new();
+        m.counter("weird \"name\"\nwith☃unicode").incr();
+        m.counter("core/plain-name_1.x#y:z").add(2);
+        let json = m.snapshot().to_json();
+        // Safe punctuation stays readable; quotes, control characters,
+        // and non-ASCII become \uXXXX escapes.
+        assert!(json.contains(r#""core/plain-name_1.x#y:z":2"#), "{json}");
+        assert!(
+            json.contains(r#""weird \u0022name\u0022\u000awith\u2603unicode":1"#),
+            "{json}"
+        );
+        assert!(!json.contains('\n'), "raw control chars must not leak");
     }
 }

@@ -1,0 +1,186 @@
+//! The precision-provenance determinism contract (see DESIGN.md §11):
+//! the blame layer is observation-only — results are bit-identical with
+//! it on and off — and its drained table is a pure function of the
+//! analysis, so the exported JSON is identical at every thread count,
+//! including under injected degradation faults.
+
+use cai_core::{Budget, ChaosConfig, ChaosDomain, LogicalProduct};
+use cai_driver::{Driver, ModuleAnalysis};
+use cai_interp::{parse_module, Module};
+use cai_linarith::AffineEq;
+use cai_obs::provenance;
+use cai_term::parse::Vocab;
+use cai_uf::UfDomain;
+use std::sync::Mutex;
+
+/// Serializes the tests that toggle the global blame-layer state; the
+/// cargo test harness runs tests concurrently.
+static BLAME_LOCK: Mutex<()> = Mutex::new(());
+
+type Product = LogicalProduct<AffineEq, UfDomain>;
+type DegradingProduct = LogicalProduct<ChaosDomain<AffineEq>, UfDomain>;
+
+fn product_driver() -> Driver<Product, impl Fn(&Budget) -> Product + Sync> {
+    Driver::new(|_: &Budget| LogicalProduct::new(AffineEq::new(), UfDomain::new()))
+}
+
+/// A driver whose *base* domain injects sound degradation faults (forced
+/// ⊤ joins, defective Alternate operators, budget exhaustion) plus
+/// panics, so every run records loss events across several kinds and
+/// exercises the supervisor.
+fn degrading_driver(
+    seed: u64,
+    panic_rate: u32,
+) -> Driver<DegradingProduct, impl Fn(&Budget) -> DegradingProduct + Sync> {
+    Driver::new(move |b: &Budget| {
+        LogicalProduct::new(
+            ChaosDomain::new(AffineEq::new(), seed)
+                .with_config(ChaosConfig {
+                    top_join_permille: 100,
+                    break_alternate_permille: 300,
+                    exhaust_budget_permille: 10,
+                    panic_permille: panic_rate,
+                    ..ChaosConfig::quiet()
+                })
+                .with_budget(b.clone()),
+            UfDomain::new(),
+        )
+    })
+}
+
+fn test_module(n: usize) -> Module {
+    let mut src = String::new();
+    for i in 0..n {
+        let k = i % 5;
+        src.push_str(&format!(
+            "proc p{i}(a) {{
+                 x := a + {k};
+                 y := F(x);
+                 while (*) {{ x := x + 1; y := F(x); }}
+                 assert(y = F(x));
+                 ret := x;
+             }}\n"
+        ));
+    }
+    parse_module(&Vocab::standard(), &src).expect("generated module parses")
+}
+
+/// Every observable fact of a run, as one comparable string: summaries
+/// (including their rendering), verdicts, flags, supervision counters,
+/// and the incident log.
+fn fingerprint(a: &ModuleAnalysis) -> String {
+    let mut s = String::new();
+    for r in a {
+        let verdicts: Vec<bool> = r.assertions.iter().map(|o| o.verified).collect();
+        s.push_str(&format!(
+            "{} | {} | {verdicts:?} | diverged={} quarantined={}\n",
+            r.name, r.summary, r.diverged, r.quarantined
+        ));
+    }
+    s.push_str(&format!("sup={:?}\n", a.supervision));
+    for i in &a.degradation.incidents {
+        s.push_str(&format!(
+            "{} `{}` attempt {}\n",
+            i.kind, i.subject, i.attempt
+        ));
+    }
+    s
+}
+
+/// The export contract: with degradation faults injected, the drained
+/// blame table's JSON is bit-identical at 1, 2 and 4 threads — scopes
+/// are thread-local, rounds are logical, and aggregation is commutative,
+/// so the schedule leaves no trace.
+#[test]
+fn blame_json_is_identical_across_thread_counts_under_chaos() {
+    let _guard = BLAME_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let m = test_module(8);
+    let (seed, panic_rate) = (7, 200);
+
+    provenance::set_enabled(true);
+    let _ = provenance::drain();
+    let run = |threads: usize| {
+        let a = degrading_driver(seed, panic_rate)
+            .max_retries(0)
+            .threads(threads)
+            .with_budget(Budget::fuel(200_000))
+            .analyze(&m);
+        (fingerprint(&a), provenance::drain())
+    };
+
+    let (base_fp, base_tab) = run(1);
+    provenance::set_enabled(false);
+    provenance::set_enabled(true);
+    assert!(
+        !base_tab.is_empty(),
+        "the fault rates must actually record loss events"
+    );
+    assert!(
+        base_tab.kinds().len() >= 2,
+        "expected several loss kinds, got {:?}",
+        base_tab.kinds()
+    );
+    for threads in [2usize, 4] {
+        let (fp, tab) = run(threads);
+        assert_eq!(base_fp, fp, "chaos run at {threads} thread(s) diverged");
+        assert_eq!(
+            base_tab.to_json(),
+            tab.to_json(),
+            "blame JSON at {threads} thread(s) differs from the 1-thread export"
+        );
+    }
+    provenance::set_enabled(false);
+}
+
+/// The transparency contract: the blame layer (and the tracer) observe,
+/// never steer. Results are bit-identical with both layers off and both
+/// on, at every thread count — and the disabled layer records nothing.
+#[test]
+fn provenance_off_and_on_are_bit_identical() {
+    let _guard = BLAME_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let m = test_module(8);
+
+    // A starved fuel pool makes the run actually *lose* facts (budget
+    // degradations), so the on-leg has events to record — and the
+    // degradations themselves must be identical with the layer off.
+    let run = |threads: usize| {
+        fingerprint(
+            &product_driver()
+                .threads(threads)
+                .with_budget(Budget::fuel(24))
+                .analyze(&m),
+        )
+    };
+    provenance::set_enabled(false);
+    cai_obs::trace::set_enabled(false);
+    let baseline = run(1);
+    assert!(
+        provenance::drain().is_empty(),
+        "a disabled layer must record nothing"
+    );
+
+    provenance::set_enabled(true);
+    cai_obs::trace::set_enabled(true);
+    for threads in [1usize, 2, 4] {
+        let observed = run(threads);
+        assert_eq!(
+            baseline, observed,
+            "blame-on run at {threads} thread(s) diverged from the blame-off baseline"
+        );
+    }
+    let table = provenance::drain();
+    let spans = cai_obs::trace::drain();
+    provenance::set_enabled(false);
+    cai_obs::trace::set_enabled(false);
+    assert!(
+        !table.is_empty(),
+        "the observed runs must actually have recorded loss events (the pool starves here)"
+    );
+    assert!(!spans.is_empty(), "the tracer must have recorded spans");
+    // Losses carry the procedure/loop scope, not a thread identity.
+    assert!(
+        table.entries.iter().any(|e| e.scope.contains("/loop#")),
+        "loss events must be attributed to a proc/loop scope, got {:?}",
+        table.entries.iter().map(|e| &e.scope).collect::<Vec<_>>()
+    );
+}
